@@ -1,0 +1,39 @@
+//! # rbanalysis — closed-form and numerical analysis of recovery-block
+//! schemes
+//!
+//! The quantitative side of Shin & Lee (ICPP 1983) beyond the Markov
+//! chains of `rbmarkov`:
+//!
+//! * [`order_stats`] — exponential order statistics: the distribution
+//!   and moments of `Z = max{y₁,…,yₙ}`, `yᵢ ~ Exp(μᵢ)`, which governs
+//!   both the synchronized scheme's waiting time and the PRP scheme's
+//!   rollback-distance bound;
+//! * [`sync_loss`] — the paper's §3 mean computation-power loss
+//!   `E[CL] = n·∫₀^∞(1 − Πᵢ(1−e^{−μᵢt}))dt − Σᵢ 1/μᵢ`, in closed form
+//!   and by adaptive quadrature (they cross-validate each other);
+//! * [`prp_overhead`] — the §4 cost model of pseudo recovery points:
+//!   states stored, extra state-saving time, and the rollback-distance
+//!   bound;
+//! * [`quadrature`] — adaptive Simpson integration used by the
+//!   integral forms;
+//! * [`optimal`] — the "optimal interval between two successive
+//!   synchronizations" §5 asks for, solved by golden-section search
+//!   (with the √-law closed form as anchor);
+//! * [`tradeoff`] — the §5 conclusions made quantitative: given
+//!   (μ, λ, t_r, deadline), score the three schemes and recommend one.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod optimal;
+pub mod order_stats;
+pub mod prp_overhead;
+pub mod quadrature;
+pub mod sync_loss;
+pub mod tradeoff;
+
+pub use optimal::{optimal_period, overhead_rate, OptimalPeriod};
+pub use order_stats::{max_exp_cdf, max_exp_mean, max_exp_pdf};
+pub use prp_overhead::{prp_overhead, PrpOverhead};
+pub use sync_loss::{mean_loss, mean_loss_quadrature};
+pub use tradeoff::{recommend, Recommendation, Scheme, TradeoffInputs};

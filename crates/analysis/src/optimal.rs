@@ -1,0 +1,161 @@
+//! Optimal synchronization-period selection.
+//!
+//! The paper (§5) asks for "the optimal interval between two successive
+//! synchronizations" but stops at the qualitative trade-off. This
+//! module solves it for the §3 scheme under the §2 error model: choose
+//! the elapsed-since-line threshold Δ minimising the long-run overhead
+//! rate
+//!
+//! ```text
+//! rate(Δ) = [ E[CL]  +  ε·(Δ + E[Z])·n·E[D(Δ)] ] / (Δ + E[Z])
+//! ```
+//!
+//! where E\[CL\] and E\[Z\] are the per-line waiting loss and span,
+//! ε is the system error rate, and E\[D(Δ)\] ≈ (Δ + E\[Z\])/2 is the
+//! mean rollback distance to the last line when errors strike uniformly
+//! within a cycle. The optimum balances waiting overhead (∝ 1/Δ)
+//! against expected re-computation (∝ Δ) — the checkpoint-interval
+//! square-root law in this model's clothing.
+
+use crate::order_stats::max_exp_mean;
+use crate::sync_loss::mean_loss;
+
+/// The optimisation outcome.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OptimalPeriod {
+    /// The minimising threshold Δ*.
+    pub delta: f64,
+    /// The overhead rate at Δ* (lost work per unit time, whole set).
+    pub rate: f64,
+    /// E\[CL\] used.
+    pub mean_loss: f64,
+    /// E\[Z\] used.
+    pub mean_span: f64,
+}
+
+/// Long-run overhead rate of the §3 scheme at threshold `delta`,
+/// for processes `mu` and system error rate `error_rate`.
+pub fn overhead_rate(mu: &[f64], error_rate: f64, delta: f64) -> f64 {
+    assert!(delta >= 0.0 && error_rate >= 0.0);
+    let n = mu.len() as f64;
+    let cl = mean_loss(mu);
+    let ez = max_exp_mean(mu);
+    let cycle = delta + ez;
+    // Waiting loss once per cycle; errors strike at rate ε and cost all
+    // n processes the distance back to the last line — uniform within
+    // the cycle ⇒ E[D] = cycle/2.
+    (cl + error_rate * cycle * n * (cycle / 2.0)) / cycle
+}
+
+/// Minimises [`overhead_rate`] over Δ by golden-section search on
+/// `[0, upper]`.
+///
+/// # Panics
+/// Panics on empty/non-positive rates, negative error rate, or a
+/// non-positive search bound.
+pub fn optimal_period(mu: &[f64], error_rate: f64, upper: f64) -> OptimalPeriod {
+    assert!(!mu.is_empty() && mu.iter().all(|&m| m > 0.0));
+    assert!(error_rate >= 0.0 && upper > 0.0);
+    let f = |d: f64| overhead_rate(mu, error_rate, d);
+
+    // Golden-section search (unimodal in Δ: sum of a decreasing and an
+    // increasing term).
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (0.0_f64, upper);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..200 {
+        if (b - a).abs() < 1e-10 * upper {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let delta = 0.5 * (a + b);
+    OptimalPeriod {
+        delta,
+        rate: f(delta),
+        mean_loss: mean_loss(mu),
+        mean_span: max_exp_mean(mu),
+    }
+}
+
+/// Closed-form approximation ignoring the E\[Z\] offset: minimising
+/// `CL/Δ + ε·n·Δ/2` gives `Δ* ≈ √(2·CL/(ε·n))` — the classic
+/// square-root law (Young's formula shape). Used as a sanity anchor.
+pub fn sqrt_law_period(mu: &[f64], error_rate: f64) -> f64 {
+    assert!(error_rate > 0.0);
+    (2.0 * mean_loss(mu) / (error_rate * mu.len() as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_is_interior_and_beats_neighbors() {
+        let mu = [1.0, 1.0, 1.0];
+        let eps = 0.01;
+        let opt = optimal_period(&mu, eps, 200.0);
+        assert!(opt.delta > 0.1 && opt.delta < 199.0, "Δ* = {}", opt.delta);
+        for d in [opt.delta * 0.5, opt.delta * 0.8, opt.delta * 1.25, opt.delta * 2.0] {
+            assert!(
+                overhead_rate(&mu, eps, d) >= opt.rate - 1e-9,
+                "Δ = {d} beats the optimum"
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_tracks_sqrt_law() {
+        let mu = [1.0; 4];
+        for eps in [1e-3, 1e-2, 1e-1] {
+            let opt = optimal_period(&mu, eps, 2_000.0);
+            let anchor = sqrt_law_period(&mu, eps);
+            assert!(
+                (opt.delta - anchor).abs() < 0.35 * anchor + 1.5,
+                "ε = {eps}: Δ* = {} vs √-law {anchor}",
+                opt.delta
+            );
+        }
+    }
+
+    #[test]
+    fn rarer_errors_stretch_the_period() {
+        let mu = [1.0; 3];
+        let hot = optimal_period(&mu, 0.1, 5_000.0).delta;
+        let cold = optimal_period(&mu, 0.001, 5_000.0).delta;
+        assert!(cold > 3.0 * hot, "cold {cold} vs hot {hot}");
+    }
+
+    #[test]
+    fn zero_error_rate_pushes_delta_to_bound() {
+        // Without errors, synchronizing is pure cost: Δ* → upper bound.
+        let opt = optimal_period(&[1.0; 3], 0.0, 100.0);
+        assert!(opt.delta > 99.0, "Δ* = {}", opt.delta);
+    }
+
+    #[test]
+    fn rate_decomposes_at_extremes() {
+        let mu = [1.0; 3];
+        let eps = 0.01;
+        // Tiny Δ: dominated by waiting loss per cycle ≈ CL/E[Z].
+        let tiny = overhead_rate(&mu, eps, 1e-9);
+        let ez = max_exp_mean(&mu);
+        assert!((tiny - mean_loss(&mu) / ez - eps * 3.0 * ez / 2.0).abs() < 0.02 * tiny);
+        // Huge Δ: dominated by re-computation ≈ ε·n·Δ/2 → rate grows.
+        assert!(overhead_rate(&mu, eps, 1e4) > overhead_rate(&mu, eps, 1e2));
+    }
+}

@@ -1,0 +1,110 @@
+//! The PRP scheme's cost model (paper §4, last paragraph).
+//!
+//! Per real recovery point: n states are saved (one RP + n−1 PRPs),
+//! `(n−1)·t_r` additional recording time is spent, and the rollback
+//! distance is bounded (in the local-error case) by the supremum of the
+//! inter-recovery-point intervals of the processes involved.
+
+use crate::order_stats::max_exp_mean;
+
+/// The §4 overhead summary for one parameterisation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrpOverhead {
+    /// Saved states per real RP (one real + n−1 pseudo).
+    pub states_per_rp: usize,
+    /// Additional recording time per real RP: (n−1)·t_r.
+    pub time_per_rp: f64,
+    /// Time-overhead *rate*: Σᵢ μᵢ·(n−1)·t_r — recording time spent on
+    /// PRPs per unit time across the process set.
+    pub time_rate: f64,
+    /// Steady-state stored states across all processes under the purge
+    /// rule (each process: 1 own RP + (n−1) PRPs).
+    pub stored_states_total: usize,
+    /// Expected rollback-distance bound: E\[max yᵢ\] with
+    /// `yᵢ ~ Exp(μᵢ)` the inter-RP interval of `Pᵢ` (the paper:
+    /// "rollback distance is bounded by the supremum of {y₁,…,yₙ}").
+    pub rollback_bound: f64,
+}
+
+/// Computes the §4 overheads for processes with RP rates `mu` and
+/// state-recording time `t_r`.
+///
+/// # Panics
+/// Panics on empty/non-positive rates or negative `t_r`.
+pub fn prp_overhead(mu: &[f64], t_r: f64) -> PrpOverhead {
+    assert!(!mu.is_empty() && mu.iter().all(|&m| m > 0.0 && m.is_finite()));
+    assert!(t_r >= 0.0 && t_r.is_finite());
+    let n = mu.len();
+    PrpOverhead {
+        states_per_rp: n,
+        time_per_rp: (n - 1) as f64 * t_r,
+        time_rate: mu.iter().sum::<f64>() * (n - 1) as f64 * t_r,
+        stored_states_total: n * n,
+        rollback_bound: max_exp_mean(mu),
+    }
+}
+
+/// The paper's qualitative inefficiency condition for PRPs: frequent
+/// recovery points with rare communication ("requiring many PRP's to be
+/// implanted [while processes] rarely communicate"). Returns the ratio
+/// of PRP recording work to interaction activity — large values mean
+/// the PRPs are mostly wasted.
+pub fn waste_ratio(mu: &[f64], total_lambda: f64, t_r: f64) -> f64 {
+    assert!(total_lambda >= 0.0);
+    let oh = prp_overhead(mu, t_r);
+    if total_lambda == 0.0 {
+        f64::INFINITY
+    } else {
+        oh.time_rate / total_lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_process_overheads() {
+        let oh = prp_overhead(&[1.0, 1.0, 1.0], 0.01);
+        assert_eq!(oh.states_per_rp, 3);
+        assert!((oh.time_per_rp - 0.02).abs() < 1e-15);
+        assert!((oh.time_rate - 3.0 * 0.02).abs() < 1e-15);
+        assert_eq!(oh.stored_states_total, 9);
+        assert!((oh.rollback_bound - 11.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_scales_quadratically_in_n() {
+        let small = prp_overhead(&[1.0; 2], 0.01);
+        let large = prp_overhead(&[1.0; 8], 0.01);
+        assert_eq!(small.stored_states_total, 4);
+        assert_eq!(large.stored_states_total, 64);
+        // time_rate = n(n−1)·μ·t_r.
+        assert!((large.time_rate / small.time_rate - (8.0 * 7.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_t_r_means_zero_time_overhead() {
+        let oh = prp_overhead(&[1.0, 2.0], 0.0);
+        assert_eq!(oh.time_per_rp, 0.0);
+        assert_eq!(oh.time_rate, 0.0);
+        assert_eq!(oh.states_per_rp, 2);
+    }
+
+    #[test]
+    fn waste_ratio_flags_checkpoint_heavy_quiet_systems() {
+        // Frequent RPs, rare interactions → wasteful.
+        let wasteful = waste_ratio(&[10.0, 10.0, 10.0], 0.1, 0.01);
+        // Rare RPs, busy interactions → cheap insurance.
+        let cheap = waste_ratio(&[0.1, 0.1, 0.1], 10.0, 0.01);
+        assert!(wasteful > 100.0 * cheap, "{wasteful} vs {cheap}");
+        assert!(waste_ratio(&[1.0], 0.0, 0.01).is_infinite());
+    }
+
+    #[test]
+    fn slower_processes_loosen_the_rollback_bound() {
+        let fast = prp_overhead(&[2.0, 2.0, 2.0], 0.0).rollback_bound;
+        let slow = prp_overhead(&[0.5, 0.5, 0.5], 0.0).rollback_bound;
+        assert!(slow > fast);
+    }
+}

@@ -1,0 +1,105 @@
+//! The synchronized scheme's computation-power loss (paper §3).
+//!
+//! After a synchronization request, process `Pᵢ` reaches its next
+//! acceptance test after `yᵢ ~ Exp(μᵢ)` and then idles until the last
+//! process commits at `Z = max yᵢ`. The total loss per recovery line is
+//! `CL = Σᵢ (Z − yᵢ)`, with mean (the paper's display equation):
+//!
+//! ```text
+//! E[CL] = n·∫₀^∞ (1 − G(t)) dt − Σᵢ 1/μᵢ,    G(t) = Πᵢ (1 − e^{−μᵢ t})
+//! ```
+//!
+//! This module provides the closed form (inclusion–exclusion for
+//! `E[Z] = ∫(1−G)`), the literal quadrature of the paper's integral,
+//! and per-process expected idle times.
+
+use crate::order_stats::{max_exp_cdf, max_exp_mean};
+use crate::quadrature::integrate_to_infinity;
+
+/// `E[CL]` in closed form: `n·E[Z] − Σ 1/μᵢ`.
+pub fn mean_loss(mu: &[f64]) -> f64 {
+    let n = mu.len() as f64;
+    n * max_exp_mean(mu) - mu.iter().map(|&m| 1.0 / m).sum::<f64>()
+}
+
+/// `E[CL]` by integrating the paper's expression directly.
+pub fn mean_loss_quadrature(mu: &[f64], tol: f64) -> f64 {
+    let n = mu.len() as f64;
+    let scale = 4.0 / mu.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ez = integrate_to_infinity(|t| 1.0 - max_exp_cdf(mu, t), scale, tol);
+    n * ez - mu.iter().map(|&m| 1.0 / m).sum::<f64>()
+}
+
+/// Expected idle time of process `i` during one synchronization:
+/// `E[Z − yᵢ] = E[Z] − 1/μᵢ`. Fast processes (large μᵢ) idle longest.
+pub fn mean_idle(mu: &[f64], i: usize) -> f64 {
+    assert!(i < mu.len());
+    max_exp_mean(mu) - 1.0 / mu[i]
+}
+
+/// Loss *rate* when lines are established every `period` time units on
+/// average: `E[CL] / (n · (period + E[Z]))` — the fraction of total
+/// computation power spent waiting.
+pub fn loss_rate(mu: &[f64], period: f64) -> f64 {
+    assert!(period >= 0.0);
+    let n = mu.len() as f64;
+    let ez = max_exp_mean(mu);
+    mean_loss(mu) / (n * (period + ez))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_matches_quadrature_symmetric() {
+        let mu = [1.0, 1.0, 1.0];
+        let cf = mean_loss(&mu);
+        let quad = mean_loss_quadrature(&mu, 1e-10);
+        assert!((cf - 2.5).abs() < 1e-12, "E[CL] = 3·11/6 − 3 = 2.5, got {cf}");
+        assert!((cf - quad).abs() < 1e-6, "{cf} vs {quad}");
+    }
+
+    #[test]
+    fn closed_form_matches_quadrature_asymmetric() {
+        for mu in [vec![1.5, 1.0, 0.5], vec![0.2, 3.0], vec![1.0; 6]] {
+            let cf = mean_loss(&mu);
+            let quad = mean_loss_quadrature(&mu, 1e-10);
+            assert!((cf - quad).abs() < 1e-5, "{mu:?}: {cf} vs {quad}");
+        }
+    }
+
+    #[test]
+    fn loss_grows_with_n() {
+        let l2 = mean_loss(&[1.0; 2]);
+        let l4 = mean_loss(&[1.0; 4]);
+        let l8 = mean_loss(&[1.0; 8]);
+        assert!(l2 < l4 && l4 < l8, "{l2} {l4} {l8}");
+    }
+
+    #[test]
+    fn idle_times_sum_to_loss() {
+        let mu = [1.5, 1.0, 0.5];
+        let total: f64 = (0..3).map(|i| mean_idle(&mu, i)).sum();
+        assert!((total - mean_loss(&mu)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_process_idles_longest() {
+        let mu = [2.0, 1.0, 0.25];
+        assert!(mean_idle(&mu, 0) > mean_idle(&mu, 1));
+        assert!(mean_idle(&mu, 1) > mean_idle(&mu, 2));
+    }
+
+    #[test]
+    fn single_process_has_no_loss() {
+        assert!(mean_loss(&[3.0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_decreases_with_period() {
+        let mu = [1.0, 1.0, 1.0];
+        assert!(loss_rate(&mu, 1.0) > loss_rate(&mu, 10.0));
+        assert!(loss_rate(&mu, 10.0) > loss_rate(&mu, 100.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! Strategy selection (paper §5, made quantitative).
+//!
+//! The conclusion of the paper weighs "the loss of computation power
+//! during normal operation [against] the increase in response time due
+//! to rollback recovery", and names the disqualifiers:
+//!
+//! * the asynchronous scheme (or a long synchronization period) is
+//!   unacceptable for time-critical tasks whose deadline bounds the
+//!   tolerable rollback distance;
+//! * PRPs are inefficient when processes checkpoint frequently but
+//!   rarely communicate.
+//!
+//! [`recommend`] scores the three schemes on a common expected-overhead
+//! rate and applies the deadline constraint.
+
+use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
+use serde::Serialize;
+
+use crate::order_stats::max_exp_mean;
+use crate::prp_overhead::prp_overhead;
+use crate::sync_loss::mean_loss;
+
+/// One of the paper's three implementation families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Scheme {
+    /// §2 — unsynchronised recovery blocks.
+    Asynchronous,
+    /// §3 — forced recovery lines.
+    Synchronized,
+    /// §4 — pseudo recovery points.
+    PseudoRecoveryPoints,
+}
+
+/// Inputs to the recommendation.
+#[derive(Clone, Debug)]
+pub struct TradeoffInputs {
+    /// Checkpoint/interaction rates.
+    pub params: AsyncParams,
+    /// Error rate per unit time across the whole process set.
+    pub error_rate: f64,
+    /// State-recording time t_r.
+    pub t_r: f64,
+    /// Mean interval between synchronization requests (for the
+    /// synchronized scheme's amortisation).
+    pub sync_period: f64,
+    /// Hard bound on tolerable rollback distance (system deadline), if
+    /// the task is time-critical.
+    pub deadline: Option<f64>,
+}
+
+/// The scored outcome.
+#[derive(Clone, Debug, Serialize)]
+pub struct Recommendation {
+    /// The chosen scheme.
+    pub scheme: Scheme,
+    /// Expected overhead rate (lost work per unit time) per scheme,
+    /// in the order \[async, sync, prp\].
+    pub overhead_rates: [f64; 3],
+    /// Expected rollback distance per scheme, same order.
+    pub rollback_distances: [f64; 3],
+    /// Schemes excluded by the deadline, same order.
+    pub deadline_excluded: [bool; 3],
+}
+
+/// Scores the three schemes.
+///
+/// Overhead model (work lost per unit time):
+/// * **async** — no normal-operation overhead; on each error the whole
+///   inter-recovery-line span E\[X\] is at risk: rate ≈ error_rate ·
+///   n·E\[X\] (all n processes redo up to a full line interval);
+/// * **sync** — waiting loss E\[CL\] per line every
+///   `sync_period + E[Z]`, plus error cost bounded by the period;
+/// * **prp** — PRP recording time Σμ·(n−1)·t_r, plus error cost bounded
+///   by E\[max yᵢ\].
+pub fn recommend(inputs: &TradeoffInputs) -> Recommendation {
+    let params = &inputs.params;
+    let n = params.n() as f64;
+    let mu = params.mu();
+    let mu_mean = mu.iter().sum::<f64>() / n;
+    // Use the homogeneous chain at the mean rates for E[X]; the paper's
+    // Table 1 shows the λ distribution barely moves E[X] at fixed ρ.
+    let lambda_mean = if params.n() >= 2 {
+        2.0 * params.total_lambda() / (n * (n - 1.0))
+    } else {
+        0.0
+    };
+    let ex = mean_interval_symmetric(params.n(), mu_mean, lambda_mean.max(1e-12));
+    let ez = max_exp_mean(mu);
+    let oh = prp_overhead(mu, inputs.t_r);
+
+    let async_rollback = ex;
+    let sync_rollback = inputs.sync_period + ez;
+    let prp_rollback = oh.rollback_bound;
+
+    let async_rate = inputs.error_rate * n * async_rollback;
+    let sync_rate = mean_loss(mu) / (inputs.sync_period + ez)
+        + inputs.error_rate * n * sync_rollback.min(async_rollback);
+    let prp_rate = oh.time_rate + inputs.error_rate * n * prp_rollback;
+
+    let rates = [async_rate, sync_rate, prp_rate];
+    let distances = [async_rollback, sync_rollback, prp_rollback];
+    let excluded = match inputs.deadline {
+        Some(d) => [
+            async_rollback > d,
+            sync_rollback > d,
+            prp_rollback > d,
+        ],
+        None => [false; 3],
+    };
+
+    let schemes = [
+        Scheme::Asynchronous,
+        Scheme::Synchronized,
+        Scheme::PseudoRecoveryPoints,
+    ];
+    let best = (0..3)
+        .filter(|&k| !excluded[k])
+        .min_by(|&a, &b| rates[a].partial_cmp(&rates[b]).unwrap())
+        .unwrap_or(2); // if everything misses the deadline, PRP bounds tightest
+
+    Recommendation {
+        scheme: schemes[best],
+        overhead_rates: rates,
+        rollback_distances: distances,
+        deadline_excluded: excluded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_inputs() -> TradeoffInputs {
+        TradeoffInputs {
+            params: AsyncParams::symmetric(3, 1.0, 1.0),
+            error_rate: 0.01,
+            t_r: 0.01,
+            sync_period: 5.0,
+            deadline: None,
+        }
+    }
+
+    #[test]
+    fn rare_errors_favor_asynchronous() {
+        let mut inputs = base_inputs();
+        inputs.error_rate = 1e-6;
+        let rec = recommend(&inputs);
+        assert_eq!(rec.scheme, Scheme::Asynchronous, "{rec:?}");
+    }
+
+    #[test]
+    fn deadline_excludes_long_rollbacks() {
+        let mut inputs = base_inputs();
+        inputs.error_rate = 1e-6; // async would win on cost…
+        inputs.deadline = Some(2.0); // …but E[X] = 2.5 misses the deadline
+        let rec = recommend(&inputs);
+        assert!(rec.deadline_excluded[0], "{rec:?}");
+        assert_ne!(rec.scheme, Scheme::Asynchronous);
+        // PRP bound 11/6 < 2.0 meets it.
+        assert!(!rec.deadline_excluded[2]);
+    }
+
+    #[test]
+    fn frequent_errors_favor_bounded_schemes() {
+        let mut inputs = base_inputs();
+        inputs.error_rate = 0.5;
+        let rec = recommend(&inputs);
+        assert_ne!(rec.scheme, Scheme::Asynchronous, "{rec:?}");
+    }
+
+    #[test]
+    fn expensive_state_saving_penalises_prp() {
+        let mut inputs = base_inputs();
+        inputs.error_rate = 0.05;
+        inputs.t_r = 0.0;
+        let cheap = recommend(&inputs);
+        inputs.t_r = 5.0; // absurdly expensive state record
+        let pricey = recommend(&inputs);
+        assert!(
+            pricey.overhead_rates[2] > cheap.overhead_rates[2] + 1.0,
+            "{pricey:?}"
+        );
+        assert_ne!(pricey.scheme, Scheme::PseudoRecoveryPoints);
+    }
+
+    #[test]
+    fn rates_and_distances_are_positive_and_finite() {
+        let rec = recommend(&base_inputs());
+        for k in 0..3 {
+            assert!(rec.overhead_rates[k].is_finite() && rec.overhead_rates[k] >= 0.0);
+            assert!(rec.rollback_distances[k].is_finite() && rec.rollback_distances[k] > 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_inefficiency_prp_with_frequent_rps_rare_comm() {
+        // "The implantation of PRPs is inefficient … when they establish
+        // recovery points frequently and rarely communicate."
+        let inputs = TradeoffInputs {
+            params: AsyncParams::symmetric(3, 10.0, 0.01),
+            error_rate: 0.01,
+            t_r: 0.05,
+            sync_period: 5.0,
+            deadline: None,
+        };
+        let rec = recommend(&inputs);
+        // With rare communication, async rollback barely propagates
+        // (E[X] is short), so PRP's n(n−1)μt_r recording tax loses.
+        assert_ne!(rec.scheme, Scheme::PseudoRecoveryPoints, "{rec:?}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the closed-form analyses.
+
+use proptest::prelude::*;
+use rbanalysis::optimal::{optimal_period, overhead_rate};
+use rbanalysis::order_stats::{max_exp_cdf, max_exp_mean, max_exp_pdf};
+use rbanalysis::prp_overhead::prp_overhead;
+use rbanalysis::quadrature::{adaptive_simpson, integrate_to_infinity};
+use rbanalysis::sync_loss::{mean_loss, mean_loss_quadrature};
+
+fn rates() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..10.0, 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn closed_form_equals_quadrature(mu in rates()) {
+        let cf = mean_loss(&mu);
+        let quad = mean_loss_quadrature(&mu, 1e-9);
+        prop_assert!((cf - quad).abs() < 1e-4 * cf.max(1.0), "{cf} vs {quad}");
+    }
+
+    #[test]
+    fn loss_nonnegative_and_zero_for_singleton(mu in rates()) {
+        let cf = mean_loss(&mu);
+        prop_assert!(cf >= -1e-12);
+        if mu.len() == 1 {
+            prop_assert!(cf.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_mean_dominates_components_and_sum_bounds(mu in rates()) {
+        let ez = max_exp_mean(&mu);
+        for &m in &mu {
+            prop_assert!(ez >= 1.0 / m - 1e-12);
+        }
+        // max ≤ sum of the individual means.
+        let total: f64 = mu.iter().map(|m| 1.0 / m).sum();
+        prop_assert!(ez <= total + 1e-12);
+    }
+
+    #[test]
+    fn cdf_pdf_consistency(mu in rates(), t in 0.01f64..20.0) {
+        let h = 1e-6;
+        let numeric = (max_exp_cdf(&mu, t + h) - max_exp_cdf(&mu, (t - h).max(0.0)))
+            / (t + h - (t - h).max(0.0));
+        let analytic = max_exp_pdf(&mu, t);
+        prop_assert!(
+            (numeric - analytic).abs() < 1e-3 * analytic.max(1e-3) + 1e-4,
+            "t={t}: {numeric} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn simpson_matches_antiderivative_on_cubics(
+        a in -2.0f64..2.0,
+        b in -2.0f64..2.0,
+        c in -2.0f64..2.0,
+    ) {
+        let f = move |x: f64| a * x * x + b * x + c;
+        let antideriv = move |x: f64| a * x * x * x / 3.0 + b * x * x / 2.0 + c * x;
+        let got = adaptive_simpson(f, -1.0, 2.0, 1e-12);
+        let want = antideriv(2.0) - antideriv(-1.0);
+        prop_assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+
+    #[test]
+    fn tail_integration_of_exponentials(rate in 0.05f64..20.0) {
+        let got = integrate_to_infinity(move |x| (-rate * x).exp(), 2.0 / rate, 1e-9);
+        prop_assert!((got - 1.0 / rate).abs() < 1e-5 / rate + 1e-7, "{got}");
+    }
+
+    #[test]
+    fn prp_overhead_scales_sanely(mu in rates(), t_r in 0.0f64..0.1) {
+        let oh = prp_overhead(&mu, t_r);
+        let n = mu.len();
+        prop_assert_eq!(oh.states_per_rp, n);
+        prop_assert_eq!(oh.stored_states_total, n * n);
+        prop_assert!((oh.time_per_rp - (n as f64 - 1.0) * t_r).abs() < 1e-12);
+        prop_assert!(oh.rollback_bound > 0.0);
+    }
+
+    #[test]
+    fn optimal_period_is_a_minimum(
+        mu in prop::collection::vec(0.2f64..4.0, 2..6),
+        eps in 0.001f64..0.5,
+    ) {
+        let opt = optimal_period(&mu, eps, 1_000.0);
+        for factor in [0.25, 0.5, 2.0, 4.0] {
+            let d = (opt.delta * factor).clamp(1e-6, 1_000.0);
+            prop_assert!(
+                overhead_rate(&mu, eps, d) >= opt.rate - 1e-7 * opt.rate.max(1.0),
+                "Δ = {d} beats Δ* = {}", opt.delta
+            );
+        }
+    }
+}

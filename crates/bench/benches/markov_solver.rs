@@ -1,0 +1,62 @@
+//! Criterion: Markov-solver scaling.
+//!
+//! How expensive are the three analytic solves as the process count
+//! grows? The full chain is 2ⁿ+1 states (dense LU through n = 10), the
+//! lumped chain n+2 states, and the density solve is uniformization
+//! over the full chain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SplitChain};
+use std::hint::black_box;
+
+fn bench_mean_interval_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mean_interval/full_chain");
+    for n in [3usize, 5, 7, 9] {
+        let params = AsyncParams::symmetric(n, 1.0, 1.0);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &params, |b, p| {
+            b.iter(|| black_box(p.mean_interval()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mean_interval_lumped(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mean_interval/lumped_chain");
+    // Hold ρ = 2 as n grows (the Figure 5 setup). Even at fixed ρ,
+    // E[X] grows exponentially in n, so n ≳ 40 leaves f64 range — the
+    // sweep stops at 27 (vs the full chain's practical cap of ~12).
+    for n in [3usize, 9, 18, 27] {
+        let lambda = 2.0 / (n - 1) as f64;
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, move |b, &n| {
+            b.iter(|| black_box(mean_interval_symmetric(n, 1.0, lambda)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
+    let ts: Vec<f64> = (0..50).map(|k| k as f64 * 0.1).collect();
+    c.bench_function("interval_density/n3_50pts", |b| {
+        b.iter(|| black_box(params.interval_density(&ts)))
+    });
+}
+
+fn bench_split_chain(c: &mut Criterion) {
+    let params = AsyncParams::symmetric(4, 1.0, 1.0);
+    c.bench_function("split_chain/build_and_count_n4", |b| {
+        b.iter(|| {
+            let sc = SplitChain::build(&params, 0);
+            black_box(sc.expected_rp_count(true))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mean_interval_full,
+    bench_mean_interval_lumped,
+    bench_density,
+    bench_split_chain
+);
+criterion_main!(benches);

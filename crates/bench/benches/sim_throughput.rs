@@ -1,0 +1,60 @@
+//! Criterion: discrete-event substrate throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbmarkov::paper::AsyncParams;
+use rbsim::{EventQueue, SimRng, SimTime, StreamId};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    for size in [1_000usize, 10_000, 100_000] {
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_with_input(BenchmarkId::new("push_pop", size), &size, |b, &size| {
+            let mut rng = SimRng::new(1, StreamId::WORKLOAD);
+            let times: Vec<f64> = (0..size).map(|_| rng.uniform() * 1000.0).collect();
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(size);
+                for &t in &times {
+                    q.push(SimTime::new(t), ());
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exp_sampling(c: &mut Criterion) {
+    c.bench_function("rng/exp_100k", |b| {
+        let mut rng = SimRng::new(2, StreamId::WORKLOAD);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += rng.exp(1.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_async_driver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("async_scheme/1000_lines");
+    for n in [3usize, 6] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let params = AsyncParams::symmetric(n, 1.0, 1.0);
+                let stats = AsyncScheme::new(AsyncConfig::new(params), 3).run_intervals(1_000);
+                black_box(stats.interval.mean())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_exp_sampling, bench_async_driver);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Extension X3 — conversations vs whole-system synchronization.
+//!
+//! The paper (§1) lists Randell's conversation scheme as the first
+//! refinement: synchronization scoped to the interacting subset instead
+//! of all n processes. This binary quantifies the scoping advantage:
+//! waiting loss per test line as the conversation size k varies, the
+//! occupancy/deferral cost of the closed boundary, and the
+//! abandonment behaviour under flaky alternates.
+
+use rbbench::{emit_json, row, rule};
+use rbcore::schemes::conversation::{
+    conversation_round_loss, run_conversations, ConversationConfig,
+};
+use rbmarkov::paper::AsyncParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct KPoint {
+    k: usize,
+    loss_per_conversation: f64,
+    analytic_round_loss: f64,
+    occupancy: f64,
+    deferred_per_conversation: f64,
+    abandon_rate: f64,
+}
+
+fn main() {
+    let n = 6;
+    let params = AsyncParams::symmetric(n, 1.0, 1.0);
+    let horizon = 30_000.0;
+    let w = 13;
+
+    println!(
+        "Extension X3 — conversation size k vs whole-set synchronization \
+         (n = {n}, μ = λ = 1, p_fail = 0.05, horizon {horizon})\n"
+    );
+    println!(
+        "{}",
+        row(
+            &["k", "CL/conv sim", "CL/round", "occupancy", "defer/conv", "abandon%"]
+                .map(String::from),
+            w
+        )
+    );
+    println!("{}", rule(6, w));
+
+    let mut points = Vec::new();
+    for k in 2..=n {
+        let cfg = ConversationConfig::new(params.clone(), k);
+        let stats = run_conversations(&cfg, horizon, 7);
+        let analytic = conversation_round_loss(&vec![1.0; k]);
+        let total = (stats.completed + stats.abandoned).max(1);
+        let defer = stats.deferred_interactions as f64 / total as f64;
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{k}"),
+                    format!("{:.4}", stats.loss_per_conversation.mean()),
+                    format!("{analytic:.4}"),
+                    format!("{:.3}%", 100.0 * stats.occupancy()),
+                    format!("{defer:.3}"),
+                    format!("{:.2}%", 100.0 * stats.abandon_rate()),
+                ],
+                w
+            )
+        );
+        points.push(KPoint {
+            k,
+            loss_per_conversation: stats.loss_per_conversation.mean(),
+            analytic_round_loss: analytic,
+            occupancy: stats.occupancy(),
+            deferred_per_conversation: defer,
+            abandon_rate: stats.abandon_rate(),
+        });
+    }
+
+    // Scoping claims.
+    for w in points.windows(2) {
+        assert!(
+            w[1].analytic_round_loss > w[0].analytic_round_loss,
+            "waiting loss must grow with conversation size"
+        );
+    }
+    let (small, full) = (&points[0], points.last().unwrap());
+    println!(
+        "\nscoping advantage: k = 2 loses {:.2} per conversation vs k = {n}'s {:.2} \
+         (×{:.1}); the price is the closed boundary — {:.2} deferred cross-boundary \
+         interactions per conversation at k = 2 growing to {:.2}… none at k = n \
+         (no outsiders left).",
+        small.loss_per_conversation,
+        full.loss_per_conversation,
+        full.loss_per_conversation / small.loss_per_conversation,
+        small.deferred_per_conversation,
+        points[points.len() - 2].deferred_per_conversation,
+    );
+    assert!(full.deferred_per_conversation == 0.0);
+
+    emit_json("conversation_compare", &points);
+}

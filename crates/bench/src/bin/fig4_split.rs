@@ -1,0 +1,102 @@
+//! Figure 4 — construction of the split states S₂′ and S₂″ of the
+//! discrete Markov chain Y_d.
+//!
+//! The paper converts the flag CTMC to the uniformized jump chain Y_d
+//! (normalization G = Σλ + Σμ) and splits every state with the tagged
+//! process's flag set into a primed copy (entered by that process's RP
+//! events) and a double-primed copy (all other arrivals); E\[Lᵢ\] is the
+//! expected number of arrivals into the primed copies. This binary
+//! prints the split chain for n = 3, the edges into the (1,0,0)-state's
+//! two copies (the paper's S₂ example), and the resulting E\[Lᵢ\].
+
+use rbbench::emit_json;
+use rbmarkov::paper::{AsyncParams, SplitChain, SplitState};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Result {
+    g: f64,
+    n_states: usize,
+    expected_steps: f64,
+    ex_from_steps: f64,
+    e_l_with_terminal: f64,
+    e_l_paper_statistic: f64,
+    identity_mu_ex: f64,
+}
+
+fn main() {
+    let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
+    let tagged = 0; // the paper tags P1 for its S2 = (1,0,0) example
+    let sc = SplitChain::build(&params, tagged);
+
+    println!(
+        "Figure 4 — split chain Y_d for n = 3, tagged process P{} (G = {})\n",
+        tagged + 1,
+        sc.g
+    );
+    println!("states ({}):", sc.labels.len());
+    for (idx, _) in sc.labels.iter().enumerate() {
+        println!("  {:>2}  {}", idx, sc.state_label(idx));
+    }
+
+    // The paper's example: S2 = (1,0,0) — mask with only the tagged bit.
+    let mask = 1u32 << tagged;
+    let (prime_idx, dprime_idx) = {
+        let mut pi = None;
+        let mut di = None;
+        for (idx, l) in sc.labels.iter().enumerate() {
+            match *l {
+                SplitState::Prime(m) if m == mask => pi = Some(idx),
+                SplitState::DoublePrime(m) if m == mask => di = Some(idx),
+                _ => {}
+            }
+        }
+        (pi.unwrap(), di.unwrap())
+    };
+
+    println!("\nedges into {} (arrivals counted toward L):", sc.state_label(prime_idx));
+    for e in sc.edges.iter().filter(|e| e.to == prime_idx) {
+        println!(
+            "  {:<12} → {:<12} p = {:.4}  {}",
+            sc.state_label(e.from),
+            sc.state_label(e.to),
+            e.prob,
+            if e.marked { "[P1 RP event]" } else { "" }
+        );
+        assert!(e.marked, "every arrival at a primed state is a tagged RP event");
+    }
+    println!("\nedges into {} (all other arrivals):", sc.state_label(dprime_idx));
+    for e in sc.edges.iter().filter(|e| e.to == dprime_idx) {
+        println!(
+            "  {:<12} → {:<12} p = {:.4}",
+            sc.state_label(e.from),
+            sc.state_label(e.to),
+            e.prob
+        );
+        assert!(!e.marked);
+    }
+
+    let steps = sc.expected_steps();
+    let ex = steps / sc.g;
+    let with_term = sc.expected_rp_count(true);
+    let without = sc.expected_rp_count(false);
+    let identity = params.mu()[tagged] * params.mean_interval();
+    println!("\nquantities:");
+    println!("  E[steps to absorb]          = {steps:.6}");
+    println!("  E[X] = E[steps]/G           = {ex:.6}  (CTMC solve: {:.6})", params.mean_interval());
+    println!("  E[L1] incl. terminal arrival = {with_term:.6}  (= μ1·E[X] = {identity:.6})");
+    println!("  E[L1] paper's S_u' statistic = {without:.6}");
+
+    emit_json(
+        "fig4_split",
+        &Fig4Result {
+            g: sc.g,
+            n_states: sc.labels.len(),
+            expected_steps: steps,
+            ex_from_steps: ex,
+            e_l_with_terminal: with_term,
+            e_l_paper_statistic: without,
+            identity_mu_ex: identity,
+        },
+    );
+}

@@ -1,0 +1,95 @@
+//! Figure 5 — mean value of X versus the number of processes n.
+//!
+//! Paper setup: λᵢⱼ = λ for all pairs, μᵢ = μ = 1.0, and ρ =
+//! (Σᵢ Σ_{j≠i} λᵢⱼ)/(Σₖ μₖ) held fixed as n varies, i.e.
+//! λ = ρ·μ/(n−1). The figure shows E\[X\] "increasing drastically" with
+//! n. We solve the chain exactly (full chain for small n, lumped chain
+//! beyond), cross-check with simulation at each point, and extend the
+//! sweep past the paper's n = 5.
+
+use rbbench::{emit_json, row, rule};
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    n: usize,
+    rho: f64,
+    lambda: f64,
+    ex_markov: f64,
+    ex_sim: Option<f64>,
+    ex_sim_ci95: Option<f64>,
+}
+
+fn main() {
+    let mu = 1.0;
+    let rhos = [1.0, 2.0, 4.0];
+    let w = 11;
+    println!("Figure 5 — E[X] vs number of processes (μ = 1, λ = ρ/(n−1), ρ fixed)\n");
+    println!(
+        "{}",
+        row(&["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"].map(String::from), w)
+    );
+    println!("{}", rule(6, w));
+
+    let mut points = Vec::new();
+    for &rho in &rhos {
+        for n in 2..=10usize {
+            let lambda = rho * mu / (n - 1) as f64;
+            let ex = mean_interval_symmetric(n, mu, lambda);
+            // Simulation cross-check for the paper's range.
+            let (sim, ci) = if n <= 6 {
+                let stats = AsyncScheme::new(
+                    AsyncConfig::new(AsyncParams::symmetric(n, mu, lambda)),
+                    7_000 + n as u64,
+                )
+                .run_intervals(30_000);
+                (
+                    Some(stats.interval.mean()),
+                    Some(stats.interval.ci_half_width(1.96)),
+                )
+            } else {
+                (None, None)
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{n}"),
+                        format!("{rho:.1}"),
+                        format!("{lambda:.3}"),
+                        format!("{ex:.4}"),
+                        sim.map_or("—".into(), |s| format!("{s:.4}")),
+                        ci.map_or("—".into(), |c| format!("{c:.4}")),
+                    ],
+                    w
+                )
+            );
+            points.push(Point {
+                n,
+                rho,
+                lambda,
+                ex_markov: ex,
+                ex_sim: sim,
+                ex_sim_ci95: ci,
+            });
+        }
+        println!("{}", rule(6, w));
+    }
+
+    // The paper's qualitative claim: drastic growth in n.
+    for &rho in &rhos {
+        let series: Vec<&Point> = points.iter().filter(|p| p.rho == rho).collect();
+        let growth = series.last().unwrap().ex_markov / series.first().unwrap().ex_markov;
+        println!("ρ = {rho}: E[X] grows ×{growth:.1} from n = 2 to n = 10");
+        for w in series.windows(2) {
+            assert!(
+                w[1].ex_markov > w[0].ex_markov,
+                "E[X] must increase with n at fixed ρ"
+            );
+        }
+    }
+
+    emit_json("fig5_meanx", &points);
+}

@@ -1,0 +1,100 @@
+//! Extension X4 — the optimal synchronization interval (§5's open
+//! question).
+//!
+//! "it is necessary to determine … the optimal interval between two
+//! successive synchronizations" — solved here for the §3 scheme: the
+//! overhead-rate model is minimised by golden-section search, compared
+//! against the √-law closed form, and validated against the
+//! discrete-event timeline (loss side) at the optimum.
+
+use rbanalysis::optimal::{optimal_period, overhead_rate, sqrt_law_period};
+use rbanalysis::sync_loss::mean_loss;
+use rbbench::{emit_json, row, rule};
+use rbcore::schemes::synchronized::{run_sync_timeline, SyncStrategy};
+use rbmarkov::paper::AsyncParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct EpsPoint {
+    error_rate: f64,
+    delta_star: f64,
+    sqrt_law: f64,
+    rate_at_optimum: f64,
+    rate_at_half: f64,
+    rate_at_double: f64,
+    sim_loss_rate_at_optimum: f64,
+}
+
+fn main() {
+    let mu = vec![1.0, 1.0, 1.0];
+    let w = 13;
+    println!("Extension X4 — optimal sync period Δ* (n = 3, μ = 1, E[CL] = {:.3})\n", mean_loss(&mu));
+    println!(
+        "{}",
+        row(
+            &["ε", "Δ*", "√-law", "rate(Δ*)", "rate(Δ*/2)", "rate(2Δ*)", "sim wait%"]
+                .map(String::from),
+            w
+        )
+    );
+    println!("{}", rule(7, w));
+
+    let params = AsyncParams::new(mu.clone(), vec![1.0; 3]).unwrap();
+    let mut points = Vec::new();
+    for eps in [0.1, 0.03, 0.01, 0.003, 0.001] {
+        let opt = optimal_period(&mu, eps, 10_000.0);
+        let anchor = sqrt_law_period(&mu, eps);
+        let half = overhead_rate(&mu, eps, opt.delta * 0.5);
+        let double = overhead_rate(&mu, eps, opt.delta * 2.0);
+        // DES validation of the waiting-loss component at Δ*.
+        let sim = run_sync_timeline(
+            &params,
+            SyncStrategy::ElapsedSinceLine(opt.delta),
+            100_000.0,
+            3,
+        );
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{eps}"),
+                    format!("{:.3}", opt.delta),
+                    format!("{anchor:.3}"),
+                    format!("{:.4}", opt.rate),
+                    format!("{half:.4}"),
+                    format!("{double:.4}"),
+                    format!("{:.3}%", 100.0 * sim.loss_rate),
+                ],
+                w
+            )
+        );
+        assert!(half >= opt.rate && double >= opt.rate, "Δ* is a minimum");
+        // The simulated waiting-loss rate matches the model's waiting
+        // component E[CL]/(n(Δ+E[Z])).
+        let waiting_component = mean_loss(&mu) / (3.0 * (opt.delta + 11.0 / 6.0));
+        assert!(
+            (sim.loss_rate - waiting_component).abs() < 0.15 * waiting_component + 1e-4,
+            "sim {} vs model {waiting_component}",
+            sim.loss_rate
+        );
+        points.push(EpsPoint {
+            error_rate: eps,
+            delta_star: opt.delta,
+            sqrt_law: anchor,
+            rate_at_optimum: opt.rate,
+            rate_at_half: half,
+            rate_at_double: double,
+            sim_loss_rate_at_optimum: sim.loss_rate,
+        });
+    }
+
+    println!(
+        "\nΔ* grows as errors rarify (≈ √(2·CL/(ε·n)) — the checkpoint-interval \
+         √-law), answering §5's \"optimal interval\" question within this model."
+    );
+    for w in points.windows(2) {
+        assert!(w[1].delta_star > w[0].delta_star, "Δ* must grow as ε falls");
+    }
+
+    emit_json("optimal_period", &points);
+}

@@ -1,0 +1,96 @@
+//! Extension X2 — Russell's directed-message refinement, quantified.
+//!
+//! The paper cites Russell's producer–consumer backup scheme (its refs
+//! [13, 14]): if senders retain logs of sent messages, only **orphan**
+//! messages (sent from discarded computation, still held by the
+//! receiver) force rollback; "lost" messages are replayed. The paper's
+//! own Markov model treats every interaction symmetrically — the
+//! conservative worst case. This binary measures how much the
+//! refinement buys across interaction densities: mean rollback
+//! distance, affected-set size, and domino rate, on identical
+//! fault-injection episodes (same seeds).
+
+use rbbench::{emit_json, row, rule};
+use rbcore::fault::FaultConfig;
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbmarkov::paper::AsyncParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    lambda: f64,
+    sym_distance: f64,
+    dir_distance: f64,
+    sym_affected: f64,
+    dir_affected: f64,
+    sym_domino: f64,
+    dir_domino: f64,
+    distance_reduction: f64,
+}
+
+fn main() {
+    let episodes = 800;
+    let w = 11;
+    println!(
+        "Extension X2 — symmetric (paper) vs directed (Russell) rollback, \
+         n = 3, μ = 0.5, {episodes} episodes per point\n"
+    );
+    println!(
+        "{}",
+        row(
+            &["λ", "sym D", "dir D", "sym aff", "dir aff", "sym dom%", "dir dom%", "Δ D"]
+                .map(String::from),
+            w
+        )
+    );
+    println!("{}", rule(8, w));
+
+    let mut points = Vec::new();
+    for lambda in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let params = AsyncParams::symmetric(3, 0.5, lambda);
+        let fault = FaultConfig::uniform(3, 0.03, 0.5, 0.5);
+        let sym = AsyncScheme::new(
+            AsyncConfig::new(params.clone()).with_fault(fault.clone()),
+            4242,
+        )
+        .run_failure_episodes(episodes);
+        let dir = AsyncScheme::new(AsyncConfig::new(params).with_fault(fault), 4242)
+            .run_failure_episodes_directed(episodes);
+        let reduction = 1.0 - dir.sup_distance.mean() / sym.sup_distance.mean();
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{lambda}"),
+                    format!("{:.3}", sym.sup_distance.mean()),
+                    format!("{:.3}", dir.sup_distance.mean()),
+                    format!("{:.2}", sym.n_affected.mean()),
+                    format!("{:.2}", dir.n_affected.mean()),
+                    format!("{:.1}%", 100.0 * sym.domino_rate()),
+                    format!("{:.1}%", 100.0 * dir.domino_rate()),
+                    format!("{:.1}%", 100.0 * reduction),
+                ],
+                w
+            )
+        );
+        assert!(dir.sup_distance.mean() <= sym.sup_distance.mean() + 1e-12);
+        points.push(Point {
+            lambda,
+            sym_distance: sym.sup_distance.mean(),
+            dir_distance: dir.sup_distance.mean(),
+            sym_affected: sym.n_affected.mean(),
+            dir_affected: dir.n_affected.mean(),
+            sym_domino: sym.domino_rate(),
+            dir_domino: dir.domino_rate(),
+            distance_reduction: reduction,
+        });
+    }
+
+    println!(
+        "\nreading: the paper's symmetric model is the worst case over message \
+         directions; sender-side logging (our LoggedSender) recovers a \
+         substantial fraction of the rollback distance, most at high λ."
+    );
+
+    emit_json("russell_directed", &points);
+}

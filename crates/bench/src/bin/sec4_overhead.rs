@@ -1,0 +1,140 @@
+//! §4 — pseudo-recovery-point overheads and rollback distances.
+//!
+//! The paper's claims, measured:
+//! * n states saved per RP, (n−1)·t_r extra recording time;
+//! * steady-state storage bounded at n states per process under the
+//!   purge rule;
+//! * rollback distance bounded by sup{y₁,…,yₙ} (inter-RP intervals) in
+//!   the local-error case, versus the unbounded asynchronous scheme;
+//! * the propagated-error case pays more (step-3 continuation).
+
+use rbanalysis::prp_overhead::{prp_overhead, waste_ratio};
+use rbbench::{emit_json, row, rule};
+use rbcore::fault::FaultConfig;
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbcore::schemes::prp::{PrpConfig, PrpScheme};
+use rbmarkov::paper::AsyncParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct DistancePoint {
+    mu: f64,
+    lambda: f64,
+    async_mean_distance: f64,
+    async_domino_rate: f64,
+    prp_mean_distance: f64,
+    prp_domino_rate: f64,
+    analytic_bound: f64,
+}
+
+#[derive(Serialize)]
+struct Sec4Result {
+    storage_peaks: Vec<usize>,
+    storage_mean: f64,
+    time_overhead_measured: f64,
+    time_overhead_analytic: f64,
+    distances: Vec<DistancePoint>,
+    waste_ratio_quiet: f64,
+    waste_ratio_busy: f64,
+}
+
+fn main() {
+    // ── Storage and time overheads ────────────────────────────────────
+    let n = 4;
+    let t_r = 1e-3;
+    let params = AsyncParams::symmetric(n, 1.0, 1.0);
+    let mut scheme = PrpScheme::new(PrpConfig::new(params.clone()).with_t_r(t_r), 4);
+    let storage = scheme.storage_timeline(3_000.0);
+    let analytic = prp_overhead(params.mu(), t_r);
+    let total_rps: u64 = storage.rps.iter().sum();
+    let analytic_time = (n - 1) as f64 * t_r * total_rps as f64;
+    println!("§4 overheads (n = {n}, μ = λ = 1, t_r = {t_r}, horizon 3000):");
+    println!(
+        "  states per RP: {} (1 + {} PRPs); storage peaks {:?} (bound n = {n}); mean {:.2}",
+        analytic.states_per_rp,
+        n - 1,
+        storage.peak_live_states,
+        storage.mean_live_states
+    );
+    println!(
+        "  PRP recording time: measured {:.3} vs analytic {:.3} over {} RPs",
+        storage.prp_time_overhead, analytic_time, total_rps
+    );
+    assert!((storage.prp_time_overhead - analytic_time).abs() < 1e-6);
+
+    // ── Rollback distances: async vs PRP across workloads ────────────
+    println!("\nrollback distance, 600 failure episodes per point (n = 3):\n");
+    let w = 12;
+    println!(
+        "{}",
+        row(
+            &["μ", "λ", "async D", "async dom%", "PRP D", "PRP dom%", "bound"].map(String::from),
+            w
+        )
+    );
+    println!("{}", rule(7, w));
+    let mut distances = Vec::new();
+    for (mu, lambda) in [(1.0, 0.5), (1.0, 2.0), (0.5, 2.0), (0.25, 2.0)] {
+        let params = AsyncParams::symmetric(3, mu, lambda);
+        let fault = FaultConfig::uniform(3, 0.02, 0.5, 0.5);
+        let am = AsyncScheme::new(
+            AsyncConfig::new(params.clone()).with_fault(fault.clone()),
+            21,
+        )
+        .run_failure_episodes(600);
+        let pm = PrpScheme::new(PrpConfig::new(params.clone()).with_fault(fault), 21)
+            .run_failure_episodes(600);
+        let bound = prp_overhead(params.mu(), t_r).rollback_bound;
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{mu}"),
+                    format!("{lambda}"),
+                    format!("{:.3}", am.sup_distance.mean()),
+                    format!("{:.1}%", 100.0 * am.domino_rate()),
+                    format!("{:.3}", pm.sup_distance.mean()),
+                    format!("{:.1}%", 100.0 * pm.domino_rate()),
+                    format!("{bound:.3}"),
+                ],
+                w
+            )
+        );
+        assert!(
+            pm.sup_distance.mean() <= am.sup_distance.mean() + 1e-9,
+            "PRP must not lengthen rollback"
+        );
+        distances.push(DistancePoint {
+            mu,
+            lambda,
+            async_mean_distance: am.sup_distance.mean(),
+            async_domino_rate: am.domino_rate(),
+            prp_mean_distance: pm.sup_distance.mean(),
+            prp_domino_rate: pm.domino_rate(),
+            analytic_bound: bound,
+        });
+    }
+
+    // ── The paper's inefficiency condition ────────────────────────────
+    let quiet = waste_ratio(&[10.0; 3], 0.1, 0.01);
+    let busy = waste_ratio(&[0.5; 3], 10.0, 0.01);
+    println!(
+        "\nwaste ratio (PRP recording work per unit interaction): \
+         checkpoint-heavy+quiet {quiet:.2} vs checkpoint-light+busy {busy:.4} — \
+         \"inefficient … when they establish recovery points frequently and \
+         rarely communicate\""
+    );
+
+    emit_json(
+        "sec4_overhead",
+        &Sec4Result {
+            storage_peaks: storage.peak_live_states,
+            storage_mean: storage.mean_live_states,
+            time_overhead_measured: storage.prp_time_overhead,
+            time_overhead_analytic: analytic_time,
+            distances,
+            waste_ratio_quiet: quiet,
+            waste_ratio_busy: busy,
+        },
+    );
+}

@@ -1,0 +1,131 @@
+//! Table 1 — mean values of X and Lᵢ for constant ρ.
+//!
+//! Five 3-process cases sharing Σλ = Σμ = 3 (ρ constant). The paper
+//! reports simulation results; we report (a) the exact Markov solve,
+//! (b) our simulation with confidence intervals, and (c) the paper's
+//! printed values for comparison.
+//!
+//! Reading the paper's own numbers closely: within every case the
+//! E(Lᵢ) rows equal μᵢ·E\[X\]_exact (Poisson thinning), while the E(X)
+//! row sits ≈4 % above E\[X\]_exact — a finite-run bias in the 1983
+//! simulation. Our simulation reproduces the exact values.
+
+use rbbench::{emit_json, row, rule};
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbmarkov::paper::AsyncParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CaseResult {
+    case: usize,
+    mu: (f64, f64, f64),
+    lambda: (f64, f64, f64),
+    rho: f64,
+    ex_markov: f64,
+    ex_sim: f64,
+    ex_sim_ci95: f64,
+    ex_paper: f64,
+    l_markov: [f64; 3],
+    l_sim: [f64; 3],
+    l_paper: [f64; 3],
+    l_total_markov: f64,
+    l_total_paper: f64,
+}
+
+fn main() {
+    // (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper (L₁,L₂,L₃).
+    let cases: [((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]); 5] = [
+        ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0), 2.598, [2.500, 2.500, 2.500]),
+        ((1.5, 1.0, 0.5), (1.0, 1.0, 1.0), 3.357, [4.847, 3.231, 1.616]),
+        ((1.0, 1.0, 1.0), (1.5, 0.5, 1.0), 2.600, [2.453, 2.453, 2.453]),
+        ((1.5, 1.0, 0.5), (1.5, 0.5, 1.0), 3.203, [4.533, 3.022, 1.511]),
+        ((1.5, 1.0, 0.5), (0.5, 1.5, 1.0), 3.354, [4.967, 3.111, 1.656]),
+    ];
+
+    let lines = 200_000;
+    let w = 10;
+    println!("Table 1 — E(X) and E(Lᵢ) at constant ρ (5 cases, {lines} simulated lines each)\n");
+    println!(
+        "{}",
+        row(
+            &[
+                "case", "E(X) mkv", "E(X) sim", "±95%", "E(X) ppr", "E(L1)", "E(L2)", "E(L3)",
+                "ΣL mkv", "ΣL ppr"
+            ]
+            .map(String::from),
+            w
+        )
+    );
+    println!("{}", rule(10, w));
+
+    let mut results = Vec::new();
+    for (k, &(mu, lam, ex_paper, l_paper)) in cases.iter().enumerate() {
+        let params = AsyncParams::three(mu, lam);
+        let ex = params.mean_interval();
+        let l_markov = [0, 1, 2].map(|i| params.mu()[i] * ex);
+
+        let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), 1983 + k as u64)
+            .run_intervals(lines);
+        let l_sim = [0, 1, 2].map(|i| stats.rp_counts[i].mean());
+
+        println!(
+            "{}",
+            row(
+                &[
+                    format!("{}", k + 1),
+                    format!("{ex:.3}"),
+                    format!("{:.3}", stats.interval.mean()),
+                    format!("{:.3}", stats.interval.ci_half_width(1.96)),
+                    format!("{ex_paper:.3}"),
+                    format!("{:.3}", l_sim[0]),
+                    format!("{:.3}", l_sim[1]),
+                    format!("{:.3}", l_sim[2]),
+                    format!("{:.3}", l_markov.iter().sum::<f64>()),
+                    format!("{:.3}", l_paper.iter().sum::<f64>()),
+                ],
+                w
+            )
+        );
+
+        results.push(CaseResult {
+            case: k + 1,
+            mu,
+            lambda: lam,
+            rho: params.rho(),
+            ex_markov: ex,
+            ex_sim: stats.interval.mean(),
+            ex_sim_ci95: stats.interval.ci_half_width(1.96),
+            ex_paper,
+            l_markov,
+            l_sim,
+            l_paper,
+            l_total_markov: l_markov.iter().sum(),
+            l_total_paper: l_paper.iter().sum(),
+        });
+    }
+
+    println!("\nChecks (the paper's qualitative claims):");
+    let balanced = results[0].ex_markov;
+    let skewed = results[1].ex_markov;
+    println!(
+        "  • minimum of E(X) at uniformly balanced μ: case1 {balanced:.3} < case2 {skewed:.3}  [{}]",
+        if balanced < skewed { "OK" } else { "VIOLATED" }
+    );
+    let d13 = (results[0].ex_markov - results[2].ex_markov).abs() / results[0].ex_markov;
+    println!(
+        "  • λ distribution has little effect on E(X) at fixed ρ: case1 vs case3 differ {:.2}%  [{}]",
+        100.0 * d13,
+        if d13 < 0.05 { "OK" } else { "VIOLATED" }
+    );
+    println!(
+        "  • E(Lᵢ) = μᵢ·E[X] (Poisson thinning) matches the paper's E(L) rows within {:.1}%",
+        100.0
+            * results
+                .iter()
+                .flat_map(|r| r.l_markov.iter().zip(&r.l_paper))
+                .map(|(a, b)| (a - b).abs() / b)
+                .fold(0.0_f64, f64::max)
+    );
+
+    emit_json("table1", &results);
+}

@@ -1,0 +1,70 @@
+//! # rbbench — the experiment harness
+//!
+//! One binary per table/figure of Shin & Lee (ICPP 1983); see
+//! `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded
+//! outputs. Shared plumbing lives here: artifact emission and tiny
+//! table formatting.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Where experiment artifacts are written (`results/` at the workspace
+/// root, created on demand; override with `RB_RESULTS_DIR`).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("RB_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a serializable artifact as pretty JSON under `results/`,
+/// returning the path. The figure binaries both print human-readable
+/// tables and persist these machine-readable twins.
+pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    let body = serde_json::to_string_pretty(value).expect("serialize artifact");
+    f.write_all(body.as_bytes()).expect("write artifact");
+    f.write_all(b"\n").expect("write artifact");
+    eprintln!("[artifact] {}", path.display());
+    path
+}
+
+/// Formats a row of fixed-width cells.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:>width$}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A horizontal rule sized for `n` cells of `width`.
+pub fn rule(n: usize, width: usize) -> String {
+    "-".repeat(n * (width + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_json_roundtrips() {
+        let dir = std::env::temp_dir().join("rbbench-test-artifacts");
+        std::env::set_var("RB_RESULTS_DIR", &dir);
+        let path = emit_json("unit-test", &vec![1, 2, 3]);
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(serde_json::from_str::<Vec<i32>>(&body).unwrap(), vec![1, 2, 3]);
+        std::env::remove_var("RB_RESULTS_DIR");
+    }
+
+    #[test]
+    fn row_is_fixed_width() {
+        let r = row(&["a".into(), "bb".into()], 4);
+        assert_eq!(r, "   a   bb");
+    }
+}

@@ -1,0 +1,250 @@
+//! Fault injection with error propagation.
+//!
+//! The paper leaves the error process abstract ("the rollback distance
+//! after an error is detected is related to the probability of error
+//! occurrence, error detection, and rollback propagation") and assumes
+//! *perfect acceptance tests* for local errors (§2.1, assumption 2).
+//! This module supplies the concrete stochastic error model the
+//! experiments inject:
+//!
+//! * errors arise in process `Pᵢ` as a Poisson process with rate ξᵢ;
+//! * a contaminated process contaminates its peer on every interaction
+//!   with probability `p_propagate` (messages carry bad data);
+//! * contamination is detected at the owning process's next acceptance
+//!   test — local errors always (perfect AT), propagated errors with
+//!   probability `p_detect_foreign` (the paper: "the local acceptance
+//!   test may or may not detect external errors").
+
+use rbsim::SimRng;
+
+use crate::history::ProcessId;
+
+/// Where a process's contamination came from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Contamination {
+    /// When the process became contaminated.
+    pub since: f64,
+    /// The process in which the original error arose.
+    pub origin: ProcessId,
+    /// Whether the error arose locally (vs. arrived via an interaction).
+    pub local: bool,
+}
+
+/// Configuration of the injected error process.
+#[derive(Clone, Debug)]
+pub struct FaultConfig {
+    /// Poisson error rate per process.
+    pub error_rates: Vec<f64>,
+    /// Probability that an interaction transfers contamination from a
+    /// contaminated endpoint to the other.
+    pub p_propagate: f64,
+    /// Probability that an acceptance test catches a *propagated*
+    /// error (local errors are always caught — perfect AT).
+    pub p_detect_foreign: f64,
+}
+
+impl FaultConfig {
+    /// A uniform configuration: every process errs at `rate`,
+    /// propagation and foreign detection as given.
+    pub fn uniform(n: usize, rate: f64, p_propagate: f64, p_detect_foreign: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite());
+        assert!((0.0..=1.0).contains(&p_propagate));
+        assert!((0.0..=1.0).contains(&p_detect_foreign));
+        FaultConfig {
+            error_rates: vec![rate; n],
+            p_propagate,
+            p_detect_foreign,
+        }
+    }
+}
+
+/// Mutable contamination state of the process set.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    contamination: Vec<Option<Contamination>>,
+}
+
+impl FaultState {
+    /// All processes clean.
+    pub fn clean(n: usize) -> Self {
+        FaultState {
+            contamination: vec![None; n],
+        }
+    }
+
+    /// The contamination of `p`, if any.
+    pub fn contamination(&self, p: ProcessId) -> Option<Contamination> {
+        self.contamination[p.0]
+    }
+
+    /// Whether `p` currently carries an (undetected) error.
+    pub fn is_contaminated(&self, p: ProcessId) -> bool {
+        self.contamination[p.0].is_some()
+    }
+
+    /// Number of currently contaminated processes.
+    pub fn n_contaminated(&self) -> usize {
+        self.contamination.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// A local error arises in `p` at time `t`. Earlier contamination
+    /// (if any) is kept — the *first* error is what rollback must
+    /// excise.
+    pub fn inject_local(&mut self, p: ProcessId, t: f64) {
+        if self.contamination[p.0].is_none() {
+            self.contamination[p.0] = Some(Contamination {
+                since: t,
+                origin: p,
+                local: true,
+            });
+        }
+    }
+
+    /// An interaction between `a` and `b` at time `t`: contamination
+    /// crosses each way with probability `p_propagate`.
+    pub fn on_interaction(
+        &mut self,
+        cfg: &FaultConfig,
+        rng: &mut SimRng,
+        a: ProcessId,
+        b: ProcessId,
+        t: f64,
+    ) {
+        let ca = self.contamination[a.0];
+        let cb = self.contamination[b.0];
+        if let Some(c) = ca {
+            if cb.is_none() && rng.bernoulli(cfg.p_propagate) {
+                self.contamination[b.0] = Some(Contamination {
+                    since: t,
+                    origin: c.origin,
+                    local: false,
+                });
+            }
+        }
+        if let Some(c) = cb {
+            if ca.is_none() && rng.bernoulli(cfg.p_propagate) {
+                self.contamination[a.0] = Some(Contamination {
+                    since: t,
+                    origin: c.origin,
+                    local: false,
+                });
+            }
+        }
+    }
+
+    /// `p` executes its acceptance test at time `t`. Returns the
+    /// detected contamination, if the test catches one.
+    pub fn on_acceptance_test(
+        &mut self,
+        cfg: &FaultConfig,
+        rng: &mut SimRng,
+        p: ProcessId,
+    ) -> Option<Contamination> {
+        match self.contamination[p.0] {
+            Some(c) if c.local || rng.bernoulli(cfg.p_detect_foreign) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Clears contamination of every process whose restart time
+    /// precedes its contamination instant (rollback excised the error);
+    /// contamination acquired before the restart point survives — the
+    /// paper's "the restart … may just reproduce the same error".
+    pub fn apply_rollback(&mut self, restart: &[f64]) {
+        for (c, &r) in self.contamination.iter_mut().zip(restart) {
+            if let Some(cc) = *c {
+                if cc.since >= r {
+                    *c = None;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbsim::{SimRng, StreamId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn local_error_is_always_detected() {
+        let cfg = FaultConfig::uniform(2, 1.0, 0.5, 0.0);
+        let mut rng = SimRng::new(1, StreamId::FAULTS);
+        let mut st = FaultState::clean(2);
+        st.inject_local(p(0), 1.0);
+        let det = st.on_acceptance_test(&cfg, &mut rng, p(0));
+        assert_eq!(
+            det,
+            Some(Contamination {
+                since: 1.0,
+                origin: p(0),
+                local: true
+            })
+        );
+    }
+
+    #[test]
+    fn foreign_error_detection_is_probabilistic() {
+        let cfg = FaultConfig::uniform(2, 1.0, 1.0, 0.0);
+        let mut rng = SimRng::new(2, StreamId::FAULTS);
+        let mut st = FaultState::clean(2);
+        st.inject_local(p(0), 1.0);
+        st.on_interaction(&cfg, &mut rng, p(0), p(1), 2.0);
+        assert!(st.is_contaminated(p(1)), "p_propagate = 1 must propagate");
+        // p_detect_foreign = 0: P2's AT never sees it.
+        assert_eq!(st.on_acceptance_test(&cfg, &mut rng, p(1)), None);
+        // But P1's AT does (local).
+        assert!(st.on_acceptance_test(&cfg, &mut rng, p(0)).is_some());
+    }
+
+    #[test]
+    fn propagation_preserves_origin() {
+        let cfg = FaultConfig::uniform(3, 1.0, 1.0, 1.0);
+        let mut rng = SimRng::new(3, StreamId::FAULTS);
+        let mut st = FaultState::clean(3);
+        st.inject_local(p(0), 1.0);
+        st.on_interaction(&cfg, &mut rng, p(0), p(1), 2.0);
+        st.on_interaction(&cfg, &mut rng, p(1), p(2), 3.0);
+        let c2 = st.contamination(p(2)).unwrap();
+        assert_eq!(c2.origin, p(0));
+        assert!(!c2.local);
+        assert_eq!(c2.since, 3.0);
+        assert_eq!(st.n_contaminated(), 3);
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let mut st = FaultState::clean(1);
+        st.inject_local(p(0), 1.0);
+        st.inject_local(p(0), 2.0);
+        assert_eq!(st.contamination(p(0)).unwrap().since, 1.0);
+    }
+
+    #[test]
+    fn rollback_excises_errors_after_restart_point() {
+        let mut st = FaultState::clean(2);
+        st.inject_local(p(0), 5.0);
+        st.inject_local(p(1), 1.0);
+        // P1 restarts before its error (4.0 < 5.0): clean. P2 restarts
+        // after its error arose (2.0 > 1.0): still contaminated.
+        st.apply_rollback(&[4.0, 2.0]);
+        assert!(!st.is_contaminated(p(0)));
+        assert!(st.is_contaminated(p(1)));
+    }
+
+    #[test]
+    fn zero_propagation_never_spreads() {
+        let cfg = FaultConfig::uniform(2, 1.0, 0.0, 1.0);
+        let mut rng = SimRng::new(4, StreamId::FAULTS);
+        let mut st = FaultState::clean(2);
+        st.inject_local(p(0), 1.0);
+        for k in 0..100 {
+            st.on_interaction(&cfg, &mut rng, p(0), p(1), 2.0 + k as f64);
+        }
+        assert!(!st.is_contaminated(p(1)));
+    }
+}

@@ -1,0 +1,408 @@
+//! Event histories of cooperating concurrent processes.
+//!
+//! A [`History`] is the paper's "history diagram" (Figure 1): per
+//! process, the timestamped sequence of recovery points; between
+//! processes, the timestamped interactions. Rollback propagation,
+//! recovery-line detection and the figure renderings all operate on
+//! this structure.
+
+use serde::Serialize;
+
+/// Identifies one of the n cooperating processes (0-based; the paper's
+/// P₁…Pₙ are `ProcessId(0)`…`ProcessId(n−1)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct ProcessId(pub usize);
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// Identifies a recovery point within one process: the j-th RP of `Pᵢ`
+/// is `RpId { process: i, index: j }` (index 0 is the implicit RP at the
+/// process beginning).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct RpId {
+    /// Owning process.
+    pub process: ProcessId,
+    /// Position in that process's RP sequence.
+    pub index: usize,
+}
+
+/// What kind of state saving a record represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum RpKind {
+    /// A true recovery point: state saved after a passed acceptance
+    /// test, usable to recover the owning process's own failures.
+    Real,
+    /// A pseudo recovery point (§4): state saved on another process's
+    /// implantation request, *without* an acceptance test. Usable only
+    /// when the owner is dragged back by rollback propagation — its
+    /// contents may be contaminated if the error predates it.
+    Pseudo {
+        /// The RP (in another process) whose implantation request
+        /// produced this PRP.
+        origin: RpId,
+    },
+}
+
+/// One saved state in a process's timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct RpRecord {
+    /// When the state was saved.
+    pub time: f64,
+    /// Real RP or implanted PRP.
+    pub kind: RpKind,
+    /// Position in the owner's RP sequence (counting both kinds).
+    pub index: usize,
+}
+
+impl RpRecord {
+    /// Whether this is a true (acceptance-tested) recovery point.
+    pub fn is_real(&self) -> bool {
+        matches!(self.kind, RpKind::Real)
+    }
+}
+
+/// One interaction between a pair of processes.
+///
+/// The paper's model treats interactions as symmetric pairwise events
+/// with rate λᵢⱼ (assumption 3); a directed message is the special case
+/// where only the receiver's state is contaminated — the direction is
+/// retained for the fault-propagation model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct InteractionRecord {
+    /// When the interaction occurred.
+    pub time: f64,
+    /// Initiating process (sender, for directed use).
+    pub from: ProcessId,
+    /// Peer process (receiver, for directed use).
+    pub to: ProcessId,
+}
+
+/// The joint event history of n processes.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct History {
+    n: usize,
+    /// Per process, its RPs/PRPs in time order.
+    rps: Vec<Vec<RpRecord>>,
+    /// All interactions in time order.
+    interactions: Vec<InteractionRecord>,
+    /// Per unordered pair (canonical index), interaction times in order.
+    pair_times: Vec<Vec<f64>>,
+    /// Per ordered pair `from * n + to`, message times in order
+    /// (directed view of the same interactions).
+    directed_times: Vec<Vec<f64>>,
+    /// Latest event time seen (monotonicity guard).
+    horizon: f64,
+}
+
+fn pair_index(n: usize, a: usize, b: usize) -> usize {
+    debug_assert!(a < b && b < n);
+    a * n - a * (a + 1) / 2 + (b - a - 1)
+}
+
+impl History {
+    /// An empty history of `n` processes. Every process gets an
+    /// implicit `Real` RP at time 0 — its initial state, the paper's
+    /// "beginnings" that the domino effect can push back to.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "history needs at least one process");
+        let rps = (0..n)
+            .map(|_| {
+                vec![RpRecord {
+                    time: 0.0,
+                    kind: RpKind::Real,
+                    index: 0,
+                }]
+            })
+            .collect();
+        History {
+            n,
+            rps,
+            interactions: Vec::new(),
+            pair_times: vec![Vec::new(); n * (n - 1) / 2],
+            directed_times: vec![Vec::new(); n * n],
+            horizon: 0.0,
+        }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Latest recorded event time.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+
+    fn advance(&mut self, t: f64) {
+        assert!(
+            t >= self.horizon && t.is_finite(),
+            "events must be recorded in time order: {t} < {}",
+            self.horizon
+        );
+        self.horizon = t;
+    }
+
+    /// Records a true recovery point in `p` at time `t`; returns its id.
+    pub fn record_rp(&mut self, p: ProcessId, t: f64) -> RpId {
+        self.advance(t);
+        let seq = &mut self.rps[p.0];
+        let index = seq.len();
+        seq.push(RpRecord {
+            time: t,
+            kind: RpKind::Real,
+            index,
+        });
+        RpId { process: p, index }
+    }
+
+    /// Records a pseudo recovery point in `p` at time `t`, implanted on
+    /// behalf of `origin` (an RP in another process).
+    pub fn record_prp(&mut self, p: ProcessId, t: f64, origin: RpId) -> RpId {
+        assert_ne!(origin.process, p, "a PRP is implanted for another process's RP");
+        self.advance(t);
+        let seq = &mut self.rps[p.0];
+        let index = seq.len();
+        seq.push(RpRecord {
+            time: t,
+            kind: RpKind::Pseudo { origin },
+            index,
+        });
+        RpId { process: p, index }
+    }
+
+    /// Records an interaction (message) from `from` to `to` at `t`.
+    pub fn record_interaction(&mut self, from: ProcessId, to: ProcessId, t: f64) {
+        assert_ne!(from, to, "self-interaction is meaningless");
+        assert!(from.0 < self.n && to.0 < self.n, "process out of range");
+        self.advance(t);
+        self.interactions.push(InteractionRecord { time: t, from, to });
+        let (a, b) = if from.0 < to.0 { (from.0, to.0) } else { (to.0, from.0) };
+        self.pair_times[pair_index(self.n, a, b)].push(t);
+        self.directed_times[from.0 * self.n + to.0].push(t);
+    }
+
+    /// Earliest *directed* message from `from` to `to` with time in
+    /// `(lo, hi)`, if any. Directed queries back the Russell-style
+    /// rollback refinement where only orphan messages (received but
+    /// un-sent after rollback) propagate; lost messages are replayable
+    /// from sender logs.
+    pub fn first_message_from_to(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        lo: f64,
+        hi: f64,
+    ) -> Option<f64> {
+        if from == to || lo >= hi {
+            return None;
+        }
+        let times = &self.directed_times[from.0 * self.n + to.0];
+        let start = times.partition_point(|&t| t <= lo);
+        times.get(start).copied().filter(|&t| t < hi)
+    }
+
+    /// All state savings of `p`, in time order.
+    pub fn rps(&self, p: ProcessId) -> &[RpRecord] {
+        &self.rps[p.0]
+    }
+
+    /// All interactions, in time order.
+    pub fn interactions(&self) -> &[InteractionRecord] {
+        &self.interactions
+    }
+
+    /// The latest state saving of `p` at or before `t` that satisfies
+    /// `admit` (e.g. only real RPs). The time-0 initial state always
+    /// qualifies if `admit` accepts it.
+    pub fn latest_rp_at_or_before(
+        &self,
+        p: ProcessId,
+        t: f64,
+        admit: impl Fn(&RpRecord) -> bool,
+    ) -> Option<&RpRecord> {
+        self.rps[p.0]
+            .iter()
+            .rev()
+            .find(|r| r.time <= t && admit(r))
+    }
+
+    /// The latest state saving of `p` strictly before `t` satisfying
+    /// `admit`.
+    pub fn latest_rp_before(
+        &self,
+        p: ProcessId,
+        t: f64,
+        admit: impl Fn(&RpRecord) -> bool,
+    ) -> Option<&RpRecord> {
+        self.rps[p.0]
+            .iter()
+            .rev()
+            .find(|r| r.time < t && admit(r))
+    }
+
+    /// Whether any interaction between `a` and `b` falls in the open
+    /// interval `(lo, hi)`.
+    pub fn has_interaction_between(&self, a: ProcessId, b: ProcessId, lo: f64, hi: f64) -> bool {
+        self.first_interaction_between(a, b, lo, hi).is_some()
+    }
+
+    /// Earliest interaction time between `a` and `b` inside `(lo, hi)`,
+    /// if any (binary search over the per-pair index).
+    pub fn first_interaction_between(
+        &self,
+        a: ProcessId,
+        b: ProcessId,
+        lo: f64,
+        hi: f64,
+    ) -> Option<f64> {
+        if a == b || lo >= hi {
+            return None;
+        }
+        let (x, y) = if a.0 < b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        let times = &self.pair_times[pair_index(self.n, x, y)];
+        // First time strictly greater than lo.
+        let start = times.partition_point(|&t| t <= lo);
+        times.get(start).copied().filter(|&t| t < hi)
+    }
+
+    /// Interactions involving process `p` with times in `(lo, hi)`,
+    /// together with the peer (both directions).
+    pub fn interactions_of_in(
+        &self,
+        p: ProcessId,
+        lo: f64,
+        hi: f64,
+    ) -> impl Iterator<Item = (f64, ProcessId)> + '_ {
+        self.interactions.iter().filter_map(move |ir| {
+            if ir.time <= lo || ir.time >= hi {
+                return None;
+            }
+            if ir.from == p {
+                Some((ir.time, ir.to))
+            } else if ir.to == p {
+                Some((ir.time, ir.from))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Total number of saved states (real + pseudo) per process.
+    pub fn saved_state_counts(&self) -> Vec<usize> {
+        self.rps.iter().map(|v| v.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn new_history_has_initial_states() {
+        let h = History::new(3);
+        for i in 0..3 {
+            let rps = h.rps(p(i));
+            assert_eq!(rps.len(), 1);
+            assert_eq!(rps[0].time, 0.0);
+            assert!(rps[0].is_real());
+        }
+    }
+
+    #[test]
+    fn records_in_order_and_indexes_pairs() {
+        let mut h = History::new(3);
+        h.record_rp(p(0), 1.0);
+        h.record_interaction(p(0), p(1), 2.0);
+        h.record_rp(p(1), 3.0);
+        h.record_interaction(p(2), p(1), 4.0);
+        assert_eq!(h.rps(p(0)).len(), 2);
+        assert_eq!(h.rps(p(1)).len(), 2);
+        assert_eq!(h.interactions().len(), 2);
+        assert!(h.has_interaction_between(p(0), p(1), 1.5, 2.5));
+        assert!(h.has_interaction_between(p(1), p(0), 1.5, 2.5)); // symmetric
+        assert!(!h.has_interaction_between(p(0), p(1), 2.0, 2.5)); // open interval
+        assert!(h.has_interaction_between(p(1), p(2), 3.5, 4.5));
+        assert!(!h.has_interaction_between(p(0), p(2), 0.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order_events() {
+        let mut h = History::new(2);
+        h.record_rp(p(0), 5.0);
+        h.record_rp(p(1), 4.0);
+    }
+
+    #[test]
+    fn latest_rp_queries() {
+        let mut h = History::new(2);
+        h.record_rp(p(0), 1.0);
+        h.record_rp(p(0), 2.0);
+        let real = |r: &RpRecord| r.is_real();
+        assert_eq!(h.latest_rp_at_or_before(p(0), 2.0, real).unwrap().time, 2.0);
+        assert_eq!(h.latest_rp_before(p(0), 2.0, real).unwrap().time, 1.0);
+        assert_eq!(h.latest_rp_before(p(0), 0.5, real).unwrap().time, 0.0);
+        // Strictly before 0 → nothing, not even the initial state.
+        assert!(h.latest_rp_before(p(0), 0.0, real).is_none());
+    }
+
+    #[test]
+    fn prp_records_origin() {
+        let mut h = History::new(2);
+        let rp = h.record_rp(p(0), 1.0);
+        let prp = h.record_prp(p(1), 1.1, rp);
+        let rec = h.rps(p(1))[prp.index];
+        assert!(!rec.is_real());
+        assert_eq!(rec.kind, RpKind::Pseudo { origin: rp });
+    }
+
+    #[test]
+    #[should_panic(expected = "another process")]
+    fn prp_for_own_rp_rejected() {
+        let mut h = History::new(2);
+        let rp = h.record_rp(p(0), 1.0);
+        h.record_prp(p(0), 1.1, rp);
+    }
+
+    #[test]
+    fn first_interaction_between_binary_search() {
+        let mut h = History::new(2);
+        for k in 1..=10 {
+            h.record_interaction(p(0), p(1), k as f64);
+        }
+        assert_eq!(h.first_interaction_between(p(0), p(1), 2.0, 9.0), Some(3.0));
+        assert_eq!(h.first_interaction_between(p(0), p(1), 0.0, 0.5), None);
+        assert_eq!(h.first_interaction_between(p(0), p(1), 9.5, 20.0), Some(10.0));
+        assert_eq!(h.first_interaction_between(p(0), p(0), 0.0, 5.0), None);
+    }
+
+    #[test]
+    fn directed_queries_respect_direction() {
+        let mut h = History::new(2);
+        h.record_interaction(p(0), p(1), 1.0);
+        h.record_interaction(p(1), p(0), 2.0);
+        assert_eq!(h.first_message_from_to(p(0), p(1), 0.0, 10.0), Some(1.0));
+        assert_eq!(h.first_message_from_to(p(1), p(0), 0.0, 10.0), Some(2.0));
+        assert_eq!(h.first_message_from_to(p(0), p(1), 1.0, 10.0), None);
+        assert_eq!(h.first_message_from_to(p(0), p(0), 0.0, 10.0), None);
+    }
+
+    #[test]
+    fn interactions_of_in_filters_both_directions() {
+        let mut h = History::new(3);
+        h.record_interaction(p(0), p(1), 1.0);
+        h.record_interaction(p(2), p(0), 2.0);
+        h.record_interaction(p(1), p(2), 3.0);
+        let touching_p0: Vec<_> = h.interactions_of_in(p(0), 0.0, 10.0).collect();
+        assert_eq!(touching_p0, vec![(1.0, p(1)), (2.0, p(2))]);
+    }
+}

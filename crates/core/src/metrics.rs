@@ -1,0 +1,99 @@
+//! Shared measurement records produced by the scheme drivers.
+
+use rbsim::stats::Welford;
+use serde::Serialize;
+
+use crate::rollback::RollbackPlan;
+
+/// One recovery episode: a detected error and the rollback that
+/// followed.
+#[derive(Clone, Debug)]
+pub struct RollbackOutcome {
+    /// The propagated plan (restart line, affected set, distances).
+    pub plan: RollbackPlan,
+    /// Whether the restored state was clean — i.e. the rollback
+    /// actually excised the error rather than reproducing it (the
+    /// paper's PRP-contamination caveat).
+    pub excised: bool,
+}
+
+/// Aggregates across many recovery episodes of one scheme run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct SchemeMetrics {
+    /// Supremum rollback distance per episode (the paper's D).
+    pub sup_distance: Welford,
+    /// Number of processes dragged into each rollback.
+    pub n_affected: Welford,
+    /// Real RPs discarded per episode (all processes).
+    pub rps_crossed: Welford,
+    /// Episodes whose rollback reached a process beginning.
+    pub dominoes: u64,
+    /// Episodes where the restored state was still contaminated.
+    pub reproduced_errors: u64,
+    /// Total episodes recorded.
+    pub episodes: u64,
+}
+
+impl SchemeMetrics {
+    /// Folds one episode in.
+    pub fn record(&mut self, outcome: &RollbackOutcome) {
+        self.episodes += 1;
+        self.sup_distance.push(outcome.plan.sup_distance());
+        self.n_affected.push(outcome.plan.n_affected() as f64);
+        self.rps_crossed
+            .push(outcome.plan.rps_crossed.iter().sum::<usize>() as f64);
+        if outcome.plan.hit_beginning() {
+            self.dominoes += 1;
+        }
+        if !outcome.excised {
+            self.reproduced_errors += 1;
+        }
+    }
+
+    /// Fraction of episodes that dominoed to a process beginning.
+    pub fn domino_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.dominoes as f64 / self.episodes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::ProcessId;
+
+    #[test]
+    fn records_aggregate() {
+        let plan = RollbackPlan {
+            failed: ProcessId(0),
+            detected_at: 10.0,
+            restart: vec![8.0, 10.0],
+            rolled_back: vec![true, false],
+            rps_crossed: vec![2, 0],
+            restart_kinds: vec![None, None],
+            iterations: 1,
+        };
+        let mut m = SchemeMetrics::default();
+        m.record(&RollbackOutcome {
+            plan: plan.clone(),
+            excised: true,
+        });
+        let domino_plan = RollbackPlan {
+            restart: vec![0.0, 0.0],
+            rolled_back: vec![true, true],
+            ..plan
+        };
+        m.record(&RollbackOutcome {
+            plan: domino_plan,
+            excised: false,
+        });
+        assert_eq!(m.episodes, 2);
+        assert_eq!(m.dominoes, 1);
+        assert_eq!(m.reproduced_errors, 1);
+        assert!((m.domino_rate() - 0.5).abs() < 1e-12);
+        assert!((m.sup_distance.mean() - 6.0).abs() < 1e-12); // (2 + 10)/2
+    }
+}

@@ -1,0 +1,323 @@
+//! The conversation scheme (Randell 1975; paper §1's "controlled
+//! scope" refinement) as a quantitative driver.
+//!
+//! A **conversation** brackets a subset of processes: they may interact
+//! only among themselves between the conversation's entry line and its
+//! **test line**, where *every* participant must pass its acceptance
+//! test before any may leave. Failures inside the conversation roll
+//! back to the entry line only — rollback is contained by construction,
+//! at the price of (a) waiting at the test line (the same loss shape as
+//! §3's synchronized scheme, but only across the participants) and (b)
+//! inhibited communication with non-participants for the duration.
+//!
+//! This driver quantifies that trade-off against the whole-system
+//! synchronization of §3: conversations of size k < n lose less waiting
+//! time per test line (max over k exponentials instead of n) and
+//! confine rollback to k processes, but must *defer* cross-boundary
+//! interactions, which shows up as blocked-communication time.
+
+use rbmarkov::paper::AsyncParams;
+use rbsim::stats::Welford;
+use rbsim::{SimRng, StreamId};
+
+/// Configuration of a conversation-scheme run.
+#[derive(Clone, Debug)]
+pub struct ConversationConfig {
+    /// Checkpoint and interaction rates of the whole process set.
+    pub params: AsyncParams,
+    /// Number of participants per conversation (2 ≤ k ≤ n). Participant
+    /// sets rotate round-robin so every process takes part.
+    pub k: usize,
+    /// Rate at which conversations are initiated.
+    pub conversation_rate: f64,
+    /// Probability that a participant fails its acceptance test at the
+    /// test line (per attempt).
+    pub p_fail: f64,
+    /// Maximum alternates per participant before the conversation is
+    /// abandoned.
+    pub max_rounds: usize,
+}
+
+impl ConversationConfig {
+    /// A default configuration over `params` with conversations of
+    /// size `k`.
+    pub fn new(params: AsyncParams, k: usize) -> Self {
+        assert!(k >= 2 && k <= params.n(), "conversation size out of range");
+        ConversationConfig {
+            params,
+            k,
+            conversation_rate: 0.2,
+            p_fail: 0.05,
+            max_rounds: 3,
+        }
+    }
+}
+
+/// Measured outcomes of a conversation-scheme timeline.
+#[derive(Clone, Debug)]
+pub struct ConversationStats {
+    /// Conversations completed.
+    pub completed: u64,
+    /// Conversations abandoned (all rounds failed).
+    pub abandoned: u64,
+    /// Waiting loss per conversation at the test line, Σ(Z − yᵢ) over
+    /// participants, summed over retry rounds.
+    pub loss_per_conversation: Welford,
+    /// Rounds used per completed conversation.
+    pub rounds: Welford,
+    /// Cross-boundary interactions deferred during conversations.
+    pub deferred_interactions: u64,
+    /// Total conversation-occupied time (any conversation active).
+    pub occupied_time: f64,
+    /// Simulated horizon.
+    pub horizon: f64,
+}
+
+impl ConversationStats {
+    /// Fraction of the timeline during which a conversation was open
+    /// (communication with outsiders inhibited).
+    pub fn occupancy(&self) -> f64 {
+        self.occupied_time / self.horizon
+    }
+
+    /// Abandonment probability.
+    pub fn abandon_rate(&self) -> f64 {
+        let total = self.completed + self.abandoned;
+        if total == 0 {
+            0.0
+        } else {
+            self.abandoned as f64 / total as f64
+        }
+    }
+}
+
+/// Simulates the conversation scheme over `[0, horizon]`.
+///
+/// Conversations are serialized (one open at a time — the monitor-style
+/// mechanisation of Kim's paper), with participants rotating
+/// round-robin. Between conversations, interactions fire normally at
+/// λᵢⱼ; interactions that would cross an open conversation's boundary
+/// are counted as deferred.
+pub fn run_conversations(
+    cfg: &ConversationConfig,
+    horizon: f64,
+    seed: u64,
+) -> ConversationStats {
+    let n = cfg.params.n();
+    let k = cfg.k;
+    let mu = cfg.params.mu();
+    let mut rng = SimRng::new(seed, StreamId::WORKLOAD);
+    let mut accept_rng = SimRng::new(seed, StreamId::ACCEPTANCE);
+
+    let total_lambda = cfg.params.total_lambda();
+    // Superposed race between interaction events and conversation
+    // initiations; conversation execution advances time separately.
+    let mut t = 0.0;
+    let mut stats = ConversationStats {
+        completed: 0,
+        abandoned: 0,
+        loss_per_conversation: Welford::new(),
+        rounds: Welford::new(),
+        deferred_interactions: 0,
+        occupied_time: 0.0,
+        horizon,
+    };
+    let mut next_start = 0usize; // round-robin participant window
+
+    while t < horizon {
+        let rate = total_lambda + cfg.conversation_rate;
+        if rate <= 0.0 {
+            break;
+        }
+        t += rng.exp(rate);
+        if t >= horizon {
+            break;
+        }
+        let is_conversation = rng.bernoulli(cfg.conversation_rate / rate);
+        if !is_conversation {
+            continue; // a free interaction outside any conversation
+        }
+
+        // Open a conversation among processes [next_start, next_start+k).
+        let participants: Vec<usize> = (0..k).map(|d| (next_start + d) % n).collect();
+        next_start = (next_start + 1) % n;
+        let t_open = t;
+        let mut total_loss = 0.0;
+        let mut succeeded = false;
+        let mut rounds_used = 0;
+        for _round in 0..cfg.max_rounds {
+            rounds_used += 1;
+            // Participants run to their acceptance tests: yᵢ ~ Exp(μᵢ).
+            let mut z = 0.0_f64;
+            let mut sum = 0.0_f64;
+            for &p in &participants {
+                let y = rng.exp(mu[p]);
+                z = z.max(y);
+                sum += y;
+            }
+            total_loss += k as f64 * z - sum;
+            t += z;
+            // Test line: all must pass.
+            let all_pass = participants
+                .iter()
+                .all(|_| !accept_rng.bernoulli(cfg.p_fail));
+            if all_pass {
+                succeeded = true;
+                break;
+            }
+            // Collective failure: restore entry states (instantaneous
+            // in this model) and retry.
+        }
+        // Interactions that would have crossed the boundary while the
+        // conversation was open: expected count λ_cross · duration,
+        // realised by thinning.
+        let duration = t - t_open;
+        let mut lambda_cross = 0.0;
+        for &p in &participants {
+            for q in 0..n {
+                if !participants.contains(&q) {
+                    // Each (inside, outside) pair is visited once.
+                    lambda_cross += cfg.params.lambda(p, q);
+                }
+            }
+        }
+        let mut s = 0.0;
+        loop {
+            if lambda_cross <= 0.0 {
+                break;
+            }
+            s += rng.exp(lambda_cross);
+            if s > duration {
+                break;
+            }
+            stats.deferred_interactions += 1;
+        }
+
+        stats.occupied_time += duration;
+        stats.loss_per_conversation.push(total_loss);
+        if succeeded {
+            stats.completed += 1;
+            stats.rounds.push(rounds_used as f64);
+        } else {
+            stats.abandoned += 1;
+        }
+    }
+    stats
+}
+
+/// Analytic mean waiting loss per *round* of a conversation of size k
+/// with participant rates `mu_subset`: the §3 formula restricted to the
+/// participants — the quantitative advantage of small conversations.
+pub fn conversation_round_loss(mu_subset: &[f64]) -> f64 {
+    assert!(!mu_subset.is_empty());
+    let k = mu_subset.len();
+    // Inclusion–exclusion E[max].
+    let mut ez = 0.0;
+    for mask in 1u32..(1u32 << k) {
+        let rate: f64 = (0..k)
+            .filter(|&i| mask >> i & 1 == 1)
+            .map(|i| mu_subset[i])
+            .sum();
+        if mask.count_ones() % 2 == 1 {
+            ez += 1.0 / rate;
+        } else {
+            ez -= 1.0 / rate;
+        }
+    }
+    k as f64 * ez - mu_subset.iter().map(|m| 1.0 / m).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(k: usize) -> ConversationConfig {
+        ConversationConfig::new(AsyncParams::symmetric(4, 1.0, 1.0), k)
+    }
+
+    #[test]
+    fn smaller_conversations_lose_less_per_round() {
+        // E[CL] over k participants at μ = 1: k·H_k − k.
+        let l2 = conversation_round_loss(&[1.0; 2]);
+        let l3 = conversation_round_loss(&[1.0; 3]);
+        let l4 = conversation_round_loss(&[1.0; 4]);
+        assert!((l2 - 1.0).abs() < 1e-12, "2·(3/2) − 2 = 1, got {l2}");
+        assert!((l3 - 2.5).abs() < 1e-12, "3·(11/6) − 3 = 2.5, got {l3}");
+        assert!(l2 < l3 && l3 < l4);
+    }
+
+    #[test]
+    fn simulated_loss_matches_round_formula() {
+        let mut cfg = base(3);
+        cfg.p_fail = 0.0; // single round per conversation
+        let stats = run_conversations(&cfg, 50_000.0, 5);
+        assert!(stats.completed > 1_000);
+        assert_eq!(stats.abandoned, 0);
+        let want = conversation_round_loss(&[1.0; 3]);
+        assert!(
+            (stats.loss_per_conversation.mean() - want).abs() < 0.1,
+            "sim {} vs formula {want}",
+            stats.loss_per_conversation.mean()
+        );
+    }
+
+    #[test]
+    fn failures_add_rounds_and_loss() {
+        let mut cheap = base(3);
+        cheap.p_fail = 0.0;
+        let mut flaky = base(3);
+        flaky.p_fail = 0.3;
+        let a = run_conversations(&cheap, 20_000.0, 7);
+        let b = run_conversations(&flaky, 20_000.0, 7);
+        assert!(b.rounds.mean() > a.rounds.mean());
+        assert!(b.loss_per_conversation.mean() > a.loss_per_conversation.mean());
+    }
+
+    #[test]
+    fn abandonment_appears_when_rounds_exhaust() {
+        let mut cfg = base(2);
+        cfg.p_fail = 0.9;
+        cfg.max_rounds = 2;
+        let stats = run_conversations(&cfg, 20_000.0, 9);
+        assert!(stats.abandoned > 0);
+        // P(abandon) = P(some participant fails)² per round pair:
+        // per round P(pass) = 0.1² = 0.01 ⇒ abandon ≈ 0.99² ≈ 0.98.
+        assert!(stats.abandon_rate() > 0.9);
+    }
+
+    #[test]
+    fn occupancy_and_deferral_grow_with_conversation_rate() {
+        let mut sparse = base(3);
+        sparse.conversation_rate = 0.05;
+        let mut dense = base(3);
+        dense.conversation_rate = 1.0;
+        let a = run_conversations(&sparse, 20_000.0, 11);
+        let b = run_conversations(&dense, 20_000.0, 11);
+        assert!(b.occupancy() > a.occupancy());
+        assert!(b.deferred_interactions > a.deferred_interactions);
+        assert!(b.occupancy() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn full_size_conversation_matches_sync_loss() {
+        // k = n conversations are exactly §3 synchronizations.
+        let mut cfg = base(4);
+        cfg.p_fail = 0.0;
+        let stats = run_conversations(&cfg, 40_000.0, 13);
+        let want = conversation_round_loss(&[1.0; 4]);
+        assert!(
+            (stats.loss_per_conversation.mean() - want).abs() < 0.15,
+            "sim {} vs {want}",
+            stats.loss_per_conversation.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = base(3);
+        let a = run_conversations(&cfg, 5_000.0, 21);
+        let b = run_conversations(&cfg, 5_000.0, 21);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.deferred_interactions, b.deferred_interactions);
+    }
+}

@@ -1,0 +1,484 @@
+//! Continuous-time Markov chains: transient solves and absorption
+//! analysis.
+//!
+//! The recovery-line interval `X` of the paper is *phase-type*: the time
+//! for the flag chain to travel from the entry state S_r to the
+//! absorbing state S_{r+1}. This module provides the two solves the
+//! experiments need:
+//!
+//! * the **mean absorption time** E\[X\] from the linear system
+//!   (−Q_TT)·τ = 1 (dense LU for small chains, Gauss–Seidel for large);
+//! * the **absorption-time density** f_X(t) (paper Figure 6) via
+//!   uniformization, as the probability flux into the absorbing states.
+
+use crate::linalg::{LuFactors, Matrix};
+use crate::sparse::{Csr, Triplets};
+
+/// Chains at or below this many transient states are solved densely.
+const DENSE_LIMIT: usize = 3000;
+
+/// A finite-state CTMC described by its generator matrix.
+///
+/// Built from off-diagonal transition rates; the diagonal is derived
+/// (`q_ii = −Σ_{j≠i} q_ij`). States with no outgoing rate are absorbing.
+#[derive(Clone, Debug)]
+pub struct Ctmc {
+    n: usize,
+    /// Full generator (diagonal included).
+    q: Csr,
+    /// Off-diagonal exit rate of every state (0 ⇒ absorbing).
+    exit: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Builds a chain over `n` states from `(from, to, rate)` transitions.
+    ///
+    /// Parallel transitions are summed. Self-transitions are rejected:
+    /// in a CTMC they are meaningless, and passing one is always a bug
+    /// in the chain builder.
+    ///
+    /// # Panics
+    /// Panics on out-of-range states, non-positive/non-finite rates, or
+    /// self-transitions.
+    pub fn from_transitions(n: usize, transitions: &[(usize, usize, f64)]) -> Self {
+        let mut t = Triplets::new(n, n);
+        let mut exit = vec![0.0; n];
+        for &(from, to, rate) in transitions {
+            assert!(from < n && to < n, "transition ({from},{to}) out of range");
+            assert!(from != to, "self-transition at state {from}");
+            assert!(
+                rate > 0.0 && rate.is_finite(),
+                "rate {rate} on ({from},{to}) must be positive and finite"
+            );
+            t.push(from, to, rate);
+            exit[from] += rate;
+        }
+        for (i, &e) in exit.iter().enumerate() {
+            if e > 0.0 {
+                t.push(i, i, -e);
+            }
+        }
+        Ctmc {
+            n,
+            q: t.to_csr(),
+            exit,
+        }
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `s` is absorbing (no outgoing rate).
+    pub fn is_absorbing(&self, s: usize) -> bool {
+        self.exit[s] == 0.0
+    }
+
+    /// Total outgoing rate of `s`.
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.exit[s]
+    }
+
+    /// The generator entry `q(from, to)`.
+    pub fn rate(&self, from: usize, to: usize) -> f64 {
+        self.q.get(from, to)
+    }
+
+    /// The generator as CSR (diagonal included).
+    pub fn generator(&self) -> &Csr {
+        &self.q
+    }
+
+    /// The uniformization constant Λ = maxᵢ (−q_ii).
+    pub fn uniformization_constant(&self) -> f64 {
+        self.exit.iter().fold(0.0_f64, |m, &e| m.max(e))
+    }
+
+    /// The uniformized jump chain `P = I + Q/Λ` for a given Λ ≥ max exit
+    /// rate (row-stochastic by construction).
+    ///
+    /// # Panics
+    /// Panics if `lambda` is smaller than the largest exit rate.
+    pub fn uniformized(&self, lambda: f64) -> Csr {
+        let max_exit = self.uniformization_constant();
+        assert!(
+            lambda >= max_exit && lambda > 0.0,
+            "uniformization constant {lambda} below max exit rate {max_exit}"
+        );
+        let mut t = Triplets::new(self.n, self.n);
+        for r in 0..self.n {
+            let mut diag = 1.0 - self.exit[r] / lambda;
+            for (c, v) in self.q.row(r) {
+                if c != r {
+                    t.push(r, c, v / lambda);
+                }
+            }
+            // Clamp tiny negative diagonal from rounding.
+            if diag < 0.0 {
+                diag = 0.0;
+            }
+            if diag > 0.0 {
+                t.push(r, r, diag);
+            }
+        }
+        t.to_csr()
+    }
+
+    /// Transient distribution π(t) from the initial row vector `pi0`,
+    /// by uniformization with adaptive truncation (mass error ≤ `eps`).
+    pub fn transient(&self, pi0: &[f64], t: f64, eps: f64) -> Vec<f64> {
+        assert_eq!(pi0.len(), self.n, "dimension mismatch");
+        assert!(t >= 0.0 && t.is_finite(), "invalid time {t}");
+        let lambda = self.uniformization_constant();
+        if lambda == 0.0 || t == 0.0 {
+            return pi0.to_vec();
+        }
+        let p = self.uniformized(lambda);
+        let lt = lambda * t;
+        // Poisson weights computed in log space so large Λt does not
+        // underflow the k=0 term.
+        let ln_lt = lt.ln();
+        let mut ln_w = -lt; // ln of the k = 0 weight
+        let mut v = pi0.to_vec();
+        let mut acc = vec![0.0; self.n];
+        let mut cum = 0.0;
+        // Poisson mass beyond m + 10·√m is negligible; the +64 floor
+        // covers tiny Λt.
+        let k_max = (lt + 10.0 * lt.sqrt() + 64.0) as u64;
+        for k in 0..=k_max {
+            let w = ln_w.exp();
+            if w > 0.0 {
+                for (a, &vi) in acc.iter_mut().zip(&v) {
+                    *a += w * vi;
+                }
+                cum += w;
+            }
+            if cum >= 1.0 - eps {
+                break;
+            }
+            v = p.vec_mul(&v);
+            ln_w += ln_lt - ((k + 1) as f64).ln();
+        }
+        acc
+    }
+
+    /// Mean time to absorption starting from `start`.
+    ///
+    /// Solves (−Q_TT)·τ = 1 over the transient states: densely (LU) up
+    /// to [`DENSE_LIMIT`] transient states, by Gauss–Seidel beyond.
+    ///
+    /// # Panics
+    /// Panics if the chain has no absorbing state, or if `start` is
+    /// absorbing (the answer would trivially be 0 — asking is a bug).
+    pub fn mean_absorption_time(&self, start: usize) -> f64 {
+        assert!(!self.is_absorbing(start), "start state {start} is absorbing");
+        let transient: Vec<usize> = (0..self.n).filter(|&s| !self.is_absorbing(s)).collect();
+        assert!(
+            transient.len() < self.n,
+            "chain has no absorbing state; absorption time is infinite"
+        );
+        let tau = self.absorption_times(&transient);
+        let local = transient
+            .iter()
+            .position(|&s| s == start)
+            .expect("start is transient");
+        tau[local]
+    }
+
+    /// Second moment of the absorption time from `start`:
+    /// E\[T²\] solves (−Q_TT)·m₂ = 2·τ with τ the mean absorption
+    /// times — the standard phase-type moment recursion.
+    ///
+    /// # Panics
+    /// As for [`Ctmc::mean_absorption_time`].
+    pub fn absorption_time_second_moment(&self, start: usize) -> f64 {
+        assert!(!self.is_absorbing(start), "start state {start} is absorbing");
+        let transient: Vec<usize> = (0..self.n).filter(|&s| !self.is_absorbing(s)).collect();
+        assert!(transient.len() < self.n, "chain has no absorbing state");
+        let tau = self.absorption_times(&transient);
+        let rhs: Vec<f64> = tau.iter().map(|&t| 2.0 * t).collect();
+        let m2 = self.solve_neg_qtt(&transient, &rhs);
+        let local = transient
+            .iter()
+            .position(|&s| s == start)
+            .expect("start is transient");
+        m2[local]
+    }
+
+    /// Variance of the absorption time from `start`.
+    pub fn absorption_time_variance(&self, start: usize) -> f64 {
+        let m1 = self.mean_absorption_time(start);
+        let m2 = self.absorption_time_second_moment(start);
+        (m2 - m1 * m1).max(0.0)
+    }
+
+    /// Expected absorption times for every transient state (in the order
+    /// given by `transient`).
+    fn absorption_times(&self, transient: &[usize]) -> Vec<f64> {
+        self.solve_neg_qtt(transient, &vec![1.0; transient.len()])
+    }
+
+    /// Solves (−Q_TT)·x = b over the given transient states.
+    fn solve_neg_qtt(&self, transient: &[usize], b: &[f64]) -> Vec<f64> {
+        let nt = transient.len();
+        let mut local = vec![usize::MAX; self.n];
+        for (k, &s) in transient.iter().enumerate() {
+            local[s] = k;
+        }
+        assert_eq!(b.len(), nt);
+        if nt <= DENSE_LIMIT {
+            // Dense: A = −Q_TT.
+            let mut a = Matrix::zeros(nt, nt);
+            for (k, &s) in transient.iter().enumerate() {
+                for (c, v) in self.q.row(s) {
+                    if local[c] != usize::MAX {
+                        a[(k, local[c])] = -v;
+                    }
+                }
+            }
+            let lu = LuFactors::new(a).expect("transient generator block is nonsingular");
+            lu.solve(b)
+        } else {
+            // Gauss–Seidel on xᵢ = (bᵢ + Σ_{j≠i} q_ij xⱼ) / (−q_ii).
+            let mut tau = vec![0.0; nt];
+            let max_iter = 200_000;
+            let tol = 1e-12;
+            for _ in 0..max_iter {
+                let mut delta = 0.0_f64;
+                for (k, &s) in transient.iter().enumerate() {
+                    let mut acc = b[k];
+                    let mut diag = 0.0;
+                    for (c, v) in self.q.row(s) {
+                        if c == s {
+                            diag = -v;
+                        } else if local[c] != usize::MAX {
+                            acc += v * tau[local[c]];
+                        }
+                    }
+                    debug_assert!(diag > 0.0);
+                    let new = acc / diag;
+                    delta = delta.max((new - tau[k]).abs());
+                    tau[k] = new;
+                }
+                if delta < tol {
+                    return tau;
+                }
+            }
+            panic!("Gauss–Seidel failed to converge on absorption times");
+        }
+    }
+
+    /// The absorption-time density f(t) from `start`, evaluated at each
+    /// time in `ts`: f(t) = Σ_{i transient} πᵢ(t) · aᵢ where aᵢ is the
+    /// total rate from `i` into absorbing states.
+    pub fn absorption_density(&self, start: usize, ts: &[f64]) -> Vec<f64> {
+        let into_abs: Vec<f64> = (0..self.n)
+            .map(|s| {
+                self.q
+                    .row(s)
+                    .filter(|&(c, _)| c != s && self.is_absorbing(c))
+                    .map(|(_, v)| v)
+                    .sum()
+            })
+            .collect();
+        let mut pi0 = vec![0.0; self.n];
+        pi0[start] = 1.0;
+        ts.iter()
+            .map(|&t| {
+                let pi = self.transient(&pi0, t, 1e-12);
+                pi.iter().zip(&into_abs).map(|(p, a)| p * a).sum()
+            })
+            .collect()
+    }
+
+    /// The absorption-time CDF F(t) = P(X ≤ t) from `start`.
+    pub fn absorption_cdf(&self, start: usize, t: f64) -> f64 {
+        let mut pi0 = vec![0.0; self.n];
+        pi0[start] = 1.0;
+        let pi = self.transient(&pi0, t, 1e-12);
+        (0..self.n)
+            .filter(|&s| self.is_absorbing(s))
+            .map(|s| pi[s])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-state birth chain: 0 → 1 at rate r. Absorption time ~ Exp(r).
+    fn exp_chain(r: f64) -> Ctmc {
+        Ctmc::from_transitions(2, &[(0, 1, r)])
+    }
+
+    #[test]
+    fn exponential_absorption_mean() {
+        let c = exp_chain(2.0);
+        assert!((c.mean_absorption_time(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_density_matches_closed_form() {
+        let r = 1.5;
+        let c = exp_chain(r);
+        let ts = [0.0, 0.3, 1.0, 2.0];
+        let f = c.absorption_density(0, &ts);
+        for (&t, &ft) in ts.iter().zip(&f) {
+            let expect = r * (-r * t).exp();
+            assert!((ft - expect).abs() < 1e-9, "f({t}) = {ft}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn exponential_second_moment_and_variance() {
+        let r = 2.0;
+        let c = exp_chain(r);
+        assert!((c.absorption_time_second_moment(0) - 2.0 / (r * r)).abs() < 1e-12);
+        assert!((c.absorption_time_variance(0) - 1.0 / (r * r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erlang_second_moment() {
+        // Erlang(2, r): E[T] = 2/r, E[T²] = 6/r², Var = 2/r².
+        let r = 3.0;
+        let c = Ctmc::from_transitions(3, &[(0, 1, r), (1, 2, r)]);
+        assert!((c.absorption_time_second_moment(0) - 6.0 / (r * r)).abs() < 1e-12);
+        assert!((c.absorption_time_variance(0) - 2.0 / (r * r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_moment_matches_density_integral() {
+        let c = Ctmc::from_transitions(
+            4,
+            &[(0, 1, 1.0), (1, 2, 0.8), (2, 1, 0.3), (1, 0, 0.2), (2, 3, 1.1)],
+        );
+        let m2_solve = c.absorption_time_second_moment(0);
+        let (a, b, m) = (0.0, 120.0, 12_000);
+        let h = (b - a) / m as f64;
+        let ts: Vec<f64> = (0..=m).map(|k| a + k as f64 * h).collect();
+        let f = c.absorption_density(0, &ts);
+        let g: Vec<f64> = ts.iter().zip(&f).map(|(t, ft)| t * t * ft).collect();
+        let mut integral = 0.0;
+        for k in (0..m).step_by(2) {
+            integral += h / 3.0 * (g[k] + 4.0 * g[k + 1] + g[k + 2]);
+        }
+        assert!(
+            (integral - m2_solve).abs() < 1e-3 * m2_solve.max(1.0),
+            "∫t²f = {integral} vs solve {m2_solve}"
+        );
+    }
+
+    #[test]
+    fn erlang_two_stage_mean_and_cdf() {
+        // 0 →(r) 1 →(r) 2: Erlang(2, r).
+        let r = 3.0;
+        let c = Ctmc::from_transitions(3, &[(0, 1, r), (1, 2, r)]);
+        assert!((c.mean_absorption_time(0) - 2.0 / r).abs() < 1e-12);
+        let t = 0.7;
+        let expect = 1.0 - (-r * t).exp() * (1.0 + r * t);
+        assert!((c.absorption_cdf(0, t) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn competing_exponentials() {
+        // 0 races to absorbing 1 (rate a) or 2 (rate b): time ~ Exp(a+b).
+        let (a, b) = (1.0, 4.0);
+        let c = Ctmc::from_transitions(3, &[(0, 1, a), (0, 2, b)]);
+        assert!((c.mean_absorption_time(0) - 1.0 / (a + b)).abs() < 1e-12);
+        // Absorption splits a:b.
+        let mut pi0 = vec![0.0; 3];
+        pi0[0] = 1.0;
+        let pi = c.transient(&pi0, 100.0, 1e-13);
+        assert!((pi[1] - a / (a + b)).abs() < 1e-9);
+        assert!((pi[2] - b / (a + b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_preserves_probability_mass() {
+        let c = Ctmc::from_transitions(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 0.5), (1, 3, 0.7)]);
+        let pi0 = [1.0, 0.0, 0.0, 0.0];
+        for t in [0.1, 1.0, 5.0, 25.0] {
+            let pi = c.transient(&pi0, t, 1e-12);
+            let mass: f64 = pi.iter().sum();
+            assert!((mass - 1.0).abs() < 1e-9, "mass {mass} at t={t}");
+            assert!(pi.iter().all(|&p| p >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let c = Ctmc::from_transitions(3, &[(0, 1, 1.0), (1, 0, 0.5), (1, 2, 1.5)]);
+        // Simpson over a long horizon.
+        let (a, b, m) = (0.0, 40.0, 4000);
+        let h = (b - a) / m as f64;
+        let ts: Vec<f64> = (0..=m).map(|k| a + k as f64 * h).collect();
+        let f = c.absorption_density(0, &ts);
+        let mut integral = 0.0;
+        for k in (0..m).step_by(2) {
+            integral += h / 3.0 * (f[k] + 4.0 * f[k + 1] + f[k + 2]);
+        }
+        assert!((integral - 1.0).abs() < 1e-6, "∫f = {integral}");
+    }
+
+    #[test]
+    fn density_mean_matches_linear_solve() {
+        let c = Ctmc::from_transitions(
+            4,
+            &[(0, 1, 1.0), (1, 2, 0.8), (2, 1, 0.3), (1, 0, 0.2), (2, 3, 1.1)],
+        );
+        let mean_solve = c.mean_absorption_time(0);
+        // E[X] = ∫ t f(t) dt by Simpson.
+        let (a, b, m) = (0.0, 80.0, 8000);
+        let h = (b - a) / m as f64;
+        let ts: Vec<f64> = (0..=m).map(|k| a + k as f64 * h).collect();
+        let f = c.absorption_density(0, &ts);
+        let g: Vec<f64> = ts.iter().zip(&f).map(|(t, ft)| t * ft).collect();
+        let mut integral = 0.0;
+        for k in (0..m).step_by(2) {
+            integral += h / 3.0 * (g[k] + 4.0 * g[k + 1] + g[k + 2]);
+        }
+        assert!(
+            (integral - mean_solve).abs() < 1e-4 * mean_solve.max(1.0),
+            "∫t·f = {integral} vs solve {mean_solve}"
+        );
+    }
+
+    #[test]
+    fn uniformized_rows_are_stochastic() {
+        let c = Ctmc::from_transitions(3, &[(0, 1, 2.0), (1, 2, 1.0), (1, 0, 3.0)]);
+        let p = c.uniformized(c.uniformization_constant());
+        for (r, s) in p.row_sums().iter().enumerate() {
+            if c.is_absorbing(r) {
+                // absorbing rows keep their self-loop
+                assert!((s - 1.0).abs() < 1e-12);
+            } else {
+                assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no absorbing state")]
+    fn irreducible_chain_rejects_absorption_query() {
+        let c = Ctmc::from_transitions(2, &[(0, 1, 1.0), (1, 0, 1.0)]);
+        let _ = c.mean_absorption_time(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transition")]
+    fn self_transition_rejected() {
+        let _ = Ctmc::from_transitions(2, &[(0, 0, 1.0)]);
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let c = Ctmc::from_transitions(3, &[(0, 1, 1.0), (0, 2, 2.0), (1, 2, 0.5)]);
+        for (r, s) in c.generator().row_sums().iter().enumerate() {
+            if !c.is_absorbing(r) {
+                assert!(s.abs() < 1e-12, "row {r} sums to {s}");
+            }
+        }
+    }
+}

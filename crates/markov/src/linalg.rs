@@ -1,0 +1,350 @@
+//! Small dense linear algebra: row-major matrices and LU solves.
+//!
+//! The recovery-line chains solved densely here have at most a few
+//! thousand states, where a straightforward partially-pivoted LU is both
+//! simple and fast enough; larger chains go through [`crate::sparse`]
+//! and iterative solves instead.
+
+use std::fmt;
+
+/// Error returned when a factorisation encounters a (numerically)
+/// singular matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SingularMatrix {
+    /// The elimination column where no usable pivot was found.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is singular at column {}", self.column)
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a row-major nested slice (rows must be equal length).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// `vᵀ · self` (left multiplication by a row vector).
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * a;
+            }
+        }
+        out
+    }
+
+    /// Dense matrix product `self · rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Max-abs entry (for convergence checks in tests).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An LU factorisation with partial pivoting, `P·A = L·U`.
+pub struct LuFactors {
+    lu: Matrix,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Factorises `a` (consumed).
+    pub fn new(mut a: Matrix) -> Result<Self, SingularMatrix> {
+        assert_eq!(a.rows, a.cols, "LU requires a square matrix");
+        let n = a.rows;
+        // Relative singularity threshold: a pivot below machine epsilon
+        // times the matrix magnitude means the system is numerically
+        // singular at f64 precision regardless of its exact rank.
+        let scale = a.max_abs().max(1e-300);
+        let threshold = scale * f64::EPSILON * 16.0;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            // Partial pivot: largest magnitude on/below the diagonal.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[(r, col)].abs()))
+                .fold((col, -1.0), |best, cand| if cand.1 > best.1 { cand } else { best });
+            if pivot_val <= threshold {
+                return Err(SingularMatrix { column: col });
+            }
+            if pivot_row != col {
+                perm.swap(pivot_row, col);
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+            }
+            let inv_pivot = 1.0 / a[(col, col)];
+            for r in col + 1..n {
+                let factor = a[(r, col)] * inv_pivot;
+                a[(r, col)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col + 1..n {
+                    let u = a[(col, j)];
+                    a[(r, j)] -= factor * u;
+                }
+            }
+        }
+        Ok(LuFactors { lu: a, perm })
+    }
+
+    /// Solves `A·x = b`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.lu.rows;
+        assert_eq!(b.len(), n, "dimension mismatch");
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+}
+
+/// Convenience: solves `A·x = b` by LU with partial pivoting.
+pub fn solve(a: Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    Ok(LuFactors::new(a)?.solve(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = [5.0, 10.0];
+        let x = solve(a.clone(), &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_with_pivoting_needed() {
+        // Zero on the diagonal forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = [2.0, 3.0];
+        let x = solve(a.clone(), &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(solve(a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn solves_random_dense_system() {
+        // Deterministic pseudo-random SPD-ish matrix.
+        let n = 40;
+        let mut a = Matrix::zeros(n, n);
+        let mut s = 0x12345u64;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64; // diagonal dominance → well conditioned
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let x = solve(a.clone(), &b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn mat_vec_and_vec_mat_agree_with_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let v = [1.0, -1.0];
+        let left = a.vec_mul(&v);
+        let right = a.transpose().mul_vec(&v);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn matrix_product_identity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn reusing_factors_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let lu = LuFactors::new(a.clone()).unwrap();
+        for b in [[1.0, 0.0], [0.0, 1.0], [2.0, 5.0]] {
+            let x = lu.solve(&b);
+            assert!(residual(&a, &x, &b) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Compressed-sparse-row matrices for the larger flag chains.
+//!
+//! The full recovery-line chain has 2ⁿ+1 states but only O(n²·2ⁿ)
+//! transitions, so CSR keeps the n ≥ 10 sweeps (Figure 5 extension)
+//! tractable where a dense generator would not be.
+
+/// A builder of sparse matrices from (row, col, value) triplets.
+///
+/// Duplicate coordinates are summed on conversion, which lets chain
+/// builders emit one triplet per transition rule without pre-merging
+/// parallel transitions.
+#[derive(Clone, Debug, Default)]
+pub struct Triplets {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplets {
+    /// An empty `rows × cols` builder.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplets {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records `a[(r, c)] += v`.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "triplet ({r},{c}) out of bounds");
+        if v != 0.0 {
+            self.entries.push((r, c, v));
+        }
+    }
+
+    /// Number of raw (unmerged) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, summing duplicates.
+    pub fn to_csr(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut data = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+        let mut row = 0usize;
+        for (r, c, v) in self.entries {
+            while row < r {
+                indptr.push(indices.len());
+                row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (indices.last(), data.last_mut()) {
+                if indices.len() > indptr[row] && last_c == c {
+                    *last_v += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            data.push(v);
+        }
+        while row < self.rows {
+            indptr.push(indices.len());
+            row += 1;
+        }
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+}
+
+/// A compressed-sparse-row matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterates the stored `(col, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.data[lo..hi].iter().copied())
+    }
+
+    /// The stored value at `(r, c)`, or 0 if structurally absent.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.row(r)
+            .find_map(|(cc, v)| (cc == c).then_some(v))
+            .unwrap_or(0.0)
+    }
+
+    /// Row sums (for generator validation).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+    }
+
+    /// `self · v`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(c, a)| a * v[c]).sum())
+            .collect()
+    }
+
+    /// `vᵀ · self` — the propagation step for probability row vectors.
+    pub fn vec_mul(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &vr) in v.iter().enumerate() {
+            if vr == 0.0 {
+                continue;
+            }
+            for (c, a) in self.row(r) {
+                out[c] += vr * a;
+            }
+        }
+        out
+    }
+
+    /// In-place scale of every stored entry.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Converts to a dense [`crate::Matrix`] (test/diagnostic use).
+    pub fn to_dense(&self) -> crate::Matrix {
+        let mut m = crate::Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row(r) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_merge_duplicates() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 1.0);
+        t.push(0, 1, 2.5);
+        t.push(1, 0, 4.0);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 1), 3.5);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_represented() {
+        let mut t = Triplets::new(4, 4);
+        t.push(0, 0, 1.0);
+        t.push(3, 3, 2.0);
+        let m = t.to_csr();
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(2).count(), 0);
+        assert_eq!(m.get(3, 3), 2.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let mut t = Triplets::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(0, 2, -1.0);
+        t.push(1, 1, 3.0);
+        t.push(2, 0, 1.0);
+        t.push(2, 1, 1.0);
+        let m = t.to_csr();
+        let v = [1.0, 2.0, 3.0];
+        let sparse = m.mul_vec(&v);
+        let dense = m.to_dense().mul_vec(&v);
+        assert_eq!(sparse, dense);
+        let sparse_t = m.vec_mul(&v);
+        let dense_t = m.to_dense().transpose().mul_vec(&v);
+        assert_eq!(sparse_t, dense_t);
+    }
+
+    #[test]
+    fn zero_entries_are_dropped() {
+        let mut t = Triplets::new(1, 3);
+        t.push(0, 0, 0.0);
+        t.push(0, 1, 1.0);
+        assert_eq!(t.len(), 1);
+        let m = t.to_csr();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn scale_applies_uniformly() {
+        let mut t = Triplets::new(2, 2);
+        t.push(0, 1, 2.0);
+        t.push(1, 0, 4.0);
+        let mut m = t.to_csr();
+        m.scale(0.5);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn row_sums() {
+        let mut t = Triplets::new(2, 3);
+        t.push(0, 0, 1.0);
+        t.push(0, 2, 2.0);
+        t.push(1, 1, -3.0);
+        let m = t.to_csr();
+        assert_eq!(m.row_sums(), vec![3.0, -3.0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the Markov machinery: linear algebra, CTMC
+//! probability laws, and the paper-chain structure over random
+//! parameters.
+
+use proptest::prelude::*;
+use rbmarkov::ctmc::Ctmc;
+use rbmarkov::linalg::{solve, Matrix};
+use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SplitChain};
+
+fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = vals[i * n + j];
+            }
+            m[(i, i)] += n as f64 + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_diag_dominant_systems(
+        a in diag_dominant_matrix(8),
+        b in prop::collection::vec(-10.0f64..10.0, 8),
+    ) {
+        let x = solve(a.clone(), &b).expect("diag dominant is nonsingular");
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            prop_assert!((ri - bi).abs() < 1e-8, "residual {} vs {}", ri, bi);
+        }
+    }
+
+    #[test]
+    fn random_absorbing_chains_conserve_mass_and_absorb(
+        rates in prop::collection::vec(0.01f64..10.0, 6),
+        t in 0.1f64..20.0,
+    ) {
+        // A ring 0→1→…→4 with one absorbing tail state 5 reachable
+        // from state 2: mass conserved, eventually absorbed.
+        let c = Ctmc::from_transitions(6, &[
+            (0, 1, rates[0]), (1, 2, rates[1]), (2, 3, rates[2]),
+            (3, 4, rates[3]), (4, 0, rates[4]), (2, 5, rates[5]),
+        ]);
+        let mut pi0 = vec![0.0; 6];
+        pi0[0] = 1.0;
+        let pi = c.transient(&pi0, t, 1e-12);
+        let mass: f64 = pi.iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-8, "mass {mass}");
+        prop_assert!(pi.iter().all(|&p| p >= -1e-10));
+        // Mean absorption finite and positive.
+        let m = c.mean_absorption_time(0);
+        prop_assert!(m > 0.0 && m.is_finite());
+        // CDF is monotone.
+        prop_assert!(c.absorption_cdf(0, t) <= c.absorption_cdf(0, t * 2.0) + 1e-9);
+    }
+
+    #[test]
+    fn variance_nonnegative_and_moment_consistent(
+        rates in prop::collection::vec(0.05f64..5.0, 4),
+    ) {
+        let c = Ctmc::from_transitions(4, &[
+            (0, 1, rates[0]), (1, 0, rates[1]), (1, 2, rates[2]), (2, 3, rates[3]),
+        ]);
+        let m1 = c.mean_absorption_time(0);
+        let m2 = c.absorption_time_second_moment(0);
+        prop_assert!(m2 >= m1 * m1 - 1e-9, "E[T²] ≥ E[T]²");
+        prop_assert!((c.absorption_time_variance(0) - (m2 - m1 * m1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lumpability_holds_for_random_symmetric_params(
+        n in 2usize..6,
+        mu in 0.1f64..4.0,
+        lambda in 0.0f64..4.0,
+    ) {
+        let full = AsyncParams::symmetric(n, mu, lambda).mean_interval();
+        let lumped = mean_interval_symmetric(n, mu, lambda.max(1e-12));
+        prop_assert!(
+            (full - lumped).abs() < 1e-7 * full.max(1.0),
+            "n={n} μ={mu} λ={lambda}: {full} vs {lumped}"
+        );
+    }
+
+    #[test]
+    fn poisson_thinning_identity_over_random_params(
+        mu in prop::collection::vec(0.2f64..3.0, 3),
+        lam in prop::collection::vec(0.0f64..3.0, 3),
+    ) {
+        let p = AsyncParams::new(mu.clone(), lam).unwrap();
+        let ex = p.mean_interval();
+        for i in 0..3 {
+            let via_yd = p.mean_rp_count_yd(i, true);
+            prop_assert!(
+                (via_yd - mu[i] * ex).abs() < 1e-6 * (mu[i] * ex).max(1.0),
+                "P{i}: Y_d {via_yd} vs μE[X] {}", mu[i] * ex
+            );
+        }
+    }
+
+    #[test]
+    fn split_chain_rows_remain_stochastic(
+        mu in prop::collection::vec(0.2f64..3.0, 3),
+        lam in prop::collection::vec(0.01f64..3.0, 3),
+        tagged in 0usize..3,
+    ) {
+        let p = AsyncParams::new(mu, lam).unwrap();
+        let sc = SplitChain::build(&p, tagged);
+        for (r, s) in sc.dtmc.matrix().row_sums().iter().enumerate() {
+            prop_assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn density_nonnegative_and_mass_bounded(
+        mu in 0.2f64..2.0,
+        lambda in 0.0f64..2.0,
+        t in 0.0f64..10.0,
+    ) {
+        let p = AsyncParams::symmetric(3, mu, lambda);
+        let f = p.interval_density(&[t]);
+        prop_assert!(f[0] >= -1e-10, "f({t}) = {}", f[0]);
+        let cdf = p.interval_cdf(t);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&cdf));
+    }
+
+    #[test]
+    fn mean_interval_monotone_in_lambda(
+        mu in 0.3f64..2.0,
+        l1 in 0.0f64..2.0,
+        dl in 0.01f64..2.0,
+    ) {
+        let low = AsyncParams::symmetric(3, mu, l1).mean_interval();
+        let high = AsyncParams::symmetric(3, mu, l1 + dl).mean_interval();
+        prop_assert!(high >= low - 1e-9, "λ↑ must not shorten E[X]: {low} → {high}");
+    }
+}

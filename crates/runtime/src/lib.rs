@@ -1,0 +1,45 @@
+//! # rbruntime — a threaded recovery-block runtime
+//!
+//! The paper analyses recovery-block schemes assuming a substrate that
+//! can save and restore process states, exchange messages FIFO
+//! (assumption 4, "consistent communications"), and coordinate
+//! acceptance tests. This crate *builds* that substrate on real OS
+//! threads, so the three schemes run as actual concurrent programs and
+//! not only inside the discrete-event simulator:
+//!
+//! * [`checkpoint`] — per-process stores of cloned state snapshots
+//!   (real RPs and PRPs), with the paper's purge rule;
+//! * [`channel`] — sequence-numbered FIFO channels with sender-side
+//!   logs (the §4 requirement that messages sent before a commitment
+//!   be retained in the saved state);
+//! * [`recovery_block`] — Randell's sequential construct: primary +
+//!   alternates + acceptance test, with automatic state restore;
+//! * [`conversation`] — Randell's multi-process conversation: all
+//!   participants pass their acceptance tests at a common test line or
+//!   all retry with their next alternates;
+//! * [`coordinator`] — the §3 synchronized recovery-line protocol
+//!   (`Pᵢⱼ-ready` flags, commitment broadcast, simultaneous state
+//!   save), with waiting-loss measurement;
+//! * [`prp`] — the §4 PRP implantation protocol (implantation request →
+//!   untested state save → commitment) and a recovery manager that
+//!   executes distributed rollback plans;
+//! * [`async_group`] — the §2 uncoordinated baseline on threads, where
+//!   the domino effect is real and observable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod async_group;
+pub mod channel;
+pub mod checkpoint;
+pub mod conversation;
+pub mod coordinator;
+pub mod prp;
+pub mod recovery_block;
+
+pub use async_group::{AsyncGroup, PropagationMode};
+pub use channel::{logged_pair, LoggedReceiver, LoggedSender, SeqError};
+pub use checkpoint::{CheckpointId, CheckpointKind, CheckpointStore};
+pub use conversation::{Conversation, ConversationError};
+pub use coordinator::{run_synchronization, SyncParticipant, SyncReport};
+pub use recovery_block::{RbError, RecoveryBlock};

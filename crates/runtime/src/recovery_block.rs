@@ -1,0 +1,223 @@
+//! The sequential recovery-block construct (Horning/Randell), the
+//! building block the whole paper assumes:
+//!
+//! ```text
+//! ensure  <acceptance test>
+//! by      <primary alternate>
+//! else by <alternate 2>
+//! …
+//! else error
+//! ```
+//!
+//! Executing the block saves the state at the recovery point, runs the
+//! current alternate, and applies the acceptance test; on failure (the
+//! alternate erred or the test rejected) the state is restored and the
+//! next alternate runs.
+
+/// Why a recovery block failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RbError {
+    /// Every alternate was tried; none passed the acceptance test.
+    AllAlternatesFailed {
+        /// Number of alternates attempted.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for RbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RbError::AllAlternatesFailed { attempts } => {
+                write!(f, "recovery block failed: all {attempts} alternates rejected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RbError {}
+
+type Alternate<'a, S> = Box<dyn Fn(&mut S) -> Result<(), String> + Send + Sync + 'a>;
+type Acceptance<'a, S> = Box<dyn Fn(&S) -> bool + Send + Sync + 'a>;
+
+/// A recovery block over a state type `S`.
+///
+/// ```
+/// use rbruntime::RecoveryBlock;
+///
+/// // Compute a square root: the "fast" primary is broken for small
+/// // inputs; the alternate is slow but correct.
+/// let block = RecoveryBlock::ensure(|x: &f64| (x * x - 2.0).abs() < 1e-9)
+///     .by(|x: &mut f64| {
+///         *x = 1.0; // buggy primary
+///         Ok(())
+///     })
+///     .else_by(|x: &mut f64| {
+///         *x = 2.0_f64.sqrt();
+///         Ok(())
+///     });
+/// let mut state = 2.0;
+/// let used = block.execute(&mut state).unwrap();
+/// assert_eq!(used, 1); // the alternate rescued the computation
+/// ```
+pub struct RecoveryBlock<'a, S> {
+    acceptance: Acceptance<'a, S>,
+    alternates: Vec<Alternate<'a, S>>,
+}
+
+impl<'a, S: Clone> RecoveryBlock<'a, S> {
+    /// Starts a block with its acceptance test (the `ensure` clause).
+    pub fn ensure(acceptance: impl Fn(&S) -> bool + Send + Sync + 'a) -> Self {
+        RecoveryBlock {
+            acceptance: Box::new(acceptance),
+            alternates: Vec::new(),
+        }
+    }
+
+    /// Adds the primary alternate (the `by` clause).
+    pub fn by(mut self, alt: impl Fn(&mut S) -> Result<(), String> + Send + Sync + 'a) -> Self {
+        self.alternates.push(Box::new(alt));
+        self
+    }
+
+    /// Adds a further alternate (an `else by` clause).
+    pub fn else_by(
+        self,
+        alt: impl Fn(&mut S) -> Result<(), String> + Send + Sync + 'a,
+    ) -> Self {
+        self.by(alt)
+    }
+
+    /// Executes the block: returns the index of the alternate that
+    /// passed (so `k + 1` alternates were attempted), or restores the
+    /// entry state and errors.
+    ///
+    /// # Panics
+    /// Panics if no alternate was provided — an empty recovery block is
+    /// a construction bug.
+    pub fn execute(&self, state: &mut S) -> Result<usize, RbError> {
+        assert!(!self.alternates.is_empty(), "recovery block has no alternates");
+        // The recovery point: state saved on entry.
+        let recovery_point = state.clone();
+        for (k, alt) in self.alternates.iter().enumerate() {
+            match alt(state) {
+                Ok(()) if (self.acceptance)(state) => return Ok(k),
+                _ => {
+                    // Error during execution or acceptance rejection:
+                    // roll back to the recovery point.
+                    *state = recovery_point.clone();
+                }
+            }
+        }
+        Err(RbError::AllAlternatesFailed {
+            attempts: self.alternates.len(),
+        })
+    }
+
+    /// Number of alternates in the block.
+    pub fn n_alternates(&self) -> usize {
+        self.alternates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_success_uses_no_alternate() {
+        let block = RecoveryBlock::ensure(|v: &Vec<i32>| v.len() == 3)
+            .by(|v: &mut Vec<i32>| {
+                v.extend([1, 2, 3]);
+                Ok(())
+            })
+            .else_by(|_| panic!("must not run"));
+        let mut state = Vec::new();
+        assert_eq!(block.execute(&mut state), Ok(0));
+        assert_eq!(state, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn failed_primary_rolls_back_before_alternate() {
+        let block = RecoveryBlock::ensure(|v: &Vec<i32>| v == &[7])
+            .by(|v: &mut Vec<i32>| {
+                v.push(1); // wrong result — acceptance will reject
+                v.push(2);
+                Ok(())
+            })
+            .else_by(|v: &mut Vec<i32>| {
+                // The alternate must see the *entry* state, not the
+                // primary's garbage.
+                assert!(v.is_empty(), "state not rolled back: {v:?}");
+                v.push(7);
+                Ok(())
+            });
+        let mut state = Vec::new();
+        assert_eq!(block.execute(&mut state), Ok(1));
+        assert_eq!(state, vec![7]);
+    }
+
+    #[test]
+    fn erroring_alternate_counts_as_failure() {
+        let block = RecoveryBlock::ensure(|x: &i32| *x == 1)
+            .by(|_x: &mut i32| Err("raised".into()))
+            .else_by(|x: &mut i32| {
+                *x = 1;
+                Ok(())
+            });
+        let mut state = 0;
+        assert_eq!(block.execute(&mut state), Ok(1));
+    }
+
+    #[test]
+    fn all_fail_restores_entry_state() {
+        let block = RecoveryBlock::ensure(|x: &i32| *x > 100)
+            .by(|x: &mut i32| {
+                *x += 1;
+                Ok(())
+            })
+            .else_by(|x: &mut i32| {
+                *x += 2;
+                Ok(())
+            });
+        let mut state = 5;
+        assert_eq!(
+            block.execute(&mut state),
+            Err(RbError::AllAlternatesFailed { attempts: 2 })
+        );
+        assert_eq!(state, 5, "entry state restored after total failure");
+    }
+
+    #[test]
+    fn nested_recovery_blocks() {
+        // A recovery block whose alternate itself contains one.
+        let inner = RecoveryBlock::ensure(|x: &i32| *x % 2 == 0)
+            .by(|x: &mut i32| {
+                *x += 3; // odd — fails inner acceptance
+                Ok(())
+            })
+            .else_by(|x: &mut i32| {
+                *x += 4;
+                Ok(())
+            });
+        let outer = RecoveryBlock::ensure(|x: &i32| *x >= 10)
+            .by(move |x: &mut i32| {
+                inner.execute(x).map(|_| ()).map_err(|e| e.to_string())
+            })
+            .else_by(|x: &mut i32| {
+                *x = 10;
+                Ok(())
+            });
+        let mut state = 8;
+        // Inner: 8+4 = 12 (even, accepted); outer: 12 ≥ 10 accepted.
+        assert_eq!(outer.execute(&mut state), Ok(0));
+        assert_eq!(state, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no alternates")]
+    fn empty_block_panics() {
+        let block: RecoveryBlock<i32> = RecoveryBlock::ensure(|_| true);
+        let mut s = 0;
+        let _ = block.execute(&mut s);
+    }
+}

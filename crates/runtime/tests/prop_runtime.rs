@@ -1,0 +1,101 @@
+//! Property tests for the threaded runtime primitives.
+
+use proptest::prelude::*;
+use rbruntime::{logged_pair, CheckpointStore, RecoveryBlock};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn checkpoint_store_roundtrips_any_state(
+        states in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..20),
+    ) {
+        let mut store = CheckpointStore::new();
+        let ids: Vec<_> = states.iter().map(|s| store.save_real(s)).collect();
+        for (id, s) in ids.iter().zip(&states) {
+            let restored = store.restore(*id);
+            prop_assert_eq!(restored.as_ref(), Some(s));
+        }
+        prop_assert_eq!(store.latest_real(), ids.last().copied());
+    }
+
+    #[test]
+    fn purge_never_drops_the_latest_own_rp_or_latest_prps(
+        rounds in 1usize..10,
+        n_peers in 1usize..5,
+    ) {
+        let mut store = CheckpointStore::new();
+        for r in 0..rounds as u64 {
+            store.save_real(&r);
+            for peer in 0..n_peers {
+                store.save_pseudo(&(r + 100), peer + 1, r);
+            }
+            store.purge_to_pseudo_recovery_lines();
+            prop_assert!(store.len() <= n_peers + 1);
+            prop_assert!(store.latest_real().is_some());
+            for peer in 0..n_peers {
+                prop_assert!(store.pseudo_for(peer + 1, r).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn logged_channel_delivers_everything_in_order(
+        msgs in prop::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let (mut tx, mut rx) = logged_pair();
+        for &m in &msgs {
+            tx.send(m);
+        }
+        for &m in &msgs {
+            prop_assert_eq!(rx.recv().unwrap(), m);
+        }
+        prop_assert_eq!(rx.try_recv().unwrap(), None);
+        prop_assert_eq!(tx.sent_count(), msgs.len() as u64);
+    }
+
+    #[test]
+    fn sent_since_partitions_the_log(
+        msgs in prop::collection::vec(any::<u16>(), 1..100),
+        cut in 0u64..100,
+    ) {
+        let (mut tx, _rx) = logged_pair();
+        for &m in &msgs {
+            tx.send(m);
+        }
+        let cut = cut.min(msgs.len() as u64);
+        let tail = tx.sent_since(cut);
+        prop_assert_eq!(tail.len() as u64, msgs.len() as u64 - cut);
+        for (k, stamped) in tail.iter().enumerate() {
+            prop_assert_eq!(stamped.seq, cut + k as u64);
+            prop_assert_eq!(stamped.payload, msgs[(cut as usize) + k]);
+        }
+    }
+
+    #[test]
+    fn recovery_block_picks_first_passing_alternate(which in 0usize..4) {
+        // Alternates set the state to their index; acceptance requires
+        // == `which` — the chosen alternate must be exactly `which` and
+        // prior garbage must be rolled back.
+        let block = RecoveryBlock::ensure(move |x: &usize| *x == which + 1)
+            .by(|x: &mut usize| { *x = 1; Ok(()) })
+            .else_by(|x: &mut usize| { *x = 2; Ok(()) })
+            .else_by(|x: &mut usize| { *x = 3; Ok(()) })
+            .else_by(|x: &mut usize| { *x = 4; Ok(()) });
+        let mut state = 0;
+        prop_assert_eq!(block.execute(&mut state), Ok(which));
+        prop_assert_eq!(state, which + 1);
+    }
+
+    #[test]
+    fn failed_block_is_a_no_op_on_state(
+        initial in prop::collection::vec(any::<i32>(), 0..32),
+    ) {
+        let block = RecoveryBlock::ensure(|_: &Vec<i32>| false)
+            .by(|v: &mut Vec<i32>| { v.push(1); Ok(()) })
+            .else_by(|v: &mut Vec<i32>| { v.clear(); Ok(()) });
+        let mut state = initial.clone();
+        prop_assert!(block.execute(&mut state).is_err());
+        prop_assert_eq!(state, initial);
+    }
+}

@@ -1,0 +1,226 @@
+//! The discrete-event loop.
+
+use crate::{EventQueue, SimTime};
+
+/// The interface a simulation model implements.
+///
+/// The executor pops the earliest event, advances the clock, and hands
+/// the event to [`Simulation::handle`], which may schedule further
+/// events through the [`Scheduler`]. The model is a plain state machine;
+/// all randomness lives inside the model (via [`crate::SimRng`]), which
+/// keeps runs reproducible.
+pub trait Simulation {
+    /// The event alphabet of the model.
+    type Event;
+
+    /// Reacts to `event` firing at virtual time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+
+    /// Called after each event; returning `true` stops the run early.
+    ///
+    /// The default never stops; drivers that collect a fixed number of
+    /// recovery-line intervals override this.
+    fn should_stop(&self, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// Scheduling handle passed to [`Simulation::handle`].
+///
+/// A thin veneer over the event queue that prevents the model from
+/// popping events or rewinding time.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: SimTime,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` precedes the current instant — scheduling into the
+    /// past would silently corrupt causality.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` at `now + dt`.
+    pub fn schedule_in(&mut self, now: SimTime, dt: f64, event: E) {
+        self.queue.push(now.after(dt), event);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Discards every pending event.
+    ///
+    /// Scheme drivers use this when a rollback makes the scheduled
+    /// future invalid and the event streams are re-seeded from the
+    /// restored state.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+/// Why [`Executor::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained.
+    QueueEmpty,
+    /// The model's [`Simulation::should_stop`] returned `true`.
+    ModelRequested,
+    /// The event budget given to [`Executor::run_bounded`] was exhausted.
+    BudgetExhausted,
+}
+
+/// Drives a [`Simulation`] to completion.
+pub struct Executor<S: Simulation> {
+    state: S,
+    queue: EventQueue<S::Event>,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl<S: Simulation> Executor<S> {
+    /// Wraps a model with an empty future-event list at time zero.
+    pub fn new(state: S) -> Self {
+        Executor {
+            state,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
+    }
+
+    /// Seeds an initial event (callable before and between runs).
+    pub fn schedule(&mut self, at: SimTime, event: S::Event) {
+        assert!(at >= self.now, "cannot seed an event in the past");
+        self.queue.push(at, event);
+    }
+
+    /// Runs until the queue drains or the model requests a stop.
+    pub fn run(&mut self) -> StopReason {
+        self.run_bounded(u64::MAX)
+    }
+
+    /// Runs, processing at most `max_events` events.
+    pub fn run_bounded(&mut self, max_events: u64) -> StopReason {
+        let mut budget = max_events;
+        while let Some(scheduled) = self.queue.pop() {
+            debug_assert!(scheduled.at >= self.now, "event heap violated time order");
+            self.now = scheduled.at;
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: self.now,
+            };
+            self.state.handle(self.now, scheduled.event, &mut sched);
+            self.events_processed += 1;
+            if self.state.should_stop(self.now) {
+                return StopReason::ModelRequested;
+            }
+            budget -= 1;
+            if budget == 0 {
+                return StopReason::BudgetExhausted;
+            }
+        }
+        StopReason::QueueEmpty
+    }
+
+    /// The model, immutably.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// The model, mutably (for between-run reconfiguration).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the executor, returning the model.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed across all `run*` calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ping {
+        hops: u32,
+        limit: u32,
+        stop_at: Option<u32>,
+    }
+
+    #[derive(Clone)]
+    enum Ev {
+        Hop,
+    }
+
+    impl Simulation for Ping {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+            self.hops += 1;
+            if self.hops < self.limit {
+                sched.schedule_in(now, 0.5, Ev::Hop);
+            }
+        }
+        fn should_stop(&self, _now: SimTime) -> bool {
+            self.stop_at.is_some_and(|s| self.hops >= s)
+        }
+    }
+
+    #[test]
+    fn runs_to_queue_empty() {
+        let mut exec = Executor::new(Ping {
+            hops: 0,
+            limit: 10,
+            stop_at: None,
+        });
+        exec.schedule(SimTime::ZERO, Ev::Hop);
+        assert_eq!(exec.run(), StopReason::QueueEmpty);
+        assert_eq!(exec.state().hops, 10);
+        assert!((exec.now().as_f64() - 4.5).abs() < 1e-12);
+        assert_eq!(exec.events_processed(), 10);
+    }
+
+    #[test]
+    fn model_can_stop_early() {
+        let mut exec = Executor::new(Ping {
+            hops: 0,
+            limit: 10,
+            stop_at: Some(3),
+        });
+        exec.schedule(SimTime::ZERO, Ev::Hop);
+        assert_eq!(exec.run(), StopReason::ModelRequested);
+        assert_eq!(exec.state().hops, 3);
+    }
+
+    #[test]
+    fn budget_bounds_run() {
+        let mut exec = Executor::new(Ping {
+            hops: 0,
+            limit: 1000,
+            stop_at: None,
+        });
+        exec.schedule(SimTime::ZERO, Ev::Hop);
+        assert_eq!(exec.run_bounded(5), StopReason::BudgetExhausted);
+        assert_eq!(exec.state().hops, 5);
+        // Resume where we left off.
+        assert_eq!(exec.run(), StopReason::QueueEmpty);
+        assert_eq!(exec.state().hops, 1000);
+    }
+}

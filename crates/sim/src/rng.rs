@@ -1,0 +1,247 @@
+//! Seeded random-number streams and exponential samplers.
+//!
+//! The paper's standard performance-analysis assumptions (§2.1) make
+//! every random quantity exponential: recovery-point establishment in
+//! process `Pᵢ` is Poisson with rate μᵢ, and interactions between `Pᵢ`
+//! and `Pⱼ` are Poisson with rate λᵢⱼ. [`Exp`] provides the
+//! corresponding inter-event sampler; [`SimRng`] provides independent,
+//! reproducible streams so that (say) the fault-injection stream can be
+//! varied while the workload stream is held fixed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Identifies an independent random stream carved out of a master seed.
+///
+/// Streams with different ids are statistically independent for any
+/// practical purpose (the id is mixed into the seed through SplitMix64,
+/// the standard seeding finaliser).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StreamId(pub u64);
+
+impl StreamId {
+    /// The stream of workload events (RPs and interactions).
+    pub const WORKLOAD: StreamId = StreamId(1);
+    /// The stream of injected faults.
+    pub const FAULTS: StreamId = StreamId(2);
+    /// The stream of acceptance-test outcomes.
+    pub const ACCEPTANCE: StreamId = StreamId(3);
+}
+
+/// SplitMix64 finaliser: mixes a 64-bit value into an avalanche-quality
+/// 64-bit output. Used only for seeding.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded random stream for simulation use.
+///
+/// Wraps `SmallRng` (fast, non-cryptographic — appropriate for a
+/// simulator) behind the small sampling surface the experiments need.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates the stream `stream` of the experiment seeded by `seed`.
+    pub fn new(seed: u64, stream: StreamId) -> Self {
+        let mixed = splitmix64(seed ^ splitmix64(stream.0));
+        SimRng {
+            inner: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// A single stream when independence between sub-streams is not needed.
+    pub fn from_seed_only(seed: u64) -> Self {
+        SimRng::new(seed, StreamId(0))
+    }
+
+    /// Samples an `Exp(rate)` holding time.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive and finite.
+    #[inline]
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exponential rate must be positive and finite, got {rate}"
+        );
+        // Inverse-CDF with the open interval (0,1]; `gen::<f64>()` is in
+        // [0,1), so 1-u is in (0,1] and ln never sees zero.
+        let u: f64 = self.inner.gen();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Samples a uniform in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.inner.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniformly picks an index in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot pick from an empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Picks a category `k` with probability `weights[k] / Σ weights`.
+    ///
+    /// Used to choose *which* pair interacts / which process checkpoints
+    /// when a superposed exponential race fires.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must have a positive finite sum, got {total}"
+        );
+        let mut target = self.inner.gen::<f64>() * total;
+        for (k, &w) in weights.iter().enumerate() {
+            if w < 0.0 {
+                panic!("negative weight {w} at index {k}");
+            }
+            target -= w;
+            if target < 0.0 {
+                return k;
+            }
+        }
+        // Floating-point slack: return the last positively weighted category.
+        weights
+            .iter()
+            .rposition(|&w| w > 0.0)
+            .expect("positive total implies a positive weight")
+    }
+
+    /// Raw 64 random bits (escape hatch for derived seeding).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Samples inter-event times of a Poisson process with fixed rate.
+///
+/// A thin convenience over [`SimRng::exp`] that pre-validates the rate
+/// once, for hot loops.
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    rate: f64,
+}
+
+impl Exp {
+    /// An `Exp(rate)` sampler.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exponential rate must be positive and finite, got {rate}"
+        );
+        Exp { rate }
+    }
+
+    /// The distribution's rate parameter.
+    #[inline]
+    pub fn rate(self) -> f64 {
+        self.rate
+    }
+
+    /// The distribution's mean `1/rate`.
+    #[inline]
+    pub fn mean(self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one inter-event time.
+    #[inline]
+    pub fn sample(self, rng: &mut SimRng) -> f64 {
+        rng.exp(self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_reproducible_and_distinct() {
+        let mut a1 = SimRng::new(42, StreamId::WORKLOAD);
+        let mut a2 = SimRng::new(42, StreamId::WORKLOAD);
+        let mut b = SimRng::new(42, StreamId::FAULTS);
+        let xs1: Vec<u64> = (0..8).map(|_| a1.next_u64()).collect();
+        let xs2: Vec<u64> = (0..8).map(|_| a2.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs1, xs2, "same seed+stream must reproduce");
+        assert_ne!(xs1, ys, "different streams must diverge");
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = SimRng::from_seed_only(7);
+        let n = 200_000;
+        let rate = 2.5;
+        let mean: f64 = (0..n).map(|_| rng.exp(rate)).sum::<f64>() / n as f64;
+        let expected = 1.0 / rate;
+        assert!(
+            (mean - expected).abs() < 0.01 * expected * 3.0,
+            "sample mean {mean} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_memoryless_in_distribution() {
+        // P(T > s+t | T > s) = P(T > t): compare tail frequencies.
+        let mut rng = SimRng::from_seed_only(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.exp(1.0)).collect();
+        let tail = |t: f64| samples.iter().filter(|&&x| x > t).count() as f64 / n as f64;
+        let p_gt_1 = tail(1.0);
+        let cond = samples.iter().filter(|&&x| x > 0.5).count() as f64;
+        let joint = samples.iter().filter(|&&x| x > 1.5).count() as f64;
+        let p_cond = joint / cond;
+        assert!((p_cond - p_gt_1).abs() < 0.02, "{p_cond} vs {p_gt_1}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::from_seed_only(3);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_is_rejected() {
+        let _ = Exp::new(0.0);
+    }
+
+    #[test]
+    fn bernoulli_edges() {
+        let mut rng = SimRng::from_seed_only(5);
+        assert!(!(0..1000).any(|_| rng.bernoulli(0.0)));
+        assert!((0..1000).all(|_| rng.bernoulli(1.0)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Virtual simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on the virtual clock, in abstract time units.
+///
+/// The paper's model is parameterised by rates (μᵢ for recovery points,
+/// λᵢⱼ for interactions) whose units are arbitrary; all experiments use
+/// the same abstract unit. `SimTime` wraps a finite, non-negative `f64`
+/// and provides a *total* order, which lets it key the event queue.
+///
+/// Construction panics on NaN/negative/infinite values: a simulation
+/// that produces such a timestamp is already broken, and failing fast at
+/// the construction site beats corrupting the event heap ordering.
+#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Wraps a raw offset from the time origin.
+    ///
+    /// # Panics
+    /// Panics if `t` is negative, NaN, or infinite.
+    #[inline]
+    pub fn new(t: f64) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "invalid SimTime: {t}");
+        SimTime(t)
+    }
+
+    /// The raw offset from the time origin.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero.
+    ///
+    /// Saturation (rather than panicking) matters for interval
+    /// bookkeeping around rollback: a process that restarts from an old
+    /// checkpoint may legitimately ask for the distance to a point it
+    /// has already rolled behind.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> f64 {
+        (self.0 - earlier.0).max(0.0)
+    }
+
+    /// `self + dt`, validating the result.
+    #[inline]
+    pub fn after(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for SimTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Finite and non-negative by construction, so partial_cmp is total.
+        self.0.partial_cmp(&other.0).expect("SimTime is NaN-free")
+    }
+}
+
+impl PartialOrd for SimTime {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, dt: f64) -> SimTime {
+        self.after(dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, dt: f64) {
+        *self = self.after(dt);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::ZERO + 1.5;
+        assert_eq!(t.as_f64(), 1.5);
+        assert!((t - SimTime::new(0.5) - 1.0).abs() < 1e-12);
+        let mut u = t;
+        u += 0.5;
+        assert_eq!(u, SimTime::new(2.0));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::new(1.0);
+        let late = SimTime::new(3.0);
+        assert_eq!(late.saturating_since(early), 2.0);
+        assert_eq!(early.saturating_since(late), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn rejects_nan() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimTime")]
+    fn rejects_negative() {
+        let _ = SimTime::new(-1e-9);
+    }
+}

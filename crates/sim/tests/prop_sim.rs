@@ -1,0 +1,109 @@
+//! Property tests for the simulation substrate.
+
+use proptest::prelude::*;
+use rbsim::stats::{Histogram, TimeWeighted, Welford};
+use rbsim::{EventQueue, SimRng, SimTime, StreamId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1e6, 0..300)) {
+        let mut q = EventQueue::new();
+        for (k, &t) in times.iter().enumerate() {
+            q.push(SimTime::new(t), k);
+        }
+        let mut prev = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= prev);
+            prev = ev.at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn equal_time_events_preserve_insertion_order(
+        n in 1usize..100,
+        t in 0.0f64..100.0,
+    ) {
+        let mut q = EventQueue::new();
+        for k in 0..n {
+            q.push(SimTime::new(t), k);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn welford_mean_within_bounds(xs in prop::collection::vec(-1e3f64..1e3, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        prop_assert!(w.mean() >= w.min() - 1e-9 && w.mean() <= w.max() + 1e-9);
+        prop_assert!(w.variance() >= 0.0);
+        prop_assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    #[test]
+    fn histogram_cdf_ends_at_one_when_range_covers(
+        xs in prop::collection::vec(0.0f64..1.0, 1..200),
+    ) {
+        let mut h = Histogram::new(0.0, 1.0 + 1e-9, 16);
+        for &x in &xs {
+            h.push(x);
+        }
+        let cdf = h.cdf();
+        prop_assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean_bounded_by_signal_range(
+        steps in prop::collection::vec((0.001f64..10.0, 0.0f64..5.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut t = 0.0;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &(dt, v) in &steps {
+            tw.set(t, v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+            t += dt;
+        }
+        let mean = tw.mean_until(t);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9, "{lo} ≤ {mean} ≤ {hi}");
+    }
+
+    #[test]
+    fn rng_streams_reproduce_and_exp_scales(
+        seed in any::<u64>(),
+        rate in 0.01f64..50.0,
+    ) {
+        let mut a = SimRng::new(seed, StreamId::WORKLOAD);
+        let mut b = SimRng::new(seed, StreamId::WORKLOAD);
+        // Scaling property: Exp(r) = Exp(1)/r for the same underlying
+        // uniforms — verify via matched draws on cloned streams.
+        for _ in 0..20 {
+            let x = a.exp(rate);
+            let y = b.exp(1.0);
+            prop_assert!((x - y / rate).abs() < 1e-12 * (1.0 + y / rate));
+        }
+    }
+
+    #[test]
+    fn weighted_index_stays_in_range_and_skips_zeros(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let mut rng = SimRng::from_seed_only(seed);
+        for _ in 0..100 {
+            let k = rng.weighted_index(&weights);
+            prop_assert!(k < weights.len());
+            prop_assert!(weights[k] > 0.0, "picked a zero-weight category");
+        }
+    }
+}

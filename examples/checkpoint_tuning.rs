@@ -1,0 +1,74 @@
+//! Tuning the synchronization period for a long-running computation.
+//!
+//! A team runs a 6-process iterative solver that must survive node
+//! errors. How often should it force a recovery line? Too often and
+//! the processes spend their life waiting at commitment barriers; too
+//! rarely and every error throws away hours. This example walks the
+//! trade-off with the library's §3 machinery and the optimal-period
+//! extension, then sanity-checks the chosen Δ* against the
+//! discrete-event timeline.
+//!
+//! Run with: `cargo run --release --example checkpoint_tuning`
+
+use recovery_blocks::analysis::optimal::{optimal_period, overhead_rate, sqrt_law_period};
+use recovery_blocks::analysis::sync_loss;
+use recovery_blocks::core::schemes::synchronized::{run_sync_timeline, SyncStrategy};
+use recovery_blocks::markov::paper::AsyncParams;
+
+fn main() {
+    // Six workers; the reduction step makes two of them slower to reach
+    // their acceptance tests.
+    let mu = vec![2.0, 2.0, 2.0, 2.0, 1.0, 1.0];
+    let n = mu.len() as f64;
+    // One node error every ~200 time units across the set.
+    let error_rate = 1.0 / 200.0;
+
+    println!("per-line waiting loss E[CL] = {:.3}", sync_loss::mean_loss(&mu));
+    println!("per-process idle at a line: fastest {:.3}, slowest {:.3}\n",
+        sync_loss::mean_idle(&mu, 0),
+        sync_loss::mean_idle(&mu, 5));
+
+    // ── Sweep the period by hand first ───────────────────────────────
+    println!("{:>8} {:>14} {:>14}", "Δ", "overhead rate", "");
+    for delta in [1.0, 3.0, 10.0, 30.0, 100.0, 300.0] {
+        let rate = overhead_rate(&mu, error_rate, delta);
+        let bar = "#".repeat(((rate * 12.0) as usize).min(60));
+        println!("{delta:>8.0} {rate:>14.4} {bar}");
+    }
+
+    // ── Then let the optimizer pick ──────────────────────────────────
+    let opt = optimal_period(&mu, error_rate, 5_000.0);
+    println!(
+        "\noptimal Δ* = {:.2} (√-law anchor {:.2}), overhead rate {:.4} \
+         = {:.2}% of one process's capacity",
+        opt.delta,
+        sqrt_law_period(&mu, error_rate),
+        opt.rate,
+        100.0 * opt.rate / n
+    );
+
+    // ── Validate the waiting component on the DES timeline ───────────
+    let params = AsyncParams::new(mu.clone(), vec![0.5; 15]).expect("valid");
+    let sim = run_sync_timeline(
+        &params,
+        SyncStrategy::ElapsedSinceLine(opt.delta),
+        200_000.0,
+        42,
+    );
+    println!(
+        "at Δ*: simulated waiting loss = {:.3}% of capacity over {} lines \
+         (interval between lines {:.2})",
+        100.0 * sim.loss_rate,
+        sim.lines,
+        sim.line_interval.mean()
+    );
+
+    let too_eager = overhead_rate(&mu, error_rate, opt.delta / 10.0);
+    let too_lazy = overhead_rate(&mu, error_rate, opt.delta * 10.0);
+    println!(
+        "\nmis-tuning cost: Δ*/10 → rate ×{:.1}; Δ*×10 → rate ×{:.1}",
+        too_eager / opt.rate,
+        too_lazy / opt.rate
+    );
+    assert!(too_eager > opt.rate && too_lazy > opt.rate);
+}

@@ -1,0 +1,121 @@
+//! Flight-control surfaces: synchronized recovery lines for a
+//! time-critical task.
+//!
+//! The paper (funded under a NASA Langley grant) closes with exactly
+//! this scenario: "the asynchronous method or a longer synchronization
+//! period is not acceptable for time-critical tasks in which a delay in
+//! system response beyond a certain value, the system deadline, leads
+//! to a catastrophic failure."
+//!
+//! Four redundancy-management processes (sensor fusion, guidance,
+//! control law, actuator command) run concurrently and exchange data.
+//! A hard deadline bounds the tolerable rollback distance, so recovery
+//! lines are *forced* (§3): this example runs the real threaded
+//! commitment protocol, measures the computation-power loss, compares
+//! it with the paper's closed form, and shows what the deadline check
+//! decides.
+//!
+//! Run with: `cargo run --example flight_control`
+
+use recovery_blocks::analysis::sync_loss;
+use recovery_blocks::analysis::tradeoff::{recommend, Scheme, TradeoffInputs};
+use recovery_blocks::core::schemes::synchronized::{
+    run_sync_timeline, simulate_commit_losses, SyncStrategy,
+};
+use recovery_blocks::markov::paper::AsyncParams;
+use recovery_blocks::runtime::{run_synchronization, SyncParticipant};
+use recovery_blocks::sim::{SimRng, StreamId};
+
+/// One control-frame's worth of state per process.
+#[derive(Clone, Debug, PartialEq)]
+struct FrameState {
+    name: &'static str,
+    frame: u64,
+    estimate: f64,
+}
+
+fn main() {
+    // Acceptance-test rates per process: sensor fusion runs hot,
+    // actuator command is the slow straggler.
+    let mu = [4.0, 3.0, 3.0, 1.5];
+    let names = ["sensor-fusion", "guidance", "control-law", "actuator-cmd"];
+
+    // ── Analytic loss per synchronized recovery line (paper §3) ──────
+    let cl = sync_loss::mean_loss(&mu);
+    let cl_quad = sync_loss::mean_loss_quadrature(&mu, 1e-10);
+    println!("E[CL] closed form = {cl:.4}, via the paper's integral = {cl_quad:.4}");
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "  {name:>13}: expected idle per line = {:.4}",
+            sync_loss::mean_idle(&mu, i)
+        );
+    }
+
+    // ── Monte-Carlo cross-check ───────────────────────────────────────
+    let sim = simulate_commit_losses(&mu, 100_000, 7);
+    println!(
+        "simulated E[CL] = {:.4} ± {:.4} (100k rounds)",
+        sim.loss.mean(),
+        sim.loss.ci_half_width(1.96)
+    );
+
+    // ── One real threaded establishment (paper Figure 7) ─────────────
+    let mut rng = SimRng::new(2026, StreamId::WORKLOAD);
+    let participants: Vec<SyncParticipant<FrameState>> = mu
+        .iter()
+        .zip(&names)
+        .map(|(&m, &name)| SyncParticipant {
+            state: FrameState {
+                name,
+                frame: 480,
+                estimate: 0.97,
+            },
+            y: rng.exp(m),
+            stray_messages: vec![],
+        })
+        .collect();
+    let outcome = run_synchronization(participants);
+    println!(
+        "threaded round: Z = {:.4}, CL = {:.4}; every process committed after \
+         every ready broadcast — the saves form a recovery line",
+        outcome.z, outcome.loss
+    );
+    for (r, name) in outcome.reports.iter().zip(&names) {
+        println!("  {name:>13}: waited {:.4}, checkpointed frame {}", r.waited, r.checkpoint.frame);
+    }
+
+    // ── Strategy sweep over the sync period (paper's trade-off) ──────
+    // Control-law data flows densely between the four processes.
+    let params = AsyncParams::new(mu.to_vec(), vec![3.0; 6]).expect("valid");
+    println!("\nsync-period sweep (strategy 2, elapsed-since-line):");
+    println!("{:>8} {:>10} {:>12} {:>14}", "Δ", "lines", "loss rate", "line interval");
+    for delta in [0.5, 1.0, 2.0, 5.0, 10.0] {
+        let stats = run_sync_timeline(&params, SyncStrategy::ElapsedSinceLine(delta), 20_000.0, 11);
+        println!(
+            "{delta:>8.1} {:>10} {:>11.4}% {:>14.3}",
+            stats.lines,
+            100.0 * stats.loss_rate,
+            stats.line_interval.mean()
+        );
+    }
+
+    // ── The deadline decides (paper §5) ───────────────────────────────
+    let inputs = TradeoffInputs {
+        params,
+        error_rate: 1e-4,
+        t_r: 0.01,
+        sync_period: 1.0,
+        deadline: Some(2.0), // control frames must recover within 2 units
+    };
+    let rec = recommend(&inputs);
+    println!(
+        "\ndeadline 2.0 ⇒ recommended scheme: {:?} \
+         (rollback distances: async {:.2}, sync {:.2}, prp {:.2})",
+        rec.scheme, rec.rollback_distances[0], rec.rollback_distances[1], rec.rollback_distances[2]
+    );
+    assert_ne!(
+        rec.scheme,
+        Scheme::Asynchronous,
+        "a time-critical task must not run unsynchronized"
+    );
+}

@@ -1,0 +1,140 @@
+//! The paper's headline numbers and qualitative claims, as tests.
+//!
+//! Table 1's E(L) rows are reproduced exactly by the chain (they equal
+//! μᵢ·E[X]); the E(X) row carries the 1983 simulation's bias and is
+//! checked for shape only (ordering across cases).
+
+use recovery_blocks::analysis::{order_stats, prp_overhead, sync_loss};
+use recovery_blocks::markov::paper::{mean_interval_symmetric, AsyncParams};
+
+const TABLE1: [((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]); 5] = [
+    ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0), 2.598, [2.500, 2.500, 2.500]),
+    ((1.5, 1.0, 0.5), (1.0, 1.0, 1.0), 3.357, [4.847, 3.231, 1.616]),
+    ((1.0, 1.0, 1.0), (1.5, 0.5, 1.0), 2.600, [2.453, 2.453, 2.453]),
+    ((1.5, 1.0, 0.5), (1.5, 0.5, 1.0), 3.203, [4.533, 3.022, 1.511]),
+    ((1.5, 1.0, 0.5), (0.5, 1.5, 1.0), 3.354, [4.967, 3.111, 1.656]),
+];
+
+#[test]
+fn table1_l_rows_match_the_chain_to_print_precision() {
+    // Cases 1–4 agree to the paper's printed 3–4 significant digits;
+    // case 5's E(L2) = 3.111 is a typo for 3.311 (it breaks the
+    // μᵢ·E[X] proportionality its own siblings satisfy), so we allow it
+    // a wider band.
+    for (k, (mu, lam, _, l_paper)) in TABLE1.into_iter().enumerate() {
+        let params = AsyncParams::three(mu, lam);
+        let ex = params.mean_interval();
+        for i in 0..3 {
+            let ours = params.mu()[i] * ex;
+            let tol = if k == 4 && i == 1 { 0.25 } else { 0.002 * l_paper[i].max(1.0) };
+            assert!(
+                (ours - l_paper[i]).abs() <= tol,
+                "case {} L{}: chain {ours:.4} vs paper {}",
+                k + 1,
+                i + 1,
+                l_paper[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn table1_ex_ordering_matches_paper() {
+    // The paper's E(X) row is biased ~4 % high but its *ordering*
+    // across cases is the model's: case1 ≈ case3 < case4 < case2 ≈ case5.
+    let ex: Vec<f64> = TABLE1
+        .iter()
+        .map(|&(mu, lam, _, _)| AsyncParams::three(mu, lam).mean_interval())
+        .collect();
+    assert!(ex[0] < ex[1], "case1 < case2");
+    assert!(ex[2] < ex[3], "case3 < case4");
+    assert!((ex[0] - ex[2]).abs() < 0.06, "case1 ≈ case3");
+    assert!(ex[3] < ex[4], "case4 < case5");
+    // And the paper's printed row has the same ordering.
+    let paper: Vec<f64> = TABLE1.iter().map(|c| c.2).collect();
+    assert!(paper[0] < paper[1] && paper[2] < paper[3] && paper[3] < paper[4]);
+}
+
+#[test]
+fn table1_ex_within_six_percent_of_paper() {
+    // Even with the bias, every case agrees within 6 % (the worst is
+    // case 3: exact 2.453 vs printed 2.600, a 5.6 % gap — the same
+    // ~4–6 % upward bias as the other cases).
+    for (k, (mu, lam, ex_paper, _)) in TABLE1.into_iter().enumerate() {
+        let ex = AsyncParams::three(mu, lam).mean_interval();
+        assert!(
+            (ex - ex_paper).abs() / ex_paper < 0.06,
+            "case {}: {ex} vs paper {ex_paper}",
+            k + 1
+        );
+    }
+}
+
+#[test]
+fn figure5_claim_drastic_increase_with_n() {
+    // ρ fixed at 2 (case 1's value), μ = 1: E[X] explodes with n.
+    let ex: Vec<f64> = (2..=8)
+        .map(|n| mean_interval_symmetric(n, 1.0, 2.0 / (n as f64 - 1.0)))
+        .collect();
+    for w in ex.windows(2) {
+        assert!(w[1] > w[0]);
+    }
+    assert!(
+        ex.last().unwrap() / ex.first().unwrap() > 10.0,
+        "growth from n=2 to n=8 should be drastic: {ex:?}"
+    );
+}
+
+#[test]
+fn figure6_claim_spike_at_zero_from_direct_transition() {
+    for (mu, lam) in [
+        ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)),
+        ((0.6, 0.45, 0.45), (0.5, 0.5, 0.5)),
+        ((0.6, 0.45, 0.45), (0.75, 0.75, 0.75)),
+    ] {
+        let params = AsyncParams::three(mu, lam);
+        let f = params.interval_density(&[0.0, 0.15, 0.5]);
+        assert!((f[0] - params.total_mu()).abs() < 1e-9, "f(0) = Σμ");
+        assert!(f[0] > f[1] && f[1] > f[2], "sharp decrease near 0: {f:?}");
+    }
+}
+
+#[test]
+fn section3_symmetric_loss_closed_form() {
+    // n i.i.d. Exp(μ): E[CL] = (n·Hₙ − n)/μ.
+    for n in 2..=8usize {
+        let mu = vec![2.0; n];
+        let h_n: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        let want = (n as f64 * h_n - n as f64) / 2.0;
+        let got = sync_loss::mean_loss(&mu);
+        assert!((got - want).abs() < 1e-10, "n={n}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn section4_overhead_model() {
+    let oh = prp_overhead::prp_overhead(&[1.0; 5], 0.002);
+    assert_eq!(oh.states_per_rp, 5);
+    assert!((oh.time_per_rp - 4.0 * 0.002).abs() < 1e-15);
+    assert_eq!(oh.stored_states_total, 25);
+    // Rollback bound = E[max of 5 Exp(1)] = H₅.
+    let h5: f64 = (1..=5).map(|k| 1.0 / k as f64).sum();
+    assert!((oh.rollback_bound - h5).abs() < 1e-10);
+    assert!((order_stats::max_iid_exp_mean(5, 1.0) - h5).abs() < 1e-12);
+}
+
+#[test]
+fn conclusion_balanced_checkpointing_minimises_interval() {
+    // Sweep the μ simplex at Σμ = 3 (λ = 1): the balanced point is the
+    // minimum, as Table 1 asserts.
+    let balanced = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)).mean_interval();
+    for skew in [
+        (1.2, 1.0, 0.8),
+        (1.5, 1.0, 0.5),
+        (2.0, 0.5, 0.5),
+        (2.5, 0.25, 0.25),
+    ] {
+        let ex = AsyncParams::three(skew, (1.0, 1.0, 1.0)).mean_interval();
+        assert!(ex > balanced, "{skew:?}: {ex} ≤ {balanced}");
+    }
+}
