@@ -110,7 +110,12 @@ mod tests {
         let eps = 0.01;
         let opt = optimal_period(&mu, eps, 200.0);
         assert!(opt.delta > 0.1 && opt.delta < 199.0, "Δ* = {}", opt.delta);
-        for d in [opt.delta * 0.5, opt.delta * 0.8, opt.delta * 1.25, opt.delta * 2.0] {
+        for d in [
+            opt.delta * 0.5,
+            opt.delta * 0.8,
+            opt.delta * 1.25,
+            opt.delta * 2.0,
+        ] {
             assert!(
                 overhead_rate(&mu, eps, d) >= opt.rate - 1e-9,
                 "Δ = {d} beats the optimum"

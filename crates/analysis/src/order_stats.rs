@@ -48,7 +48,10 @@ pub fn max_exp_pdf(mu: &[f64], t: f64) -> f64 {
 pub fn max_exp_mean(mu: &[f64]) -> f64 {
     validate(mu);
     let n = mu.len();
-    assert!(n <= 24, "inclusion–exclusion over 2^{n} subsets is too large");
+    assert!(
+        n <= 24,
+        "inclusion–exclusion over 2^{n} subsets is too large"
+    );
     let mut acc = 0.0;
     for mask in 1u32..(1u32 << n) {
         let rate: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| mu[i]).sum();
@@ -98,8 +101,7 @@ mod tests {
     fn mean_equals_survival_integral() {
         let mu = [1.5, 1.0, 0.5];
         let via_ie = max_exp_mean(&mu);
-        let via_integral =
-            integrate_to_infinity(|t| 1.0 - max_exp_cdf(&mu, t), 2.0, 1e-10);
+        let via_integral = integrate_to_infinity(|t| 1.0 - max_exp_cdf(&mu, t), 2.0, 1e-10);
         assert!(
             (via_ie - via_integral).abs() < 1e-6,
             "IE {via_ie} vs ∫ {via_integral}"

@@ -10,7 +10,10 @@
 /// # Panics
 /// Panics on invalid bounds or non-finite evaluations.
 pub fn adaptive_simpson(f: impl Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
-    assert!(a.is_finite() && b.is_finite() && a <= b, "bad interval [{a},{b}]");
+    assert!(
+        a.is_finite() && b.is_finite() && a <= b,
+        "bad interval [{a},{b}]"
+    );
     assert!(tol > 0.0);
     if a == b {
         return 0.0;

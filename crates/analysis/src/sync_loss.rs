@@ -56,7 +56,10 @@ mod tests {
         let mu = [1.0, 1.0, 1.0];
         let cf = mean_loss(&mu);
         let quad = mean_loss_quadrature(&mu, 1e-10);
-        assert!((cf - 2.5).abs() < 1e-12, "E[CL] = 3·11/6 − 3 = 2.5, got {cf}");
+        assert!(
+            (cf - 2.5).abs() < 1e-12,
+            "E[CL] = 3·11/6 − 3 = 2.5, got {cf}"
+        );
         assert!((cf - quad).abs() < 1e-6, "{cf} vs {quad}");
     }
 

@@ -100,11 +100,7 @@ pub fn recommend(inputs: &TradeoffInputs) -> Recommendation {
     let rates = [async_rate, sync_rate, prp_rate];
     let distances = [async_rollback, sync_rollback, prp_rollback];
     let excluded = match inputs.deadline {
-        Some(d) => [
-            async_rollback > d,
-            sync_rollback > d,
-            prp_rollback > d,
-        ],
+        Some(d) => [async_rollback > d, sync_rollback > d, prp_rollback > d],
         None => [false; 3],
     };
 

@@ -31,9 +31,7 @@ fn bench_propagate(c: &mut Criterion) {
         let h = make_history(n, 500.0);
         let t = h.horizon();
         g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
-            b.iter(|| {
-                black_box(propagate_rollback(h, ProcessId(0), t, |_, r| r.is_real()))
-            })
+            b.iter(|| black_box(propagate_rollback(h, ProcessId(0), t, |_, r| r.is_real())))
         });
     }
     g.finish();

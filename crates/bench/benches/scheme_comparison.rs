@@ -32,7 +32,13 @@ fn bench_failure_episodes(c: &mut Criterion) {
 
 fn bench_sync_rounds(c: &mut Criterion) {
     c.bench_function("sync_commit_losses_x10k", |b| {
-        b.iter(|| black_box(simulate_commit_losses(&[1.5, 1.0, 0.5], 10_000, 5).loss.mean()))
+        b.iter(|| {
+            black_box(
+                simulate_commit_losses(&[1.5, 1.0, 0.5], 10_000, 5)
+                    .loss
+                    .mean(),
+            )
+        })
     });
 }
 

@@ -56,5 +56,10 @@ fn bench_async_driver(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_exp_sampling, bench_async_driver);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_exp_sampling,
+    bench_async_driver
+);
 criterion_main!(benches);

@@ -37,8 +37,15 @@ fn main() {
     println!(
         "{}",
         row(
-            &["k", "CL/conv sim", "CL/round", "occupancy", "defer/conv", "abandon%"]
-                .map(String::from),
+            &[
+                "k",
+                "CL/conv sim",
+                "CL/round",
+                "occupancy",
+                "defer/conv",
+                "abandon%"
+            ]
+            .map(String::from),
             w
         )
     );

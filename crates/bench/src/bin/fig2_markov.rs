@@ -32,7 +32,11 @@ fn main() {
     println!("Figure 2 — full flag chain for n = 3 (states: S_r, (x1x2x3), S_r+1)\n");
     println!("states ({} total):", chain.n_states());
     for s in 0..chain.n_states() {
-        let absorbing = if chain.ctmc.is_absorbing(s) { "  [absorbing]" } else { "" };
+        let absorbing = if chain.ctmc.is_absorbing(s) {
+            "  [absorbing]"
+        } else {
+            ""
+        };
         println!(
             "  {:>2}  {:<10} exit rate {:>6.3}{}",
             s,
@@ -48,9 +52,9 @@ fn main() {
         let rule_str = match rule {
             Rule::R1 { p } => format!("R1 (RP in P{})", p + 1),
             Rule::R2 { pair } => format!("R2 (interaction P{}–P{})", pair.0 + 1, pair.1 + 1),
-            Rule::R3 { mover, partner } =>
-
-                format!("R3 (P{} flag cleared by P{})", mover + 1, partner + 1),
+            Rule::R3 { mover, partner } => {
+                format!("R3 (P{} flag cleared by P{})", mover + 1, partner + 1)
+            }
             Rule::R4 => "R4 (direct S_r → S_r+1)".to_string(),
         };
         println!(

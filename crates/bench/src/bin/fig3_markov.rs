@@ -41,12 +41,22 @@ fn main() {
             "  {:<8} exit rate {:>6.3}{}",
             label(s),
             chain.ctmc.exit_rate(s),
-            if chain.ctmc.is_absorbing(s) { "  [absorbing]" } else { "" }
+            if chain.ctmc.is_absorbing(s) {
+                "  [absorbing]"
+            } else {
+                ""
+            }
         );
     }
     println!("\ntransitions:");
     for &(from, to, rate, rule) in &chain.transitions {
-        println!("  {:<8} → {:<8} rate {:>5.2}   {}", label(from), label(to), rate, rule);
+        println!(
+            "  {:<8} → {:<8} rate {:>5.2}   {}",
+            label(from),
+            label(to),
+            rate,
+            rule
+        );
     }
 
     // Lumpability audit against the full chain.
@@ -74,7 +84,10 @@ fn main() {
     // (−Q_TT) approaches numerical singularity — the domino regime
     // where recovery lines effectively never form.
     for nn in [4usize, 6, 8, 12, 14] {
-        println!("  n = {nn:>2}: E[X] = {:.4e}", mean_interval_symmetric(nn, mu, lambda));
+        println!(
+            "  n = {nn:>2}: E[X] = {:.4e}",
+            mean_interval_symmetric(nn, mu, lambda)
+        );
     }
 
     emit_json(

@@ -54,7 +54,10 @@ fn main() {
         (pi.unwrap(), di.unwrap())
     };
 
-    println!("\nedges into {} (arrivals counted toward L):", sc.state_label(prime_idx));
+    println!(
+        "\nedges into {} (arrivals counted toward L):",
+        sc.state_label(prime_idx)
+    );
     for e in sc.edges.iter().filter(|e| e.to == prime_idx) {
         println!(
             "  {:<12} → {:<12} p = {:.4}  {}",
@@ -63,9 +66,15 @@ fn main() {
             e.prob,
             if e.marked { "[P1 RP event]" } else { "" }
         );
-        assert!(e.marked, "every arrival at a primed state is a tagged RP event");
+        assert!(
+            e.marked,
+            "every arrival at a primed state is a tagged RP event"
+        );
     }
-    println!("\nedges into {} (all other arrivals):", sc.state_label(dprime_idx));
+    println!(
+        "\nedges into {} (all other arrivals):",
+        sc.state_label(dprime_idx)
+    );
     for e in sc.edges.iter().filter(|e| e.to == dprime_idx) {
         println!(
             "  {:<12} → {:<12} p = {:.4}",
@@ -83,7 +92,10 @@ fn main() {
     let identity = params.mu()[tagged] * params.mean_interval();
     println!("\nquantities:");
     println!("  E[steps to absorb]          = {steps:.6}");
-    println!("  E[X] = E[steps]/G           = {ex:.6}  (CTMC solve: {:.6})", params.mean_interval());
+    println!(
+        "  E[X] = E[steps]/G           = {ex:.6}  (CTMC solve: {:.6})",
+        params.mean_interval()
+    );
     println!("  E[L1] incl. terminal arrival = {with_term:.6}  (= μ1·E[X] = {identity:.6})");
     println!("  E[L1] paper's S_u' statistic = {without:.6}");
 

@@ -29,7 +29,10 @@ fn main() {
     println!("Figure 5 — E[X] vs number of processes (μ = 1, λ = ρ/(n−1), ρ fixed)\n");
     println!(
         "{}",
-        row(&["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"].map(String::from), w)
+        row(
+            &["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"].map(String::from),
+            w
+        )
     );
     println!("{}", rule(6, w));
 

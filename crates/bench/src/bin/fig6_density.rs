@@ -41,7 +41,9 @@ fn main() {
     let mut out = Vec::new();
     for (label, mu, lam) in cases {
         let params = AsyncParams::three(mu, lam);
-        let ts: Vec<f64> = (0..=n_pts).map(|k| k as f64 * t_max / n_pts as f64).collect();
+        let ts: Vec<f64> = (0..=n_pts)
+            .map(|k| k as f64 * t_max / n_pts as f64)
+            .collect();
         let f = params.interval_density(&ts);
 
         let mut analytic = Series::new(label);
@@ -55,8 +57,8 @@ fn main() {
         let h = stats.histogram.unwrap();
         let mut simulated = Series::new(format!("{label} (sim)"));
         let density = h.density();
-        for k in 0..n_pts {
-            simulated.push(h.bin_center(k), density[k]);
+        for (k, &d) in density.iter().enumerate() {
+            simulated.push(h.bin_center(k), d);
         }
 
         // Compare away from the t = 0 spike (bins 3+).
@@ -85,7 +87,10 @@ fn main() {
         }
         println!("\n");
 
-        assert!((f0 - params.total_mu()).abs() < 1e-9, "f(0) = Σμ (R4 spike)");
+        assert!(
+            (f0 - params.total_mu()).abs() < 1e-9,
+            "f(0) = Σμ (R4 spike)"
+        );
         out.push(Fig6Case {
             label: label.to_string(),
             mu,

@@ -7,11 +7,9 @@
 //! E\[CL\] = n∫(1−G(t))dt − Σ1/μᵢ against Monte-Carlo and the
 //! discrete-event timeline for the three request strategies.
 
-use rbbench::{emit_json, row, rule};
 use rbanalysis::sync_loss;
-use rbcore::schemes::synchronized::{
-    run_sync_timeline, simulate_commit_losses, SyncStrategy,
-};
+use rbbench::{emit_json, row, rule};
+use rbcore::schemes::synchronized::{run_sync_timeline, simulate_commit_losses, SyncStrategy};
 use rbmarkov::paper::AsyncParams;
 use rbruntime::{run_synchronization, SyncParticipant};
 use rbsim::{SimRng, StreamId};
@@ -75,7 +73,10 @@ fn main() {
     let w = 12;
     println!(
         "{}",
-        row(&["μ", "closed", "integral", "simulated", "±95%"].map(String::from), w)
+        row(
+            &["μ", "closed", "integral", "simulated", "±95%"].map(String::from),
+            w
+        )
     );
     println!("{}", rule(5, w));
     let mut losses = Vec::new();

@@ -8,8 +8,8 @@
 //! threaded `PrpGroup` runtime, and reports the §4 overheads measured
 //! by the storage model against the analytic values.
 
-use rbbench::emit_json;
 use rbanalysis::prp_overhead::prp_overhead;
+use rbbench::emit_json;
 use rbcore::history::{History, ProcessId};
 use rbcore::render::{render_history, RenderOptions};
 use rbcore::schemes::prp::{prp_rollback, PrpConfig, PrpScheme};
@@ -42,8 +42,8 @@ fn main() {
     let rp3 = h.record_rp(p(2), 2.0); // RP3^1
     h.record_prp(p(0), 2.01, rp3); // PRP13
     h.record_prp(p(1), 2.01, rp3); // PRP23
-    // Interactions weld the set (the figure omits them; we make the
-    // propagation explicit).
+                                   // Interactions weld the set (the figure omits them; we make the
+                                   // propagation explicit).
     h.record_interaction(p(2), p(0), 2.5);
     h.record_interaction(p(2), p(1), 3.0);
     let plan = prp_rollback(&h, p(2), 3.5, true); // P3 fails at AT3^1

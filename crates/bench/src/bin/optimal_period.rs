@@ -28,12 +28,23 @@ struct EpsPoint {
 fn main() {
     let mu = vec![1.0, 1.0, 1.0];
     let w = 13;
-    println!("Extension X4 — optimal sync period Δ* (n = 3, μ = 1, E[CL] = {:.3})\n", mean_loss(&mu));
+    println!(
+        "Extension X4 — optimal sync period Δ* (n = 3, μ = 1, E[CL] = {:.3})\n",
+        mean_loss(&mu)
+    );
     println!(
         "{}",
         row(
-            &["ε", "Δ*", "√-law", "rate(Δ*)", "rate(Δ*/2)", "rate(2Δ*)", "sim wait%"]
-                .map(String::from),
+            &[
+                "ε",
+                "Δ*",
+                "√-law",
+                "rate(Δ*)",
+                "rate(Δ*/2)",
+                "rate(2Δ*)",
+                "sim wait%"
+            ]
+            .map(String::from),
             w
         )
     );

@@ -29,7 +29,10 @@ fn main() {
     println!("§3 E[CL] sweep A — n processes at μ = 1 (loss grows superlinearly):\n");
     println!(
         "{}",
-        row(&["n", "closed form", "integral", "simulated", "CL/process"].map(String::from), w)
+        row(
+            &["n", "closed form", "integral", "simulated", "CL/process"].map(String::from),
+            w
+        )
     );
     println!("{}", rule(5, w));
     for n in 2..=12usize {
@@ -66,7 +69,10 @@ fn main() {
     println!("\n§3 E[CL] sweep B — rate skew at fixed Σμ = 3 (stragglers hurt):\n");
     println!(
         "{}",
-        row(&["μ", "closed form", "integral", "simulated", "CL/process"].map(String::from), w)
+        row(
+            &["μ", "closed form", "integral", "simulated", "CL/process"].map(String::from),
+            w
+        )
     );
     println!("{}", rule(5, w));
     for (label, mu) in [
@@ -103,8 +109,16 @@ fn main() {
     }
 
     // Monotonicity claims.
-    let balanced = points.iter().find(|p| p.label == "balanced").unwrap().closed_form;
-    let extreme = points.iter().find(|p| p.label == "extreme").unwrap().closed_form;
+    let balanced = points
+        .iter()
+        .find(|p| p.label == "balanced")
+        .unwrap()
+        .closed_form;
+    let extreme = points
+        .iter()
+        .find(|p| p.label == "extreme")
+        .unwrap()
+        .closed_form;
     println!(
         "\nskew raises the loss at fixed Σμ: balanced {balanced:.3} < extreme {extreme:.3}  [{}]",
         if balanced < extreme { "OK" } else { "VIOLATED" }

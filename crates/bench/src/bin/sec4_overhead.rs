@@ -68,7 +68,16 @@ fn main() {
     println!(
         "{}",
         row(
-            &["μ", "λ", "async D", "async dom%", "PRP D", "PRP dom%", "bound"].map(String::from),
+            &[
+                "μ",
+                "λ",
+                "async D",
+                "async dom%",
+                "PRP D",
+                "PRP dom%",
+                "bound"
+            ]
+            .map(String::from),
             w
         )
     );

@@ -34,12 +34,39 @@ struct CaseResult {
 
 fn main() {
     // (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper (L₁,L₂,L₃).
-    let cases: [((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]); 5] = [
-        ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0), 2.598, [2.500, 2.500, 2.500]),
-        ((1.5, 1.0, 0.5), (1.0, 1.0, 1.0), 3.357, [4.847, 3.231, 1.616]),
-        ((1.0, 1.0, 1.0), (1.5, 0.5, 1.0), 2.600, [2.453, 2.453, 2.453]),
-        ((1.5, 1.0, 0.5), (1.5, 0.5, 1.0), 3.203, [4.533, 3.022, 1.511]),
-        ((1.5, 1.0, 0.5), (0.5, 1.5, 1.0), 3.354, [4.967, 3.111, 1.656]),
+    // One case: (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper E(Lᵢ).
+    type Table1Case = ((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]);
+    let cases: [Table1Case; 5] = [
+        (
+            (1.0, 1.0, 1.0),
+            (1.0, 1.0, 1.0),
+            2.598,
+            [2.500, 2.500, 2.500],
+        ),
+        (
+            (1.5, 1.0, 0.5),
+            (1.0, 1.0, 1.0),
+            3.357,
+            [4.847, 3.231, 1.616],
+        ),
+        (
+            (1.0, 1.0, 1.0),
+            (1.5, 0.5, 1.0),
+            2.600,
+            [2.453, 2.453, 2.453],
+        ),
+        (
+            (1.5, 1.0, 0.5),
+            (1.5, 0.5, 1.0),
+            3.203,
+            [4.533, 3.022, 1.511],
+        ),
+        (
+            (1.5, 1.0, 0.5),
+            (0.5, 1.5, 1.0),
+            3.354,
+            [4.967, 3.111, 1.656],
+        ),
     ];
 
     let lines = 200_000;

@@ -58,7 +58,10 @@ fn main() {
                 deadline: Some(deadline),
                 ..inputs
             });
-            print!("{:>13}", format!("{}/{}", short(no_dl.scheme), short(with_dl.scheme)));
+            print!(
+                "{:>13}",
+                format!("{}/{}", short(no_dl.scheme), short(with_dl.scheme))
+            );
             cells.push(Cell {
                 error_rate: er,
                 lambda: l,

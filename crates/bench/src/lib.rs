@@ -58,7 +58,10 @@ mod tests {
         std::env::set_var("RB_RESULTS_DIR", &dir);
         let path = emit_json("unit-test", &vec![1, 2, 3]);
         let body = std::fs::read_to_string(path).unwrap();
-        assert_eq!(serde_json::from_str::<Vec<i32>>(&body).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            serde_json::from_str::<Vec<i32>>(&body).unwrap(),
+            vec![1, 2, 3]
+        );
         std::env::remove_var("RB_RESULTS_DIR");
     }
 

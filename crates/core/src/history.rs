@@ -163,7 +163,10 @@ impl History {
     /// Records a pseudo recovery point in `p` at time `t`, implanted on
     /// behalf of `origin` (an RP in another process).
     pub fn record_prp(&mut self, p: ProcessId, t: f64, origin: RpId) -> RpId {
-        assert_ne!(origin.process, p, "a PRP is implanted for another process's RP");
+        assert_ne!(
+            origin.process, p,
+            "a PRP is implanted for another process's RP"
+        );
         self.advance(t);
         let seq = &mut self.rps[p.0];
         let index = seq.len();
@@ -180,8 +183,13 @@ impl History {
         assert_ne!(from, to, "self-interaction is meaningless");
         assert!(from.0 < self.n && to.0 < self.n, "process out of range");
         self.advance(t);
-        self.interactions.push(InteractionRecord { time: t, from, to });
-        let (a, b) = if from.0 < to.0 { (from.0, to.0) } else { (to.0, from.0) };
+        self.interactions
+            .push(InteractionRecord { time: t, from, to });
+        let (a, b) = if from.0 < to.0 {
+            (from.0, to.0)
+        } else {
+            (to.0, from.0)
+        };
         self.pair_times[pair_index(self.n, a, b)].push(t);
         self.directed_times[from.0 * self.n + to.0].push(t);
     }
@@ -225,10 +233,7 @@ impl History {
         t: f64,
         admit: impl Fn(&RpRecord) -> bool,
     ) -> Option<&RpRecord> {
-        self.rps[p.0]
-            .iter()
-            .rev()
-            .find(|r| r.time <= t && admit(r))
+        self.rps[p.0].iter().rev().find(|r| r.time <= t && admit(r))
     }
 
     /// The latest state saving of `p` strictly before `t` satisfying
@@ -239,10 +244,7 @@ impl History {
         t: f64,
         admit: impl Fn(&RpRecord) -> bool,
     ) -> Option<&RpRecord> {
-        self.rps[p.0]
-            .iter()
-            .rev()
-            .find(|r| r.time < t && admit(r))
+        self.rps[p.0].iter().rev().find(|r| r.time < t && admit(r))
     }
 
     /// Whether any interaction between `a` and `b` falls in the open
@@ -381,7 +383,10 @@ mod tests {
         }
         assert_eq!(h.first_interaction_between(p(0), p(1), 2.0, 9.0), Some(3.0));
         assert_eq!(h.first_interaction_between(p(0), p(1), 0.0, 0.5), None);
-        assert_eq!(h.first_interaction_between(p(0), p(1), 9.5, 20.0), Some(10.0));
+        assert_eq!(
+            h.first_interaction_between(p(0), p(1), 9.5, 20.0),
+            Some(10.0)
+        );
         assert_eq!(h.first_interaction_between(p(0), p(0), 0.0, 5.0), None);
     }
 

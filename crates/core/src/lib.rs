@@ -50,5 +50,7 @@ pub mod schemes;
 
 pub use history::{History, InteractionRecord, ProcessId, RpId, RpKind, RpRecord};
 pub use metrics::{RollbackOutcome, SchemeMetrics};
-pub use recovery_line::{find_recovery_lines, is_consistent_cut, is_orphan_free_cut, latest_recovery_line};
+pub use recovery_line::{
+    find_recovery_lines, is_consistent_cut, is_orphan_free_cut, latest_recovery_line,
+};
 pub use rollback::{propagate_rollback, propagate_rollback_directed, RollbackPlan};

@@ -128,7 +128,8 @@ pub fn find_recovery_lines(h: &History) -> Vec<RecoveryLine> {
 /// flag scan. Always defined (the initial states are a line).
 pub fn latest_recovery_line(h: &History, t: f64) -> RecoveryLine {
     find_recovery_lines(h)
-        .into_iter().rfind(|l| l.formed_at <= t)
+        .into_iter()
+        .rfind(|l| l.formed_at <= t)
         .expect("line 0 always exists")
 }
 
@@ -278,7 +279,11 @@ mod tests {
         h.record_rp(p(1), 2.0);
         h.record_interaction(p(1), p(2), 2.5);
         h.record_rp(p(2), 3.0);
-        for cut in [vec![0.0, 0.0, 0.0], vec![1.0, 0.0, 0.0], vec![1.0, 2.0, 3.0]] {
+        for cut in [
+            vec![0.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 2.0, 3.0],
+        ] {
             if is_consistent_cut(&h, &cut) {
                 assert!(is_orphan_free_cut(&h, &cut), "{cut:?}");
             }
@@ -316,7 +321,9 @@ mod tests {
         let mut s = 0xdeadbeefu64;
         let mut t = 0.0;
         for _ in 0..200 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             t += ((s >> 11) as f64 / (1u64 << 53) as f64) + 0.01;
             let kind = (s >> 3) % 3;
             let a = ((s >> 8) % 4) as usize;

@@ -80,11 +80,9 @@ pub fn render_history(h: &History, opts: &RenderOptions) -> String {
             Row::Rp(i, _, kind, index) => {
                 cells[*i] = match kind {
                     RpKind::Real => format!("[RP{}.{}]", i + 1, index),
-                    RpKind::Pseudo { origin } => format!(
-                        "(PRP{}<-P{})",
-                        i + 1,
-                        origin.process.0 + 1
-                    ),
+                    RpKind::Pseudo { origin } => {
+                        format!("(PRP{}<-P{})", i + 1, origin.process.0 + 1)
+                    }
                 };
             }
             Row::Inter(a, b) => {

@@ -271,7 +271,7 @@ mod tests {
         h.record_rp(p(0), 2.0);
         h.record_rp(p(1), 2.1);
         h.record_rp(p(2), 2.2); // RL2 forms
-        // Interactions that weld the processes together after RL2.
+                                // Interactions that weld the processes together after RL2.
         h.record_interaction(p(0), p(1), 2.5);
         h.record_rp(p(1), 2.6);
         h.record_interaction(p(1), p(2), 2.8);

@@ -31,7 +31,10 @@ pub struct AsyncConfig {
 impl AsyncConfig {
     /// A fault-free configuration.
     pub fn new(params: AsyncParams) -> Self {
-        AsyncConfig { params, fault: None }
+        AsyncConfig {
+            params,
+            fault: None,
+        }
     }
 
     /// Adds a fault model.
@@ -257,7 +260,10 @@ impl AsyncScheme {
             let mut budget = max_events_per_episode;
             loop {
                 budget -= 1;
-                assert!(budget > 0, "episode exceeded event budget; check error rates");
+                assert!(
+                    budget > 0,
+                    "episode exceeded event budget; check error rates"
+                );
                 let ev = self.next_event(&mut t);
                 match ev {
                     EventKind::Rp(i) => {
@@ -390,11 +396,8 @@ mod tests {
     fn directed_episodes_never_exceed_symmetric_distance() {
         let p = AsyncParams::symmetric(3, 0.5, 1.5);
         let fault = FaultConfig::uniform(3, 0.05, 0.5, 0.5);
-        let sym = AsyncScheme::new(
-            AsyncConfig::new(p.clone()).with_fault(fault.clone()),
-            61,
-        )
-        .run_failure_episodes(300);
+        let sym = AsyncScheme::new(AsyncConfig::new(p.clone()).with_fault(fault.clone()), 61)
+            .run_failure_episodes(300);
         let dir = AsyncScheme::new(AsyncConfig::new(p).with_fault(fault), 61)
             .run_failure_episodes_directed(300);
         // Same seed ⇒ identical histories; the directed refinement can

@@ -98,11 +98,7 @@ impl ConversationStats {
 /// round-robin. Between conversations, interactions fire normally at
 /// λᵢⱼ; interactions that would cross an open conversation's boundary
 /// are counted as deferred.
-pub fn run_conversations(
-    cfg: &ConversationConfig,
-    horizon: f64,
-    seed: u64,
-) -> ConversationStats {
+pub fn run_conversations(cfg: &ConversationConfig, horizon: f64, seed: u64) -> ConversationStats {
     let n = cfg.params.n();
     let k = cfg.k;
     let mu = cfg.params.mu();

@@ -105,7 +105,7 @@ pub fn prp_rollback(
             return plan;
         }
         let mut changed = false;
-        for j in 0..n {
+        for (j, cap) in caps.iter_mut().enumerate() {
             if !plan.rolled_back[j] || j == failed.0 {
                 continue;
             }
@@ -116,8 +116,8 @@ pub fn prp_rollback(
                     .latest_rp_at_or_before(ProcessId(j), detected_at, |r| r.is_real())
                     .map(|r| r.time)
                     .unwrap_or(0.0);
-                if plan.restart[j] > m_j && caps[j] > m_j {
-                    caps[j] = m_j;
+                if plan.restart[j] > m_j && *cap > m_j {
+                    *cap = m_j;
                     changed = true;
                 }
             }
@@ -321,8 +321,7 @@ impl PrpScheme {
                 match self.next(&mut t) {
                     Kind::Rp(i) => {
                         let pid = ProcessId(i);
-                        if let Some(c) =
-                            fs.on_acceptance_test(&fault_cfg, &mut self.fault_rng, pid)
+                        if let Some(c) = fs.on_acceptance_test(&fault_cfg, &mut self.fault_rng, pid)
                         {
                             let plan = prp_rollback(&h, pid, t, c.local);
                             fs.apply_rollback(&plan.restart);
@@ -493,9 +492,9 @@ mod tests {
         let total_pseudo: usize = pseudo.iter().sum();
         assert_eq!(total_pseudo, total_real * 2, "n−1 = 2 PRPs per RP");
         // Each process's PRPs = RPs of the others.
-        for i in 0..3 {
+        for (i, &pseudo_i) in pseudo.iter().enumerate() {
             let others: usize = (0..3).filter(|&j| j != i).map(|j| real[j]).sum();
-            assert_eq!(pseudo[i], others);
+            assert_eq!(pseudo_i, others);
         }
     }
 
@@ -527,8 +526,8 @@ mod tests {
             51,
         )
         .run_failure_episodes(150);
-        let prp_m = PrpScheme::new(PrpConfig::new(params).with_fault(fault), 51)
-            .run_failure_episodes(150);
+        let prp_m =
+            PrpScheme::new(PrpConfig::new(params).with_fault(fault), 51).run_failure_episodes(150);
         assert!(
             prp_m.sup_distance.mean() <= async_m.sup_distance.mean(),
             "PRP mean distance {} vs async {}",
@@ -546,8 +545,8 @@ mod tests {
         // async domino distances. Loose statistical check.
         let params = AsyncParams::symmetric(3, 1.0, 1.0);
         let fault = FaultConfig::uniform(3, 0.02, 0.5, 0.5);
-        let m = PrpScheme::new(PrpConfig::new(params).with_fault(fault), 53)
-            .run_failure_episodes(200);
+        let m =
+            PrpScheme::new(PrpConfig::new(params).with_fault(fault), 53).run_failure_episodes(200);
         // E[max of 3 Exp(1)] = 11/6 ≈ 1.83; allow contaminated-PRP
         // continuation to add slack.
         assert!(

@@ -217,7 +217,11 @@ mod tests {
         let mut acc = 0.0;
         for mask in 1u32..(1 << n) {
             let rate: f64 = (0..n).filter(|&i| mask >> i & 1 == 1).map(|i| mu[i]).sum();
-            let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+            let sign = if mask.count_ones() % 2 == 1 {
+                1.0
+            } else {
+                -1.0
+            };
             acc += sign / rate;
         }
         acc
@@ -258,8 +262,12 @@ mod tests {
     #[test]
     fn slowest_process_dominates_loss() {
         // Slowing one process (smaller μ) increases everyone's wait.
-        let fast = simulate_commit_losses(&[1.0, 1.0, 1.0], 50_000, 7).loss.mean();
-        let slow = simulate_commit_losses(&[1.0, 1.0, 0.2], 50_000, 7).loss.mean();
+        let fast = simulate_commit_losses(&[1.0, 1.0, 1.0], 50_000, 7)
+            .loss
+            .mean();
+        let slow = simulate_commit_losses(&[1.0, 1.0, 0.2], 50_000, 7)
+            .loss
+            .mean();
         assert!(slow > fast, "{slow} ≤ {fast}");
     }
 
@@ -286,7 +294,8 @@ mod tests {
         assert!(stats.requests_coalesced > 0);
         // The paper's inefficiency remark: loss rate is large when
         // requests are too frequent.
-        let relaxed = run_sync_timeline(&params, SyncStrategy::ConstantInterval(10.0), 10_000.0, 13);
+        let relaxed =
+            run_sync_timeline(&params, SyncStrategy::ConstantInterval(10.0), 10_000.0, 13);
         assert!(stats.loss_rate > relaxed.loss_rate);
     }
 

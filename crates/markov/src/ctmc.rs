@@ -172,7 +172,10 @@ impl Ctmc {
     /// Panics if the chain has no absorbing state, or if `start` is
     /// absorbing (the answer would trivially be 0 — asking is a bug).
     pub fn mean_absorption_time(&self, start: usize) -> f64 {
-        assert!(!self.is_absorbing(start), "start state {start} is absorbing");
+        assert!(
+            !self.is_absorbing(start),
+            "start state {start} is absorbing"
+        );
         let transient: Vec<usize> = (0..self.n).filter(|&s| !self.is_absorbing(s)).collect();
         assert!(
             transient.len() < self.n,
@@ -193,7 +196,10 @@ impl Ctmc {
     /// # Panics
     /// As for [`Ctmc::mean_absorption_time`].
     pub fn absorption_time_second_moment(&self, start: usize) -> f64 {
-        assert!(!self.is_absorbing(start), "start state {start} is absorbing");
+        assert!(
+            !self.is_absorbing(start),
+            "start state {start} is absorbing"
+        );
         let transient: Vec<usize> = (0..self.n).filter(|&s| !self.is_absorbing(s)).collect();
         assert!(transient.len() < self.n, "chain has no absorbing state");
         let tau = self.absorption_times(&transient);
@@ -352,7 +358,13 @@ mod tests {
     fn second_moment_matches_density_integral() {
         let c = Ctmc::from_transitions(
             4,
-            &[(0, 1, 1.0), (1, 2, 0.8), (2, 1, 0.3), (1, 0, 0.2), (2, 3, 1.1)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 0.8),
+                (2, 1, 0.3),
+                (1, 0, 0.2),
+                (2, 3, 1.1),
+            ],
         );
         let m2_solve = c.absorption_time_second_moment(0);
         let (a, b, m) = (0.0, 120.0, 12_000);
@@ -426,7 +438,13 @@ mod tests {
     fn density_mean_matches_linear_solve() {
         let c = Ctmc::from_transitions(
             4,
-            &[(0, 1, 1.0), (1, 2, 0.8), (2, 1, 0.3), (1, 0, 0.2), (2, 3, 1.1)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 0.8),
+                (2, 1, 0.3),
+                (1, 0, 0.2),
+                (2, 3, 1.1),
+            ],
         );
         let mean_solve = c.mean_absorption_time(0);
         // E[X] = ∫ t f(t) dt by Simpson.

@@ -142,7 +142,10 @@ impl Dtmc {
                     break;
                 }
             }
-            assert!(converged, "Gauss–Seidel failed to converge on expected visits");
+            assert!(
+                converged,
+                "Gauss–Seidel failed to converge on expected visits"
+            );
             v
         };
 
@@ -222,10 +225,7 @@ mod tests {
 
     #[test]
     fn visits_sum_decomposes_by_state() {
-        let d = Dtmc::from_transitions(
-            3,
-            &[(0, 1, 0.5), (0, 2, 0.25), (1, 0, 0.3), (1, 2, 0.7)],
-        );
+        let d = Dtmc::from_transitions(3, &[(0, 1, 0.5), (0, 2, 0.25), (1, 0, 0.3), (1, 2, 0.7)]);
         let transient = [true, true, false];
         let v = d.expected_visits(0, &transient);
         let steps = d.expected_steps(0, &transient);

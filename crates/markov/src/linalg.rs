@@ -59,7 +59,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -89,13 +93,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "dimension mismatch");
         (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect()
     }
 
@@ -204,9 +202,13 @@ impl LuFactors {
         let mut perm: Vec<usize> = (0..n).collect();
         for col in 0..n {
             // Partial pivot: largest magnitude on/below the diagonal.
-            let (pivot_row, pivot_val) = (col..n)
-                .map(|r| (r, a[(r, col)].abs()))
-                .fold((col, -1.0), |best, cand| if cand.1 > best.1 { cand } else { best });
+            let (pivot_row, pivot_val) =
+                (col..n)
+                    .map(|r| (r, a[(r, col)].abs()))
+                    .fold(
+                        (col, -1.0),
+                        |best, cand| if cand.1 > best.1 { cand } else { best },
+                    );
             if pivot_val <= threshold {
                 return Err(SingularMatrix { column: col });
             }
@@ -242,15 +244,15 @@ impl LuFactors {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -307,7 +309,9 @@ mod tests {
         let mut a = Matrix::zeros(n, n);
         let mut s = 0x12345u64;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) - 0.5
         };
         for i in 0..n {

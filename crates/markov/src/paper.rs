@@ -49,7 +49,11 @@ impl std::fmt::Display for ParamError {
                 write!(f, "μ[{process}] = {value} must be positive and finite")
             }
             ParamError::BadLambda { pair, value } => {
-                write!(f, "λ[{},{}] = {value} must be non-negative and finite", pair.0, pair.1)
+                write!(
+                    f,
+                    "λ[{},{}] = {value} must be non-negative and finite",
+                    pair.0, pair.1
+                )
             }
             ParamError::DimensionMismatch => write!(f, "λ matrix does not match μ length"),
         }
@@ -90,14 +94,20 @@ impl AsyncParams {
         }
         for (i, &m) in mu.iter().enumerate() {
             if !(m > 0.0 && m.is_finite()) {
-                return Err(ParamError::BadMu { process: i, value: m });
+                return Err(ParamError::BadMu {
+                    process: i,
+                    value: m,
+                });
             }
         }
         for i in 0..n {
             for j in i + 1..n {
                 let v = lambda[pair_index(n, i, j)];
                 if !(v >= 0.0 && v.is_finite()) {
-                    return Err(ParamError::BadLambda { pair: (i, j), value: v });
+                    return Err(ParamError::BadLambda {
+                        pair: (i, j),
+                        value: v,
+                    });
                 }
             }
         }
@@ -212,7 +222,10 @@ impl AsyncParams {
     /// time-critical task must budget for under the asynchronous
     /// scheme.
     pub fn interval_quantile(&self, p: f64) -> f64 {
-        assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile level out of (0,1)");
+        assert!(
+            (0.0..1.0).contains(&p) && p > 0.0,
+            "quantile level out of (0,1)"
+        );
         let chain = self.build_full_chain();
         let cdf = |t: f64| chain.ctmc.absorption_cdf(FlagChain::START, t);
         // Bracket: double until F(hi) > p.
@@ -339,7 +352,10 @@ impl FlagChain {
 
     fn build(p: &AsyncParams) -> FlagChain {
         let n = p.n();
-        assert!(n <= 20, "flag chain with n = {n} exceeds the 2^20-state cap");
+        assert!(
+            n <= 20,
+            "flag chain with n = {n} exceeds the 2^20-state cap"
+        );
         let full: u32 = (1u32 << n) - 1;
         let absorbing = 1usize << n;
         let mut transitions: Vec<(usize, usize, f64, Rule)> = Vec::new();
@@ -388,11 +404,27 @@ impl FlagChain {
                         }
                         (true, false) => {
                             let to = (mask & !(1 << i)) as usize + 1;
-                            transitions.push((from, to, rate, Rule::R3 { mover: i, partner: j }));
+                            transitions.push((
+                                from,
+                                to,
+                                rate,
+                                Rule::R3 {
+                                    mover: i,
+                                    partner: j,
+                                },
+                            ));
                         }
                         (false, true) => {
                             let to = (mask & !(1 << j)) as usize + 1;
-                            transitions.push((from, to, rate, Rule::R3 { mover: j, partner: i }));
+                            transitions.push((
+                                from,
+                                to,
+                                rate,
+                                Rule::R3 {
+                                    mover: j,
+                                    partner: i,
+                                },
+                            ));
                         }
                         // Both flags 0: the interaction changes nothing.
                         (false, false) => {}
@@ -464,7 +496,11 @@ impl SymmetricChain {
             let from = state_of_u(u);
             // R1′: a flag-0 process checkpoints, u → u + 1 (u+1 = n absorbs).
             let up_rate = (n - u) as f64 * mu;
-            let to = if u + 1 == n { absorbing } else { state_of_u(u + 1) };
+            let to = if u + 1 == n {
+                absorbing
+            } else {
+                state_of_u(u + 1)
+            };
             transitions.push((from, to, up_rate, "R1'"));
             if lambda > 0.0 {
                 // R2′: two flag-1 processes interact, u → u − 2.
@@ -623,11 +659,25 @@ impl SplitChain {
                     // Tagged process re-saves while its flag is already 1:
                     // flags unchanged, but it *is* an arrival at S_u′
                     // (or absorbs the chain from S_r).
-                    let to = if mask == full { terminal } else { prime_id[mask as usize] };
-                    edges.push(SplitEdge { from, to, prob: p, marked: true });
+                    let to = if mask == full {
+                        terminal
+                    } else {
+                        prime_id[mask as usize]
+                    };
+                    edges.push(SplitEdge {
+                        from,
+                        to,
+                        prob: p,
+                        marked: true,
+                    });
                 } else if mask == full {
                     // Untagged re-save from S_r completes a line (R4).
-                    edges.push(SplitEdge { from, to: terminal, prob: p, marked: false });
+                    edges.push(SplitEdge {
+                        from,
+                        to: terminal,
+                        prob: p,
+                        marked: false,
+                    });
                 }
                 // Untagged re-save in an intermediate state: self-loop,
                 // left to the DTMC's automatic filler.
@@ -874,7 +924,10 @@ mod tests {
         // (4.847, 3.231, 1.616) = μᵢ · 3.231, so E[X] = 3.231.
         let p = AsyncParams::three((1.5, 1.0, 0.5), (1.0, 1.0, 1.0));
         let ex = p.mean_interval();
-        assert!((ex - 3.231).abs() < 0.01, "analytic E[X] = {ex}, want ≈3.231");
+        assert!(
+            (ex - 3.231).abs() < 0.01,
+            "analytic E[X] = {ex}, want ≈3.231"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@ impl Triplets {
     /// # Panics
     /// Panics if the coordinate is out of bounds.
     pub fn push(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "triplet ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "triplet ({r},{c}) out of bounds"
+        );
         if v != 0.0 {
             self.entries.push((r, c, v));
         }
@@ -128,7 +131,9 @@ impl Csr {
 
     /// Row sums (for generator validation).
     pub fn row_sums(&self) -> Vec<f64> {
-        (0..self.rows).map(|r| self.row(r).map(|(_, v)| v).sum()).collect()
+        (0..self.rows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
     }
 
     /// `self · v`.

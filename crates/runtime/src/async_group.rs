@@ -103,7 +103,10 @@ impl<S: Clone + Send + 'static> AsyncGroup<S> {
     }
 
     fn save(&self, i: usize) -> CheckpointId {
-        self.workers[i].cmd_tx.send(Cmd::SaveReal).expect("worker alive");
+        self.workers[i]
+            .cmd_tx
+            .send(Cmd::SaveReal)
+            .expect("worker alive");
         match self.workers[i].reply_rx.recv().expect("worker alive") {
             Reply::Saved { id } => id,
             _ => panic!("unexpected reply"),
@@ -149,7 +152,10 @@ impl<S: Clone + Send + 'static> AsyncGroup<S> {
 
     /// Current state of worker `i`.
     pub fn read_state(&self, i: usize) -> S {
-        self.workers[i].cmd_tx.send(Cmd::Read).expect("worker alive");
+        self.workers[i]
+            .cmd_tx
+            .send(Cmd::Read)
+            .expect("worker alive");
         match self.workers[i].reply_rx.recv().expect("worker alive") {
             Reply::State(s) => s,
             _ => panic!("unexpected reply"),
@@ -166,12 +172,9 @@ impl<S: Clone + Send + 'static> AsyncGroup<S> {
             PropagationMode::Symmetric => {
                 propagate_rollback(&self.history, ProcessId(failed), t, |_, r| r.is_real())
             }
-            PropagationMode::Directed => propagate_rollback_directed(
-                &self.history,
-                ProcessId(failed),
-                t,
-                |_, r| r.is_real(),
-            ),
+            PropagationMode::Directed => {
+                propagate_rollback_directed(&self.history, ProcessId(failed), t, |_, r| r.is_real())
+            }
         };
         for (j, worker) in self.workers.iter().enumerate() {
             if !plan.rolled_back[j] {
@@ -184,7 +187,10 @@ impl<S: Clone + Send + 'static> AsyncGroup<S> {
                 .find(|&&(tt, _)| tt <= plan.restart[j] + 1e-9)
                 .map(|&(_, id)| id)
                 .expect("time-0 checkpoint exists");
-            worker.cmd_tx.send(Cmd::Restore(target)).expect("worker alive");
+            worker
+                .cmd_tx
+                .send(Cmd::Restore(target))
+                .expect("worker alive");
             match worker.reply_rx.recv().expect("worker alive") {
                 Reply::Restored => {}
                 _ => panic!("unexpected reply"),
@@ -200,7 +206,13 @@ impl<S: Clone + Send + 'static> AsyncGroup<S> {
             w.cmd_tx.send(Cmd::Stop).expect("worker alive");
         }
         for w in &mut self.workers {
-            stores.push(w.join.take().expect("not joined").join().expect("worker ok"));
+            stores.push(
+                w.join
+                    .take()
+                    .expect("not joined")
+                    .join()
+                    .expect("worker ok"),
+            );
         }
         stores
     }
@@ -287,7 +299,10 @@ mod tests {
         g2.establish_rp(0);
         g2.send(1, 0, |s| *s += 1, |s| *s += 1);
         let dir = g2.recover(0, PropagationMode::Directed);
-        assert!(!dir.rolled_back[1], "directed spares the sender (lost message)");
+        assert!(
+            !dir.rolled_back[1],
+            "directed spares the sender (lost message)"
+        );
         g.shutdown();
         g2.shutdown();
     }

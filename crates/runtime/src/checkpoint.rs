@@ -64,7 +64,12 @@ impl<S: Clone> CheckpointStore<S> {
     }
 
     /// Saves a pseudo recovery point for another process's RP.
-    pub fn save_pseudo(&mut self, state: &S, origin_process: usize, origin_index: u64) -> CheckpointId {
+    pub fn save_pseudo(
+        &mut self,
+        state: &S,
+        origin_process: usize,
+        origin_index: u64,
+    ) -> CheckpointId {
         self.save(
             state,
             CheckpointKind::Pseudo {

@@ -102,12 +102,12 @@ pub fn run_synchronization<S: Clone + Send>(
     let mut senders: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
     let mut receivers: Vec<Receiver<Msg>> = Vec::with_capacity(n);
     let mut rx_sides: Vec<Vec<Receiver<Msg>>> = (0..n).map(|_| Vec::new()).collect();
-    for j in 0..n {
+    for rx_side in rx_sides.iter_mut() {
         let (tx, rx) = unbounded::<Msg>();
         for row in senders.iter_mut() {
             row.push(tx.clone());
         }
-        rx_sides[j].push(rx);
+        rx_side.push(rx);
     }
     for (j, mut v) in rx_sides.into_iter().enumerate() {
         debug_assert_eq!(v.len(), 1);

@@ -29,10 +29,7 @@ use crate::checkpoint::{CheckpointId, CheckpointStore};
 enum Cmd<S> {
     Mutate(Box<dyn FnOnce(&mut S) + Send>),
     SaveReal,
-    SavePseudo {
-        origin: usize,
-        rp_index: u64,
-    },
+    SavePseudo { origin: usize, rp_index: u64 },
     Restore(CheckpointId),
     Read,
     Stop,
@@ -121,7 +118,10 @@ impl<S: Clone + Send + 'static> PrpGroup<S> {
     }
 
     fn command_save_real(&self, i: usize) -> CheckpointId {
-        self.workers[i].cmd_tx.send(Cmd::SaveReal).expect("worker alive");
+        self.workers[i]
+            .cmd_tx
+            .send(Cmd::SaveReal)
+            .expect("worker alive");
         match self.workers[i].reply_rx.recv().expect("worker alive") {
             Reply::Saved { id } => id,
             _ => panic!("unexpected reply to SaveReal"),
@@ -200,7 +200,10 @@ impl<S: Clone + Send + 'static> PrpGroup<S> {
 
     /// Current state of worker `i` (cloned out).
     pub fn read_state(&self, i: usize) -> S {
-        self.workers[i].cmd_tx.send(Cmd::Read).expect("worker alive");
+        self.workers[i]
+            .cmd_tx
+            .send(Cmd::Read)
+            .expect("worker alive");
         match self.workers[i].reply_rx.recv().expect("worker alive") {
             Reply::State(s) => s,
             _ => panic!("unexpected reply to Read"),
@@ -226,7 +229,10 @@ impl<S: Clone + Send + 'static> PrpGroup<S> {
                 .find(|&&(tt, _)| tt <= plan.restart[j] + 1e-9)
                 .map(|&(_, id)| id)
                 .expect("time-0 checkpoint always exists");
-            worker.cmd_tx.send(Cmd::Restore(target)).expect("worker alive");
+            worker
+                .cmd_tx
+                .send(Cmd::Restore(target))
+                .expect("worker alive");
             match worker.reply_rx.recv().expect("worker alive") {
                 Reply::Restored => {}
                 _ => panic!("unexpected reply to Restore"),
@@ -243,7 +249,13 @@ impl<S: Clone + Send + 'static> PrpGroup<S> {
             w.cmd_tx.send(Cmd::Stop).expect("worker alive");
         }
         for w in &mut self.workers {
-            stores.push(w.join.take().expect("not yet joined").join().expect("worker ok"));
+            stores.push(
+                w.join
+                    .take()
+                    .expect("not yet joined")
+                    .join()
+                    .expect("worker ok"),
+            );
         }
         stores
     }

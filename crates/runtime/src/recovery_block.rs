@@ -28,7 +28,10 @@ impl std::fmt::Display for RbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RbError::AllAlternatesFailed { attempts } => {
-                write!(f, "recovery block failed: all {attempts} alternates rejected")
+                write!(
+                    f,
+                    "recovery block failed: all {attempts} alternates rejected"
+                )
             }
         }
     }
@@ -80,10 +83,7 @@ impl<'a, S: Clone> RecoveryBlock<'a, S> {
     }
 
     /// Adds a further alternate (an `else by` clause).
-    pub fn else_by(
-        self,
-        alt: impl Fn(&mut S) -> Result<(), String> + Send + Sync + 'a,
-    ) -> Self {
+    pub fn else_by(self, alt: impl Fn(&mut S) -> Result<(), String> + Send + Sync + 'a) -> Self {
         self.by(alt)
     }
 
@@ -95,7 +95,10 @@ impl<'a, S: Clone> RecoveryBlock<'a, S> {
     /// Panics if no alternate was provided — an empty recovery block is
     /// a construction bug.
     pub fn execute(&self, state: &mut S) -> Result<usize, RbError> {
-        assert!(!self.alternates.is_empty(), "recovery block has no alternates");
+        assert!(
+            !self.alternates.is_empty(),
+            "recovery block has no alternates"
+        );
         // The recovery point: state saved on entry.
         let recovery_point = state.clone();
         for (k, alt) in self.alternates.iter().enumerate() {
@@ -200,9 +203,7 @@ mod tests {
                 Ok(())
             });
         let outer = RecoveryBlock::ensure(|x: &i32| *x >= 10)
-            .by(move |x: &mut i32| {
-                inner.execute(x).map(|_| ()).map_err(|e| e.to_string())
-            })
+            .by(move |x: &mut i32| inner.execute(x).map(|_| ()).map_err(|e| e.to_string()))
             .else_by(|x: &mut i32| {
                 *x = 10;
                 Ok(())

@@ -1,0 +1,294 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Exposes the API surface the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!` — with a deliberately simple runner: each
+//! registered benchmark is warmed up briefly, then timed in batches
+//! until a time budget is spent, and the mean wall-clock ns/iter is
+//! printed. No outlier rejection, no statistics, no HTML reports; for
+//! real measurements swap the real criterion back in when the build
+//! environment has network access.
+//!
+//! Like criterion with `harness = false`, the generated `main` honours
+//! the `--test`/`--list` flags `cargo test` passes so bench targets
+//! stay cheap in test runs, and accepts an optional substring filter
+//! argument selecting which benchmarks run.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] (criterion's `black_box`).
+pub use std::hint::black_box;
+
+/// The measurement driver passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            budget,
+        }
+    }
+
+    /// Times repeated calls of `f` until the time budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration: one call, used to size batches.
+        let t0 = Instant::now();
+        black_box(f());
+        let first = t0.elapsed();
+        self.iters_done = 1;
+        self.elapsed = first;
+        let batch = if first.is_zero() {
+            1024
+        } else {
+            (self.budget.as_nanos() / 20 / first.as_nanos().max(1)).clamp(1, 16_384) as u64
+        };
+        while self.elapsed < self.budget && self.iters_done < 1_000_000 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.elapsed += t.elapsed();
+            self.iters_done += batch;
+        }
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the input with `setup`
+    /// before every routine call; only the routine is timed.
+    pub fn iter_with_setup<S, O, F, R>(&mut self, mut setup: F, mut routine: R)
+    where
+        F: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        self.iters_done = 0;
+        self.elapsed = Duration::ZERO;
+        while (self.elapsed < self.budget && self.iters_done < 100_000) || self.iters_done == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.elapsed += t.elapsed();
+            self.iters_done += 1;
+        }
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters_done.max(1) as f64
+    }
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group (printed, not graphed).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        let budget_ms = std::env::var("CRITERION_SHIM_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(50u64);
+        Criterion {
+            filter,
+            budget: Duration::from_millis(budget_ms),
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.enabled(id) {
+            return;
+        }
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        let ns = b.ns_per_iter();
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 * 1e9 / ns)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{id:<48} time: {:>14.1} ns/iter ({} iters){rate}",
+            ns, b.iters_done
+        );
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let name = name.to_string();
+        self.run_one(&name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's time budget makes
+    /// sample counts moot.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        let t = self.throughput;
+        self.c.run_one(&full, t, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let t = self.throughput;
+        self.c.run_one(&full, t, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Whether a bench binary invoked by `cargo test`/`cargo bench` should
+/// skip measuring (the `--test` / `--list` protocol of libtest).
+pub fn invoked_for_test_harness() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list")
+}
+
+/// Bundles benchmark functions into a runnable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_for_test_harness() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iters() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, b.iters_done);
+        assert!(calls >= 1);
+        assert!(b.ns_per_iter() >= 0.0);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("push", 64).id, "push/64");
+        assert_eq!(BenchmarkId::from_parameter(9).id, "9");
+    }
+}

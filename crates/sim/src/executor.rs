@@ -41,7 +41,11 @@ impl<E> Scheduler<'_, E> {
     /// Panics if `at` precedes the current instant — scheduling into the
     /// past would silently corrupt causality.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past: {at:?} < {:?}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < {:?}",
+            self.now
+        );
         self.queue.push(at, event);
     }
 

@@ -136,7 +136,10 @@ impl Histogram {
     /// # Panics
     /// Panics unless `lo < hi` and `nbins > 0`.
     pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
-        assert!(lo < hi && nbins > 0, "bad histogram spec [{lo},{hi})x{nbins}");
+        assert!(
+            lo < hi && nbins > 0,
+            "bad histogram spec [{lo},{hi})x{nbins}"
+        );
         Histogram {
             lo,
             hi,
@@ -258,7 +261,11 @@ impl TimeWeighted {
             self.started = true;
             return;
         }
-        assert!(t >= self.last_t, "time went backwards: {t} < {}", self.last_t);
+        assert!(
+            t >= self.last_t,
+            "time went backwards: {t} < {}",
+            self.last_t
+        );
         self.integral += self.last_v * (t - self.last_t);
         self.last_t = t;
         self.last_v = v;

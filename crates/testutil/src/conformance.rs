@@ -1,0 +1,435 @@
+//! The cross-scheme conformance driver.
+//!
+//! [`SchemeConformance`] runs one [`Scenario`] through every
+//! quantitative path the workspace implements for the paper's three
+//! schemes and records pairwise agreement [`Check`]s:
+//!
+//! | scheme | paths compared |
+//! |--------|----------------|
+//! | asynchronous (§2) | event simulation ↔ full-chain CTMC (LU absorption solve) ↔ embedded split-chain DTMC (fundamental matrix) ↔ lumped chain (symmetric) ↔ `Exp(Σμ)` closed form (λ = 0) |
+//! | synchronized (§3) | commit-round simulation ↔ inclusion–exclusion closed form ↔ adaptive quadrature of the paper's integral, plus the idle-time identity |
+//! | PRP (§4) | storage-timeline simulation ↔ §4 closed-form overheads, plus Poisson RP-count checks and the rollback-distance bound under fault injection |
+//!
+//! **Tolerances are CI-derived**: simulation-vs-analytic checks use
+//! `z · std_err` from the run's own Welford accumulator (plus a small
+//! absolute floor for near-zero quantities); analytic-vs-analytic
+//! checks use fixed numerical tolerances matched to the solver
+//! precision (LU/fundamental-matrix ~1e-7 relative, quadrature ~1e-5).
+
+use crate::scenarios::Scenario;
+use rbanalysis::order_stats::max_exp_mean;
+use rbanalysis::prp_overhead::prp_overhead;
+use rbanalysis::sync_loss::{mean_idle, mean_loss, mean_loss_quadrature};
+use rbcore::fault::FaultConfig;
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbcore::schemes::prp::{PrpConfig, PrpScheme};
+use rbcore::schemes::synchronized::simulate_commit_losses;
+use rbmarkov::paper::{mean_interval_symmetric, SplitChain};
+
+/// One pairwise agreement check between two computation paths.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// What was compared, e.g. `async/EX/sim-vs-ctmc`.
+    pub label: String,
+    /// First path's value.
+    pub lhs: f64,
+    /// Second path's value.
+    pub rhs: f64,
+    /// Allowed |lhs − rhs|.
+    pub tol: f64,
+    /// Whether the check passed.
+    pub pass: bool,
+}
+
+impl Check {
+    fn within(label: impl Into<String>, lhs: f64, rhs: f64, tol: f64) -> Check {
+        let pass = (lhs - rhs).abs() <= tol && lhs.is_finite() && rhs.is_finite();
+        Check {
+            label: label.into(),
+            lhs,
+            rhs,
+            tol,
+            pass,
+        }
+    }
+
+    /// A one-sided `lhs ≤ rhs + tol` check (for bound-style claims).
+    fn at_most(label: impl Into<String>, lhs: f64, rhs: f64, tol: f64) -> Check {
+        let pass = lhs <= rhs + tol && lhs.is_finite() && rhs.is_finite();
+        Check {
+            label: label.into(),
+            lhs,
+            rhs,
+            tol,
+            pass,
+        }
+    }
+}
+
+/// All checks produced for one scenario.
+#[derive(Clone, Debug)]
+pub struct ConformanceReport {
+    /// The scenario id the checks belong to.
+    pub scenario: String,
+    /// The individual pairwise checks.
+    pub checks: Vec<Check>,
+}
+
+impl ConformanceReport {
+    /// The failed checks, if any.
+    pub fn failures(&self) -> Vec<&Check> {
+        self.checks.iter().filter(|c| !c.pass).collect()
+    }
+
+    /// Panics with a readable digest if any check failed.
+    pub fn assert_ok(&self) {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return;
+        }
+        let mut msg = format!(
+            "scenario `{}`: {}/{} conformance checks failed:\n",
+            self.scenario,
+            failures.len(),
+            self.checks.len()
+        );
+        for c in failures {
+            msg.push_str(&format!(
+                "  {}: |{} − {}| = {} > tol {}\n",
+                c.label,
+                c.lhs,
+                c.rhs,
+                (c.lhs - c.rhs).abs(),
+                c.tol
+            ));
+        }
+        panic!("{msg}");
+    }
+}
+
+/// The conformance driver; fields tune the simulation effort (larger =
+/// tighter confidence intervals, longer runtime).
+#[derive(Clone, Debug)]
+pub struct SchemeConformance {
+    /// Recovery-line intervals measured per async scenario.
+    pub intervals: usize,
+    /// Commitment rounds simulated per synchronized scenario.
+    pub sync_rounds: usize,
+    /// Horizon of the PRP storage timeline.
+    pub prp_horizon: f64,
+    /// Fault-injection episodes for the PRP rollback-bound check
+    /// (0 disables it).
+    pub episodes: usize,
+    /// CI width multiplier for sim-vs-analytic checks. With the
+    /// default 4.8, a correct implementation fails one check with
+    /// probability ≈ 1.6e-6 — across a ~300-check matrix, ≈ 5e-4 per
+    /// full run.
+    pub z: f64,
+}
+
+impl Default for SchemeConformance {
+    fn default() -> Self {
+        SchemeConformance {
+            intervals: 5_000,
+            sync_rounds: 40_000,
+            prp_horizon: 400.0,
+            episodes: 120,
+            z: 4.8,
+        }
+    }
+}
+
+impl SchemeConformance {
+    /// A cheaper configuration for debug builds / smoke runs.
+    pub fn quick() -> Self {
+        SchemeConformance {
+            intervals: 1_500,
+            sync_rounds: 10_000,
+            prp_horizon: 150.0,
+            episodes: 40,
+            z: 4.8,
+        }
+    }
+
+    /// Runs the asynchronous scheme (§2) through sim, the full-chain
+    /// CTMC, the embedded split-chain DTMC, and — where defined — the
+    /// lumped-chain / `Exp(Σμ)` closed forms.
+    pub fn check_async(&self, sc: &Scenario) -> ConformanceReport {
+        let params = sc.params();
+        let mut checks = Vec::new();
+
+        // Path A: full-chain CTMC absorption solve (dense LU or sparse
+        // Gauss–Seidel).
+        let ex_ctmc = params.mean_interval();
+
+        // Path B: embedded discrete chain with state splitting — an
+        // independent construction *and* an independent solver
+        // (DTMC fundamental matrix). E[X] = E[steps]/G.
+        let split = SplitChain::build(&params, 0);
+        let ex_dtmc = split.expected_steps() / split.g;
+        checks.push(Check::within(
+            "async/EX/ctmc-vs-split-dtmc",
+            ex_ctmc,
+            ex_dtmc,
+            1e-7 * ex_ctmc.max(1.0),
+        ));
+
+        // Path C: lumped symmetric chain (exact lumpability).
+        if sc.is_symmetric() {
+            let ex_lumped = mean_interval_symmetric(sc.n(), sc.mu[0], sc.lambda[0]);
+            checks.push(Check::within(
+                "async/EX/ctmc-vs-lumped",
+                ex_ctmc,
+                ex_lumped,
+                1e-7 * ex_ctmc.max(1.0),
+            ));
+        }
+
+        // Path D: λ = 0 closed form — the chain never leaves S_r except
+        // by R4, so X ~ Exp(Σμ).
+        let total_lambda: f64 = sc.lambda.iter().sum();
+        if total_lambda == 0.0 {
+            let ex_exact = 1.0 / params.total_mu();
+            checks.push(Check::within(
+                "async/EX/ctmc-vs-exp-closed-form",
+                ex_ctmc,
+                ex_exact,
+                1e-10,
+            ));
+        }
+
+        // Path E: event simulation, compared at z·std_err.
+        let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), sc.seed)
+            .run_intervals(self.intervals);
+        let se = stats.interval.std_err();
+        checks.push(Check::within(
+            "async/EX/sim-vs-ctmc",
+            stats.interval.mean(),
+            ex_ctmc,
+            self.z * se + 5e-3,
+        ));
+
+        // E[Lᵢ]: Poisson-thinning closed form μᵢ·E[X], the split-chain
+        // Y_d statistic, and the simulated per-process RP counts.
+        for i in 0..sc.n() {
+            let thinning = params.mu()[i] * ex_ctmc;
+            let yd = params.mean_rp_count_yd(i, true);
+            checks.push(Check::within(
+                format!("async/EL{i}/thinning-vs-split-chain"),
+                thinning,
+                yd,
+                1e-7 * thinning.max(1.0),
+            ));
+            let sim_l = &stats.rp_counts[i];
+            checks.push(Check::within(
+                format!("async/EL{i}/sim-vs-thinning"),
+                sim_l.mean(),
+                thinning,
+                self.z * sim_l.std_err() + 5e-3,
+            ));
+        }
+
+        ConformanceReport {
+            scenario: sc.id.clone(),
+            checks,
+        }
+    }
+
+    /// Runs the synchronized scheme (§3): commit-round simulation vs
+    /// the closed-form loss vs the quadrature of the paper's integral.
+    pub fn check_synchronized(&self, sc: &Scenario) -> ConformanceReport {
+        let mut checks = Vec::new();
+        self.sync_checks_for_mu(&sc.mu, sc.seed, &mut checks);
+        ConformanceReport {
+            scenario: sc.id.clone(),
+            checks,
+        }
+    }
+
+    /// §3 checks for an arbitrary μ vector (also used for the n = 1
+    /// degenerate corner, where the loss must vanish identically).
+    pub fn sync_checks_for_mu(&self, mu: &[f64], seed: u64, checks: &mut Vec<Check>) {
+        // Closed form vs quadrature of the paper's own expression.
+        let cl_closed = mean_loss(mu);
+        let cl_quad = mean_loss_quadrature(mu, 1e-10);
+        checks.push(Check::within(
+            "sync/ECL/closed-form-vs-quadrature",
+            cl_closed,
+            cl_quad,
+            1e-5 * cl_closed.abs().max(1.0),
+        ));
+
+        // Identity: per-process idle times sum to the total loss.
+        let idle_sum: f64 = (0..mu.len()).map(|i| mean_idle(mu, i)).sum();
+        checks.push(Check::within(
+            "sync/ECL/idle-sum-identity",
+            idle_sum,
+            cl_closed,
+            1e-9 * cl_closed.abs().max(1.0),
+        ));
+
+        // Simulation of the commitment protocol.
+        let stats = simulate_commit_losses(mu, self.sync_rounds, seed);
+        checks.push(Check::within(
+            "sync/ECL/sim-vs-closed-form",
+            stats.loss.mean(),
+            cl_closed,
+            self.z * stats.loss.std_err() + 5e-3,
+        ));
+        checks.push(Check::within(
+            "sync/EZ/sim-vs-order-stats",
+            stats.span.mean(),
+            max_exp_mean(mu),
+            self.z * stats.span.std_err() + 5e-3,
+        ));
+
+        if mu.len() == 1 {
+            // Degenerate n = 1: a lone process never waits — the loss
+            // is zero in every round, not just in expectation.
+            checks.push(Check::within(
+                "sync/ECL/n1-exact-zero",
+                stats.loss.mean(),
+                0.0,
+                0.0,
+            ));
+            checks.push(Check::within(
+                "sync/ECL/n1-closed-form-zero",
+                cl_closed,
+                0.0,
+                1e-12,
+            ));
+        }
+    }
+
+    /// Runs the PRP scheme (§4): storage-timeline simulation vs the
+    /// closed-form overheads, Poisson RP-count conformance, and (when
+    /// `episodes > 0`) the paper's rollback-distance bound.
+    pub fn check_prp(&self, sc: &Scenario) -> ConformanceReport {
+        let params = sc.params();
+        let n = sc.n();
+        let t_r = 1e-3;
+        let mut checks = Vec::new();
+
+        let analytic = prp_overhead(&sc.mu, t_r);
+        let mut scheme = PrpScheme::new(PrpConfig::new(params.clone()).with_t_r(t_r), sc.seed);
+        let stats = scheme.storage_timeline(self.prp_horizon);
+
+        // Exact structural identities of the implantation protocol.
+        let total_rps: u64 = stats.rps.iter().sum();
+        let total_prps: u64 = stats.prps.iter().sum();
+        checks.push(Check::within(
+            "prp/implantation/n-minus-1-per-rp",
+            total_prps as f64,
+            (total_rps * (n as u64 - 1)) as f64,
+            0.0,
+        ));
+        checks.push(Check::within(
+            "prp/time-overhead/sim-vs-closed-form",
+            stats.prp_time_overhead,
+            total_rps as f64 * analytic.time_per_rp,
+            1e-9 * stats.prp_time_overhead.max(1.0),
+        ));
+
+        // Poisson conformance: RP counts are Poisson(μᵢ·T), so the
+        // simulated count must sit within z·√(μᵢT) of its mean.
+        for i in 0..n {
+            let expect = sc.mu[i] * self.prp_horizon;
+            checks.push(Check::within(
+                format!("prp/rp-count{i}/sim-vs-poisson"),
+                stats.rps[i] as f64,
+                expect,
+                self.z * expect.sqrt() + 1.0,
+            ));
+        }
+
+        // The purge rule bounds live storage by n states per process
+        // (n² total — `stored_states_total`).
+        let peak = *stats.peak_live_states.iter().max().unwrap() as f64;
+        checks.push(Check::at_most(
+            "prp/storage/peak-at-most-n",
+            peak,
+            (analytic.stored_states_total / n) as f64,
+            0.0,
+        ));
+        checks.push(Check::at_most(
+            "prp/storage/mean-at-most-n",
+            stats.mean_live_states,
+            n as f64,
+            1e-9,
+        ));
+
+        // The §4 rollback-distance claim: mean distance under local
+        // faults stays within a small multiple of E[max yᵢ]. This is a
+        // statistical inequality (the paper gives a bound, not an
+        // equality), so the slack is generous.
+        if self.episodes > 0 && n <= 3 && sc.rho() < 6.0 {
+            let fault = FaultConfig::uniform(n, 0.02, 0.5, 0.5);
+            let m = PrpScheme::new(
+                PrpConfig::new(params).with_fault(fault).with_t_r(t_r),
+                sc.seed ^ 0xFA,
+            )
+            .run_failure_episodes(self.episodes);
+            checks.push(Check::at_most(
+                "prp/rollback-distance/sim-vs-order-stats-bound",
+                m.sup_distance.mean(),
+                3.0 * analytic.rollback_bound,
+                0.0,
+            ));
+        }
+
+        ConformanceReport {
+            scenario: sc.id.clone(),
+            checks,
+        }
+    }
+
+    /// Runs every applicable scheme over one scenario.
+    pub fn check_all(&self, sc: &Scenario) -> Vec<ConformanceReport> {
+        vec![
+            self.check_async(sc),
+            self.check_synchronized(sc),
+            self.check_prp(sc),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::standard_matrix;
+
+    #[test]
+    fn driver_produces_checks_for_every_path() {
+        let sc = &standard_matrix(11)[1]; // a symmetric n=2 point
+        let quick = SchemeConformance::quick();
+        let reports = quick.check_all(sc);
+        assert_eq!(reports.len(), 3);
+        let labels: Vec<&str> = reports
+            .iter()
+            .flat_map(|r| r.checks.iter().map(|c| c.label.as_str()))
+            .collect();
+        assert!(labels.iter().any(|l| l.starts_with("async/EX/sim")));
+        assert!(labels.iter().any(|l| l.starts_with("sync/ECL")));
+        assert!(labels.iter().any(|l| l.starts_with("prp/")));
+    }
+
+    #[test]
+    fn failed_checks_render_readably() {
+        let report = ConformanceReport {
+            scenario: "synthetic".into(),
+            checks: vec![Check::within("x", 1.0, 2.0, 0.1)],
+        };
+        assert_eq!(report.failures().len(), 1);
+        let msg = std::panic::catch_unwind(|| report.assert_ok())
+            .err()
+            .and_then(|p| p.downcast_ref::<String>().cloned())
+            .unwrap();
+        assert!(msg.contains("synthetic") && msg.contains("x:"), "{msg}");
+    }
+
+    #[test]
+    fn one_sided_checks_pass_below_the_bound() {
+        assert!(Check::at_most("b", 1.0, 2.0, 0.0).pass);
+        assert!(!Check::at_most("b", 2.5, 2.0, 0.0).pass);
+    }
+}

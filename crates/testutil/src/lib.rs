@@ -1,0 +1,28 @@
+//! # rbtestutil — the cross-scheme conformance harness
+//!
+//! Following the replay-equivalence-matrix discipline: every quantity
+//! the paper derives is computed along **independent paths** — discrete
+//! event simulation, Markov-chain solves, and closed-form analysis —
+//! and the paths must agree within statistically justified tolerances
+//! over a deterministic matrix of scenarios.
+//!
+//! * [`scenarios`] — the seeded scenario-matrix generator: symmetric
+//!   and skewed rate grids plus degenerate corners (λ = 0, high ρ,
+//!   single-process synchronization).
+//! * [`conformance`] — the [`SchemeConformance`] driver running the
+//!   paper's three schemes (asynchronous §2, synchronized §3, PRP §4)
+//!   through all applicable paths and collecting pairwise agreement
+//!   checks.
+//!
+//! Used by `tests/scheme_conformance.rs` at the workspace root; kept as
+//! a library crate so future perf work can reuse the matrix as a
+//! correctness gate after every optimisation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod conformance;
+pub mod scenarios;
+
+pub use conformance::{Check, ConformanceReport, SchemeConformance};
+pub use scenarios::{standard_matrix, Scenario, ScenarioKind};

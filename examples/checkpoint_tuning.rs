@@ -23,10 +23,15 @@ fn main() {
     // One node error every ~200 time units across the set.
     let error_rate = 1.0 / 200.0;
 
-    println!("per-line waiting loss E[CL] = {:.3}", sync_loss::mean_loss(&mu));
-    println!("per-process idle at a line: fastest {:.3}, slowest {:.3}\n",
+    println!(
+        "per-line waiting loss E[CL] = {:.3}",
+        sync_loss::mean_loss(&mu)
+    );
+    println!(
+        "per-process idle at a line: fastest {:.3}, slowest {:.3}\n",
         sync_loss::mean_idle(&mu, 0),
-        sync_loss::mean_idle(&mu, 5));
+        sync_loss::mean_idle(&mu, 5)
+    );
 
     // ── Sweep the period by hand first ───────────────────────────────
     println!("{:>8} {:>14} {:>14}", "Δ", "overhead rate", "");

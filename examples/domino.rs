@@ -85,7 +85,10 @@ fn main() {
         prp_plan.sup_distance(),
         prp_plan.hit_beginning(),
     );
-    assert!(async_plan.hit_beginning(), "the adversarial history dominoes");
+    assert!(
+        async_plan.hit_beginning(),
+        "the adversarial history dominoes"
+    );
     assert!(!prp_plan.hit_beginning(), "PRPs stop the avalanche");
 
     // ── Statistical comparison over randomized episodes ───────────────

@@ -81,14 +81,20 @@ fn main() {
         outcome.z, outcome.loss
     );
     for (r, name) in outcome.reports.iter().zip(&names) {
-        println!("  {name:>13}: waited {:.4}, checkpointed frame {}", r.waited, r.checkpoint.frame);
+        println!(
+            "  {name:>13}: waited {:.4}, checkpointed frame {}",
+            r.waited, r.checkpoint.frame
+        );
     }
 
     // ── Strategy sweep over the sync period (paper's trade-off) ──────
     // Control-law data flows densely between the four processes.
     let params = AsyncParams::new(mu.to_vec(), vec![3.0; 6]).expect("valid");
     println!("\nsync-period sweep (strategy 2, elapsed-since-line):");
-    println!("{:>8} {:>10} {:>12} {:>14}", "Δ", "lines", "loss rate", "line interval");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14}",
+        "Δ", "lines", "loss rate", "line interval"
+    );
     for delta in [0.5, 1.0, 2.0, 5.0, 10.0] {
         let stats = run_sync_timeline(&params, SyncStrategy::ElapsedSinceLine(delta), 20_000.0, 11);
         println!(

@@ -69,7 +69,10 @@ fn main() {
     let committed: Vec<WorkerState> = (0..3).map(|i| group.read_state(i)).collect();
     println!("batch 1 committed at consumer RP #{rp}:");
     for (i, s) in committed.iter().enumerate() {
-        println!("  worker {i}: value = {}, applied = {:?}", s.value, s.applied);
+        println!(
+            "  worker {i}: value = {}, applied = {:?}",
+            s.value, s.applied
+        );
     }
 
     // ── Phase 2: a poisoned batch ─────────────────────────────────────
@@ -115,7 +118,10 @@ fn main() {
 
     let after: Vec<WorkerState> = (0..3).map(|i| group.read_state(i)).collect();
     for (i, s) in after.iter().enumerate() {
-        println!("  worker {i}: value = {}, applied = {:?}", s.value, s.applied);
+        println!(
+            "  worker {i}: value = {}, applied = {:?}",
+            s.value, s.applied
+        );
     }
 
     // The poisoned transactions are gone from every ledger.

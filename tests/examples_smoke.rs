@@ -1,0 +1,72 @@
+//! Smoke coverage for `examples/`: all five examples must compile and
+//! `quickstart` must run end-to-end.
+//!
+//! Compilation of every example is also enforced by CI's
+//! `cargo build --examples`; this test additionally exercises the
+//! quickstart's runtime behaviour so a broken demo cannot ship green.
+
+use std::process::Command;
+
+/// The example set registered in the root `Cargo.toml`; update both
+/// when adding an example.
+const EXAMPLES: [&str; 5] = [
+    "quickstart",
+    "domino",
+    "flight_control",
+    "checkpoint_tuning",
+    "pipeline_transactions",
+];
+
+fn cargo() -> Command {
+    // Cargo exports its own path to test binaries it runs.
+    Command::new(std::env::var_os("CARGO").unwrap_or_else(|| "cargo".into()))
+}
+
+#[test]
+fn all_examples_compile() {
+    let mut cmd = cargo();
+    cmd.args(["build", "--examples"]);
+    let out = cmd.output().expect("spawn cargo build --examples");
+    assert!(
+        out.status.success(),
+        "examples failed to build:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Guard against the registry drifting from the filesystem: every
+    // example named here must exist as a file, and vice versa.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples dir")
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_suffix(".rs").map(str::to_string)
+        })
+        .collect();
+    on_disk.sort();
+    let mut named: Vec<String> = EXAMPLES.iter().map(|s| s.to_string()).collect();
+    named.sort();
+    assert_eq!(named, on_disk, "examples/ and the registered set diverge");
+}
+
+#[test]
+fn quickstart_runs_end_to_end() {
+    let mut cmd = cargo();
+    cmd.args(["run", "--example", "quickstart"]);
+    let out = cmd.output().expect("spawn cargo run --example quickstart");
+    assert!(
+        out.status.success(),
+        "quickstart exited nonzero:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The three demonstration layers must all report.
+    assert!(
+        stdout.contains("recovery block"),
+        "missing §1 output:\n{stdout}"
+    );
+    assert!(stdout.contains("E[X]"), "missing §2 output:\n{stdout}");
+    assert!(
+        stdout.contains("rollback distance"),
+        "missing §3 output:\n{stdout}"
+    );
+}

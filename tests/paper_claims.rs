@@ -7,12 +7,40 @@
 use recovery_blocks::analysis::{order_stats, prp_overhead, sync_loss};
 use recovery_blocks::markov::paper::{mean_interval_symmetric, AsyncParams};
 
-const TABLE1: [((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]); 5] = [
-    ((1.0, 1.0, 1.0), (1.0, 1.0, 1.0), 2.598, [2.500, 2.500, 2.500]),
-    ((1.5, 1.0, 0.5), (1.0, 1.0, 1.0), 3.357, [4.847, 3.231, 1.616]),
-    ((1.0, 1.0, 1.0), (1.5, 0.5, 1.0), 2.600, [2.453, 2.453, 2.453]),
-    ((1.5, 1.0, 0.5), (1.5, 0.5, 1.0), 3.203, [4.533, 3.022, 1.511]),
-    ((1.5, 1.0, 0.5), (0.5, 1.5, 1.0), 3.354, [4.967, 3.111, 1.656]),
+/// One Table 1 case: (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper E(Lᵢ).
+type Table1Case = ((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]);
+
+const TABLE1: [Table1Case; 5] = [
+    (
+        (1.0, 1.0, 1.0),
+        (1.0, 1.0, 1.0),
+        2.598,
+        [2.500, 2.500, 2.500],
+    ),
+    (
+        (1.5, 1.0, 0.5),
+        (1.0, 1.0, 1.0),
+        3.357,
+        [4.847, 3.231, 1.616],
+    ),
+    (
+        (1.0, 1.0, 1.0),
+        (1.5, 0.5, 1.0),
+        2.600,
+        [2.453, 2.453, 2.453],
+    ),
+    (
+        (1.5, 1.0, 0.5),
+        (1.5, 0.5, 1.0),
+        3.203,
+        [4.533, 3.022, 1.511],
+    ),
+    (
+        (1.5, 1.0, 0.5),
+        (0.5, 1.5, 1.0),
+        3.354,
+        [4.967, 3.111, 1.656],
+    ),
 ];
 
 #[test]
@@ -24,15 +52,18 @@ fn table1_l_rows_match_the_chain_to_print_precision() {
     for (k, (mu, lam, _, l_paper)) in TABLE1.into_iter().enumerate() {
         let params = AsyncParams::three(mu, lam);
         let ex = params.mean_interval();
-        for i in 0..3 {
+        for (i, &lp) in l_paper.iter().enumerate() {
             let ours = params.mu()[i] * ex;
-            let tol = if k == 4 && i == 1 { 0.25 } else { 0.002 * l_paper[i].max(1.0) };
+            let tol = if k == 4 && i == 1 {
+                0.25
+            } else {
+                0.002 * lp.max(1.0)
+            };
             assert!(
-                (ours - l_paper[i]).abs() <= tol,
-                "case {} L{}: chain {ours:.4} vs paper {}",
+                (ours - lp).abs() <= tol,
+                "case {} L{}: chain {ours:.4} vs paper {lp}",
                 k + 1,
-                i + 1,
-                l_paper[i]
+                i + 1
             );
         }
     }

@@ -19,11 +19,7 @@ use recovery_blocks::sim::stats::{Histogram, Welford};
 /// where kind 0 = RP (by a), 1 = interaction (a–b), 2 = RP+PRP
 /// implantation.
 fn history_strategy(n: usize) -> impl Strategy<Value = History> {
-    prop::collection::vec(
-        (0..n, 0..n, 0u8..3, 1u32..1000),
-        1..120,
-    )
-    .prop_map(move |ops| {
+    prop::collection::vec((0..n, 0..n, 0u8..3, 1u32..1000), 1..120).prop_map(move |ops| {
         let mut h = History::new(n);
         let mut t = 0.0;
         for (a, b, kind, dt) in ops {

@@ -3,9 +3,7 @@
 
 use recovery_blocks::analysis::sync_loss;
 use recovery_blocks::runtime::prp::PrpGroup;
-use recovery_blocks::runtime::{
-    run_synchronization, Conversation, RecoveryBlock, SyncParticipant,
-};
+use recovery_blocks::runtime::{run_synchronization, Conversation, RecoveryBlock, SyncParticipant};
 use recovery_blocks::sim::{SimRng, StreamId};
 
 #[test]

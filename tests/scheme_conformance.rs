@@ -1,0 +1,88 @@
+//! Cross-scheme conformance: every grid point of the standard scenario
+//! matrix must show pairwise agreement between the simulation, Markov
+//! chain, and closed-form analysis paths for all three of the paper's
+//! schemes (asynchronous §2, synchronized §3, pseudo recovery points
+//! §4). See `crates/testutil` for the matrix and the tolerance
+//! derivation.
+
+use rbtestutil::{standard_matrix, SchemeConformance};
+
+/// One master seed for the whole suite; change it to re-roll every
+/// skewed scenario and every simulation stream at once.
+const MASTER_SEED: u64 = 0x5EED_1983;
+
+fn driver() -> SchemeConformance {
+    // Debug builds (the default `cargo test`) use the quick profile —
+    // CI tolerances widen with the smaller sample sizes automatically,
+    // since they are derived from the runs' own standard errors.
+    if cfg!(debug_assertions) {
+        SchemeConformance::quick()
+    } else {
+        SchemeConformance::default()
+    }
+}
+
+#[test]
+fn matrix_covers_at_least_20_grid_points() {
+    assert!(standard_matrix(MASTER_SEED).len() >= 20);
+}
+
+#[test]
+fn asynchronous_scheme_conforms_across_the_matrix() {
+    let d = driver();
+    for sc in &standard_matrix(MASTER_SEED) {
+        d.check_async(sc).assert_ok();
+    }
+}
+
+#[test]
+fn synchronized_scheme_conforms_across_the_matrix() {
+    let d = driver();
+    for sc in &standard_matrix(MASTER_SEED) {
+        d.check_synchronized(sc).assert_ok();
+    }
+    // Degenerate n = 1 corner: a lone process synchronizes for free.
+    let mut checks = Vec::new();
+    for mu in rbtestutil::scenarios::single_process_mus() {
+        d.sync_checks_for_mu(&mu, MASTER_SEED, &mut checks);
+    }
+    let failed: Vec<_> = checks.iter().filter(|c| !c.pass).collect();
+    assert!(failed.is_empty(), "n=1 sync failures: {failed:?}");
+}
+
+#[test]
+fn prp_scheme_conforms_across_the_matrix() {
+    let d = driver();
+    for sc in &standard_matrix(MASTER_SEED) {
+        d.check_prp(sc).assert_ok();
+    }
+}
+
+/// The cross-scheme ordering the paper's conclusion rests on: for the
+/// same workload, the synchronized scheme trades waiting loss for
+/// bounded rollback while the asynchronous scheme's recovery-line
+/// interval grows with interaction density. Check the orderings that
+/// must hold on every symmetric grid point.
+#[test]
+fn cross_scheme_orderings_hold_on_symmetric_points() {
+    use rbanalysis::sync_loss::mean_loss;
+
+    for sc in standard_matrix(MASTER_SEED)
+        .iter()
+        .filter(|s| s.is_symmetric() && s.lambda.iter().sum::<f64>() > 0.0)
+    {
+        let params = sc.params();
+        let ex = params.mean_interval();
+        // An interacting system can never form lines faster than the
+        // non-interacting Exp(Σμ) race.
+        assert!(
+            ex >= 1.0 / params.total_mu() - 1e-12,
+            "{}: E[X] = {ex} below the λ=0 floor",
+            sc.id
+        );
+        // Synchronized loss is nonnegative and grows with n on
+        // homogeneous rates (checked against a 1-process baseline of 0).
+        let cl = mean_loss(&sc.mu);
+        assert!(cl > 0.0, "{}: E[CL] = {cl}", sc.id);
+    }
+}
