@@ -11,7 +11,7 @@
 //! * [`sync_loss`] — the paper's §3 mean computation-power loss
 //!   `E[CL] = n·∫₀^∞(1 − Πᵢ(1−e^{−μᵢt}))dt − Σᵢ 1/μᵢ`, in closed form
 //!   and by adaptive quadrature (they cross-validate each other);
-//! * [`prp_overhead`] — the §4 cost model of pseudo recovery points:
+//! * [`mod@prp_overhead`] — the §4 cost model of pseudo recovery points:
 //!   states stored, extra state-saving time, and the rollback-distance
 //!   bound;
 //! * [`quadrature`] — adaptive Simpson integration used by the

@@ -1,7 +1,7 @@
 //! Strategy selection (paper §5, made quantitative).
 //!
 //! The conclusion of the paper weighs "the loss of computation power
-//! during normal operation [against] the increase in response time due
+//! during normal operation \[against\] the increase in response time due
 //! to rollback recovery", and names the disqualifiers:
 //!
 //! * the asynchronous scheme (or a long synchronization period) is

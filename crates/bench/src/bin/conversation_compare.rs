@@ -7,7 +7,7 @@
 //! occupancy/deferral cost of the closed boundary, and the
 //! abandonment behaviour under flaky alternates.
 
-use rbbench::{emit_json, row, rule};
+use rbbench::{emit_json, Table};
 use rbcore::schemes::conversation::{
     conversation_round_loss, run_conversations, ConversationConfig,
 };
@@ -28,28 +28,23 @@ fn main() {
     let n = 6;
     let params = AsyncParams::symmetric(n, 1.0, 1.0);
     let horizon = 30_000.0;
-    let w = 13;
 
     println!(
         "Extension X3 — conversation size k vs whole-set synchronization \
          (n = {n}, μ = λ = 1, p_fail = 0.05, horizon {horizon})\n"
     );
-    println!(
-        "{}",
-        row(
-            &[
-                "k",
-                "CL/conv sim",
-                "CL/round",
-                "occupancy",
-                "defer/conv",
-                "abandon%"
-            ]
-            .map(String::from),
-            w
-        )
+    let table = Table::new(
+        13,
+        &[
+            "k",
+            "CL/conv sim",
+            "CL/round",
+            "occupancy",
+            "defer/conv",
+            "abandon%",
+        ],
     );
-    println!("{}", rule(6, w));
+    table.print_header();
 
     let mut points = Vec::new();
     for k in 2..=n {
@@ -58,20 +53,14 @@ fn main() {
         let analytic = conversation_round_loss(&vec![1.0; k]);
         let total = (stats.completed + stats.abandoned).max(1);
         let defer = stats.deferred_interactions as f64 / total as f64;
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{k}"),
-                    format!("{:.4}", stats.loss_per_conversation.mean()),
-                    format!("{analytic:.4}"),
-                    format!("{:.3}%", 100.0 * stats.occupancy()),
-                    format!("{defer:.3}"),
-                    format!("{:.2}%", 100.0 * stats.abandon_rate()),
-                ],
-                w
-            )
-        );
+        table.print_row(&[
+            format!("{k}"),
+            format!("{:.4}", stats.loss_per_conversation.mean()),
+            format!("{analytic:.4}"),
+            format!("{:.3}%", 100.0 * stats.occupancy()),
+            format!("{defer:.3}"),
+            format!("{:.2}%", 100.0 * stats.abandon_rate()),
+        ]);
         points.push(KPoint {
             k,
             loss_per_conversation: stats.loss_per_conversation.mean(),

@@ -6,26 +6,28 @@
 //! process's flag set into a primed copy (entered by that process's RP
 //! events) and a double-primed copy (all other arrivals); E\[Lᵢ\] is the
 //! expected number of arrivals into the primed copies. This binary
-//! prints the split chain for n = 3, the edges into the (1,0,0)-state's
-//! two copies (the paper's S₂ example), and the resulting E\[Lᵢ\].
+//! prints the split chain for n = 3 and the edges into the
+//! (1,0,0)-state's two copies (the paper's S₂ example), then sweeps the
+//! chain's exact statistics over every Table 1 case × tagged process as
+//! one parallel [`rbbench::sweep`] grid, checking the E\[Lᵢ\] = μᵢ·E\[X\]
+//! identity on every cell.
 
-use rbbench::emit_json;
+use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::{emit_json, Table};
 use rbmarkov::paper::{AsyncParams, SplitChain, SplitState};
-use serde::Serialize;
 
-#[derive(Serialize)]
-struct Fig4Result {
-    g: f64,
-    n_states: usize,
-    expected_steps: f64,
-    ex_from_steps: f64,
-    e_l_with_terminal: f64,
-    e_l_paper_statistic: f64,
-    identity_mu_ex: f64,
+fn table1_cases() -> Vec<AsyncParams> {
+    vec![
+        AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0)),
+        AsyncParams::three((1.5, 1.0, 0.5), (1.0, 1.0, 1.0)),
+        AsyncParams::three((1.0, 1.0, 1.0), (1.5, 0.5, 1.0)),
+        AsyncParams::three((1.5, 1.0, 0.5), (1.5, 0.5, 1.0)),
+        AsyncParams::three((1.5, 1.0, 0.5), (0.5, 1.5, 1.0)),
+    ]
 }
 
 fn main() {
-    let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
+    let params = table1_cases().remove(0);
     let tagged = 0; // the paper tags P1 for its S2 = (1,0,0) example
     let sc = SplitChain::build(&params, tagged);
 
@@ -85,30 +87,50 @@ fn main() {
         assert!(!e.marked);
     }
 
-    let steps = sc.expected_steps();
-    let ex = steps / sc.g;
-    let with_term = sc.expected_rp_count(true);
-    let without = sc.expected_rp_count(false);
-    let identity = params.mu()[tagged] * params.mean_interval();
-    println!("\nquantities:");
-    println!("  E[steps to absorb]          = {steps:.6}");
-    println!(
-        "  E[X] = E[steps]/G           = {ex:.6}  (CTMC solve: {:.6})",
-        params.mean_interval()
-    );
-    println!("  E[L1] incl. terminal arrival = {with_term:.6}  (= μ1·E[X] = {identity:.6})");
-    println!("  E[L1] paper's S_u' statistic = {without:.6}");
-
-    emit_json(
+    // Sweep the chain's exact statistics over every Table 1 case ×
+    // tagged process (15 cells).
+    let spec = SweepSpec::new(
         "fig4_split",
-        &Fig4Result {
-            g: sc.g,
-            n_states: sc.labels.len(),
-            expected_steps: steps,
-            ex_from_steps: ex,
-            e_l_with_terminal: with_term,
-            e_l_paper_statistic: without,
-            identity_mu_ex: identity,
-        },
+        0xF164,
+        table1_cases()
+            .into_iter()
+            .enumerate()
+            .flat_map(|(k, params)| {
+                (0..3).map(move |tagged| SweepCell {
+                    id: format!("case{}/P{}", k + 1, tagged + 1),
+                    task: CellTask::SplitChainStats {
+                        params: params.clone(),
+                        tagged,
+                    },
+                })
+            })
+            .collect(),
     );
+    let report = spec.run_parallel();
+
+    println!("\nsplit-chain statistics over Table 1 × tagged process:\n");
+    let table = Table::new(
+        12,
+        &["cell", "E[steps]", "E[X]", "E[X] ctmc", "E[Lu]", "μu·E[X]"],
+    );
+    table.print_header();
+    for cell in &report.cells {
+        table.print_row(&[
+            cell.id.clone(),
+            format!("{:.5}", cell.value("E_steps")),
+            format!("{:.5}", cell.value("EX")),
+            format!("{:.5}", cell.value("EX_ctmc")),
+            format!("{:.5}", cell.value("EL_with_terminal")),
+            format!("{:.5}", cell.value("identity_mu_EX")),
+        ]);
+        // The two independent solvers must agree, and the paper's
+        // E[Lᵢ] = μᵢ·E[X] identity must hold exactly, on every cell.
+        assert!((cell.value("EX") - cell.value("EX_ctmc")).abs() < 1e-7);
+        assert!((cell.value("EL_with_terminal") - cell.value("identity_mu_EX")).abs() < 1e-7);
+    }
+
+    report.emit();
+    // Backwards-compatible summary of the paper's own n = 3 example.
+    let c1 = report.cell("case1/P1").expect("case1/P1 ran");
+    emit_json("fig4_split_case1", &c1.metrics);
 }

@@ -5,10 +5,11 @@
 //! λ = ρ·μ/(n−1). The figure shows E\[X\] "increasing drastically" with
 //! n. We solve the chain exactly (full chain for small n, lumped chain
 //! beyond), cross-check with simulation at each point, and extend the
-//! sweep past the paper's n = 5.
+//! sweep past the paper's n = 5. The simulation points run as one
+//! parallel [`rbbench::sweep`] grid.
 
-use rbbench::{emit_json, row, rule};
-use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::{emit_json, Table};
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
 use serde::Serialize;
 
@@ -25,50 +26,48 @@ struct Point {
 fn main() {
     let mu = 1.0;
     let rhos = [1.0, 2.0, 4.0];
-    let w = 11;
+
+    // Simulation cross-checks for the paper's range (n ≤ 6), one sweep
+    // cell per (ρ, n) point; the analytic curve extends to n = 10.
+    let mut cells = Vec::new();
+    for &rho in &rhos {
+        for n in 2..=6usize {
+            let lambda = rho * mu / (n - 1) as f64;
+            cells.push(SweepCell {
+                id: format!("rho{rho}/n{n}"),
+                task: CellTask::AsyncIntervals {
+                    params: AsyncParams::symmetric(n, mu, lambda),
+                    lines: 30_000,
+                },
+            });
+        }
+    }
+    let report = SweepSpec::new("fig5_meanx_sweep", 7_000, cells).run_parallel();
+
     println!("Figure 5 — E[X] vs number of processes (μ = 1, λ = ρ/(n−1), ρ fixed)\n");
-    println!(
-        "{}",
-        row(
-            &["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"].map(String::from),
-            w
-        )
-    );
-    println!("{}", rule(6, w));
+    let table = Table::new(11, &["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"]);
+    table.print_header();
 
     let mut points = Vec::new();
     for &rho in &rhos {
         for n in 2..=10usize {
             let lambda = rho * mu / (n - 1) as f64;
             let ex = mean_interval_symmetric(n, mu, lambda);
-            // Simulation cross-check for the paper's range.
-            let (sim, ci) = if n <= 6 {
-                let stats = AsyncScheme::new(
-                    AsyncConfig::new(AsyncParams::symmetric(n, mu, lambda)),
-                    7_000 + n as u64,
-                )
-                .run_intervals(30_000);
-                (
-                    Some(stats.interval.mean()),
-                    Some(stats.interval.ci_half_width(1.96)),
-                )
-            } else {
-                (None, None)
+            let (sim, ci) = match report.cell(&format!("rho{rho}/n{n}")) {
+                Some(cell) => {
+                    let m = cell.metric("EX").expect("EX measured");
+                    (Some(m.value), Some(1.96 * m.std_err))
+                }
+                None => (None, None),
             };
-            println!(
-                "{}",
-                row(
-                    &[
-                        format!("{n}"),
-                        format!("{rho:.1}"),
-                        format!("{lambda:.3}"),
-                        format!("{ex:.4}"),
-                        sim.map_or("—".into(), |s| format!("{s:.4}")),
-                        ci.map_or("—".into(), |c| format!("{c:.4}")),
-                    ],
-                    w
-                )
-            );
+            table.print_row(&[
+                format!("{n}"),
+                format!("{rho:.1}"),
+                format!("{lambda:.3}"),
+                format!("{ex:.4}"),
+                sim.map_or("—".into(), |s| format!("{s:.4}")),
+                ci.map_or("—".into(), |c| format!("{c:.4}")),
+            ]);
             points.push(Point {
                 n,
                 rho,
@@ -78,7 +77,7 @@ fn main() {
                 ex_sim_ci95: ci,
             });
         }
-        println!("{}", rule(6, w));
+        table.print_rule();
     }
 
     // The paper's qualitative claim: drastic growth in n.
@@ -92,6 +91,18 @@ fn main() {
                 "E[X] must increase with n at fixed ρ"
             );
         }
+    }
+
+    // Simulation must agree with the exact solve on every swept point.
+    for p in points.iter().filter(|p| p.ex_sim.is_some()) {
+        let (sim, ci) = (p.ex_sim.unwrap(), p.ex_sim_ci95.unwrap());
+        assert!(
+            (sim - p.ex_markov).abs() < 3.0 * ci + 0.05,
+            "n={} ρ={}: sim {sim} vs markov {}",
+            p.n,
+            p.rho,
+            p.ex_markov
+        );
     }
 
     emit_json("fig5_meanx", &points);

@@ -5,7 +5,7 @@
 //!   2. μ = (0.6, 0.45, 0.45),  λ = (0.5, 0.5, 0.5)
 //!   3. μ = (0.6, 0.45, 0.45),  λ = (0.75, 0.75, 0.75)
 //!
-//! "For all the three cases there is a sharp [peak] near t = 0, which
+//! "For all the three cases there is a sharp \[peak\] near t = 0, which
 //! is due to direct transition between S_r and S_{r+1}" — f(0⁺) equals
 //! the R4 rate Σμ. The analytic density comes from uniformization; a
 //! simulation histogram cross-checks each curve.

@@ -8,7 +8,7 @@
 //! discrete-event timeline for the three request strategies.
 
 use rbanalysis::sync_loss;
-use rbbench::{emit_json, row, rule};
+use rbbench::{emit_json, Table};
 use rbcore::schemes::synchronized::{run_sync_timeline, simulate_commit_losses, SyncStrategy};
 use rbmarkov::paper::AsyncParams;
 use rbruntime::{run_synchronization, SyncParticipant};
@@ -70,15 +70,8 @@ fn main() {
 
     // ── E[CL]: closed form vs quadrature vs Monte-Carlo ──────────────
     println!("\nE[CL] cross-validation:");
-    let w = 12;
-    println!(
-        "{}",
-        row(
-            &["μ", "closed", "integral", "simulated", "±95%"].map(String::from),
-            w
-        )
-    );
-    println!("{}", rule(5, w));
+    let table = Table::new(12, &["μ", "closed", "integral", "simulated", "±95%"]);
+    table.print_header();
     let mut losses = Vec::new();
     for mus in [
         vec![1.0, 1.0, 1.0],
@@ -89,19 +82,13 @@ fn main() {
         let analytic = sync_loss::mean_loss(&mus);
         let quad = sync_loss::mean_loss_quadrature(&mus, 1e-10);
         let sim = simulate_commit_losses(&mus, 100_000, 99);
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{mus:?}"),
-                    format!("{analytic:.4}"),
-                    format!("{quad:.4}"),
-                    format!("{:.4}", sim.loss.mean()),
-                    format!("{:.4}", sim.loss.ci_half_width(1.96)),
-                ],
-                w
-            )
-        );
+        table.print_row(&[
+            format!("{mus:?}"),
+            format!("{analytic:.4}"),
+            format!("{quad:.4}"),
+            format!("{:.4}", sim.loss.mean()),
+            format!("{:.4}", sim.loss.ci_half_width(1.96)),
+        ]);
         losses.push(LossPoint {
             mu: mus,
             analytic,
@@ -114,14 +101,11 @@ fn main() {
     // ── The three request strategies over a long timeline ────────────
     let params = AsyncParams::symmetric(3, 1.0, 1.0);
     println!("\nrequest strategies (horizon 50 000, μ = λ = 1):");
-    println!(
-        "{}",
-        row(
-            &["strategy", "lines", "loss rate", "CL/line", "interval"].map(String::from),
-            14
-        )
+    let table = Table::new(
+        14,
+        &["strategy", "lines", "loss rate", "CL/line", "interval"],
     );
-    println!("{}", rule(5, 14));
+    table.print_header();
     let mut strategies = Vec::new();
     for (name, strat) in [
         ("const Δ=5", SyncStrategy::ConstantInterval(5.0)),
@@ -129,19 +113,13 @@ fn main() {
         ("states k=15", SyncStrategy::StatesSaved(15)),
     ] {
         let s = run_sync_timeline(&params, strat, 50_000.0, 3);
-        println!(
-            "{}",
-            row(
-                &[
-                    name.to_string(),
-                    format!("{}", s.lines),
-                    format!("{:.4}%", 100.0 * s.loss_rate),
-                    format!("{:.4}", s.loss_per_line.mean()),
-                    format!("{:.3}", s.line_interval.mean()),
-                ],
-                14
-            )
-        );
+        table.print_row(&[
+            name.to_string(),
+            format!("{}", s.lines),
+            format!("{:.4}%", 100.0 * s.loss_rate),
+            format!("{:.4}", s.loss_per_line.mean()),
+            format!("{:.3}", s.line_interval.mean()),
+        ]);
         strategies.push(StrategyPoint {
             strategy: name.to_string(),
             lines: s.lines,

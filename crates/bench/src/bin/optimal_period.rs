@@ -9,7 +9,7 @@
 
 use rbanalysis::optimal::{optimal_period, overhead_rate, sqrt_law_period};
 use rbanalysis::sync_loss::mean_loss;
-use rbbench::{emit_json, row, rule};
+use rbbench::{emit_json, Table};
 use rbcore::schemes::synchronized::{run_sync_timeline, SyncStrategy};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
@@ -27,28 +27,23 @@ struct EpsPoint {
 
 fn main() {
     let mu = vec![1.0, 1.0, 1.0];
-    let w = 13;
     println!(
         "Extension X4 — optimal sync period Δ* (n = 3, μ = 1, E[CL] = {:.3})\n",
         mean_loss(&mu)
     );
-    println!(
-        "{}",
-        row(
-            &[
-                "ε",
-                "Δ*",
-                "√-law",
-                "rate(Δ*)",
-                "rate(Δ*/2)",
-                "rate(2Δ*)",
-                "sim wait%"
-            ]
-            .map(String::from),
-            w
-        )
+    let table = Table::new(
+        13,
+        &[
+            "ε",
+            "Δ*",
+            "√-law",
+            "rate(Δ*)",
+            "rate(Δ*/2)",
+            "rate(2Δ*)",
+            "sim wait%",
+        ],
     );
-    println!("{}", rule(7, w));
+    table.print_header();
 
     let params = AsyncParams::new(mu.clone(), vec![1.0; 3]).unwrap();
     let mut points = Vec::new();
@@ -64,21 +59,15 @@ fn main() {
             100_000.0,
             3,
         );
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{eps}"),
-                    format!("{:.3}", opt.delta),
-                    format!("{anchor:.3}"),
-                    format!("{:.4}", opt.rate),
-                    format!("{half:.4}"),
-                    format!("{double:.4}"),
-                    format!("{:.3}%", 100.0 * sim.loss_rate),
-                ],
-                w
-            )
-        );
+        table.print_row(&[
+            format!("{eps}"),
+            format!("{:.3}", opt.delta),
+            format!("{anchor:.3}"),
+            format!("{:.4}", opt.rate),
+            format!("{half:.4}"),
+            format!("{double:.4}"),
+            format!("{:.3}%", 100.0 * sim.loss_rate),
+        ]);
         assert!(half >= opt.rate && double >= opt.rate, "Δ* is a minimum");
         // The simulated waiting-loss rate matches the model's waiting
         // component E[CL]/(n(Δ+E[Z])).

@@ -10,7 +10,7 @@
 //! distance, affected-set size, and domino rate, on identical
 //! fault-injection episodes (same seeds).
 
-use rbbench::{emit_json, row, rule};
+use rbbench::{emit_json, Table};
 use rbcore::fault::FaultConfig;
 use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbmarkov::paper::AsyncParams;
@@ -30,20 +30,17 @@ struct Point {
 
 fn main() {
     let episodes = 800;
-    let w = 11;
     println!(
         "Extension X2 — symmetric (paper) vs directed (Russell) rollback, \
          n = 3, μ = 0.5, {episodes} episodes per point\n"
     );
-    println!(
-        "{}",
-        row(
-            &["λ", "sym D", "dir D", "sym aff", "dir aff", "sym dom%", "dir dom%", "Δ D"]
-                .map(String::from),
-            w
-        )
+    let table = Table::new(
+        11,
+        &[
+            "λ", "sym D", "dir D", "sym aff", "dir aff", "sym dom%", "dir dom%", "Δ D",
+        ],
     );
-    println!("{}", rule(8, w));
+    table.print_header();
 
     let mut points = Vec::new();
     for lambda in [0.25, 0.5, 1.0, 2.0, 4.0] {
@@ -57,22 +54,16 @@ fn main() {
         let dir = AsyncScheme::new(AsyncConfig::new(params).with_fault(fault), 4242)
             .run_failure_episodes_directed(episodes);
         let reduction = 1.0 - dir.sup_distance.mean() / sym.sup_distance.mean();
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{lambda}"),
-                    format!("{:.3}", sym.sup_distance.mean()),
-                    format!("{:.3}", dir.sup_distance.mean()),
-                    format!("{:.2}", sym.n_affected.mean()),
-                    format!("{:.2}", dir.n_affected.mean()),
-                    format!("{:.1}%", 100.0 * sym.domino_rate()),
-                    format!("{:.1}%", 100.0 * dir.domino_rate()),
-                    format!("{:.1}%", 100.0 * reduction),
-                ],
-                w
-            )
-        );
+        table.print_row(&[
+            format!("{lambda}"),
+            format!("{:.3}", sym.sup_distance.mean()),
+            format!("{:.3}", dir.sup_distance.mean()),
+            format!("{:.2}", sym.n_affected.mean()),
+            format!("{:.2}", dir.n_affected.mean()),
+            format!("{:.1}%", 100.0 * sym.domino_rate()),
+            format!("{:.1}%", 100.0 * dir.domino_rate()),
+            format!("{:.1}%", 100.0 * reduction),
+        ]);
         assert!(dir.sup_distance.mean() <= sym.sup_distance.mean() + 1e-12);
         points.push(Point {
             lambda,

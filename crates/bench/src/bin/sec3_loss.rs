@@ -5,10 +5,12 @@
 //! of processes at equal rates and (b) rate skew at fixed Σμ, each
 //! point validated three ways: closed form, the paper's integral by
 //! adaptive quadrature, and Monte-Carlo simulation of the protocol.
+//! All 15 grid points run as one parallel [`rbbench::sweep`] — the
+//! engine derives the per-cell seeds, so results are thread-count
+//! independent.
 
-use rbanalysis::sync_loss;
-use rbbench::{emit_json, row, rule};
-use rbcore::schemes::synchronized::simulate_commit_losses;
+use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::{emit_json, Table};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,89 +25,90 @@ struct SweepPoint {
 }
 
 fn main() {
-    let w = 13;
-    let mut points = Vec::new();
+    let rounds = 60_000;
 
-    println!("§3 E[CL] sweep A — n processes at μ = 1 (loss grows superlinearly):\n");
-    println!(
-        "{}",
-        row(
-            &["n", "closed form", "integral", "simulated", "CL/process"].map(String::from),
-            w
-        )
-    );
-    println!("{}", rule(5, w));
-    for n in 2..=12usize {
-        let mu = vec![1.0; n];
-        let cf = sync_loss::mean_loss(&mu);
-        let quad = sync_loss::mean_loss_quadrature(&mu, 1e-10);
-        let sim = simulate_commit_losses(&mu, 60_000, n as u64);
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{n}"),
-                    format!("{cf:.4}"),
-                    format!("{quad:.4}"),
-                    format!("{:.4}", sim.loss.mean()),
-                    format!("{:.4}", cf / n as f64),
-                ],
-                w
-            )
-        );
-        assert!((cf - quad).abs() < 1e-5);
-        assert!((cf - sim.loss.mean()).abs() < 4.0 * sim.loss.ci_half_width(1.96) + 0.02);
-        points.push(SweepPoint {
-            label: format!("n={n}"),
-            mu,
-            closed_form: cf,
-            quadrature: quad,
-            simulated: sim.loss.mean(),
-            sim_ci95: sim.loss.ci_half_width(1.96),
-            per_process_loss: cf / n as f64,
-        });
-    }
-
-    println!("\n§3 E[CL] sweep B — rate skew at fixed Σμ = 3 (stragglers hurt):\n");
-    println!(
-        "{}",
-        row(
-            &["μ", "closed form", "integral", "simulated", "CL/process"].map(String::from),
-            w
-        )
-    );
-    println!("{}", rule(5, w));
+    // Sweep A: n processes at μ = 1. Sweep B: rate skew at fixed Σμ = 3.
+    let mut grid: Vec<(String, Vec<f64>)> = (2..=12usize)
+        .map(|n| (format!("n={n}"), vec![1.0; n]))
+        .collect();
     for (label, mu) in [
         ("balanced", vec![1.0, 1.0, 1.0]),
         ("mild skew", vec![1.25, 1.0, 0.75]),
         ("table-1 skew", vec![1.5, 1.0, 0.5]),
         ("extreme", vec![2.4, 0.3, 0.3]),
     ] {
-        let cf = sync_loss::mean_loss(&mu);
-        let quad = sync_loss::mean_loss_quadrature(&mu, 1e-10);
-        let sim = simulate_commit_losses(&mu, 60_000, 17);
-        println!(
-            "{}",
-            row(
-                &[
-                    label.to_string(),
-                    format!("{cf:.4}"),
-                    format!("{quad:.4}"),
-                    format!("{:.4}", sim.loss.mean()),
-                    format!("{:.4}", cf / 3.0),
-                ],
-                w
-            )
-        );
-        points.push(SweepPoint {
+        grid.push((label.to_string(), mu));
+    }
+
+    let spec = SweepSpec::new(
+        "sec3_loss_sweep",
+        0x5EC3,
+        grid.iter()
+            .map(|(label, mu)| SweepCell {
+                id: label.clone(),
+                task: CellTask::SyncLoss {
+                    mu: mu.clone(),
+                    rounds,
+                },
+            })
+            .collect(),
+    );
+    let report = spec.run_parallel();
+
+    let point = |label: &str, mu: &[f64]| -> SweepPoint {
+        let cell = report.cell(label).expect("cell ran");
+        let ecl = cell.metric("ECL").expect("ECL measured");
+        let cf = cell.value("ECL_closed_form");
+        let quad = cell.value("ECL_quadrature");
+        assert!((cf - quad).abs() < 1e-5);
+        assert!((cf - ecl.value).abs() < 4.0 * 1.96 * ecl.std_err + 0.02);
+        SweepPoint {
             label: label.to_string(),
-            mu,
+            mu: mu.to_vec(),
             closed_form: cf,
             quadrature: quad,
-            simulated: sim.loss.mean(),
-            sim_ci95: sim.loss.ci_half_width(1.96),
-            per_process_loss: cf / 3.0,
-        });
+            simulated: ecl.value,
+            sim_ci95: 1.96 * ecl.std_err,
+            per_process_loss: cf / mu.len() as f64,
+        }
+    };
+
+    let mut points = Vec::new();
+
+    println!("§3 E[CL] sweep A — n processes at μ = 1 (loss grows superlinearly):\n");
+    let table = Table::new(
+        13,
+        &["n", "closed form", "integral", "simulated", "CL/process"],
+    );
+    table.print_header();
+    for (label, mu) in grid.iter().take(11) {
+        let p = point(label, mu);
+        table.print_row(&[
+            label.trim_start_matches("n=").to_string(),
+            format!("{:.4}", p.closed_form),
+            format!("{:.4}", p.quadrature),
+            format!("{:.4}", p.simulated),
+            format!("{:.4}", p.per_process_loss),
+        ]);
+        points.push(p);
+    }
+
+    println!("\n§3 E[CL] sweep B — rate skew at fixed Σμ = 3 (stragglers hurt):\n");
+    let table = Table::new(
+        13,
+        &["μ", "closed form", "integral", "simulated", "CL/process"],
+    );
+    table.print_header();
+    for (label, mu) in grid.iter().skip(11) {
+        let p = point(label, mu);
+        table.print_row(&[
+            label.clone(),
+            format!("{:.4}", p.closed_form),
+            format!("{:.4}", p.quadrature),
+            format!("{:.4}", p.simulated),
+            format!("{:.4}", p.per_process_loss),
+        ]);
+        points.push(p);
     }
 
     // Monotonicity claims.

@@ -9,7 +9,7 @@
 //! * the propagated-error case pays more (step-3 continuation).
 
 use rbanalysis::prp_overhead::{prp_overhead, waste_ratio};
-use rbbench::{emit_json, row, rule};
+use rbbench::{emit_json, Table};
 use rbcore::fault::FaultConfig;
 use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbcore::schemes::prp::{PrpConfig, PrpScheme};
@@ -64,24 +64,19 @@ fn main() {
 
     // ── Rollback distances: async vs PRP across workloads ────────────
     println!("\nrollback distance, 600 failure episodes per point (n = 3):\n");
-    let w = 12;
-    println!(
-        "{}",
-        row(
-            &[
-                "μ",
-                "λ",
-                "async D",
-                "async dom%",
-                "PRP D",
-                "PRP dom%",
-                "bound"
-            ]
-            .map(String::from),
-            w
-        )
+    let table = Table::new(
+        12,
+        &[
+            "μ",
+            "λ",
+            "async D",
+            "async dom%",
+            "PRP D",
+            "PRP dom%",
+            "bound",
+        ],
     );
-    println!("{}", rule(7, w));
+    table.print_header();
     let mut distances = Vec::new();
     for (mu, lambda) in [(1.0, 0.5), (1.0, 2.0), (0.5, 2.0), (0.25, 2.0)] {
         let params = AsyncParams::symmetric(3, mu, lambda);
@@ -94,21 +89,15 @@ fn main() {
         let pm = PrpScheme::new(PrpConfig::new(params.clone()).with_fault(fault), 21)
             .run_failure_episodes(600);
         let bound = prp_overhead(params.mu(), t_r).rollback_bound;
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{mu}"),
-                    format!("{lambda}"),
-                    format!("{:.3}", am.sup_distance.mean()),
-                    format!("{:.1}%", 100.0 * am.domino_rate()),
-                    format!("{:.3}", pm.sup_distance.mean()),
-                    format!("{:.1}%", 100.0 * pm.domino_rate()),
-                    format!("{bound:.3}"),
-                ],
-                w
-            )
-        );
+        table.print_row(&[
+            format!("{mu}"),
+            format!("{lambda}"),
+            format!("{:.3}", am.sup_distance.mean()),
+            format!("{:.1}%", 100.0 * am.domino_rate()),
+            format!("{:.3}", pm.sup_distance.mean()),
+            format!("{:.1}%", 100.0 * pm.domino_rate()),
+            format!("{bound:.3}"),
+        ]);
         assert!(
             pm.sup_distance.mean() <= am.sup_distance.mean() + 1e-9,
             "PRP must not lengthen rollback"

@@ -3,15 +3,17 @@
 //! Five 3-process cases sharing Σλ = Σμ = 3 (ρ constant). The paper
 //! reports simulation results; we report (a) the exact Markov solve,
 //! (b) our simulation with confidence intervals, and (c) the paper's
-//! printed values for comparison.
+//! printed values for comparison. The five cases run as one parallel
+//! [`rbbench::sweep`] grid — per-case seeds derive from the master
+//! seed, so the numbers are identical at any thread count.
 //!
 //! Reading the paper's own numbers closely: within every case the
 //! E(Lᵢ) rows equal μᵢ·E\[X\]_exact (Poisson thinning), while the E(X)
 //! row sits ≈4 % above E\[X\]_exact — a finite-run bias in the 1983
 //! simulation. Our simulation reproduces the exact values.
 
-use rbbench::{emit_json, row, rule};
-use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::{emit_json, Table};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
@@ -33,8 +35,7 @@ struct CaseResult {
 }
 
 fn main() {
-    // (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper (L₁,L₂,L₃).
-    // One case: (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper E(Lᵢ).
+    // (μ₁,μ₂,μ₃), (λ₁₂,λ₂₃,λ₁₃), paper E(X), paper E(Lᵢ).
     type Table1Case = ((f64, f64, f64), (f64, f64, f64), f64, [f64; 3]);
     let cases: [Table1Case; 5] = [
         (
@@ -70,20 +71,34 @@ fn main() {
     ];
 
     let lines = 200_000;
-    let w = 10;
-    println!("Table 1 — E(X) and E(Lᵢ) at constant ρ (5 cases, {lines} simulated lines each)\n");
-    println!(
-        "{}",
-        row(
-            &[
-                "case", "E(X) mkv", "E(X) sim", "±95%", "E(X) ppr", "E(L1)", "E(L2)", "E(L3)",
-                "ΣL mkv", "ΣL ppr"
-            ]
-            .map(String::from),
-            w
-        )
+
+    // One sweep cell per case; the engine derives the per-case seeds.
+    let spec = SweepSpec::new(
+        "table1_sweep",
+        1983,
+        cases
+            .iter()
+            .enumerate()
+            .map(|(k, &(mu, lam, _, _))| SweepCell {
+                id: format!("case{}", k + 1),
+                task: CellTask::AsyncIntervals {
+                    params: AsyncParams::three(mu, lam),
+                    lines,
+                },
+            })
+            .collect(),
     );
-    println!("{}", rule(10, w));
+    let report = spec.run_parallel();
+
+    println!("Table 1 — E(X) and E(Lᵢ) at constant ρ (5 cases, {lines} simulated lines each)\n");
+    let table = Table::new(
+        10,
+        &[
+            "case", "E(X) mkv", "E(X) sim", "±95%", "E(X) ppr", "E(L1)", "E(L2)", "E(L3)",
+            "ΣL mkv", "ΣL ppr",
+        ],
+    );
+    table.print_header();
 
     let mut results = Vec::new();
     for (k, &(mu, lam, ex_paper, l_paper)) in cases.iter().enumerate() {
@@ -91,28 +106,24 @@ fn main() {
         let ex = params.mean_interval();
         let l_markov = [0, 1, 2].map(|i| params.mu()[i] * ex);
 
-        let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), 1983 + k as u64)
-            .run_intervals(lines);
-        let l_sim = [0, 1, 2].map(|i| stats.rp_counts[i].mean());
+        let cell = report.cell(&format!("case{}", k + 1)).expect("cell ran");
+        let ex_metric = cell.metric("EX").expect("EX measured");
+        let ex_sim = ex_metric.value;
+        let ex_sim_ci95 = 1.96 * ex_metric.std_err;
+        let l_sim = [0, 1, 2].map(|i| cell.value(&format!("EL{i}")));
 
-        println!(
-            "{}",
-            row(
-                &[
-                    format!("{}", k + 1),
-                    format!("{ex:.3}"),
-                    format!("{:.3}", stats.interval.mean()),
-                    format!("{:.3}", stats.interval.ci_half_width(1.96)),
-                    format!("{ex_paper:.3}"),
-                    format!("{:.3}", l_sim[0]),
-                    format!("{:.3}", l_sim[1]),
-                    format!("{:.3}", l_sim[2]),
-                    format!("{:.3}", l_markov.iter().sum::<f64>()),
-                    format!("{:.3}", l_paper.iter().sum::<f64>()),
-                ],
-                w
-            )
-        );
+        table.print_row(&[
+            format!("{}", k + 1),
+            format!("{ex:.3}"),
+            format!("{ex_sim:.3}"),
+            format!("{ex_sim_ci95:.3}"),
+            format!("{ex_paper:.3}"),
+            format!("{:.3}", l_sim[0]),
+            format!("{:.3}", l_sim[1]),
+            format!("{:.3}", l_sim[2]),
+            format!("{:.3}", l_markov.iter().sum::<f64>()),
+            format!("{:.3}", l_paper.iter().sum::<f64>()),
+        ]);
 
         results.push(CaseResult {
             case: k + 1,
@@ -120,8 +131,8 @@ fn main() {
             lambda: lam,
             rho: params.rho(),
             ex_markov: ex,
-            ex_sim: stats.interval.mean(),
-            ex_sim_ci95: stats.interval.ci_half_width(1.96),
+            ex_sim,
+            ex_sim_ci95,
             ex_paper,
             l_markov,
             l_sim,

@@ -1,12 +1,34 @@
 //! # rbbench — the experiment harness
 //!
 //! One binary per table/figure of Shin & Lee (ICPP 1983); see
-//! `DESIGN.md` §4 for the index and `EXPERIMENTS.md` for recorded
-//! outputs. Shared plumbing lives here: artifact emission and tiny
-//! table formatting.
+//! `ARCHITECTURE.md` at the workspace root for the paper-section →
+//! crate → binary index. Shared plumbing lives here:
+//!
+//! * [`sweep`] — the parallel scenario-sweep engine: parameter grids
+//!   ([`sweep::SweepSpec`]) dispatched over threads with deterministic
+//!   per-cell seeding, aggregated into a serializable
+//!   [`sweep::SweepReport`];
+//! * [`emit_json`] / [`artifact_json`] — the one JSON artifact writer
+//!   every binary funnels through (machine-readable twins of the
+//!   printed tables, under `results/`);
+//! * [`Table`], [`row`], [`rule`] — fixed-width table printing.
+//!
+//! ```
+//! use rbbench::sweep::{AsyncGrid, SweepSpec};
+//!
+//! let spec = SweepSpec::async_grid(
+//!     "quickstart",
+//!     1983,
+//!     &AsyncGrid { n: vec![3], mu: vec![1.0], lambda: vec![1.0], lines: 300 },
+//! );
+//! let report = spec.run_parallel(); // bit-identical to spec.run(1)
+//! assert!(report.cells[0].value("EX") > 0.0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod sweep;
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -21,15 +43,24 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// The canonical artifact serialization: pretty JSON plus a trailing
+/// newline, exactly the bytes [`emit_json`] writes. Factored out so
+/// determinism tests can compare artifacts without touching the
+/// filesystem.
+pub fn artifact_json<T: serde::Serialize>(value: &T) -> String {
+    let mut body = serde_json::to_string_pretty(value).expect("serialize artifact");
+    body.push('\n');
+    body
+}
+
 /// Writes a serializable artifact as pretty JSON under `results/`,
 /// returning the path. The figure binaries both print human-readable
 /// tables and persist these machine-readable twins.
 pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path).expect("create artifact");
-    let body = serde_json::to_string_pretty(value).expect("serialize artifact");
-    f.write_all(body.as_bytes()).expect("write artifact");
-    f.write_all(b"\n").expect("write artifact");
+    f.write_all(artifact_json(value).as_bytes())
+        .expect("write artifact");
     eprintln!("[artifact] {}", path.display());
     path
 }
@@ -48,6 +79,53 @@ pub fn rule(n: usize, width: usize) -> String {
     "-".repeat(n * (width + 1))
 }
 
+/// Fixed-width table printing for the figure binaries.
+///
+/// Every binary used to hand-roll the same header/rule/row `println!`
+/// boilerplate over [`row`] and [`rule`]; `Table` is that pattern,
+/// once.
+///
+/// ```
+/// let t = rbbench::Table::new(8, &["n", "E(X)"]);
+/// t.print_header();
+/// t.print_row(&["3".into(), format!("{:.3}", 2.598)]);
+/// ```
+pub struct Table {
+    width: usize,
+    header: Vec<String>,
+}
+
+impl Table {
+    /// A table with `columns.len()` cells of `width` characters.
+    pub fn new(width: usize, columns: &[&str]) -> Self {
+        Table {
+            width,
+            header: columns.iter().map(|c| c.to_string()).collect(),
+        }
+    }
+
+    /// Prints the header row followed by a rule.
+    pub fn print_header(&self) {
+        println!("{}", row(&self.header, self.width));
+        println!("{}", rule(self.header.len(), self.width));
+    }
+
+    /// Prints a horizontal rule matching the table's width (series
+    /// separator).
+    pub fn print_rule(&self) {
+        println!("{}", rule(self.header.len(), self.width));
+    }
+
+    /// Prints one data row.
+    ///
+    /// # Panics
+    /// Panics if `cells` does not match the header's column count.
+    pub fn print_row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row/header column mismatch");
+        println!("{}", row(cells, self.width));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,6 +140,7 @@ mod tests {
             serde_json::from_str::<Vec<i32>>(&body).unwrap(),
             vec![1, 2, 3]
         );
+        assert_eq!(body, artifact_json(&vec![1, 2, 3]));
         std::env::remove_var("RB_RESULTS_DIR");
     }
 
@@ -69,5 +148,12 @@ mod tests {
     fn row_is_fixed_width() {
         let r = row(&["a".into(), "bb".into()], 4);
         assert_eq!(r, "   a   bb");
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn table_rejects_ragged_rows() {
+        let t = Table::new(4, &["a", "b"]);
+        t.print_row(&["only-one".into()]);
     }
 }

@@ -1,0 +1,594 @@
+//! The parallel scenario-sweep engine.
+//!
+//! Every figure and table of Shin & Lee (ICPP 1983) is produced by
+//! sweeping a parameter grid — checkpoint rates μᵢ (period 1/μᵢ),
+//! interaction rates λᵢⱼ, process count n, scheme — through the
+//! discrete-event simulator and the analytic solvers. This module runs
+//! those grids in parallel with `std::thread::scope` while keeping the
+//! results **bit-identical** to a serial run:
+//!
+//! * a [`SweepSpec`] names the sweep and lists its [`SweepCell`]s (built
+//!   by hand, from an [`AsyncGrid`] cross product, or from the
+//!   `rbtestutil` conformance matrix);
+//! * each cell's random streams are seeded by
+//!   [`rbsim::derive_seed`]`(master_seed, cell_index)` — a pure function
+//!   of the spec, never of thread identity or execution order;
+//! * cells are dispatched over worker threads through
+//!   [`rbsim::par::par_map`]'s work-stealing-style chunked cursor, and
+//!   the per-cell [`CellReport`]s are reassembled in grid order;
+//! * the aggregated [`SweepReport`] (per-cell means, standard errors and
+//!   observation counts) serializes through the same JSON writer as
+//!   every other artifact ([`crate::emit_json`]).
+//!
+//! The report contains nothing execution-specific (no thread count, no
+//! timestamps), so `spec.run(1)` and `spec.run(k)` produce byte-identical
+//! JSON — a property pinned by `tests/sweep_determinism.rs`.
+//!
+//! ```
+//! use rbbench::sweep::{AsyncGrid, SweepSpec};
+//!
+//! let grid = AsyncGrid {
+//!     n: vec![2, 3],
+//!     mu: vec![1.0],
+//!     lambda: vec![0.5, 1.0],
+//!     lines: 200,
+//! };
+//! let spec = SweepSpec::async_grid("doc-example", 42, &grid);
+//! assert_eq!(spec.cells.len(), 4);
+//! let serial = spec.run(1);
+//! let parallel = spec.run(4);
+//! assert_eq!(serial.to_json(), parallel.to_json()); // bit-identical
+//! let ex = serial.cell("n2/mu1/lam0.5").unwrap().value("EX");
+//! assert!(ex > 0.0);
+//! ```
+
+use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbcore::schemes::prp::{PrpConfig, PrpScheme};
+use rbcore::schemes::synchronized::simulate_commit_losses;
+use rbmarkov::paper::{AsyncParams, SplitChain};
+use rbsim::derive_seed;
+use rbsim::par::{available_threads, par_map};
+use rbsim::stats::Welford;
+use rbtestutil::{standard_matrix, Scenario, SchemeConformance};
+use serde::Serialize;
+
+/// One aggregated quantity measured in a cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Metric {
+    /// What was measured, e.g. `EX` or `async/EX/sim-vs-ctmc`.
+    pub name: String,
+    /// Point value: a sample mean, an exact analytic value, or — for
+    /// conformance checks — the signed discrepancy `lhs − rhs`.
+    pub value: f64,
+    /// Standard error of the mean (sampled metrics), the allowed
+    /// tolerance (conformance checks), or 0 (exact values).
+    pub std_err: f64,
+    /// Observations folded in (0 for exact analytic values).
+    pub count: u64,
+    /// Whether the metric is acceptable. Always `true` for measurements;
+    /// conformance checks carry their pass/fail verdict here.
+    pub ok: bool,
+}
+
+impl Metric {
+    /// A metric aggregated from a [`Welford`] accumulator.
+    pub fn sampled(name: impl Into<String>, w: &Welford) -> Metric {
+        Metric {
+            name: name.into(),
+            value: w.mean(),
+            std_err: w.std_err(),
+            count: w.count(),
+            ok: true,
+        }
+    }
+
+    /// An exact (analytic or structural) value.
+    pub fn exact(name: impl Into<String>, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            std_err: 0.0,
+            count: 0,
+            ok: true,
+        }
+    }
+}
+
+/// The work one grid cell performs.
+///
+/// Each variant is one computation path of the paper; the per-cell seed
+/// handed to [`SweepCell::run`] drives every stochastic variant, so a
+/// cell's report is a pure function of `(task, seed)`.
+#[derive(Clone, Debug)]
+pub enum CellTask {
+    /// §2 asynchronous scheme: measure `lines` recovery-line intervals
+    /// (Table 1, Figures 5/6). Metrics: `EX`, `EL{i}`, `events`.
+    AsyncIntervals {
+        /// Checkpoint and interaction rates.
+        params: AsyncParams,
+        /// Recovery-line intervals to measure.
+        lines: usize,
+    },
+    /// §3 synchronized scheme: simulate `rounds` commitment rounds and
+    /// evaluate the closed form and quadrature (Section 3, `sec3_loss`).
+    /// Metrics: `ECL`, `EZ`, `ECL_closed_form`, `ECL_quadrature`.
+    SyncLoss {
+        /// Per-process checkpoint rates μᵢ.
+        mu: Vec<f64>,
+        /// Commitment rounds to simulate.
+        rounds: usize,
+    },
+    /// Figure 4: build the split chain `Y_d` and extract its exact
+    /// statistics. Metrics: `G`, `n_states`, `E_steps`, `EX`,
+    /// `EL_with_terminal`, `EL_paper_statistic`, `EX_ctmc`,
+    /// `identity_mu_EX`.
+    SplitChainStats {
+        /// Checkpoint and interaction rates.
+        params: AsyncParams,
+        /// The tagged process whose states are split.
+        tagged: usize,
+    },
+    /// §4 PRP scheme: run the storage timeline. Metrics: `rps_total`,
+    /// `prps_total`, `peak_live_max`, `mean_live_states`,
+    /// `prp_time_overhead`.
+    PrpStorage {
+        /// Checkpoint and interaction rates.
+        params: AsyncParams,
+        /// Simulated horizon.
+        horizon: f64,
+        /// State-recording time t_r.
+        t_r: f64,
+    },
+    /// One scenario of the `rbtestutil` conformance matrix through every
+    /// path of all three schemes. One metric per pairwise check, named
+    /// by the check label, `value = lhs − rhs`, `std_err = tol`,
+    /// `ok = pass`.
+    Conformance {
+        /// The grid point to check.
+        scenario: Scenario,
+        /// Simulation effort / tolerance configuration.
+        cfg: SchemeConformance,
+    },
+}
+
+/// One grid point of a sweep: a stable id plus its task.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Stable identifier, e.g. `n3/mu1/lam0.25` or a scenario id.
+    pub id: String,
+    /// What the cell computes.
+    pub task: CellTask,
+}
+
+impl SweepCell {
+    /// Runs the cell with the given derived seed, producing its report.
+    pub fn run(&self, seed: u64) -> CellReport {
+        let mut metrics = Vec::new();
+        match &self.task {
+            CellTask::AsyncIntervals { params, lines } => {
+                let stats =
+                    AsyncScheme::new(AsyncConfig::new(params.clone()), seed).run_intervals(*lines);
+                metrics.push(Metric::sampled("EX", &stats.interval));
+                for (i, w) in stats.rp_counts.iter().enumerate() {
+                    metrics.push(Metric::sampled(format!("EL{i}"), w));
+                }
+                metrics.push(Metric::exact("events", stats.events as f64));
+            }
+            CellTask::SyncLoss { mu, rounds } => {
+                let stats = simulate_commit_losses(mu, *rounds, seed);
+                metrics.push(Metric::sampled("ECL", &stats.loss));
+                metrics.push(Metric::sampled("EZ", &stats.span));
+                metrics.push(Metric::exact(
+                    "ECL_closed_form",
+                    rbanalysis::sync_loss::mean_loss(mu),
+                ));
+                metrics.push(Metric::exact(
+                    "ECL_quadrature",
+                    rbanalysis::sync_loss::mean_loss_quadrature(mu, 1e-10),
+                ));
+            }
+            CellTask::SplitChainStats { params, tagged } => {
+                let sc = SplitChain::build(params, *tagged);
+                let steps = sc.expected_steps();
+                let ex_ctmc = params.mean_interval();
+                metrics.push(Metric::exact("G", sc.g));
+                metrics.push(Metric::exact("n_states", sc.labels.len() as f64));
+                metrics.push(Metric::exact("E_steps", steps));
+                metrics.push(Metric::exact("EX", steps / sc.g));
+                metrics.push(Metric::exact(
+                    "EL_with_terminal",
+                    sc.expected_rp_count(true),
+                ));
+                metrics.push(Metric::exact(
+                    "EL_paper_statistic",
+                    sc.expected_rp_count(false),
+                ));
+                metrics.push(Metric::exact("EX_ctmc", ex_ctmc));
+                metrics.push(Metric::exact(
+                    "identity_mu_EX",
+                    params.mu()[*tagged] * ex_ctmc,
+                ));
+            }
+            CellTask::PrpStorage {
+                params,
+                horizon,
+                t_r,
+            } => {
+                let mut scheme =
+                    PrpScheme::new(PrpConfig::new(params.clone()).with_t_r(*t_r), seed);
+                let stats = scheme.storage_timeline(*horizon);
+                metrics.push(Metric::exact(
+                    "rps_total",
+                    stats.rps.iter().sum::<u64>() as f64,
+                ));
+                metrics.push(Metric::exact(
+                    "prps_total",
+                    stats.prps.iter().sum::<u64>() as f64,
+                ));
+                metrics.push(Metric::exact(
+                    "peak_live_max",
+                    stats.peak_live_states.iter().copied().max().unwrap_or(0) as f64,
+                ));
+                metrics.push(Metric::exact("mean_live_states", stats.mean_live_states));
+                metrics.push(Metric::exact("prp_time_overhead", stats.prp_time_overhead));
+            }
+            CellTask::Conformance { scenario, cfg } => {
+                for report in cfg.check_all(scenario) {
+                    for c in report.checks {
+                        metrics.push(Metric {
+                            name: c.label,
+                            value: c.lhs - c.rhs,
+                            std_err: c.tol,
+                            count: 1,
+                            ok: c.pass,
+                        });
+                    }
+                }
+            }
+        }
+        CellReport {
+            id: self.id.clone(),
+            seed,
+            metrics,
+        }
+    }
+}
+
+/// The aggregated results of one cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct CellReport {
+    /// The cell's stable id.
+    pub id: String,
+    /// The derived seed the cell's streams used.
+    pub seed: u64,
+    /// Aggregated quantities, in a fixed per-task order.
+    pub metrics: Vec<Metric>,
+}
+
+impl CellReport {
+    /// The metric named `name`, if present.
+    pub fn metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
+    }
+
+    /// The value of the metric named `name`.
+    ///
+    /// # Panics
+    /// Panics if the cell did not produce that metric.
+    pub fn value(&self, name: &str) -> f64 {
+        self.metric(name)
+            .unwrap_or_else(|| panic!("cell `{}` has no metric `{name}`", self.id))
+            .value
+    }
+}
+
+/// A parameter grid over the asynchronous scheme: the cross product of
+/// process counts, checkpoint rates μ (checkpoint period 1/μ) and
+/// interaction rates λ, each cell measuring `lines` recovery-line
+/// intervals.
+#[derive(Clone, Debug)]
+pub struct AsyncGrid {
+    /// Process counts to sweep.
+    pub n: Vec<usize>,
+    /// Homogeneous checkpoint rates μ to sweep (period 1/μ).
+    pub mu: Vec<f64>,
+    /// Homogeneous pairwise interaction rates λ to sweep.
+    pub lambda: Vec<f64>,
+    /// Recovery-line intervals measured per cell.
+    pub lines: usize,
+}
+
+impl AsyncGrid {
+    /// The grid's cells, in `n`-major, then `mu`, then `lambda` order.
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(self.n.len() * self.mu.len() * self.lambda.len());
+        for &n in &self.n {
+            for &mu in &self.mu {
+                for &lambda in &self.lambda {
+                    cells.push(SweepCell {
+                        id: format!("n{n}/mu{mu}/lam{lambda}"),
+                        task: CellTask::AsyncIntervals {
+                            params: AsyncParams::symmetric(n, mu, lambda),
+                            lines: self.lines,
+                        },
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// A named scenario grid: what to sweep and under which master seed.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Sweep name; doubles as the artifact file stem for
+    /// [`SweepReport::emit`].
+    pub name: String,
+    /// Master seed; cell `k` runs under
+    /// [`derive_seed`]`(master_seed, k)`.
+    pub master_seed: u64,
+    /// The grid cells, in a fixed order (the order is part of the
+    /// sweep's identity: it determines the per-cell seeds).
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepSpec {
+    /// A spec from explicit cells.
+    pub fn new(name: impl Into<String>, master_seed: u64, cells: Vec<SweepCell>) -> Self {
+        SweepSpec {
+            name: name.into(),
+            master_seed,
+            cells,
+        }
+    }
+
+    /// A spec over an [`AsyncGrid`] cross product.
+    pub fn async_grid(name: impl Into<String>, master_seed: u64, grid: &AsyncGrid) -> Self {
+        SweepSpec::new(name, master_seed, grid.cells())
+    }
+
+    /// A spec running the full `rbtestutil` conformance matrix (≥ 20
+    /// grid points, deterministic in `master_seed`) — each scenario one
+    /// cell, so the whole correctness gate parallelises per grid point.
+    pub fn conformance_matrix(
+        name: impl Into<String>,
+        master_seed: u64,
+        cfg: SchemeConformance,
+    ) -> Self {
+        let cells = standard_matrix(master_seed)
+            .into_iter()
+            .map(|scenario| SweepCell {
+                id: scenario.id.clone(),
+                task: CellTask::Conformance {
+                    scenario,
+                    cfg: cfg.clone(),
+                },
+            })
+            .collect();
+        SweepSpec::new(name, master_seed, cells)
+    }
+
+    /// Runs every cell on up to `threads` threads.
+    ///
+    /// The report is a pure function of the spec: per-cell seeds are
+    /// derived from `(master_seed, cell index)` and results are
+    /// reassembled in grid order, so any `threads` value produces the
+    /// same report — byte-identical once serialized.
+    pub fn run(&self, threads: usize) -> SweepReport {
+        let master = self.master_seed;
+        let cells = par_map(&self.cells, threads, |idx, cell: &SweepCell| {
+            cell.run(derive_seed(master, idx as u64))
+        });
+        SweepReport {
+            sweep: self.name.clone(),
+            master_seed: master,
+            cells,
+        }
+    }
+
+    /// [`SweepSpec::run`] on a single thread (the serial reference path).
+    pub fn run_serial(&self) -> SweepReport {
+        self.run(1)
+    }
+
+    /// [`SweepSpec::run`] on every available hardware thread.
+    pub fn run_parallel(&self) -> SweepReport {
+        self.run(available_threads())
+    }
+}
+
+/// The aggregated results of a sweep, in grid order.
+///
+/// Contains nothing execution-specific (thread count, timing), so the
+/// serialized artifact is reproducible across machines and thread
+/// counts.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepReport {
+    /// The sweep's name.
+    pub sweep: String,
+    /// The master seed the sweep ran under.
+    pub master_seed: u64,
+    /// Per-cell reports, in the spec's cell order.
+    pub cells: Vec<CellReport>,
+}
+
+impl SweepReport {
+    /// The report of the cell with the given id, if any.
+    pub fn cell(&self, id: &str) -> Option<&CellReport> {
+        self.cells.iter().find(|c| c.id == id)
+    }
+
+    /// Every metric that failed its own acceptance criterion (only
+    /// conformance checks can), as `(cell id, metric)` pairs.
+    pub fn failures(&self) -> Vec<(&str, &Metric)> {
+        self.cells
+            .iter()
+            .flat_map(|c| c.metrics.iter().map(move |m| (c.id.as_str(), m)))
+            .filter(|(_, m)| !m.ok)
+            .collect()
+    }
+
+    /// Panics with a readable digest if any metric failed.
+    pub fn assert_ok(&self) {
+        let failures = self.failures();
+        assert!(
+            failures.is_empty(),
+            "sweep `{}`: {} failed checks: {:?}",
+            self.sweep,
+            failures.len(),
+            failures
+                .iter()
+                .map(|(cell, m)| format!("{cell}:{} (Δ = {}, tol {})", m.name, m.value, m.std_err))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// The canonical JSON serialization (identical to what
+    /// [`SweepReport::emit`] writes).
+    pub fn to_json(&self) -> String {
+        crate::artifact_json(self)
+    }
+
+    /// Writes the report under `results/<sweep name>.json` and returns
+    /// the path.
+    pub fn emit(&self) -> std::path::PathBuf {
+        crate::emit_json(&self.sweep, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> SweepSpec {
+        SweepSpec::async_grid(
+            "unit-grid",
+            7,
+            &AsyncGrid {
+                n: vec![2, 3],
+                mu: vec![1.0],
+                lambda: vec![0.5, 1.0],
+                lines: 150,
+            },
+        )
+    }
+
+    #[test]
+    fn grid_cross_product_and_ids() {
+        let spec = small_grid();
+        assert_eq!(spec.cells.len(), 4);
+        assert_eq!(spec.cells[0].id, "n2/mu1/lam0.5");
+        assert_eq!(spec.cells[3].id, "n3/mu1/lam1");
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_serial() {
+        let spec = small_grid();
+        let serial = spec.run(1);
+        let parallel = spec.run(4);
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn async_cells_agree_with_the_markov_solve() {
+        let report = small_grid().run_parallel();
+        for cell in &report.cells {
+            let ex = cell.metric("EX").unwrap();
+            assert!(ex.count >= 150);
+            assert!(ex.value > 0.0 && ex.std_err > 0.0);
+        }
+        // Spot-check one cell against the analytic mean.
+        let c = report.cell("n3/mu1/lam1").unwrap();
+        let analytic = AsyncParams::symmetric(3, 1.0, 1.0).mean_interval();
+        let m = c.metric("EX").unwrap();
+        assert!(
+            (m.value - analytic).abs() < 6.0 * m.std_err + 0.05,
+            "sim {} vs analytic {analytic}",
+            m.value
+        );
+    }
+
+    #[test]
+    fn mixed_task_kinds_run_and_report() {
+        let params = AsyncParams::symmetric(3, 1.0, 1.0);
+        let spec = SweepSpec::new(
+            "unit-mixed",
+            11,
+            vec![
+                SweepCell {
+                    id: "sync".into(),
+                    task: CellTask::SyncLoss {
+                        mu: vec![1.0, 1.0, 1.0],
+                        rounds: 2_000,
+                    },
+                },
+                SweepCell {
+                    id: "split".into(),
+                    task: CellTask::SplitChainStats {
+                        params: params.clone(),
+                        tagged: 0,
+                    },
+                },
+                SweepCell {
+                    id: "prp".into(),
+                    task: CellTask::PrpStorage {
+                        params,
+                        horizon: 50.0,
+                        t_r: 1e-3,
+                    },
+                },
+            ],
+        );
+        let report = spec.run_parallel();
+        report.assert_ok();
+
+        let sync = report.cell("sync").unwrap();
+        let cf = sync.value("ECL_closed_form");
+        assert!((cf - sync.value("ECL_quadrature")).abs() < 1e-5);
+        let ecl = sync.metric("ECL").unwrap();
+        assert!((ecl.value - cf).abs() < 6.0 * ecl.std_err + 0.05);
+
+        let split = report.cell("split").unwrap();
+        assert!((split.value("EX") - split.value("EX_ctmc")).abs() < 1e-7);
+        assert!((split.value("EL_with_terminal") - split.value("identity_mu_EX")).abs() < 1e-7);
+
+        let prp = report.cell("prp").unwrap();
+        assert_eq!(
+            prp.value("prps_total"),
+            prp.value("rps_total") * 2.0,
+            "n−1 = 2 PRPs per RP"
+        );
+        assert!(prp.value("peak_live_max") <= 3.0);
+    }
+
+    #[test]
+    fn conformance_matrix_spec_covers_the_standard_matrix() {
+        let spec =
+            SweepSpec::conformance_matrix("unit-conformance", 42, SchemeConformance::quick());
+        assert!(spec.cells.len() >= 20);
+        let ids: std::collections::HashSet<_> = spec.cells.iter().map(|c| c.id.clone()).collect();
+        assert_eq!(ids.len(), spec.cells.len(), "duplicate cell ids");
+    }
+
+    #[test]
+    fn failures_surface_in_assert_ok() {
+        let report = SweepReport {
+            sweep: "synthetic".into(),
+            master_seed: 0,
+            cells: vec![CellReport {
+                id: "c".into(),
+                seed: 0,
+                metrics: vec![Metric {
+                    name: "bad/check".into(),
+                    value: 1.0,
+                    std_err: 0.1,
+                    count: 1,
+                    ok: false,
+                }],
+            }],
+        };
+        assert_eq!(report.failures().len(), 1);
+        assert!(std::panic::catch_unwind(|| report.assert_ok()).is_err());
+    }
+}

@@ -72,6 +72,15 @@ impl FaultState {
         }
     }
 
+    /// Returns every process to the clean state in place (no
+    /// reallocation) — the episode-loop companion of
+    /// [`crate::HistoryArena`].
+    pub fn reset(&mut self) {
+        for c in &mut self.contamination {
+            *c = None;
+        }
+    }
+
     /// The contamination of `p`, if any.
     pub fn contamination(&self, p: ProcessId) -> Option<Contamination> {
         self.contamination[p.0]

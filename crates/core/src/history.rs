@@ -133,6 +133,31 @@ impl History {
         self.n
     }
 
+    /// Rewinds to the state of a fresh [`History::new`] with the same
+    /// `n`, **retaining every allocation**: the per-process RP vectors,
+    /// the interaction log and the pair/directed indexes keep their
+    /// grown capacity and are merely truncated. Episode loops that
+    /// build thousands of short histories reset one instance (usually
+    /// through a [`HistoryArena`]) instead of reallocating per episode.
+    pub fn reset(&mut self) {
+        for seq in &mut self.rps {
+            seq.clear();
+            seq.push(RpRecord {
+                time: 0.0,
+                kind: RpKind::Real,
+                index: 0,
+            });
+        }
+        self.interactions.clear();
+        for v in &mut self.pair_times {
+            v.clear();
+        }
+        for v in &mut self.directed_times {
+            v.clear();
+        }
+        self.horizon = 0.0;
+    }
+
     /// Latest recorded event time.
     pub fn horizon(&self) -> f64 {
         self.horizon
@@ -300,6 +325,60 @@ impl History {
     }
 }
 
+/// A reusable backing store for episode histories.
+///
+/// Fault-injection experiments replay thousands of independent episodes,
+/// each over a fresh [`History`]. Allocating one per episode makes the
+/// allocator the hot path: every episode re-grows n RP vectors, the
+/// interaction log and n² index vectors, only to drop them moments
+/// later. A `HistoryArena` owns a single `History` whose buffers are
+/// cleared and refilled — [`HistoryArena::begin_episode`] hands out a
+/// reset `&mut History` whose vectors retain the capacity reached by
+/// the *largest* episode seen so far, so steady-state episode loops
+/// allocate nothing.
+///
+/// ```
+/// use rbcore::{HistoryArena, ProcessId};
+///
+/// let mut arena = HistoryArena::new(3);
+/// for episode in 0..4 {
+///     let h = arena.begin_episode();
+///     h.record_rp(ProcessId(0), 1.0);
+///     h.record_interaction(ProcessId(0), ProcessId(1), 2.0);
+///     assert_eq!(h.interactions().len(), 1); // previous episodes are gone
+///     let _ = episode;
+/// }
+/// assert_eq!(arena.episodes(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HistoryArena {
+    history: History,
+    episodes: u64,
+}
+
+impl HistoryArena {
+    /// An arena for episodes of `n` processes.
+    pub fn new(n: usize) -> Self {
+        HistoryArena {
+            history: History::new(n),
+            episodes: 0,
+        }
+    }
+
+    /// Starts a new episode: resets the backing history in place and
+    /// returns it, empty but with all prior capacity intact.
+    pub fn begin_episode(&mut self) -> &mut History {
+        self.episodes += 1;
+        self.history.reset();
+        &mut self.history
+    }
+
+    /// Number of episodes started so far.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +478,49 @@ mod tests {
         assert_eq!(h.first_message_from_to(p(1), p(0), 0.0, 10.0), Some(2.0));
         assert_eq!(h.first_message_from_to(p(0), p(1), 1.0, 10.0), None);
         assert_eq!(h.first_message_from_to(p(0), p(0), 0.0, 10.0), None);
+    }
+
+    #[test]
+    fn reset_restores_the_pristine_state() {
+        let mut h = History::new(3);
+        h.record_rp(p(0), 1.0);
+        let rp = h.record_rp(p(1), 2.0);
+        h.record_prp(p(2), 2.5, rp);
+        h.record_interaction(p(0), p(1), 3.0);
+        h.record_interaction(p(2), p(1), 4.0);
+        h.reset();
+
+        let fresh = History::new(3);
+        assert_eq!(h.n(), fresh.n());
+        assert_eq!(h.horizon(), 0.0);
+        assert!(h.interactions().is_empty());
+        for i in 0..3 {
+            assert_eq!(h.rps(p(i)).len(), 1);
+            assert!(h.rps(p(i))[0].is_real());
+            assert_eq!(h.rps(p(i))[0].time, 0.0);
+        }
+        assert!(!h.has_interaction_between(p(0), p(1), 0.0, 10.0));
+        assert_eq!(h.first_message_from_to(p(2), p(1), 0.0, 10.0), None);
+        // Recording restarts from time zero without tripping the
+        // monotonicity guard.
+        h.record_rp(p(0), 0.5);
+        assert_eq!(h.rps(p(0)).len(), 2);
+    }
+
+    #[test]
+    fn arena_episodes_are_independent() {
+        let mut arena = HistoryArena::new(2);
+        {
+            let h = arena.begin_episode();
+            for k in 1..=100 {
+                h.record_interaction(p(0), p(1), k as f64);
+            }
+            h.record_rp(p(0), 101.0);
+        }
+        let h = arena.begin_episode();
+        assert!(h.interactions().is_empty());
+        assert_eq!(h.rps(p(0)).len(), 1);
+        assert_eq!(arena.episodes(), 2);
     }
 
     #[test]

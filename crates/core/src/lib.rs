@@ -14,7 +14,9 @@
 //! families:
 //!
 //! * [`history`] — event histories of n processes (RPs, interactions,
-//!   failures) — the "history diagram" of the paper's Figure 1;
+//!   failures) — the "history diagram" of the paper's Figure 1 — plus
+//!   [`HistoryArena`], the reusable backing store episode loops clear
+//!   and refill instead of reallocating;
 //! * [`recovery_line`] — recovery-line detection and consistent-cut
 //!   checking (the paper's two recovery-line requirements);
 //! * [`rollback`] — rollback propagation to the nearest recovery line,
@@ -48,7 +50,7 @@ pub mod render;
 pub mod rollback;
 pub mod schemes;
 
-pub use history::{History, InteractionRecord, ProcessId, RpId, RpKind, RpRecord};
+pub use history::{History, HistoryArena, InteractionRecord, ProcessId, RpId, RpKind, RpRecord};
 pub use metrics::{RollbackOutcome, SchemeMetrics};
 pub use recovery_line::{
     find_recovery_lines, is_consistent_cut, is_orphan_free_cut, latest_recovery_line,

@@ -15,7 +15,7 @@ use rbsim::stats::{Histogram, Welford};
 use rbsim::{SimRng, StreamId};
 
 use crate::fault::{FaultConfig, FaultState};
-use crate::history::{History, ProcessId};
+use crate::history::{History, HistoryArena, ProcessId};
 use crate::metrics::{RollbackOutcome, SchemeMetrics};
 use crate::rollback::{propagate_rollback, propagate_rollback_directed, RollbackPlan};
 
@@ -136,6 +136,17 @@ impl AsyncScheme {
 
     /// Measures `n_lines` recovery-line intervals (fault-free), with no
     /// histogram.
+    ///
+    /// ```
+    /// use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+    /// use rbmarkov::paper::AsyncParams;
+    ///
+    /// // Table 1 case 1 (all rates 1): analytic E[X] ≈ 2.598.
+    /// let params = AsyncParams::symmetric(3, 1.0, 1.0);
+    /// let analytic = params.mean_interval();
+    /// let stats = AsyncScheme::new(AsyncConfig::new(params), 42).run_intervals(5_000);
+    /// assert!((stats.interval.mean() - analytic).abs() < 0.1);
+    /// ```
     pub fn run_intervals(&mut self, n_lines: usize) -> IntervalStats {
         self.run_intervals_hist(n_lines, None)
     }
@@ -252,10 +263,14 @@ impl AsyncScheme {
         // Hard per-episode event bound to catch mis-configured models
         // (e.g. zero error rates) instead of spinning forever.
         let max_events_per_episode = 10_000_000u64;
+        // Arena-backed episode state: one History and one FaultState are
+        // cleared and refilled instead of reallocated per episode.
+        let mut arena = HistoryArena::new(n);
+        let mut fs = FaultState::clean(n);
 
         for _ in 0..episodes {
-            let mut h = History::new(n);
-            let mut fs = FaultState::clean(n);
+            let h = arena.begin_episode();
+            fs.reset();
             let mut t = 0.0;
             let mut budget = max_events_per_episode;
             loop {
@@ -272,7 +287,7 @@ impl AsyncScheme {
                         if let Some(_c) =
                             fs.on_acceptance_test(&fault_cfg, &mut self.fault_rng, pid)
                         {
-                            let plan = plan_for(&h, pid, t);
+                            let plan = plan_for(h, pid, t);
                             fs.apply_rollback(&plan.restart);
                             let excised = fs.n_contaminated() == 0;
                             metrics.record(&RollbackOutcome { plan, excised });

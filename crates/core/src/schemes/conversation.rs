@@ -98,6 +98,16 @@ impl ConversationStats {
 /// round-robin. Between conversations, interactions fire normally at
 /// λᵢⱼ; interactions that would cross an open conversation's boundary
 /// are counted as deferred.
+///
+/// ```
+/// use rbcore::schemes::conversation::{run_conversations, ConversationConfig};
+/// use rbmarkov::paper::AsyncParams;
+///
+/// let cfg = ConversationConfig::new(AsyncParams::symmetric(4, 1.0, 1.0), 2);
+/// let stats = run_conversations(&cfg, 500.0, 7);
+/// assert!(stats.completed > 0);
+/// assert!(stats.occupancy() > 0.0 && stats.occupancy() < 1.0);
+/// ```
 pub fn run_conversations(cfg: &ConversationConfig, horizon: f64, seed: u64) -> ConversationStats {
     let n = cfg.params.n();
     let k = cfg.k;

@@ -20,7 +20,7 @@ use rbsim::stats::Welford;
 use rbsim::{SimRng, StreamId};
 
 use crate::fault::{FaultConfig, FaultState};
-use crate::history::{History, ProcessId, RpKind, RpRecord};
+use crate::history::{History, HistoryArena, ProcessId, RpKind, RpRecord};
 use crate::metrics::{RollbackOutcome, SchemeMetrics};
 use crate::rollback::{propagate_rollback, RollbackPlan};
 
@@ -238,6 +238,20 @@ impl PrpScheme {
 
     /// Runs the storage/overhead model: live-state accounting under the
     /// paper's purge rule.
+    ///
+    /// ```
+    /// use rbcore::schemes::prp::{PrpConfig, PrpScheme};
+    /// use rbmarkov::paper::AsyncParams;
+    ///
+    /// let cfg = PrpConfig::new(AsyncParams::symmetric(3, 1.0, 1.0));
+    /// let stats = PrpScheme::new(cfg, 7).storage_timeline(100.0);
+    /// // Every RP implants n−1 = 2 PRPs; the purge rule caps live
+    /// // states at n per process.
+    /// let rps: u64 = stats.rps.iter().sum();
+    /// let prps: u64 = stats.prps.iter().sum();
+    /// assert_eq!(prps, 2 * rps);
+    /// assert!(stats.peak_live_states.iter().all(|&p| p <= 3));
+    /// ```
     pub fn storage_timeline(&mut self, horizon: f64) -> PrpStorageStats {
         let n = self.cfg.params.n();
         let mut rps = vec![0u64; n];
@@ -309,10 +323,14 @@ impl PrpScheme {
         let delay = self.cfg.implant_delay;
         let mut metrics = SchemeMetrics::default();
         let max_events = 10_000_000u64;
+        // Arena-backed episode state (see `HistoryArena`): cleared and
+        // refilled, never reallocated.
+        let mut arena = HistoryArena::new(n);
+        let mut fs = FaultState::clean(n);
 
         for _ in 0..episodes {
-            let mut h = History::new(n);
-            let mut fs = FaultState::clean(n);
+            let h = arena.begin_episode();
+            fs.reset();
             let mut t = 0.0;
             let mut budget = max_events;
             loop {
@@ -323,7 +341,7 @@ impl PrpScheme {
                         let pid = ProcessId(i);
                         if let Some(c) = fs.on_acceptance_test(&fault_cfg, &mut self.fault_rng, pid)
                         {
-                            let plan = prp_rollback(&h, pid, t, c.local);
+                            let plan = prp_rollback(h, pid, t, c.local);
                             fs.apply_rollback(&plan.restart);
                             let excised = fs.n_contaminated() == 0;
                             metrics.record(&RollbackOutcome { plan, excised });

@@ -44,6 +44,15 @@ pub struct CommitStats {
 ///
 /// Exponential inter-test times are memoryless, so each round is
 /// independent of when the request arrives — exactly the paper's model.
+///
+/// ```
+/// use rbcore::schemes::synchronized::simulate_commit_losses;
+///
+/// // Three processes at μ = 1: E[CL] = 2.5 and E[Z] = 11/6 exactly.
+/// let stats = simulate_commit_losses(&[1.0, 1.0, 1.0], 20_000, 7);
+/// assert!((stats.loss.mean() - 2.5).abs() < 0.1);
+/// assert!((stats.span.mean() - 11.0 / 6.0).abs() < 0.1);
+/// ```
 pub fn simulate_commit_losses(mu: &[f64], rounds: usize, seed: u64) -> CommitStats {
     assert!(!mu.is_empty() && mu.iter().all(|&m| m > 0.0));
     let mut rng = SimRng::new(seed, StreamId::WORKLOAD);

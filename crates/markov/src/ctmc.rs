@@ -166,7 +166,7 @@ impl Ctmc {
     /// Mean time to absorption starting from `start`.
     ///
     /// Solves (−Q_TT)·τ = 1 over the transient states: densely (LU) up
-    /// to [`DENSE_LIMIT`] transient states, by Gauss–Seidel beyond.
+    /// to `DENSE_LIMIT` transient states, by Gauss–Seidel beyond.
     ///
     /// # Panics
     /// Panics if the chain has no absorbing state, or if `start` is

@@ -178,6 +178,18 @@ impl AsyncParams {
     }
 
     /// Mean inter-recovery-line interval E\[X\] (paper §2.3-I).
+    ///
+    /// ```
+    /// use rbmarkov::paper::AsyncParams;
+    ///
+    /// // Table 1 case 1: all rates 1, exact E[X] = 2.5 (the paper's
+    /// // printed 2.598 carries a finite-run simulation bias).
+    /// let ex = AsyncParams::symmetric(3, 1.0, 1.0).mean_interval();
+    /// assert!((ex - 2.5).abs() < 1e-9);
+    /// // λ = 0: no interactions, so X ~ Exp(Σμ) and E[X] = 1/3.
+    /// let free = AsyncParams::symmetric(3, 1.0, 0.0).mean_interval();
+    /// assert!((free - 1.0 / 3.0).abs() < 1e-9);
+    /// ```
     pub fn mean_interval(&self) -> f64 {
         self.build_full_chain().mean_interval()
     }
@@ -598,6 +610,19 @@ pub struct SplitChain {
 
 impl SplitChain {
     /// Builds `Y_d` for `params` with process `tagged` under the lens.
+    ///
+    /// ```
+    /// use rbmarkov::paper::{AsyncParams, SplitChain};
+    ///
+    /// let params = AsyncParams::symmetric(3, 1.0, 1.0);
+    /// let sc = SplitChain::build(&params, 0);
+    /// // Two independent solvers, one answer: E[X] = E[steps]/G must
+    /// // equal the CTMC absorption solve.
+    /// let ex = sc.expected_steps() / sc.g;
+    /// assert!((ex - params.mean_interval()).abs() < 1e-9);
+    /// // And the paper's E[Lᵢ] = μᵢ·E[X] identity holds exactly.
+    /// assert!((sc.expected_rp_count(true) - 1.0 * ex).abs() < 1e-9);
+    /// ```
     pub fn build(params: &AsyncParams, tagged: usize) -> Self {
         let n = params.n();
         assert!(tagged < n, "tagged process out of range");

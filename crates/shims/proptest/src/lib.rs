@@ -261,7 +261,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Anything usable as the size argument of [`vec`]: an exact
+    /// Anything usable as the size argument of [`fn@vec`]: an exact
     /// `usize` or a `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a length.

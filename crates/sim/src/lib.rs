@@ -12,11 +12,16 @@
 //!   time-weighted averages, confidence intervals) for estimating
 //!   E\[X\], E\[Lᵢ\], CL, utilization, …;
 //! * [`Executor`] — a minimal event-loop driver for simulations written
-//!   as state machines implementing [`Simulation`].
+//!   as state machines implementing [`Simulation`];
+//! * [`par`] — deterministic parallel dispatch for scenario sweeps
+//!   ([`par::par_map`]), with [`derive_seed`] producing independent
+//!   per-cell streams from a sweep's master seed.
 //!
 //! The substrate is deliberately free of global state: every simulation
-//! owns its clock, queue and RNG, so experiments can be swept in parallel
-//! from the bench harness with plain `std::thread::scope`.
+//! owns its clock, queue and RNG, so experiments sweep in parallel from
+//! the bench harness with plain `std::thread::scope` — and, because the
+//! per-cell seeds are pure functions of `(master seed, cell index)`,
+//! parallel sweeps are bit-identical to serial ones.
 //!
 //! ```
 //! use rbsim::{Executor, Simulation, Scheduler, SimTime};
@@ -46,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 mod executor;
+pub mod par;
 mod queue;
 mod rng;
 pub mod stats;
@@ -53,5 +59,5 @@ mod time;
 
 pub use executor::{Executor, Scheduler, Simulation, StopReason};
 pub use queue::{EventQueue, Scheduled};
-pub use rng::{Exp, SimRng, StreamId};
+pub use rng::{derive_seed, Exp, SimRng, StreamId};
 pub use time::SimTime;

@@ -9,8 +9,8 @@ use crate::SimTime;
 ///
 /// The sequence number breaks ties between events scheduled for the same
 /// instant in insertion order, which makes simulation runs deterministic
-/// — a property the reproduction relies on (every figure in
-/// EXPERIMENTS.md is regenerated from a fixed seed).
+/// — a property the reproduction relies on (every figure artifact is
+/// regenerated from a fixed seed).
 #[derive(Clone, Debug)]
 pub struct Scheduled<E> {
     /// When the event fires.

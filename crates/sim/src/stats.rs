@@ -3,8 +3,8 @@
 //! Everything here is single-pass and allocation-light so it can sit in
 //! the inner loop of long replications: Welford accumulation for
 //! mean/variance, fixed-bin histograms for densities (Figure 6), and
-//! normal-approximation confidence intervals for the tables in
-//! EXPERIMENTS.md.
+//! normal-approximation confidence intervals for the tables the
+//! `rbbench` figure binaries print.
 
 use serde::Serialize;
 

@@ -15,8 +15,12 @@
 //!   checks.
 //!
 //! Used by `tests/scheme_conformance.rs` at the workspace root; kept as
-//! a library crate so future perf work can reuse the matrix as a
-//! correctness gate after every optimisation.
+//! a library crate so perf work can reuse the matrix as a correctness
+//! gate after every optimisation. The matrix also rides the parallel
+//! scenario-sweep engine (`rbbench::sweep::SweepSpec::conformance_matrix`
+//! runs one cell per scenario), where
+//! `crates/bench/tests/sweep_determinism.rs` pins that a parallel run
+//! of the whole gate is byte-identical to the serial one.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
