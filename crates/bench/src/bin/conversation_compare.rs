@@ -5,12 +5,15 @@
 //! of all n processes. This binary quantifies the scoping advantage:
 //! waiting loss per test line as the conversation size k varies, the
 //! occupancy/deferral cost of the closed boundary, and the
-//! abandonment behaviour under flaky alternates.
+//! abandonment behaviour under flaky alternates. Each k is one
+//! [`rbbench::workloads::Conversations`] cell of a parallel
+//! [`rbbench::sweep`] grid.
 
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::Conversations;
 use rbbench::{emit_json, Table};
-use rbcore::schemes::conversation::{
-    conversation_round_loss, run_conversations, ConversationConfig,
-};
+use rbcore::schemes::conversation::ConversationConfig;
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
@@ -25,6 +28,7 @@ struct KPoint {
 }
 
 fn main() {
+    let args = BenchArgs::parse("conversation_compare");
     let n = 6;
     let params = AsyncParams::symmetric(n, 1.0, 1.0);
     let horizon = 30_000.0;
@@ -33,6 +37,24 @@ fn main() {
         "Extension X3 — conversation size k vs whole-set synchronization \
          (n = {n}, μ = λ = 1, p_fail = 0.05, horizon {horizon})\n"
     );
+
+    let spec = SweepSpec::new(
+        "conversation_compare_sweep",
+        args.master_seed(7),
+        (2..=n)
+            .map(|k| {
+                SweepCell::named(
+                    format!("k{k}"),
+                    Conversations {
+                        cfg: ConversationConfig::new(params.clone(), k),
+                        horizon,
+                    },
+                )
+            })
+            .collect(),
+    );
+    let report = spec.run(args.threads());
+
     let table = Table::new(
         13,
         &[
@@ -48,26 +70,22 @@ fn main() {
 
     let mut points = Vec::new();
     for k in 2..=n {
-        let cfg = ConversationConfig::new(params.clone(), k);
-        let stats = run_conversations(&cfg, horizon, 7);
-        let analytic = conversation_round_loss(&vec![1.0; k]);
-        let total = (stats.completed + stats.abandoned).max(1);
-        let defer = stats.deferred_interactions as f64 / total as f64;
+        let cell = report.cell(&format!("k{k}")).expect("cell ran");
         table.print_row(&[
             format!("{k}"),
-            format!("{:.4}", stats.loss_per_conversation.mean()),
-            format!("{analytic:.4}"),
-            format!("{:.3}%", 100.0 * stats.occupancy()),
-            format!("{defer:.3}"),
-            format!("{:.2}%", 100.0 * stats.abandon_rate()),
+            format!("{:.4}", cell.value("loss_per_conversation")),
+            format!("{:.4}", cell.value("analytic_round_loss")),
+            format!("{:.3}%", 100.0 * cell.value("occupancy")),
+            format!("{:.3}", cell.value("deferred_per_conversation")),
+            format!("{:.2}%", 100.0 * cell.value("abandon_rate")),
         ]);
         points.push(KPoint {
             k,
-            loss_per_conversation: stats.loss_per_conversation.mean(),
-            analytic_round_loss: analytic,
-            occupancy: stats.occupancy(),
-            deferred_per_conversation: defer,
-            abandon_rate: stats.abandon_rate(),
+            loss_per_conversation: cell.value("loss_per_conversation"),
+            analytic_round_loss: cell.value("analytic_round_loss"),
+            occupancy: cell.value("occupancy"),
+            deferred_per_conversation: cell.value("deferred_per_conversation"),
+            abandon_rate: cell.value("abandon_rate"),
         });
     }
 

@@ -5,15 +5,22 @@
 //! through P₂ and P₃ until recovery line RL₂; everything after RL₂ is
 //! discarded (the rollback distance). This binary replays a faithful
 //! deterministic reconstruction, then a seeded random history from the
-//! paper's stochastic model, rendering both.
+//! paper's stochastic model, rendering both. The stochastic audit runs
+//! as a [`rbbench::workloads::HistoryAudit`] sweep cell; the rendering
+//! regenerates the same history from the cell's derived seed, so the
+//! diagram and the metrics describe the same sample path.
 
+use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::HistoryAudit;
 use rbcore::history::{History, ProcessId};
 use rbcore::recovery_line::find_recovery_lines;
 use rbcore::render::{render_history, RenderOptions};
 use rbcore::rollback::propagate_rollback;
 use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbmarkov::paper::AsyncParams;
+use rbsim::derive_seed;
 use serde::Serialize;
 
 fn p(i: usize) -> ProcessId {
@@ -30,6 +37,8 @@ struct Fig1Result {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig1_history");
+
     // ── The paper's Figure 1, reconstructed ───────────────────────────
     let mut h = History::new(3);
     h.record_rp(p(0), 1.0); // toward RL1
@@ -58,10 +67,28 @@ fn main() {
         )
     );
 
-    // ── A seeded history from the stochastic model ────────────────────
+    // ── A seeded history from the stochastic model, as a sweep cell ──
     let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
-    let mut scheme = AsyncScheme::new(AsyncConfig::new(params), 1983);
-    let hr = scheme.generate_history(6.0);
+    let master = args.master_seed(1983);
+    let horizon = 6.0;
+    let report = SweepSpec::new(
+        "fig1_history_sweep",
+        master,
+        vec![SweepCell::named(
+            "random-history",
+            HistoryAudit {
+                params: params.clone(),
+                horizon,
+            },
+        )],
+    )
+    .run(args.threads());
+    let cell = report.cell("random-history").expect("cell ran");
+
+    // Regenerate the cell's exact sample path for rendering: cell 0's
+    // seed is derive_seed(master, 0) — the engine's seeding contract.
+    let mut scheme = AsyncScheme::new(AsyncConfig::new(params), derive_seed(master, 0));
+    let hr = scheme.generate_history(horizon);
     let detected_at = hr.horizon();
     let plan_r = propagate_rollback(&hr, p(0), detected_at, |_, r| r.is_real());
     let lines = find_recovery_lines(&hr);
@@ -78,6 +105,10 @@ fn main() {
             }
         )
     );
+    // The rendered path and the sweep cell must describe the same
+    // sample: the workload is a pure function of the derived seed.
+    assert_eq!(cell.value("lines_formed"), (lines.len() - 1) as f64);
+    assert_eq!(cell.value("sup_distance"), plan_r.sup_distance());
 
     emit_json(
         "fig1_history",
@@ -85,8 +116,8 @@ fn main() {
             deterministic_restart: plan.restart.clone(),
             deterministic_distance: plan.sup_distance(),
             random_restart: plan_r.restart.clone(),
-            random_distance: plan_r.sup_distance(),
-            random_lines_formed: lines.len() - 1,
+            random_distance: cell.value("sup_distance"),
+            random_lines_formed: cell.value("lines_formed") as usize,
         },
     );
 }

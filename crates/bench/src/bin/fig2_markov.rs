@@ -3,11 +3,38 @@
 //!
 //! Prints the full state space and tagged transition list of the flag
 //! chain for n = 3, plus structural audits: state count 2ⁿ+1, exit
-//! rates, generator row sums, and the E\[X\] the chain yields.
+//! rates, generator row sums, and the E\[X\] the chain yields. The
+//! audit runs as a **binary-local** [`Workload`] on the sweep engine —
+//! the open-trait seam means a one-off figure check needs no engine or
+//! core changes.
 
+use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
+use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
 use rbmarkov::paper::{AsyncParams, Rule};
 use serde::Serialize;
+
+/// Structural audit of the full flag chain: state count, transition
+/// count, and the absorption-solve E\[X\] (all exact — the seed is
+/// unused).
+struct ChainAudit {
+    params: AsyncParams,
+}
+
+impl Workload for ChainAudit {
+    fn label(&self) -> String {
+        format!("chain-audit/n{}", self.params.n())
+    }
+
+    fn run(&self, _seed: u64) -> Vec<Metric> {
+        let chain = self.params.build_full_chain();
+        vec![
+            Metric::exact("n_states", chain.n_states() as f64),
+            Metric::exact("n_transitions", chain.transitions.len() as f64),
+            Metric::exact("mean_interval", chain.mean_interval()),
+        ]
+    }
+}
 
 #[derive(Serialize)]
 struct Edge {
@@ -26,8 +53,20 @@ struct Fig2Result {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig2_markov");
     let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
     let chain = params.build_full_chain();
+
+    // The structural audit as a sweep cell (local workload).
+    let report = SweepSpec::new(
+        "fig2_markov_sweep",
+        args.master_seed(2),
+        vec![SweepCell::new(ChainAudit {
+            params: params.clone(),
+        })],
+    )
+    .run(args.threads());
+    let audit = report.cell("chain-audit/n3").expect("audit cell ran");
 
     println!("Figure 2 — full flag chain for n = 3 (states: S_r, (x1x2x3), S_r+1)\n");
     println!("states ({} total):", chain.n_states());
@@ -72,15 +111,16 @@ fn main() {
         });
     }
 
-    let ex = chain.mean_interval();
+    let ex = audit.value("mean_interval");
     println!("\nE[X] from this chain = {ex:.6}");
-    assert_eq!(chain.n_states(), 9, "2^3 + 1 states");
+    assert_eq!(audit.value("n_states"), 9.0, "2^3 + 1 states");
+    assert_eq!(audit.value("n_transitions"), chain.transitions.len() as f64);
 
     emit_json(
         "fig2_markov",
         &Fig2Result {
-            n_states: chain.n_states(),
-            n_transitions: chain.transitions.len(),
+            n_states: audit.value("n_states") as usize,
+            n_transitions: audit.value("n_transitions") as usize,
             mean_interval: ex,
             edges,
         },

@@ -3,11 +3,69 @@
 //!
 //! Prints the aggregated chain S_r, S̃₀, …, S̃ₙ₋₁, S_{r+1} and verifies
 //! exact lumpability: the full 2ⁿ+1-state chain and the n+2-state
-//! aggregate produce identical E\[X\] and f_X(t).
+//! aggregate produce identical E\[X\] and f_X(t). Both the lumpability
+//! audit and the large-n scaling curve run as **binary-local**
+//! [`Workload`]s on the parallel sweep engine — each scaling n is its
+//! own cell, so the expensive solves fan out over cores.
 
+use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
+use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SymmetricChain};
 use serde::Serialize;
+
+/// Exact-lumpability audit: solve the full 2ⁿ+1-state chain and the
+/// n+2-state aggregate, compare E\[X\] and the density over a t grid.
+struct LumpabilityAudit {
+    n: usize,
+    mu: f64,
+    lambda: f64,
+}
+
+impl Workload for LumpabilityAudit {
+    fn label(&self) -> String {
+        format!("lumpability/n{}", self.n)
+    }
+
+    fn run(&self, _seed: u64) -> Vec<Metric> {
+        let full = AsyncParams::symmetric(self.n, self.mu, self.lambda).build_full_chain();
+        let lumped = SymmetricChain::build(self.n, self.mu, self.lambda);
+        let ts: Vec<f64> = (0..=100).map(|k| k as f64 * 0.05).collect();
+        let f_full = full.interval_density(&ts);
+        let f_lumped = lumped.interval_density(&ts);
+        let max_diff = f_full
+            .iter()
+            .zip(&f_lumped)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0_f64, f64::max);
+        vec![
+            Metric::exact("n_states_full", full.n_states() as f64),
+            Metric::exact("ex_full", full.mean_interval()),
+            Metric::exact("ex_lumped", lumped.mean_interval()),
+            Metric::exact("density_max_abs_diff", max_diff),
+        ]
+    }
+}
+
+/// One point of the large-n scaling curve through the lumped solver.
+struct ScalingPoint {
+    n: usize,
+    mu: f64,
+    lambda: f64,
+}
+
+impl Workload for ScalingPoint {
+    fn label(&self) -> String {
+        format!("scaling/n{}", self.n)
+    }
+
+    fn run(&self, _seed: u64) -> Vec<Metric> {
+        vec![Metric::exact(
+            "EX",
+            mean_interval_symmetric(self.n, self.mu, self.lambda),
+        )]
+    }
+}
 
 #[derive(Serialize)]
 struct Fig3Result {
@@ -22,8 +80,18 @@ struct Fig3Result {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig3_markov");
     let (n, mu, lambda) = (3usize, 1.0, 1.0);
     let chain = SymmetricChain::build(n, mu, lambda);
+    let scaling_ns = [4usize, 6, 8, 12, 14];
+
+    // The audit plus one cell per scaling point, fanned out in parallel.
+    let mut cells = vec![SweepCell::new(LumpabilityAudit { n, mu, lambda })];
+    for nn in scaling_ns {
+        cells.push(SweepCell::new(ScalingPoint { n: nn, mu, lambda }));
+    }
+    let report =
+        SweepSpec::new("fig3_markov_sweep", args.master_seed(3), cells).run(args.threads());
 
     println!("Figure 3 — lumped chain for n = {n}, μ = {mu}, λ = {lambda}\n");
     let label = |s: usize| -> String {
@@ -59,21 +127,17 @@ fn main() {
         );
     }
 
-    // Lumpability audit against the full chain.
-    let full = AsyncParams::symmetric(n, mu, lambda).build_full_chain();
-    let ex_full = full.mean_interval();
-    let ex_lumped = chain.mean_interval();
-    let ts: Vec<f64> = (0..=100).map(|k| k as f64 * 0.05).collect();
-    let f_full = full.interval_density(&ts);
-    let f_lumped = chain.interval_density(&ts);
-    let max_diff = f_full
-        .iter()
-        .zip(&f_lumped)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0_f64, f64::max);
+    // Lumpability audit against the full chain (from the sweep cell).
+    let audit = report
+        .cell(&format!("lumpability/n{n}"))
+        .expect("audit ran");
+    let ex_full = audit.value("ex_full");
+    let ex_lumped = audit.value("ex_lumped");
+    let max_diff = audit.value("density_max_abs_diff");
+    let n_states_full = audit.value("n_states_full") as usize;
 
     println!("\nlumpability audit:");
-    println!("  E[X] full ({} states)   = {ex_full:.9}", full.n_states());
+    println!("  E[X] full ({n_states_full} states)   = {ex_full:.9}");
     println!("  E[X] lumped ({} states) = {ex_lumped:.9}", n + 2);
     println!("  max |f_full − f_lumped| over t ∈ [0,5] = {max_diff:.2e}");
     assert!((ex_full - ex_lumped).abs() < 1e-9);
@@ -83,11 +147,9 @@ fn main() {
     // Beyond n ≈ 14 at ρ = n−1 the mean interval exceeds ~1e12 and
     // (−Q_TT) approaches numerical singularity — the domino regime
     // where recovery lines effectively never form.
-    for nn in [4usize, 6, 8, 12, 14] {
-        println!(
-            "  n = {nn:>2}: E[X] = {:.4e}",
-            mean_interval_symmetric(nn, mu, lambda)
-        );
+    for nn in scaling_ns {
+        let cell = report.cell(&format!("scaling/n{nn}")).expect("cell ran");
+        println!("  n = {nn:>2}: E[X] = {:.4e}", cell.value("EX"));
     }
 
     emit_json(
@@ -96,7 +158,7 @@ fn main() {
             n,
             mu,
             lambda,
-            n_states_full: full.n_states(),
+            n_states_full,
             n_states_lumped: n + 2,
             ex_full,
             ex_lumped,

@@ -12,7 +12,9 @@
 //! one parallel [`rbbench::sweep`] grid, checking the E\[Lᵢ\] = μᵢ·E\[X\]
 //! identity on every cell.
 
-use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::SplitChainStats;
 use rbbench::{emit_json, Table};
 use rbmarkov::paper::{AsyncParams, SplitChain, SplitState};
 
@@ -27,6 +29,7 @@ fn table1_cases() -> Vec<AsyncParams> {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig4_split");
     let params = table1_cases().remove(0);
     let tagged = 0; // the paper tags P1 for its S2 = (1,0,0) example
     let sc = SplitChain::build(&params, tagged);
@@ -91,22 +94,24 @@ fn main() {
     // tagged process (15 cells).
     let spec = SweepSpec::new(
         "fig4_split",
-        0xF164,
+        args.master_seed(0xF164),
         table1_cases()
             .into_iter()
             .enumerate()
             .flat_map(|(k, params)| {
-                (0..3).map(move |tagged| SweepCell {
-                    id: format!("case{}/P{}", k + 1, tagged + 1),
-                    task: CellTask::SplitChainStats {
-                        params: params.clone(),
-                        tagged,
-                    },
+                (0..3).map(move |tagged| {
+                    SweepCell::named(
+                        format!("case{}/P{}", k + 1, tagged + 1),
+                        SplitChainStats {
+                            params: params.clone(),
+                            tagged,
+                        },
+                    )
                 })
             })
             .collect(),
     );
-    let report = spec.run_parallel();
+    let report = spec.run(args.threads());
 
     println!("\nsplit-chain statistics over Table 1 × tagged process:\n");
     let table = Table::new(

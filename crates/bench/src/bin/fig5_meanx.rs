@@ -8,7 +8,9 @@
 //! sweep past the paper's n = 5. The simulation points run as one
 //! parallel [`rbbench::sweep`] grid.
 
-use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::AsyncIntervals;
 use rbbench::{emit_json, Table};
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
 use serde::Serialize;
@@ -24,6 +26,7 @@ struct Point {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig5_meanx");
     let mu = 1.0;
     let rhos = [1.0, 2.0, 4.0];
 
@@ -33,16 +36,17 @@ fn main() {
     for &rho in &rhos {
         for n in 2..=6usize {
             let lambda = rho * mu / (n - 1) as f64;
-            cells.push(SweepCell {
-                id: format!("rho{rho}/n{n}"),
-                task: CellTask::AsyncIntervals {
+            cells.push(SweepCell::named(
+                format!("rho{rho}/n{n}"),
+                AsyncIntervals {
                     params: AsyncParams::symmetric(n, mu, lambda),
                     lines: 30_000,
                 },
-            });
+            ));
         }
     }
-    let report = SweepSpec::new("fig5_meanx_sweep", 7_000, cells).run_parallel();
+    let report =
+        SweepSpec::new("fig5_meanx_sweep", args.master_seed(7_000), cells).run(args.threads());
 
     println!("Figure 5 — E[X] vs number of processes (μ = 1, λ = ρ/(n−1), ρ fixed)\n");
     let table = Table::new(11, &["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"]);

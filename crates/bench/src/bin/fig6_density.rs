@@ -8,12 +8,16 @@
 //! "For all the three cases there is a sharp \[peak\] near t = 0, which
 //! is due to direct transition between S_r and S_{r+1}" — f(0⁺) equals
 //! the R4 rate Σμ. The analytic density comes from uniformization; a
-//! simulation histogram cross-checks each curve.
+//! simulation histogram cross-checks each curve. The three cases run as
+//! one parallel [`rbbench::sweep`] grid of
+//! [`rbbench::workloads::AsyncDensity`] cells.
 
+use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
-use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::AsyncDensity;
 use rbmarkov::paper::AsyncParams;
-use rbsim::stats::{Histogram, Series};
+use rbsim::stats::Series;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -29,6 +33,7 @@ struct Fig6Case {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig6_density");
     let cases = [
         ("case 1", (1.0, 1.0, 1.0), (1.0, 1.0, 1.0)),
         ("case 2", (0.6, 0.45, 0.45), (0.5, 0.5, 0.5)),
@@ -37,53 +42,58 @@ fn main() {
     let t_max = 4.0;
     let n_pts = 80;
 
+    // One sweep cell per case: each simulates 120k intervals into an
+    // 80-bin histogram and reports sim/analytic densities per bin.
+    let spec = SweepSpec::new(
+        "fig6_density_sweep",
+        args.master_seed(1961),
+        cases
+            .iter()
+            .map(|&(label, mu, lam)| {
+                SweepCell::named(
+                    label,
+                    AsyncDensity {
+                        params: AsyncParams::three(mu, lam),
+                        lines: 120_000,
+                        t_max,
+                        bins: n_pts,
+                    },
+                )
+            })
+            .collect(),
+    );
+    let report = spec.run(args.threads());
+
     println!("Figure 6 — density f_X(t) (analytic via uniformization, sim = 80-bin histogram)\n");
     let mut out = Vec::new();
     for (label, mu, lam) in cases {
         let params = AsyncParams::three(mu, lam);
-        let ts: Vec<f64> = (0..=n_pts)
-            .map(|k| k as f64 * t_max / n_pts as f64)
-            .collect();
-        let f = params.interval_density(&ts);
+        let cell = report.cell(label).expect("cell ran");
+        let bin_center = |k: usize| (k as f64 + 0.5) * t_max / n_pts as f64;
 
         let mut analytic = Series::new(label);
-        for (&t, &ft) in ts.iter().zip(&f) {
-            analytic.push(t, ft);
-        }
-
-        let hist = Histogram::new(0.0, t_max, n_pts);
-        let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), 1961)
-            .run_intervals_hist(120_000, Some(hist));
-        let h = stats.histogram.unwrap();
         let mut simulated = Series::new(format!("{label} (sim)"));
-        let density = h.density();
-        for (k, &d) in density.iter().enumerate() {
-            simulated.push(h.bin_center(k), d);
+        for k in 0..n_pts {
+            analytic.push(bin_center(k), cell.value(&format!("f_ref{k}")));
+            simulated.push(bin_center(k), cell.value(&format!("f_sim{k}")));
         }
-
-        // Compare away from the t = 0 spike (bins 3+).
-        let max_gap = (3..n_pts)
-            .map(|k| {
-                let t = h.bin_center(k);
-                let a = params.interval_density(&[t])[0];
-                (density[k] - a).abs()
-            })
-            .fold(0.0_f64, f64::max);
-
-        let f0 = params.interval_density(&[0.0])[0];
+        let max_gap = cell.value("max_abs_gap_interior");
+        let f0 = cell.value("f0");
         println!(
             "{label}: f(0) = {f0:.3} (= Σμ = {:.3}); spike confirmed; \
              max interior |sim − analytic| = {max_gap:.4}",
-            params.total_mu()
+            cell.value("total_mu")
         );
         // Print a coarse curve for the terminal.
+        let ts: Vec<f64> = (0..=8).map(|k| k as f64 * t_max / 8.0).collect();
+        let f = params.interval_density(&ts);
         print!("  t:    ");
-        for k in (0..=n_pts).step_by(10) {
-            print!("{:>7.2}", ts[k]);
+        for t in &ts {
+            print!("{t:>7.2}");
         }
         print!("\n  f(t): ");
-        for k in (0..=n_pts).step_by(10) {
-            print!("{:>7.3}", f[k]);
+        for ft in &f {
+            print!("{ft:>7.3}");
         }
         println!("\n");
 
@@ -96,7 +106,7 @@ fn main() {
             mu,
             lambda: lam,
             f_at_0: f0,
-            total_mu: params.total_mu(),
+            total_mu: cell.value("total_mu"),
             analytic,
             simulated,
             max_abs_gap_interior: max_gap,

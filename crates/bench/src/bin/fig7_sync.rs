@@ -5,11 +5,17 @@
 //! (verifying the recovery-line property: every state save happens
 //! after every ready broadcast), then sweeps the §3 loss formula
 //! E\[CL\] = n∫(1−G(t))dt − Σ1/μᵢ against Monte-Carlo and the
-//! discrete-event timeline for the three request strategies.
+//! discrete-event timeline for the three request strategies — a single
+//! mixed-workload [`rbbench::sweep`] grid of
+//! [`rbbench::workloads::SyncLoss`] and
+//! [`rbbench::workloads::SyncTimeline`] cells.
 
 use rbanalysis::sync_loss;
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::{SyncLoss, SyncTimeline};
 use rbbench::{emit_json, Table};
-use rbcore::schemes::synchronized::{run_sync_timeline, simulate_commit_losses, SyncStrategy};
+use rbcore::schemes::synchronized::SyncStrategy;
 use rbmarkov::paper::AsyncParams;
 use rbruntime::{run_synchronization, SyncParticipant};
 use rbsim::{SimRng, StreamId};
@@ -33,19 +39,12 @@ struct StrategyPoint {
     line_interval: f64,
 }
 
-#[derive(Serialize)]
-struct Fig7Result {
-    threaded_z: f64,
-    threaded_loss: f64,
-    threaded_loss_expected: f64,
-    losses: Vec<LossPoint>,
-    strategies: Vec<StrategyPoint>,
-}
-
 fn main() {
+    let args = BenchArgs::parse("fig7_sync");
+
     // ── One real threaded establishment ───────────────────────────────
     let mu = [1.5, 1.0, 0.5];
-    let mut rng = SimRng::new(42, StreamId::WORKLOAD);
+    let mut rng = SimRng::new(args.master_seed(42), StreamId::WORKLOAD);
     let ys: Vec<f64> = mu.iter().map(|&m| rng.exp(m)).collect();
     let outcome = run_synchronization(
         ys.iter()
@@ -68,64 +67,95 @@ fn main() {
     );
     assert!(line_ok);
 
+    // ── The sweep: 4 loss cells + 3 strategy-timeline cells ──────────
+    let loss_grid: [(&str, Vec<f64>); 4] = [
+        ("mu-balanced", vec![1.0, 1.0, 1.0]),
+        ("mu-skewed", vec![1.5, 1.0, 0.5]),
+        ("mu-n5", vec![1.0; 5]),
+        ("mu-geometric", vec![2.0, 1.0, 0.5, 0.25]),
+    ];
+    let params = AsyncParams::symmetric(3, 1.0, 1.0);
+    let strategies = [
+        ("const Δ=5", SyncStrategy::ConstantInterval(5.0)),
+        ("elapsed Δ=5", SyncStrategy::ElapsedSinceLine(5.0)),
+        ("states k=15", SyncStrategy::StatesSaved(15)),
+    ];
+
+    let mut cells: Vec<SweepCell> = loss_grid
+        .iter()
+        .map(|(label, mu)| {
+            SweepCell::named(
+                *label,
+                SyncLoss {
+                    mu: mu.clone(),
+                    rounds: 100_000,
+                },
+            )
+        })
+        .collect();
+    for (name, strat) in strategies {
+        cells.push(SweepCell::named(
+            format!("strategy/{name}"),
+            SyncTimeline {
+                params: params.clone(),
+                strategy: strat,
+                horizon: 50_000.0,
+            },
+        ));
+    }
+    let report = SweepSpec::new("fig7_sync_sweep", args.master_seed(99), cells).run(args.threads());
+
     // ── E[CL]: closed form vs quadrature vs Monte-Carlo ──────────────
     println!("\nE[CL] cross-validation:");
     let table = Table::new(12, &["μ", "closed", "integral", "simulated", "±95%"]);
     table.print_header();
     let mut losses = Vec::new();
-    for mus in [
-        vec![1.0, 1.0, 1.0],
-        vec![1.5, 1.0, 0.5],
-        vec![1.0; 5],
-        vec![2.0, 1.0, 0.5, 0.25],
-    ] {
-        let analytic = sync_loss::mean_loss(&mus);
-        let quad = sync_loss::mean_loss_quadrature(&mus, 1e-10);
-        let sim = simulate_commit_losses(&mus, 100_000, 99);
+    for (label, mus) in &loss_grid {
+        let cell = report.cell(label).expect("loss cell ran");
+        let ecl = cell.metric("ECL").expect("ECL measured");
+        let analytic = cell.value("ECL_closed_form");
+        let quad = cell.value("ECL_quadrature");
         table.print_row(&[
             format!("{mus:?}"),
             format!("{analytic:.4}"),
             format!("{quad:.4}"),
-            format!("{:.4}", sim.loss.mean()),
-            format!("{:.4}", sim.loss.ci_half_width(1.96)),
+            format!("{:.4}", ecl.value),
+            format!("{:.4}", 1.96 * ecl.std_err),
         ]);
         losses.push(LossPoint {
-            mu: mus,
+            mu: mus.clone(),
             analytic,
             quadrature: quad,
-            simulated: sim.loss.mean(),
-            ci95: sim.loss.ci_half_width(1.96),
+            simulated: ecl.value,
+            ci95: 1.96 * ecl.std_err,
         });
     }
 
     // ── The three request strategies over a long timeline ────────────
-    let params = AsyncParams::symmetric(3, 1.0, 1.0);
     println!("\nrequest strategies (horizon 50 000, μ = λ = 1):");
     let table = Table::new(
         14,
         &["strategy", "lines", "loss rate", "CL/line", "interval"],
     );
     table.print_header();
-    let mut strategies = Vec::new();
-    for (name, strat) in [
-        ("const Δ=5", SyncStrategy::ConstantInterval(5.0)),
-        ("elapsed Δ=5", SyncStrategy::ElapsedSinceLine(5.0)),
-        ("states k=15", SyncStrategy::StatesSaved(15)),
-    ] {
-        let s = run_sync_timeline(&params, strat, 50_000.0, 3);
+    let mut strategy_points = Vec::new();
+    for (name, _) in strategies {
+        let cell = report
+            .cell(&format!("strategy/{name}"))
+            .expect("strategy cell ran");
         table.print_row(&[
             name.to_string(),
-            format!("{}", s.lines),
-            format!("{:.4}%", 100.0 * s.loss_rate),
-            format!("{:.4}", s.loss_per_line.mean()),
-            format!("{:.3}", s.line_interval.mean()),
+            format!("{}", cell.value("lines") as u64),
+            format!("{:.4}%", 100.0 * cell.value("loss_rate")),
+            format!("{:.4}", cell.value("loss_per_line")),
+            format!("{:.3}", cell.value("line_interval")),
         ]);
-        strategies.push(StrategyPoint {
+        strategy_points.push(StrategyPoint {
             strategy: name.to_string(),
-            lines: s.lines,
-            loss_rate: s.loss_rate,
-            loss_per_line: s.loss_per_line.mean(),
-            line_interval: s.line_interval.mean(),
+            lines: cell.value("lines") as u64,
+            loss_rate: cell.value("loss_rate"),
+            loss_per_line: cell.value("loss_per_line"),
+            line_interval: cell.value("line_interval"),
         });
     }
     println!(
@@ -134,6 +164,14 @@ fn main() {
         sync_loss::mean_loss(params.mu())
     );
 
+    #[derive(Serialize)]
+    struct Fig7Result {
+        threaded_z: f64,
+        threaded_loss: f64,
+        threaded_loss_expected: f64,
+        losses: Vec<LossPoint>,
+        strategies: Vec<StrategyPoint>,
+    }
     emit_json(
         "fig7_sync",
         &Fig7Result {
@@ -141,7 +179,7 @@ fn main() {
             threaded_loss: outcome.loss,
             threaded_loss_expected: sync_loss::mean_loss(&mu),
             losses,
-            strategies,
+            strategies: strategy_points,
         },
     );
 }

@@ -9,10 +9,13 @@
 //! by the storage model against the analytic values.
 
 use rbanalysis::prp_overhead::prp_overhead;
+use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::PrpStorage;
 use rbcore::history::{History, ProcessId};
 use rbcore::render::{render_history, RenderOptions};
-use rbcore::schemes::prp::{prp_rollback, PrpConfig, PrpScheme};
+use rbcore::schemes::prp::prp_rollback;
 use rbmarkov::paper::AsyncParams;
 use rbruntime::prp::PrpGroup;
 use serde::Serialize;
@@ -26,7 +29,7 @@ struct Fig8Result {
     restart: Vec<f64>,
     sup_distance: f64,
     threaded_states: Vec<u64>,
-    storage_peak: Vec<usize>,
+    storage_peak_max: usize,
     storage_mean: f64,
     analytic_states_per_rp: usize,
     analytic_rollback_bound: f64,
@@ -34,6 +37,8 @@ struct Fig8Result {
 }
 
 fn main() {
+    let args = BenchArgs::parse("fig8_prp");
+
     // ── The paper's Figure 8, reconstructed ───────────────────────────
     let mut h = History::new(3);
     let rp1 = h.record_rp(p(0), 1.0); // RP1^1
@@ -78,11 +83,23 @@ fn main() {
     assert!(tplan.rolled_back[2]);
     group.shutdown();
 
-    // ── §4 overheads: measured vs analytic ────────────────────────────
+    // ── §4 overheads: measured vs analytic (one sweep cell) ──────────
     let params = AsyncParams::symmetric(3, 1.0, 1.0);
     let t_r = 1e-3;
-    let mut scheme = PrpScheme::new(PrpConfig::new(params.clone()).with_t_r(t_r), 8);
-    let storage = scheme.storage_timeline(2_000.0);
+    let report = SweepSpec::new(
+        "fig8_prp_sweep",
+        args.master_seed(8),
+        vec![SweepCell::named(
+            "storage",
+            PrpStorage {
+                params: params.clone(),
+                horizon: 2_000.0,
+                t_r,
+            },
+        )],
+    )
+    .run(args.threads());
+    let storage = report.cell("storage").expect("storage cell ran");
     let analytic = prp_overhead(params.mu(), t_r);
     println!("\n§4 overheads (μ = λ = 1, t_r = {t_r}):");
     println!(
@@ -90,22 +107,26 @@ fn main() {
         analytic.states_per_rp,
         analytic.states_per_rp - 1
     );
+    let peak_max = storage.value("peak_live_max");
+    let mean_live = storage.value("mean_live_states");
+    println!("  live states per process: peak {peak_max}, mean {mean_live:.2} (bound: n = 3)");
+    let total_rps = storage.value("rps_total") as u64;
+    let time_overhead = storage.value("prp_time_overhead");
     println!(
-        "  live states per process: peak {:?}, mean {:.2} (bound: n = 3)",
-        storage.peak_live_states, storage.mean_live_states
-    );
-    let total_rps: u64 = storage.rps.iter().sum();
-    println!(
-        "  PRP recording time: measured {:.3} over {} RPs (analytic (n−1)·t_r·RPs = {:.3})",
-        storage.prp_time_overhead,
-        total_rps,
+        "  PRP recording time: measured {time_overhead:.3} over {total_rps} RPs \
+         (analytic (n−1)·t_r·RPs = {:.3})",
         (3 - 1) as f64 * t_r * total_rps as f64
     );
     println!(
         "  rollback-distance bound E[max yᵢ] = {:.4}",
         analytic.rollback_bound
     );
-    assert!(storage.peak_live_states.iter().all(|&pk| pk <= 3));
+    assert!(peak_max <= 3.0);
+    assert_eq!(
+        storage.value("prps_total"),
+        storage.value("rps_total") * 2.0,
+        "n−1 = 2 PRPs per RP"
+    );
 
     emit_json(
         "fig8_prp",
@@ -113,11 +134,11 @@ fn main() {
             sup_distance: plan.sup_distance(),
             restart: plan.restart,
             threaded_states,
-            storage_peak: storage.peak_live_states,
-            storage_mean: storage.mean_live_states,
+            storage_peak_max: peak_max as usize,
+            storage_mean: mean_live,
             analytic_states_per_rp: analytic.states_per_rp,
             analytic_rollback_bound: analytic.rollback_bound,
-            measured_time_overhead: storage.prp_time_overhead,
+            measured_time_overhead: time_overhead,
         },
     );
 }

@@ -5,13 +5,15 @@
 //! successive synchronizations" — solved here for the §3 scheme: the
 //! overhead-rate model is minimised by golden-section search, compared
 //! against the √-law closed form, and validated against the
-//! discrete-event timeline (loss side) at the optimum.
+//! discrete-event timeline (loss side) at the optimum. Each error rate
+//! ε is one [`rbbench::workloads::OptimalPeriodCell`] of a parallel
+//! [`rbbench::sweep`] grid.
 
-use rbanalysis::optimal::{optimal_period, overhead_rate, sqrt_law_period};
 use rbanalysis::sync_loss::mean_loss;
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::OptimalPeriodCell;
 use rbbench::{emit_json, Table};
-use rbcore::schemes::synchronized::{run_sync_timeline, SyncStrategy};
-use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -26,11 +28,34 @@ struct EpsPoint {
 }
 
 fn main() {
+    let args = BenchArgs::parse("optimal_period");
     let mu = vec![1.0, 1.0, 1.0];
+    let epsilons = [0.1, 0.03, 0.01, 0.003, 0.001];
     println!(
         "Extension X4 — optimal sync period Δ* (n = 3, μ = 1, E[CL] = {:.3})\n",
         mean_loss(&mu)
     );
+
+    let spec = SweepSpec::new(
+        "optimal_period_sweep",
+        args.master_seed(3),
+        epsilons
+            .iter()
+            .map(|&eps| {
+                SweepCell::named(
+                    format!("eps{eps}"),
+                    OptimalPeriodCell {
+                        mu: mu.clone(),
+                        error_rate: eps,
+                        search_upper: 10_000.0,
+                        sim_horizon: 100_000.0,
+                    },
+                )
+            })
+            .collect(),
+    );
+    let report = spec.run(args.threads());
+
     let table = Table::new(
         13,
         &[
@@ -45,46 +70,37 @@ fn main() {
     );
     table.print_header();
 
-    let params = AsyncParams::new(mu.clone(), vec![1.0; 3]).unwrap();
     let mut points = Vec::new();
-    for eps in [0.1, 0.03, 0.01, 0.003, 0.001] {
-        let opt = optimal_period(&mu, eps, 10_000.0);
-        let anchor = sqrt_law_period(&mu, eps);
-        let half = overhead_rate(&mu, eps, opt.delta * 0.5);
-        let double = overhead_rate(&mu, eps, opt.delta * 2.0);
-        // DES validation of the waiting-loss component at Δ*.
-        let sim = run_sync_timeline(
-            &params,
-            SyncStrategy::ElapsedSinceLine(opt.delta),
-            100_000.0,
-            3,
-        );
+    for eps in epsilons {
+        let cell = report.cell(&format!("eps{eps}")).expect("cell ran");
+        let (delta, rate) = (cell.value("delta_star"), cell.value("rate_at_optimum"));
+        let (half, double) = (cell.value("rate_at_half"), cell.value("rate_at_double"));
+        let sim_loss_rate = cell.value("sim_loss_rate_at_optimum");
         table.print_row(&[
             format!("{eps}"),
-            format!("{:.3}", opt.delta),
-            format!("{anchor:.3}"),
-            format!("{:.4}", opt.rate),
+            format!("{delta:.3}"),
+            format!("{:.3}", cell.value("sqrt_law")),
+            format!("{rate:.4}"),
             format!("{half:.4}"),
             format!("{double:.4}"),
-            format!("{:.3}%", 100.0 * sim.loss_rate),
+            format!("{:.3}%", 100.0 * sim_loss_rate),
         ]);
-        assert!(half >= opt.rate && double >= opt.rate, "Δ* is a minimum");
+        assert!(half >= rate && double >= rate, "Δ* is a minimum");
         // The simulated waiting-loss rate matches the model's waiting
         // component E[CL]/(n(Δ+E[Z])).
-        let waiting_component = mean_loss(&mu) / (3.0 * (opt.delta + 11.0 / 6.0));
+        let waiting_component = cell.value("mean_loss") / (3.0 * (delta + cell.value("mean_span")));
         assert!(
-            (sim.loss_rate - waiting_component).abs() < 0.15 * waiting_component + 1e-4,
-            "sim {} vs model {waiting_component}",
-            sim.loss_rate
+            (sim_loss_rate - waiting_component).abs() < 0.15 * waiting_component + 1e-4,
+            "sim {sim_loss_rate} vs model {waiting_component}"
         );
         points.push(EpsPoint {
             error_rate: eps,
-            delta_star: opt.delta,
-            sqrt_law: anchor,
-            rate_at_optimum: opt.rate,
+            delta_star: delta,
+            sqrt_law: cell.value("sqrt_law"),
+            rate_at_optimum: rate,
             rate_at_half: half,
             rate_at_double: double,
-            sim_loss_rate_at_optimum: sim.loss_rate,
+            sim_loss_rate_at_optimum: sim_loss_rate,
         });
     }
 

@@ -7,12 +7,17 @@
 //! own Markov model treats every interaction symmetrically — the
 //! conservative worst case. This binary measures how much the
 //! refinement buys across interaction densities: mean rollback
-//! distance, affected-set size, and domino rate, on identical
-//! fault-injection episodes (same seeds).
+//! distance, affected-set size, and domino rate. Each λ point is one
+//! [`rbbench::workloads::FailureEpisodes`] sweep cell, which replays
+//! **identical** fault-injection episodes (same per-cell seed) through
+//! the symmetric and directed semantics — so the reduction is measured
+//! history-by-history, not across independent samples.
 
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::FailureEpisodes;
 use rbbench::{emit_json, Table};
 use rbcore::fault::FaultConfig;
-use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
@@ -29,11 +34,35 @@ struct Point {
 }
 
 fn main() {
+    let args = BenchArgs::parse("russell_directed");
     let episodes = 800;
+    let lambdas = [0.25, 0.5, 1.0, 2.0, 4.0];
     println!(
         "Extension X2 — symmetric (paper) vs directed (Russell) rollback, \
          n = 3, μ = 0.5, {episodes} episodes per point\n"
     );
+
+    let spec = SweepSpec::new(
+        "russell_directed_sweep",
+        args.master_seed(4242),
+        lambdas
+            .iter()
+            .map(|&lambda| {
+                // Symmetric vs directed only — the PRP leg is not read.
+                SweepCell::named(
+                    format!("lam{lambda}"),
+                    FailureEpisodes::new(
+                        AsyncParams::symmetric(3, 0.5, lambda),
+                        FaultConfig::uniform(3, 0.03, 0.5, 0.5),
+                        episodes,
+                    )
+                    .without_prp(),
+                )
+            })
+            .collect(),
+    );
+    let report = spec.run(args.threads());
+
     let table = Table::new(
         11,
         &[
@@ -43,36 +72,32 @@ fn main() {
     table.print_header();
 
     let mut points = Vec::new();
-    for lambda in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let params = AsyncParams::symmetric(3, 0.5, lambda);
-        let fault = FaultConfig::uniform(3, 0.03, 0.5, 0.5);
-        let sym = AsyncScheme::new(
-            AsyncConfig::new(params.clone()).with_fault(fault.clone()),
-            4242,
-        )
-        .run_failure_episodes(episodes);
-        let dir = AsyncScheme::new(AsyncConfig::new(params).with_fault(fault), 4242)
-            .run_failure_episodes_directed(episodes);
-        let reduction = 1.0 - dir.sup_distance.mean() / sym.sup_distance.mean();
+    for lambda in lambdas {
+        let cell = report.cell(&format!("lam{lambda}")).expect("cell ran");
+        let (sym_d, dir_d) = (
+            cell.value("async/sup_distance"),
+            cell.value("directed/sup_distance"),
+        );
+        let reduction = 1.0 - dir_d / sym_d;
         table.print_row(&[
             format!("{lambda}"),
-            format!("{:.3}", sym.sup_distance.mean()),
-            format!("{:.3}", dir.sup_distance.mean()),
-            format!("{:.2}", sym.n_affected.mean()),
-            format!("{:.2}", dir.n_affected.mean()),
-            format!("{:.1}%", 100.0 * sym.domino_rate()),
-            format!("{:.1}%", 100.0 * dir.domino_rate()),
+            format!("{sym_d:.3}"),
+            format!("{dir_d:.3}"),
+            format!("{:.2}", cell.value("async/n_affected")),
+            format!("{:.2}", cell.value("directed/n_affected")),
+            format!("{:.1}%", 100.0 * cell.value("async/domino_rate")),
+            format!("{:.1}%", 100.0 * cell.value("directed/domino_rate")),
             format!("{:.1}%", 100.0 * reduction),
         ]);
-        assert!(dir.sup_distance.mean() <= sym.sup_distance.mean() + 1e-12);
+        assert!(dir_d <= sym_d + 1e-12);
         points.push(Point {
             lambda,
-            sym_distance: sym.sup_distance.mean(),
-            dir_distance: dir.sup_distance.mean(),
-            sym_affected: sym.n_affected.mean(),
-            dir_affected: dir.n_affected.mean(),
-            sym_domino: sym.domino_rate(),
-            dir_domino: dir.domino_rate(),
+            sym_distance: sym_d,
+            dir_distance: dir_d,
+            sym_affected: cell.value("async/n_affected"),
+            dir_affected: cell.value("directed/n_affected"),
+            sym_domino: cell.value("async/domino_rate"),
+            dir_domino: cell.value("directed/domino_rate"),
             distance_reduction: reduction,
         });
     }

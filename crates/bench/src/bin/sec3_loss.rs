@@ -9,7 +9,9 @@
 //! engine derives the per-cell seeds, so results are thread-count
 //! independent.
 
-use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::SyncLoss;
 use rbbench::{emit_json, Table};
 use serde::Serialize;
 
@@ -25,6 +27,7 @@ struct SweepPoint {
 }
 
 fn main() {
+    let args = BenchArgs::parse("sec3_loss");
     let rounds = 60_000;
 
     // Sweep A: n processes at μ = 1. Sweep B: rate skew at fixed Σμ = 3.
@@ -42,18 +45,20 @@ fn main() {
 
     let spec = SweepSpec::new(
         "sec3_loss_sweep",
-        0x5EC3,
+        args.master_seed(0x5EC3),
         grid.iter()
-            .map(|(label, mu)| SweepCell {
-                id: label.clone(),
-                task: CellTask::SyncLoss {
-                    mu: mu.clone(),
-                    rounds,
-                },
+            .map(|(label, mu)| {
+                SweepCell::named(
+                    label.clone(),
+                    SyncLoss {
+                        mu: mu.clone(),
+                        rounds,
+                    },
+                )
             })
             .collect(),
     );
-    let report = spec.run_parallel();
+    let report = spec.run(args.threads());
 
     let point = |label: &str, mu: &[f64]| -> SweepPoint {
         let cell = report.cell(label).expect("cell ran");

@@ -7,12 +7,19 @@
 //! * rollback distance bounded by sup{y₁,…,yₙ} (inter-RP intervals) in
 //!   the local-error case, versus the unbounded asynchronous scheme;
 //! * the propagated-error case pays more (step-3 continuation).
+//!
+//! The storage timeline and the four fault-injection points run as one
+//! parallel [`rbbench::sweep`] grid; each
+//! [`rbbench::workloads::FailureEpisodes`] cell replays identical
+//! histories through the asynchronous and PRP rollback semantics, so
+//! the per-point PRP ≤ async inequality holds sample-by-sample.
 
 use rbanalysis::prp_overhead::{prp_overhead, waste_ratio};
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::{FailureEpisodes, PrpStorage};
 use rbbench::{emit_json, Table};
 use rbcore::fault::FaultConfig;
-use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
-use rbcore::schemes::prp::{PrpConfig, PrpScheme};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
@@ -29,7 +36,7 @@ struct DistancePoint {
 
 #[derive(Serialize)]
 struct Sec4Result {
-    storage_peaks: Vec<usize>,
+    storage_peak_max: usize,
     storage_mean: f64,
     time_overhead_measured: f64,
     time_overhead_analytic: f64,
@@ -39,31 +46,59 @@ struct Sec4Result {
 }
 
 fn main() {
-    // ── Storage and time overheads ────────────────────────────────────
+    let args = BenchArgs::parse("sec4_overhead");
     let n = 4;
     let t_r = 1e-3;
-    let params = AsyncParams::symmetric(n, 1.0, 1.0);
-    let mut scheme = PrpScheme::new(PrpConfig::new(params.clone()).with_t_r(t_r), 4);
-    let storage = scheme.storage_timeline(3_000.0);
-    let analytic = prp_overhead(params.mu(), t_r);
-    let total_rps: u64 = storage.rps.iter().sum();
+    let storage_params = AsyncParams::symmetric(n, 1.0, 1.0);
+    let points = [(1.0, 0.5), (1.0, 2.0), (0.5, 2.0), (0.25, 2.0)];
+    let episodes = 600;
+
+    let mut cells = vec![SweepCell::named(
+        "storage",
+        PrpStorage {
+            params: storage_params.clone(),
+            horizon: 3_000.0,
+            t_r,
+        },
+    )];
+    for (mu, lambda) in points {
+        // Only the symmetric-vs-PRP comparison is read here — skip the
+        // directed leg.
+        cells.push(SweepCell::named(
+            format!("mu{mu}/lam{lambda}"),
+            FailureEpisodes::new(
+                AsyncParams::symmetric(3, mu, lambda),
+                FaultConfig::uniform(3, 0.02, 0.5, 0.5),
+                episodes,
+            )
+            .without_directed(),
+        ));
+    }
+    let report =
+        SweepSpec::new("sec4_overhead_sweep", args.master_seed(21), cells).run(args.threads());
+
+    // ── Storage and time overheads ────────────────────────────────────
+    let storage = report.cell("storage").expect("storage cell ran");
+    let analytic = prp_overhead(storage_params.mu(), t_r);
+    let total_rps = storage.value("rps_total") as u64;
     let analytic_time = (n - 1) as f64 * t_r * total_rps as f64;
+    let measured_time = storage.value("prp_time_overhead");
     println!("§4 overheads (n = {n}, μ = λ = 1, t_r = {t_r}, horizon 3000):");
     println!(
-        "  states per RP: {} (1 + {} PRPs); storage peaks {:?} (bound n = {n}); mean {:.2}",
+        "  states per RP: {} (1 + {} PRPs); storage peak {} (bound n = {n}); mean {:.2}",
         analytic.states_per_rp,
         n - 1,
-        storage.peak_live_states,
-        storage.mean_live_states
+        storage.value("peak_live_max"),
+        storage.value("mean_live_states")
     );
     println!(
-        "  PRP recording time: measured {:.3} vs analytic {:.3} over {} RPs",
-        storage.prp_time_overhead, analytic_time, total_rps
+        "  PRP recording time: measured {measured_time:.3} vs analytic {analytic_time:.3} \
+         over {total_rps} RPs"
     );
-    assert!((storage.prp_time_overhead - analytic_time).abs() < 1e-6);
+    assert!((measured_time - analytic_time).abs() < 1e-6);
 
     // ── Rollback distances: async vs PRP across workloads ────────────
-    println!("\nrollback distance, 600 failure episodes per point (n = 3):\n");
+    println!("\nrollback distance, {episodes} failure episodes per point (n = 3):\n");
     let table = Table::new(
         12,
         &[
@@ -78,37 +113,32 @@ fn main() {
     );
     table.print_header();
     let mut distances = Vec::new();
-    for (mu, lambda) in [(1.0, 0.5), (1.0, 2.0), (0.5, 2.0), (0.25, 2.0)] {
-        let params = AsyncParams::symmetric(3, mu, lambda);
-        let fault = FaultConfig::uniform(3, 0.02, 0.5, 0.5);
-        let am = AsyncScheme::new(
-            AsyncConfig::new(params.clone()).with_fault(fault.clone()),
-            21,
-        )
-        .run_failure_episodes(600);
-        let pm = PrpScheme::new(PrpConfig::new(params.clone()).with_fault(fault), 21)
-            .run_failure_episodes(600);
-        let bound = prp_overhead(params.mu(), t_r).rollback_bound;
+    for (mu, lambda) in points {
+        let cell = report
+            .cell(&format!("mu{mu}/lam{lambda}"))
+            .expect("episode cell ran");
+        let bound = prp_overhead(AsyncParams::symmetric(3, mu, lambda).mu(), t_r).rollback_bound;
+        let (async_d, prp_d) = (
+            cell.value("async/sup_distance"),
+            cell.value("prp/sup_distance"),
+        );
         table.print_row(&[
             format!("{mu}"),
             format!("{lambda}"),
-            format!("{:.3}", am.sup_distance.mean()),
-            format!("{:.1}%", 100.0 * am.domino_rate()),
-            format!("{:.3}", pm.sup_distance.mean()),
-            format!("{:.1}%", 100.0 * pm.domino_rate()),
+            format!("{async_d:.3}"),
+            format!("{:.1}%", 100.0 * cell.value("async/domino_rate")),
+            format!("{prp_d:.3}"),
+            format!("{:.1}%", 100.0 * cell.value("prp/domino_rate")),
             format!("{bound:.3}"),
         ]);
-        assert!(
-            pm.sup_distance.mean() <= am.sup_distance.mean() + 1e-9,
-            "PRP must not lengthen rollback"
-        );
+        assert!(prp_d <= async_d + 1e-9, "PRP must not lengthen rollback");
         distances.push(DistancePoint {
             mu,
             lambda,
-            async_mean_distance: am.sup_distance.mean(),
-            async_domino_rate: am.domino_rate(),
-            prp_mean_distance: pm.sup_distance.mean(),
-            prp_domino_rate: pm.domino_rate(),
+            async_mean_distance: async_d,
+            async_domino_rate: cell.value("async/domino_rate"),
+            prp_mean_distance: prp_d,
+            prp_domino_rate: cell.value("prp/domino_rate"),
             analytic_bound: bound,
         });
     }
@@ -126,9 +156,9 @@ fn main() {
     emit_json(
         "sec4_overhead",
         &Sec4Result {
-            storage_peaks: storage.peak_live_states,
-            storage_mean: storage.mean_live_states,
-            time_overhead_measured: storage.prp_time_overhead,
+            storage_peak_max: storage.value("peak_live_max") as usize,
+            storage_mean: storage.value("mean_live_states"),
+            time_overhead_measured: measured_time,
             time_overhead_analytic: analytic_time,
             distances,
             waste_ratio_quiet: quiet,

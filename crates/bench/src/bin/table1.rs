@@ -12,7 +12,9 @@
 //! row sits ≈4 % above E\[X\]_exact — a finite-run bias in the 1983
 //! simulation. Our simulation reproduces the exact values.
 
-use rbbench::sweep::{CellTask, SweepCell, SweepSpec};
+use rbbench::cli::BenchArgs;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::AsyncIntervals;
 use rbbench::{emit_json, Table};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
@@ -70,25 +72,28 @@ fn main() {
         ),
     ];
 
+    let args = BenchArgs::parse("table1");
     let lines = 200_000;
 
     // One sweep cell per case; the engine derives the per-case seeds.
     let spec = SweepSpec::new(
         "table1_sweep",
-        1983,
+        args.master_seed(1983),
         cases
             .iter()
             .enumerate()
-            .map(|(k, &(mu, lam, _, _))| SweepCell {
-                id: format!("case{}", k + 1),
-                task: CellTask::AsyncIntervals {
-                    params: AsyncParams::three(mu, lam),
-                    lines,
-                },
+            .map(|(k, &(mu, lam, _, _))| {
+                SweepCell::named(
+                    format!("case{}", k + 1),
+                    AsyncIntervals {
+                        params: AsyncParams::three(mu, lam),
+                        lines,
+                    },
+                )
             })
             .collect(),
     );
-    let report = spec.run_parallel();
+    let report = spec.run(args.threads());
 
     println!("Table 1 — E(X) and E(Lᵢ) at constant ρ (5 cases, {lines} simulated lines each)\n");
     let table = Table::new(

@@ -6,10 +6,14 @@
 //! deadline. The paper's conclusions should appear as regions:
 //! asynchronous where errors are rare, synchronized/PRP where errors
 //! are frequent or deadlines bind, and PRP penalised where checkpoints
-//! are frequent but communication rare.
+//! are frequent but communication rare. The 25 grid points run as one
+//! parallel [`rbbench::sweep`] of
+//! [`rbbench::workloads::TradeoffCell`]s.
 
-use rbanalysis::tradeoff::{recommend, Scheme, TradeoffInputs};
+use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
+use rbbench::sweep::{SweepCell, SweepSpec};
+use rbbench::workloads::{scheme_short, TradeoffCell};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
@@ -21,18 +25,34 @@ struct Cell {
     scheme_deadline: String,
 }
 
-fn short(s: Scheme) -> &'static str {
-    match s {
-        Scheme::Asynchronous => "async",
-        Scheme::Synchronized => "sync",
-        Scheme::PseudoRecoveryPoints => "prp",
-    }
-}
-
 fn main() {
+    let args = BenchArgs::parse("tradeoff");
     let error_rates = [1e-5, 1e-4, 1e-3, 1e-2, 1e-1];
     let lambdas = [0.1, 0.5, 1.0, 2.0, 4.0];
     let deadline = 2.0;
+
+    let spec = SweepSpec::new(
+        "tradeoff_sweep",
+        args.master_seed(5),
+        error_rates
+            .iter()
+            .flat_map(|&er| {
+                lambdas.iter().map(move |&l| {
+                    SweepCell::named(
+                        format!("eps{er}/lam{l}"),
+                        TradeoffCell {
+                            params: AsyncParams::symmetric(3, 1.0, l),
+                            error_rate: er,
+                            t_r: 0.01,
+                            sync_period: 2.0,
+                            deadline,
+                        },
+                    )
+                })
+            })
+            .collect(),
+    );
+    let report = spec.run(args.threads());
 
     println!("§5 decision surface (n = 3, μ = 1, t_r = 0.01, sync period 2):");
     println!("rows: error rate; columns: λ. cell = no-deadline / deadline-{deadline}\n");
@@ -46,27 +66,15 @@ fn main() {
     for &er in &error_rates {
         print!("{er:>9.0e} ");
         for &l in &lambdas {
-            let inputs = TradeoffInputs {
-                params: AsyncParams::symmetric(3, 1.0, l),
-                error_rate: er,
-                t_r: 0.01,
-                sync_period: 2.0,
-                deadline: None,
-            };
-            let no_dl = recommend(&inputs);
-            let with_dl = recommend(&TradeoffInputs {
-                deadline: Some(deadline),
-                ..inputs
-            });
-            print!(
-                "{:>13}",
-                format!("{}/{}", short(no_dl.scheme), short(with_dl.scheme))
-            );
+            let cell = report.cell(&format!("eps{er}/lam{l}")).expect("cell ran");
+            let no_dl = scheme_short(cell.value("scheme_no_deadline"));
+            let with_dl = scheme_short(cell.value("scheme_deadline"));
+            print!("{:>13}", format!("{no_dl}/{with_dl}"));
             cells.push(Cell {
                 error_rate: er,
                 lambda: l,
-                scheme_no_deadline: short(no_dl.scheme).to_string(),
-                scheme_deadline: short(with_dl.scheme).to_string(),
+                scheme_no_deadline: no_dl.to_string(),
+                scheme_deadline: with_dl.to_string(),
             });
         }
         println!();

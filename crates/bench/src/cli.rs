@@ -1,0 +1,165 @@
+//! Shared command-line parsing for the figure binaries.
+//!
+//! Every binary accepts the same three flags — there is exactly one
+//! parser, so they cannot drift:
+//!
+//! * `--seed <u64>` — override the sweep's master seed (default: the
+//!   binary's published seed, so bare runs reproduce the committed
+//!   artifacts);
+//! * `--threads <n>` — cap the sweep's worker threads (default: all
+//!   hardware threads; results are byte-identical at any value);
+//! * `--out <dir>` — redirect the JSON artifacts (sets `RB_RESULTS_DIR`
+//!   for [`crate::emit_json`]).
+//!
+//! ```no_run
+//! let args = rbbench::cli::BenchArgs::parse("table1");
+//! let master = args.master_seed(1983);
+//! let threads = args.threads();
+//! ```
+
+use rbsim::par::available_threads;
+
+/// Parsed common flags of a figure binary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// `--seed`: master-seed override.
+    pub seed: Option<u64>,
+    /// `--threads`: worker-thread cap.
+    pub threads: Option<usize>,
+    /// `--out`: artifact directory override.
+    pub out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, applying `--out` to `RB_RESULTS_DIR`.
+    ///
+    /// Prints usage and exits 0 on `--help`/`-h`; prints the error and
+    /// exits 2 on a malformed or unknown argument.
+    pub fn parse(bin: &str) -> BenchArgs {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => {
+                if let Some(dir) = &args.out {
+                    std::env::set_var("RB_RESULTS_DIR", dir);
+                }
+                args
+            }
+            Err(Help) => {
+                println!("{}", Self::usage(bin));
+                std::process::exit(0);
+            }
+        }
+    }
+
+    /// The usage text printed for `--help`.
+    pub fn usage(bin: &str) -> String {
+        format!(
+            "usage: {bin} [--seed <u64>] [--threads <n>] [--out <dir>]\n\
+             \n\
+             --seed <u64>    master seed for the sweep (default: the binary's\n\
+             \x20               published seed; per-cell seeds derive from it)\n\
+             --threads <n>   worker threads for the sweep (default: all cores;\n\
+             \x20               the output is byte-identical at any value)\n\
+             --out <dir>     directory for JSON artifacts (default: results/,\n\
+             \x20               or RB_RESULTS_DIR)"
+        )
+    }
+
+    /// Parses an explicit argument list (testable core of [`Self::parse`]).
+    ///
+    /// Returns `Err(Help)` when `--help`/`-h` is present. Malformed
+    /// input terminates the process with exit code 2 — binaries have no
+    /// recovery path for bad flags.
+    fn parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, Help> {
+        let mut out = BenchArgs::default();
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(Help),
+                "--seed" => out.seed = Some(Self::value(&arg, args.next())),
+                "--threads" => {
+                    let t: usize = Self::value(&arg, args.next());
+                    if t == 0 {
+                        Self::bail("--threads must be at least 1");
+                    }
+                    out.threads = Some(t);
+                }
+                "--out" => match args.next() {
+                    Some(dir) if !dir.is_empty() => out.out = Some(dir),
+                    _ => Self::bail("--out requires a directory"),
+                },
+                other => Self::bail(&format!("unknown argument `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn value<T: std::str::FromStr>(flag: &str, raw: Option<String>) -> T {
+        match raw.as_deref().map(str::parse) {
+            Some(Ok(v)) => v,
+            Some(Err(_)) => Self::bail(&format!("invalid value for {flag}: `{}`", raw.unwrap())),
+            None => Self::bail(&format!("{flag} requires a value")),
+        }
+    }
+
+    fn bail(msg: &str) -> ! {
+        eprintln!("error: {msg} (try --help)");
+        std::process::exit(2);
+    }
+
+    /// The master seed: the `--seed` override or the binary's default.
+    pub fn master_seed(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The worker-thread count: the `--threads` override or every
+    /// available hardware thread.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(available_threads)
+    }
+}
+
+/// Marker error: `--help` was requested.
+#[derive(Debug)]
+pub struct Help;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<BenchArgs, Help> {
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn empty_args_use_defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a, BenchArgs::default());
+        assert_eq!(a.master_seed(1983), 1983);
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&["--seed", "42", "--threads", "3", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(a.seed, Some(42));
+        assert_eq!(a.threads, Some(3));
+        assert_eq!(a.out.as_deref(), Some("/tmp/x"));
+        assert_eq!(a.master_seed(1983), 42);
+        assert_eq!(a.threads(), 3);
+    }
+
+    #[test]
+    fn help_is_signalled_not_fatal() {
+        assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--seed", "1", "-h"]).is_err());
+    }
+
+    #[test]
+    fn usage_names_every_flag() {
+        let u = BenchArgs::usage("table1");
+        for flag in ["--seed", "--threads", "--out"] {
+            assert!(u.contains(flag), "usage lost {flag}");
+        }
+        assert!(u.starts_with("usage: table1"));
+    }
+}

@@ -5,9 +5,15 @@
 //! crate → binary index. Shared plumbing lives here:
 //!
 //! * [`sweep`] — the parallel scenario-sweep engine: parameter grids
-//!   ([`sweep::SweepSpec`]) dispatched over threads with deterministic
-//!   per-cell seeding, aggregated into a serializable
-//!   [`sweep::SweepReport`];
+//!   ([`sweep::SweepSpec`]) of boxed `rbcore::workload::Workload` trait
+//!   objects dispatched over threads with deterministic per-cell
+//!   seeding, aggregated into a serializable [`sweep::SweepReport`];
+//! * [`workloads`] — analysis-augmented workloads (closed-form §3
+//!   loss, §5 trade-off scoring, optimal-period search) plus re-exports
+//!   of the `rbcore` scheme adapters, so binaries import every workload
+//!   kind from one place;
+//! * [`cli`] — the shared `--seed` / `--threads` / `--out` flag parser
+//!   every binary uses;
 //! * [`emit_json`] / [`artifact_json`] — the one JSON artifact writer
 //!   every binary funnels through (machine-readable twins of the
 //!   printed tables, under `results/`);
@@ -28,7 +34,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod sweep;
+pub mod workloads;
 
 use std::io::Write as _;
 use std::path::PathBuf;

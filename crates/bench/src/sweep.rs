@@ -7,9 +7,11 @@
 //! those grids in parallel with `std::thread::scope` while keeping the
 //! results **bit-identical** to a serial run:
 //!
-//! * a [`SweepSpec`] names the sweep and lists its [`SweepCell`]s (built
-//!   by hand, from an [`AsyncGrid`] cross product, or from the
-//!   `rbtestutil` conformance matrix);
+//! * a [`SweepSpec`] names the sweep and lists its [`SweepCell`]s; each
+//!   cell carries a boxed [`Workload`] trait object — the **open** seam
+//!   defined in `rbcore::workload`, so any crate (or any figure binary,
+//!   locally) can contribute new workload kinds without touching this
+//!   engine;
 //! * each cell's random streams are seeded by
 //!   [`rbsim::derive_seed`]`(master_seed, cell_index)` — a pure function
 //!   of the spec, never of thread identity or execution order;
@@ -22,7 +24,8 @@
 //!
 //! The report contains nothing execution-specific (no thread count, no
 //! timestamps), so `spec.run(1)` and `spec.run(k)` produce byte-identical
-//! JSON — a property pinned by `tests/sweep_determinism.rs`.
+//! JSON — a property pinned by `tests/sweep_determinism.rs` and (at the
+//! exact-bytes level) by `tests/golden_sweep.rs`.
 //!
 //! ```
 //! use rbbench::sweep::{AsyncGrid, SweepSpec};
@@ -42,214 +45,53 @@
 //! assert!(ex > 0.0);
 //! ```
 
-use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
-use rbcore::schemes::prp::{PrpConfig, PrpScheme};
-use rbcore::schemes::synchronized::simulate_commit_losses;
-use rbmarkov::paper::{AsyncParams, SplitChain};
+use rbcore::workload::AsyncIntervals;
+use rbmarkov::paper::AsyncParams;
 use rbsim::derive_seed;
 use rbsim::par::{available_threads, par_map};
-use rbsim::stats::Welford;
-use rbtestutil::{standard_matrix, Scenario, SchemeConformance};
+use rbtestutil::{standard_matrix, ConformanceWorkload, SchemeConformance};
 use serde::Serialize;
 
-/// One aggregated quantity measured in a cell.
-#[derive(Clone, Debug, Serialize)]
-pub struct Metric {
-    /// What was measured, e.g. `EX` or `async/EX/sim-vs-ctmc`.
-    pub name: String,
-    /// Point value: a sample mean, an exact analytic value, or — for
-    /// conformance checks — the signed discrepancy `lhs − rhs`.
-    pub value: f64,
-    /// Standard error of the mean (sampled metrics), the allowed
-    /// tolerance (conformance checks), or 0 (exact values).
-    pub std_err: f64,
-    /// Observations folded in (0 for exact analytic values).
-    pub count: u64,
-    /// Whether the metric is acceptable. Always `true` for measurements;
-    /// conformance checks carry their pass/fail verdict here.
-    pub ok: bool,
-}
+pub use rbcore::metrics::Metric;
+pub use rbcore::workload::Workload;
 
-impl Metric {
-    /// A metric aggregated from a [`Welford`] accumulator.
-    pub fn sampled(name: impl Into<String>, w: &Welford) -> Metric {
-        Metric {
-            name: name.into(),
-            value: w.mean(),
-            std_err: w.std_err(),
-            count: w.count(),
-            ok: true,
-        }
-    }
-
-    /// An exact (analytic or structural) value.
-    pub fn exact(name: impl Into<String>, value: f64) -> Metric {
-        Metric {
-            name: name.into(),
-            value,
-            std_err: 0.0,
-            count: 0,
-            ok: true,
-        }
-    }
-}
-
-/// The work one grid cell performs.
+/// One grid point of a sweep: a stable id plus the boxed workload it
+/// runs.
 ///
-/// Each variant is one computation path of the paper; the per-cell seed
-/// handed to [`SweepCell::run`] drives every stochastic variant, so a
-/// cell's report is a pure function of `(task, seed)`.
-#[derive(Clone, Debug)]
-pub enum CellTask {
-    /// §2 asynchronous scheme: measure `lines` recovery-line intervals
-    /// (Table 1, Figures 5/6). Metrics: `EX`, `EL{i}`, `events`.
-    AsyncIntervals {
-        /// Checkpoint and interaction rates.
-        params: AsyncParams,
-        /// Recovery-line intervals to measure.
-        lines: usize,
-    },
-    /// §3 synchronized scheme: simulate `rounds` commitment rounds and
-    /// evaluate the closed form and quadrature (Section 3, `sec3_loss`).
-    /// Metrics: `ECL`, `EZ`, `ECL_closed_form`, `ECL_quadrature`.
-    SyncLoss {
-        /// Per-process checkpoint rates μᵢ.
-        mu: Vec<f64>,
-        /// Commitment rounds to simulate.
-        rounds: usize,
-    },
-    /// Figure 4: build the split chain `Y_d` and extract its exact
-    /// statistics. Metrics: `G`, `n_states`, `E_steps`, `EX`,
-    /// `EL_with_terminal`, `EL_paper_statistic`, `EX_ctmc`,
-    /// `identity_mu_EX`.
-    SplitChainStats {
-        /// Checkpoint and interaction rates.
-        params: AsyncParams,
-        /// The tagged process whose states are split.
-        tagged: usize,
-    },
-    /// §4 PRP scheme: run the storage timeline. Metrics: `rps_total`,
-    /// `prps_total`, `peak_live_max`, `mean_live_states`,
-    /// `prp_time_overhead`.
-    PrpStorage {
-        /// Checkpoint and interaction rates.
-        params: AsyncParams,
-        /// Simulated horizon.
-        horizon: f64,
-        /// State-recording time t_r.
-        t_r: f64,
-    },
-    /// One scenario of the `rbtestutil` conformance matrix through every
-    /// path of all three schemes. One metric per pairwise check, named
-    /// by the check label, `value = lhs − rhs`, `std_err = tol`,
-    /// `ok = pass`.
-    Conformance {
-        /// The grid point to check.
-        scenario: Scenario,
-        /// Simulation effort / tolerance configuration.
-        cfg: SchemeConformance,
-    },
-}
-
-/// One grid point of a sweep: a stable id plus its task.
-#[derive(Clone, Debug)]
+/// The id defaults to [`Workload::label`] but is usually overridden
+/// with a grid coordinate (`n3/mu1/lam0.25`) — it names the cell in the
+/// artifact and is how binaries look results up, so it must be unique
+/// within a spec.
 pub struct SweepCell {
     /// Stable identifier, e.g. `n3/mu1/lam0.25` or a scenario id.
     pub id: String,
     /// What the cell computes.
-    pub task: CellTask,
+    pub workload: Box<dyn Workload + Send + Sync>,
 }
 
 impl SweepCell {
+    /// A cell whose id is the workload's own label.
+    pub fn new(workload: impl Workload + Send + Sync + 'static) -> Self {
+        SweepCell {
+            id: workload.label(),
+            workload: Box::new(workload),
+        }
+    }
+
+    /// A cell with an explicit id (grid coordinates, scenario ids, …).
+    pub fn named(id: impl Into<String>, workload: impl Workload + Send + Sync + 'static) -> Self {
+        SweepCell {
+            id: id.into(),
+            workload: Box::new(workload),
+        }
+    }
+
     /// Runs the cell with the given derived seed, producing its report.
     pub fn run(&self, seed: u64) -> CellReport {
-        let mut metrics = Vec::new();
-        match &self.task {
-            CellTask::AsyncIntervals { params, lines } => {
-                let stats =
-                    AsyncScheme::new(AsyncConfig::new(params.clone()), seed).run_intervals(*lines);
-                metrics.push(Metric::sampled("EX", &stats.interval));
-                for (i, w) in stats.rp_counts.iter().enumerate() {
-                    metrics.push(Metric::sampled(format!("EL{i}"), w));
-                }
-                metrics.push(Metric::exact("events", stats.events as f64));
-            }
-            CellTask::SyncLoss { mu, rounds } => {
-                let stats = simulate_commit_losses(mu, *rounds, seed);
-                metrics.push(Metric::sampled("ECL", &stats.loss));
-                metrics.push(Metric::sampled("EZ", &stats.span));
-                metrics.push(Metric::exact(
-                    "ECL_closed_form",
-                    rbanalysis::sync_loss::mean_loss(mu),
-                ));
-                metrics.push(Metric::exact(
-                    "ECL_quadrature",
-                    rbanalysis::sync_loss::mean_loss_quadrature(mu, 1e-10),
-                ));
-            }
-            CellTask::SplitChainStats { params, tagged } => {
-                let sc = SplitChain::build(params, *tagged);
-                let steps = sc.expected_steps();
-                let ex_ctmc = params.mean_interval();
-                metrics.push(Metric::exact("G", sc.g));
-                metrics.push(Metric::exact("n_states", sc.labels.len() as f64));
-                metrics.push(Metric::exact("E_steps", steps));
-                metrics.push(Metric::exact("EX", steps / sc.g));
-                metrics.push(Metric::exact(
-                    "EL_with_terminal",
-                    sc.expected_rp_count(true),
-                ));
-                metrics.push(Metric::exact(
-                    "EL_paper_statistic",
-                    sc.expected_rp_count(false),
-                ));
-                metrics.push(Metric::exact("EX_ctmc", ex_ctmc));
-                metrics.push(Metric::exact(
-                    "identity_mu_EX",
-                    params.mu()[*tagged] * ex_ctmc,
-                ));
-            }
-            CellTask::PrpStorage {
-                params,
-                horizon,
-                t_r,
-            } => {
-                let mut scheme =
-                    PrpScheme::new(PrpConfig::new(params.clone()).with_t_r(*t_r), seed);
-                let stats = scheme.storage_timeline(*horizon);
-                metrics.push(Metric::exact(
-                    "rps_total",
-                    stats.rps.iter().sum::<u64>() as f64,
-                ));
-                metrics.push(Metric::exact(
-                    "prps_total",
-                    stats.prps.iter().sum::<u64>() as f64,
-                ));
-                metrics.push(Metric::exact(
-                    "peak_live_max",
-                    stats.peak_live_states.iter().copied().max().unwrap_or(0) as f64,
-                ));
-                metrics.push(Metric::exact("mean_live_states", stats.mean_live_states));
-                metrics.push(Metric::exact("prp_time_overhead", stats.prp_time_overhead));
-            }
-            CellTask::Conformance { scenario, cfg } => {
-                for report in cfg.check_all(scenario) {
-                    for c in report.checks {
-                        metrics.push(Metric {
-                            name: c.label,
-                            value: c.lhs - c.rhs,
-                            std_err: c.tol,
-                            count: 1,
-                            ok: c.pass,
-                        });
-                    }
-                }
-            }
-        }
         CellReport {
             id: self.id.clone(),
             seed,
-            metrics,
+            metrics: self.workload.run(seed),
         }
     }
 }
@@ -261,7 +103,7 @@ pub struct CellReport {
     pub id: String,
     /// The derived seed the cell's streams used.
     pub seed: u64,
-    /// Aggregated quantities, in a fixed per-task order.
+    /// Aggregated quantities, in a fixed per-workload order.
     pub metrics: Vec<Metric>,
 }
 
@@ -305,13 +147,13 @@ impl AsyncGrid {
         for &n in &self.n {
             for &mu in &self.mu {
                 for &lambda in &self.lambda {
-                    cells.push(SweepCell {
-                        id: format!("n{n}/mu{mu}/lam{lambda}"),
-                        task: CellTask::AsyncIntervals {
+                    cells.push(SweepCell::named(
+                        format!("n{n}/mu{mu}/lam{lambda}"),
+                        AsyncIntervals {
                             params: AsyncParams::symmetric(n, mu, lambda),
                             lines: self.lines,
                         },
-                    });
+                    ));
                 }
             }
         }
@@ -320,7 +162,6 @@ impl AsyncGrid {
 }
 
 /// A named scenario grid: what to sweep and under which master seed.
-#[derive(Clone, Debug)]
 pub struct SweepSpec {
     /// Sweep name; doubles as the artifact file stem for
     /// [`SweepReport::emit`].
@@ -358,12 +199,14 @@ impl SweepSpec {
     ) -> Self {
         let cells = standard_matrix(master_seed)
             .into_iter()
-            .map(|scenario| SweepCell {
-                id: scenario.id.clone(),
-                task: CellTask::Conformance {
-                    scenario,
-                    cfg: cfg.clone(),
-                },
+            .map(|scenario| {
+                SweepCell::named(
+                    scenario.id.clone(),
+                    ConformanceWorkload {
+                        scenario,
+                        cfg: cfg.clone(),
+                    },
+                )
             })
             .collect();
         SweepSpec::new(name, master_seed, cells)
@@ -460,6 +303,8 @@ impl SweepReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workloads::SyncLoss;
+    use rbcore::workload::{PrpStorage, SplitChainStats};
 
     fn small_grid() -> SweepSpec {
         SweepSpec::async_grid(
@@ -510,34 +355,34 @@ mod tests {
     }
 
     #[test]
-    fn mixed_task_kinds_run_and_report() {
+    fn mixed_workload_kinds_run_and_report() {
         let params = AsyncParams::symmetric(3, 1.0, 1.0);
         let spec = SweepSpec::new(
             "unit-mixed",
             11,
             vec![
-                SweepCell {
-                    id: "sync".into(),
-                    task: CellTask::SyncLoss {
+                SweepCell::named(
+                    "sync",
+                    SyncLoss {
                         mu: vec![1.0, 1.0, 1.0],
                         rounds: 2_000,
                     },
-                },
-                SweepCell {
-                    id: "split".into(),
-                    task: CellTask::SplitChainStats {
+                ),
+                SweepCell::named(
+                    "split",
+                    SplitChainStats {
                         params: params.clone(),
                         tagged: 0,
                     },
-                },
-                SweepCell {
-                    id: "prp".into(),
-                    task: CellTask::PrpStorage {
+                ),
+                SweepCell::named(
+                    "prp",
+                    PrpStorage {
                         params,
                         horizon: 50.0,
                         t_r: 1e-3,
                     },
-                },
+                ),
             ],
         );
         let report = spec.run_parallel();
@@ -560,6 +405,39 @@ mod tests {
             "n−1 = 2 PRPs per RP"
         );
         assert!(prp.value("peak_live_max") <= 3.0);
+    }
+
+    #[test]
+    fn locally_defined_workloads_ride_the_engine() {
+        // The seam is open: a workload defined right here — no engine
+        // edits, no enum variant — runs like any built-in one.
+        struct SeedEcho;
+        impl Workload for SeedEcho {
+            fn label(&self) -> String {
+                "seed-echo".into()
+            }
+            fn run(&self, seed: u64) -> Vec<Metric> {
+                vec![Metric::exact("seed_lo32", (seed & 0xFFFF_FFFF) as f64)]
+            }
+        }
+        let spec = SweepSpec::new(
+            "unit-local",
+            5,
+            vec![
+                SweepCell::new(SeedEcho),
+                SweepCell::named("again", SeedEcho),
+            ],
+        );
+        let report = spec.run(2);
+        assert_eq!(report.cells[0].id, "seed-echo");
+        assert_eq!(
+            report.cells[0].value("seed_lo32"),
+            (rbsim::derive_seed(5, 0) & 0xFFFF_FFFF) as f64
+        );
+        assert_eq!(
+            report.cells[1].value("seed_lo32"),
+            (rbsim::derive_seed(5, 1) & 0xFFFF_FFFF) as f64
+        );
     }
 
     #[test]

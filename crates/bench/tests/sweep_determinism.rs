@@ -10,7 +10,10 @@
 //! matrix. On hosts with ≥ 4 cores, the parallel path must also beat
 //! the serial one ≥ 2× on wall-clock.
 
-use rbbench::sweep::{AsyncGrid, SweepSpec};
+use rbbench::sweep::{AsyncGrid, SweepCell, SweepSpec};
+use rbbench::workloads::FailureEpisodes;
+use rbcore::fault::FaultConfig;
+use rbmarkov::paper::AsyncParams;
 use rbsim::par::available_threads;
 use rbtestutil::SchemeConformance;
 use std::sync::Mutex;
@@ -80,6 +83,47 @@ fn async_grid_sweep_is_byte_identical_across_thread_counts() {
     // The JSON identity is not vacuous: the report carries real data.
     assert_eq!(serial.cells.len(), 12);
     assert!(serial.cells.iter().all(|c| c.value("EX") > 0.0));
+}
+
+#[test]
+fn failure_episodes_sweep_is_byte_identical_across_thread_counts() {
+    let _serial = serial_guard();
+    // The fault-injection workload runs three rollback semantics
+    // (symmetric, directed, PRP) from one seed per cell — the newest
+    // and most state-heavy path through the engine, so it gets its own
+    // byte-identity gate.
+    let spec = SweepSpec::new(
+        "failure_episodes_determinism",
+        0xFA17,
+        [(1.0, 0.5), (0.5, 1.5), (0.25, 2.0)]
+            .into_iter()
+            .map(|(mu, lambda)| {
+                SweepCell::named(
+                    format!("mu{mu}/lam{lambda}"),
+                    FailureEpisodes::new(
+                        AsyncParams::symmetric(3, mu, lambda),
+                        FaultConfig::uniform(3, 0.05, 0.5, 0.5),
+                        60,
+                    ),
+                )
+            })
+            .collect(),
+    );
+    let serial = spec.run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial.to_json(),
+            spec.run(threads).to_json(),
+            "parallel ({threads} threads) diverged from serial"
+        );
+    }
+    // Not vacuous: every cell carries all three schemes' metrics, and
+    // the same-seed orderings hold on every cell.
+    for cell in &serial.cells {
+        assert!(cell.value("async/episodes") == 60.0);
+        assert!(cell.value("directed/sup_distance") <= cell.value("async/sup_distance") + 1e-12);
+        assert!(cell.value("prp/sup_distance") <= cell.value("async/sup_distance") + 1e-9);
+    }
 }
 
 #[test]

@@ -27,6 +27,9 @@
 //!   [`schemes::asynchronous`] (unsynchronised RPs, paper §2),
 //!   [`schemes::synchronized`] (forced recovery lines, §3),
 //!   [`schemes::prp`] (pseudo recovery points, §4);
+//! * [`workload`] — the open [`workload::Workload`] trait every
+//!   sweepable experiment implements (the seam the `rbbench` sweep
+//!   engine dispatches through), plus adapters for the scheme drivers;
 //! * [`render`] — ASCII history diagrams for the figure binaries.
 //!
 //! ```
@@ -49,10 +52,12 @@ pub mod recovery_line;
 pub mod render;
 pub mod rollback;
 pub mod schemes;
+pub mod workload;
 
 pub use history::{History, HistoryArena, InteractionRecord, ProcessId, RpId, RpKind, RpRecord};
-pub use metrics::{RollbackOutcome, SchemeMetrics};
+pub use metrics::{Metric, RollbackOutcome, SchemeMetrics};
 pub use recovery_line::{
     find_recovery_lines, is_consistent_cut, is_orphan_free_cut, latest_recovery_line,
 };
 pub use rollback::{propagate_rollback, propagate_rollback_directed, RollbackPlan};
+pub use workload::Workload;

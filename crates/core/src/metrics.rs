@@ -5,6 +5,64 @@ use serde::Serialize;
 
 use crate::rollback::RollbackPlan;
 
+/// One aggregated quantity measured by a [`crate::workload::Workload`].
+///
+/// The serialized field order is part of the sweep artifacts' byte-level
+/// contract (`crates/bench/tests/sweep_determinism.rs` and the golden
+/// JSON test pin it) — do not reorder fields.
+#[derive(Clone, Debug, Serialize)]
+pub struct Metric {
+    /// What was measured, e.g. `EX` or `async/EX/sim-vs-ctmc`.
+    pub name: String,
+    /// Point value: a sample mean, an exact analytic value, or — for
+    /// conformance checks — the signed discrepancy `lhs − rhs`.
+    pub value: f64,
+    /// Standard error of the mean (sampled metrics), the allowed
+    /// tolerance (conformance checks), or 0 (exact values).
+    pub std_err: f64,
+    /// Observations folded in (0 for exact analytic values).
+    pub count: u64,
+    /// Whether the metric is acceptable. Always `true` for measurements;
+    /// conformance checks carry their pass/fail verdict here.
+    pub ok: bool,
+}
+
+impl Metric {
+    /// A metric aggregated from a [`Welford`] accumulator.
+    pub fn sampled(name: impl Into<String>, w: &Welford) -> Metric {
+        Metric {
+            name: name.into(),
+            value: w.mean(),
+            std_err: w.std_err(),
+            count: w.count(),
+            ok: true,
+        }
+    }
+
+    /// An exact (analytic or structural) value.
+    pub fn exact(name: impl Into<String>, value: f64) -> Metric {
+        Metric {
+            name: name.into(),
+            value,
+            std_err: 0.0,
+            count: 0,
+            ok: true,
+        }
+    }
+
+    /// A pass/fail check: `value` is the signed discrepancy, `std_err`
+    /// the allowed tolerance, and `ok` the verdict.
+    pub fn check(name: impl Into<String>, discrepancy: f64, tol: f64, pass: bool) -> Metric {
+        Metric {
+            name: name.into(),
+            value: discrepancy,
+            std_err: tol,
+            count: 1,
+            ok: pass,
+        }
+    }
+}
+
 /// One recovery episode: a detected error and the rollback that
 /// followed.
 #[derive(Clone, Debug)]

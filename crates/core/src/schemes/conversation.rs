@@ -99,6 +99,11 @@ impl ConversationStats {
 /// λᵢⱼ; interactions that would cross an open conversation's boundary
 /// are counted as deferred.
 ///
+/// Like the async/PRP fault-injection loops (see `HistoryArena`), the
+/// per-conversation scratch state — the participant window and its
+/// membership mask — is cleared and refilled instead of reallocated, so
+/// the allocator stays off the episode loop's critical path.
+///
 /// ```
 /// use rbcore::schemes::conversation::{run_conversations, ConversationConfig};
 /// use rbmarkov::paper::AsyncParams;
@@ -129,6 +134,9 @@ pub fn run_conversations(cfg: &ConversationConfig, horizon: f64, seed: u64) -> C
         horizon,
     };
     let mut next_start = 0usize; // round-robin participant window
+                                 // Arena-style scratch, reused across conversations.
+    let mut participants: Vec<usize> = Vec::with_capacity(k);
+    let mut in_conversation = vec![false; n];
 
     while t < horizon {
         let rate = total_lambda + cfg.conversation_rate;
@@ -145,7 +153,12 @@ pub fn run_conversations(cfg: &ConversationConfig, horizon: f64, seed: u64) -> C
         }
 
         // Open a conversation among processes [next_start, next_start+k).
-        let participants: Vec<usize> = (0..k).map(|d| (next_start + d) % n).collect();
+        participants.clear();
+        for d in 0..k {
+            let p = (next_start + d) % n;
+            participants.push(p);
+            in_conversation[p] = true;
+        }
         next_start = (next_start + 1) % n;
         let t_open = t;
         let mut total_loss = 0.0;
@@ -180,8 +193,8 @@ pub fn run_conversations(cfg: &ConversationConfig, horizon: f64, seed: u64) -> C
         let duration = t - t_open;
         let mut lambda_cross = 0.0;
         for &p in &participants {
-            for q in 0..n {
-                if !participants.contains(&q) {
+            for (q, &inside) in in_conversation.iter().enumerate() {
+                if !inside {
                     // Each (inside, outside) pair is visited once.
                     lambda_cross += cfg.params.lambda(p, q);
                 }
@@ -197,6 +210,11 @@ pub fn run_conversations(cfg: &ConversationConfig, horizon: f64, seed: u64) -> C
                 break;
             }
             stats.deferred_interactions += 1;
+        }
+
+        // Close the conversation: clear the membership mask for reuse.
+        for &p in &participants {
+            in_conversation[p] = false;
         }
 
         stats.occupied_time += duration;

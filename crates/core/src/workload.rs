@@ -1,0 +1,640 @@
+//! The open workload seam: one trait every sweepable experiment
+//! implements.
+//!
+//! Early versions of the bench harness hard-coded each computation path
+//! of the paper in a closed `CellTask` enum — adding a scenario meant
+//! editing the enum, its `run` match, and a one-off binary. This module
+//! inverts that seam: a [`Workload`] is *anything* that maps a seed to a
+//! vector of [`Metric`]s, and the sweep engine (`rbbench::sweep`)
+//! dispatches boxed trait objects without knowing what they compute.
+//! New scenarios are new structs — in this crate, in `rbtestutil` (the
+//! conformance matrix), or locally inside a figure binary.
+//!
+//! The contract that keeps parallel sweeps byte-identical to serial
+//! ones lives here too: [`Workload::run`] must be a **pure function of
+//! `(self, seed)`** — no global state, no thread identity, no wall
+//! clock. Every adapter in this module draws its randomness exclusively
+//! from `SimRng` streams derived from the given seed.
+//!
+//! ```
+//! use rbcore::metrics::Metric;
+//! use rbcore::workload::Workload;
+//!
+//! /// A custom workload: no engine changes needed to define one.
+//! struct CoinBias { flips: u64 }
+//!
+//! impl Workload for CoinBias {
+//!     fn label(&self) -> String {
+//!         format!("coin/{}", self.flips)
+//!     }
+//!     fn run(&self, seed: u64) -> Vec<Metric> {
+//!         let mut rng = rbsim::SimRng::from_seed_only(seed);
+//!         let heads = (0..self.flips).filter(|_| rng.bernoulli(0.5)).count();
+//!         vec![Metric::exact("heads", heads as f64)]
+//!     }
+//! }
+//!
+//! let w = CoinBias { flips: 100 };
+//! assert_eq!(w.run(7)[0].value, w.run(7)[0].value); // pure in (self, seed)
+//! ```
+
+use rbmarkov::paper::{AsyncParams, SplitChain};
+use rbsim::stats::Histogram;
+
+use crate::fault::FaultConfig;
+use crate::metrics::Metric;
+use crate::schemes::asynchronous::{AsyncConfig, AsyncScheme};
+use crate::schemes::conversation::{
+    conversation_round_loss, run_conversations, ConversationConfig,
+};
+use crate::schemes::prp::{PrpConfig, PrpScheme};
+use crate::schemes::synchronized::{run_sync_timeline, SyncStrategy};
+use crate::SchemeMetrics;
+
+/// One sweepable experiment: a labelled, seed-driven computation
+/// producing named metrics.
+///
+/// Object-safe by design — the sweep engine stores
+/// `Box<dyn Workload + Send + Sync>` and never matches on concrete
+/// types, so the set of workloads is open.
+pub trait Workload {
+    /// A stable human-readable label (used as the default cell id).
+    fn label(&self) -> String;
+
+    /// Runs the workload under `seed`, returning its metrics in a fixed
+    /// order.
+    ///
+    /// Must be a pure function of `(self, seed)`: the sweep engine
+    /// derives `seed` from `(master_seed, cell index)` and relies on
+    /// this purity for its byte-identical serial ≡ parallel guarantee.
+    fn run(&self, seed: u64) -> Vec<Metric>;
+}
+
+/// §2 asynchronous scheme: measure `lines` recovery-line intervals
+/// (Table 1, Figures 5/6). Metrics: `EX`, `EL{i}`, `events`.
+#[derive(Clone, Debug)]
+pub struct AsyncIntervals {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// Recovery-line intervals to measure.
+    pub lines: usize,
+}
+
+impl Workload for AsyncIntervals {
+    fn label(&self) -> String {
+        format!("async-intervals/n{}", self.params.n())
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let stats =
+            AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed).run_intervals(self.lines);
+        let mut metrics = Vec::with_capacity(self.params.n() + 2);
+        metrics.push(Metric::sampled("EX", &stats.interval));
+        for (i, w) in stats.rp_counts.iter().enumerate() {
+            metrics.push(Metric::sampled(format!("EL{i}"), w));
+        }
+        metrics.push(Metric::exact("events", stats.events as f64));
+        metrics
+    }
+}
+
+/// Figure 6: estimate the recovery-line interval density f_X(t) from a
+/// simulation histogram and compare it against the uniformization
+/// solve. Metrics: `EX`, `f0` (analytic f(0) = Σμ), `total_mu`,
+/// `f_sim{k}` / `f_ref{k}` per bin, and `max_abs_gap_interior`
+/// (sim-vs-analytic away from the t = 0 spike, bins ≥ 3).
+#[derive(Clone, Debug)]
+pub struct AsyncDensity {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// Recovery-line intervals to measure.
+    pub lines: usize,
+    /// Histogram support `[0, t_max)`.
+    pub t_max: f64,
+    /// Number of histogram bins.
+    pub bins: usize,
+}
+
+impl Workload for AsyncDensity {
+    fn label(&self) -> String {
+        format!("async-density/n{}", self.params.n())
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let hist = Histogram::new(0.0, self.t_max, self.bins);
+        let stats = AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed)
+            .run_intervals_hist(self.lines, Some(hist));
+        let h = stats.histogram.expect("histogram was requested");
+        let density = h.density();
+        let centers: Vec<f64> = (0..self.bins).map(|k| h.bin_center(k)).collect();
+        let reference = self.params.interval_density(&centers);
+
+        let mut metrics = Vec::with_capacity(2 * self.bins + 4);
+        metrics.push(Metric::sampled("EX", &stats.interval));
+        metrics.push(Metric::exact("f0", self.params.interval_density(&[0.0])[0]));
+        metrics.push(Metric::exact("total_mu", self.params.total_mu()));
+        for (k, (&d, &a)) in density.iter().zip(&reference).enumerate() {
+            metrics.push(Metric::exact(format!("f_sim{k}"), d));
+            metrics.push(Metric::exact(format!("f_ref{k}"), a));
+        }
+        let max_gap = density
+            .iter()
+            .zip(&reference)
+            .skip(3)
+            .map(|(d, a)| (d - a).abs())
+            .fold(0.0_f64, f64::max);
+        metrics.push(Metric::exact("max_abs_gap_interior", max_gap));
+        metrics
+    }
+}
+
+/// §3 synchronized scheme driven by a request strategy over a long
+/// timeline (Figure 7). Metrics: `lines`, `loss_rate`, `loss_per_line`,
+/// `line_interval`, `states_saved`, `requests_coalesced`.
+#[derive(Clone, Debug)]
+pub struct SyncTimeline {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// When the coordinator requests synchronizations.
+    pub strategy: SyncStrategy,
+    /// Simulated horizon.
+    pub horizon: f64,
+}
+
+impl Workload for SyncTimeline {
+    fn label(&self) -> String {
+        format!("sync-timeline/{:?}", self.strategy)
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let s = run_sync_timeline(&self.params, self.strategy, self.horizon, seed);
+        vec![
+            Metric::exact("lines", s.lines as f64),
+            Metric::exact("loss_rate", s.loss_rate),
+            Metric::sampled("loss_per_line", &s.loss_per_line),
+            Metric::sampled("line_interval", &s.line_interval),
+            Metric::exact("states_saved", s.states_saved as f64),
+            Metric::exact("requests_coalesced", s.requests_coalesced as f64),
+        ]
+    }
+}
+
+/// Figure 4: build the split chain `Y_d` and extract its exact
+/// statistics. Metrics: `G`, `n_states`, `E_steps`, `EX`,
+/// `EL_with_terminal`, `EL_paper_statistic`, `EX_ctmc`,
+/// `identity_mu_EX`.
+#[derive(Clone, Debug)]
+pub struct SplitChainStats {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// The tagged process whose states are split.
+    pub tagged: usize,
+}
+
+impl Workload for SplitChainStats {
+    fn label(&self) -> String {
+        format!("split-chain/P{}", self.tagged + 1)
+    }
+
+    fn run(&self, _seed: u64) -> Vec<Metric> {
+        let sc = SplitChain::build(&self.params, self.tagged);
+        let steps = sc.expected_steps();
+        let ex_ctmc = self.params.mean_interval();
+        vec![
+            Metric::exact("G", sc.g),
+            Metric::exact("n_states", sc.labels.len() as f64),
+            Metric::exact("E_steps", steps),
+            Metric::exact("EX", steps / sc.g),
+            Metric::exact("EL_with_terminal", sc.expected_rp_count(true)),
+            Metric::exact("EL_paper_statistic", sc.expected_rp_count(false)),
+            Metric::exact("EX_ctmc", ex_ctmc),
+            Metric::exact("identity_mu_EX", self.params.mu()[self.tagged] * ex_ctmc),
+        ]
+    }
+}
+
+/// §4 PRP scheme: run the storage timeline. Metrics: `rps_total`,
+/// `prps_total`, `peak_live_max`, `mean_live_states`,
+/// `prp_time_overhead`.
+#[derive(Clone, Debug)]
+pub struct PrpStorage {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// Simulated horizon.
+    pub horizon: f64,
+    /// State-recording time t_r.
+    pub t_r: f64,
+}
+
+impl Workload for PrpStorage {
+    fn label(&self) -> String {
+        format!("prp-storage/n{}", self.params.n())
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let mut scheme =
+            PrpScheme::new(PrpConfig::new(self.params.clone()).with_t_r(self.t_r), seed);
+        let stats = scheme.storage_timeline(self.horizon);
+        vec![
+            Metric::exact("rps_total", stats.rps.iter().sum::<u64>() as f64),
+            Metric::exact("prps_total", stats.prps.iter().sum::<u64>() as f64),
+            Metric::exact(
+                "peak_live_max",
+                stats.peak_live_states.iter().copied().max().unwrap_or(0) as f64,
+            ),
+            Metric::exact("mean_live_states", stats.mean_live_states),
+            Metric::exact("prp_time_overhead", stats.prp_time_overhead),
+        ]
+    }
+}
+
+/// Fault-injection episode sweeps (§2 vs §4 vs the Russell refinement):
+/// replays `episodes` failure episodes under **the same seed** through
+/// three rollback semantics —
+///
+/// * `async/…` — the paper's symmetric asynchronous rollback
+///   ([`AsyncScheme::run_failure_episodes`]),
+/// * `directed/…` — Russell's directed-message refinement
+///   ([`AsyncScheme::run_failure_episodes_directed`]),
+/// * `prp/…` — pseudo-recovery-point rollback
+///   ([`PrpScheme::run_failure_episodes`]).
+///
+/// Sharing the seed makes the three columns directly comparable: the
+/// underlying event histories coincide, so per-cell inequalities
+/// (directed ≤ symmetric distance; PRP ≤ asynchronous distance) hold
+/// sample-by-sample, not just in expectation. Each prefix reports
+/// `sup_distance`, `n_affected`, `rps_crossed` (sampled) and
+/// `domino_rate`, `reproduced_errors`, `episodes` (exact).
+///
+/// The symmetric leg always runs; the directed and PRP legs can be
+/// switched off ([`Self::without_directed`] / [`Self::without_prp`])
+/// when a sweep only compares two semantics — episodes are the hot
+/// path, and an unread leg is pure waste.
+#[derive(Clone, Debug)]
+pub struct FailureEpisodes {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// The fault-injection model.
+    pub fault: FaultConfig,
+    /// Failure episodes per rollback semantics.
+    pub episodes: usize,
+    /// State-recording time t_r for the PRP leg.
+    pub t_r: f64,
+    /// Run the Russell directed-refinement leg (`directed/…` metrics).
+    pub directed: bool,
+    /// Run the PRP leg (`prp/…` metrics).
+    pub prp: bool,
+}
+
+impl FailureEpisodes {
+    /// A workload running all three legs with the default
+    /// state-recording time (t_r = 1e-3).
+    pub fn new(params: AsyncParams, fault: FaultConfig, episodes: usize) -> Self {
+        FailureEpisodes {
+            params,
+            fault,
+            episodes,
+            t_r: 1e-3,
+            directed: true,
+            prp: true,
+        }
+    }
+
+    /// Drops the directed leg (no `directed/…` metrics).
+    pub fn without_directed(mut self) -> Self {
+        self.directed = false;
+        self
+    }
+
+    /// Drops the PRP leg (no `prp/…` metrics).
+    pub fn without_prp(mut self) -> Self {
+        self.prp = false;
+        self
+    }
+
+    fn push_scheme(prefix: &str, m: &SchemeMetrics, out: &mut Vec<Metric>) {
+        out.push(Metric::sampled(
+            format!("{prefix}/sup_distance"),
+            &m.sup_distance,
+        ));
+        out.push(Metric::sampled(
+            format!("{prefix}/n_affected"),
+            &m.n_affected,
+        ));
+        out.push(Metric::sampled(
+            format!("{prefix}/rps_crossed"),
+            &m.rps_crossed,
+        ));
+        out.push(Metric::exact(
+            format!("{prefix}/domino_rate"),
+            m.domino_rate(),
+        ));
+        out.push(Metric::exact(
+            format!("{prefix}/reproduced_errors"),
+            m.reproduced_errors as f64,
+        ));
+        out.push(Metric::exact(
+            format!("{prefix}/episodes"),
+            m.episodes as f64,
+        ));
+    }
+}
+
+impl Workload for FailureEpisodes {
+    fn label(&self) -> String {
+        format!("failure-episodes/n{}", self.params.n())
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let mut metrics = Vec::with_capacity(18);
+        let sym = AsyncScheme::new(
+            AsyncConfig::new(self.params.clone()).with_fault(self.fault.clone()),
+            seed,
+        )
+        .run_failure_episodes(self.episodes);
+        Self::push_scheme("async", &sym, &mut metrics);
+        if self.directed {
+            let dir = AsyncScheme::new(
+                AsyncConfig::new(self.params.clone()).with_fault(self.fault.clone()),
+                seed,
+            )
+            .run_failure_episodes_directed(self.episodes);
+            Self::push_scheme("directed", &dir, &mut metrics);
+        }
+        if self.prp {
+            let prp = PrpScheme::new(
+                PrpConfig::new(self.params.clone())
+                    .with_fault(self.fault.clone())
+                    .with_t_r(self.t_r),
+                seed,
+            )
+            .run_failure_episodes(self.episodes);
+            Self::push_scheme("prp", &prp, &mut metrics);
+        }
+        metrics
+    }
+}
+
+/// The conversation scheme over a long timeline (extension X3).
+/// Metrics: `completed`, `abandoned`, `loss_per_conversation`, `rounds`,
+/// `deferred_per_conversation`, `occupancy`, `abandon_rate`,
+/// `analytic_round_loss` (the §3 loss formula restricted to the
+/// participant subset, averaged over the n rotating round-robin
+/// windows — exact for heterogeneous μ, and equal to the single-window
+/// value when rates are homogeneous).
+#[derive(Clone, Debug)]
+pub struct Conversations {
+    /// Conversation configuration (participant count, rates, retries).
+    pub cfg: ConversationConfig,
+    /// Simulated horizon.
+    pub horizon: f64,
+}
+
+impl Conversations {
+    /// Mean §3 round loss over the rotating participant windows
+    /// `[s, s+k) mod n` — the analytic twin of what the timeline
+    /// simulation actually pays per test line.
+    fn mean_window_round_loss(&self) -> f64 {
+        let (n, k, mu) = (self.cfg.params.n(), self.cfg.k, self.cfg.params.mu());
+        let total: f64 = (0..n)
+            .map(|start| {
+                let window: Vec<f64> = (0..k).map(|d| mu[(start + d) % n]).collect();
+                conversation_round_loss(&window)
+            })
+            .sum();
+        total / n as f64
+    }
+}
+
+impl Workload for Conversations {
+    fn label(&self) -> String {
+        format!("conversations/k{}", self.cfg.k)
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let stats = run_conversations(&self.cfg, self.horizon, seed);
+        let total = (stats.completed + stats.abandoned).max(1);
+        vec![
+            Metric::exact("completed", stats.completed as f64),
+            Metric::exact("abandoned", stats.abandoned as f64),
+            Metric::sampled("loss_per_conversation", &stats.loss_per_conversation),
+            Metric::sampled("rounds", &stats.rounds),
+            Metric::exact(
+                "deferred_per_conversation",
+                stats.deferred_interactions as f64 / total as f64,
+            ),
+            Metric::exact("occupancy", stats.occupancy()),
+            Metric::exact("abandon_rate", stats.abandon_rate()),
+            Metric::exact("analytic_round_loss", self.mean_window_round_loss()),
+        ]
+    }
+}
+
+/// A seeded random history audited for recovery lines and rollback
+/// distance (the stochastic half of Figure 1). Metrics: `lines_formed`,
+/// `sup_distance`, `n_affected`, `horizon`.
+#[derive(Clone, Debug)]
+pub struct HistoryAudit {
+    /// Checkpoint and interaction rates.
+    pub params: AsyncParams,
+    /// History horizon.
+    pub horizon: f64,
+}
+
+impl Workload for HistoryAudit {
+    fn label(&self) -> String {
+        format!("history-audit/n{}", self.params.n())
+    }
+
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        let mut scheme = AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed);
+        let h = scheme.generate_history(self.horizon);
+        let detected_at = h.horizon();
+        let plan = crate::rollback::propagate_rollback(
+            &h,
+            crate::history::ProcessId(0),
+            detected_at,
+            |_, r| r.is_real(),
+        );
+        let lines = crate::recovery_line::find_recovery_lines(&h);
+        vec![
+            Metric::exact("lines_formed", (lines.len() - 1) as f64),
+            Metric::exact("sup_distance", plan.sup_distance()),
+            Metric::exact("n_affected", plan.n_affected() as f64),
+            Metric::exact("horizon", detected_at),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params3() -> AsyncParams {
+        AsyncParams::symmetric(3, 1.0, 1.0)
+    }
+
+    #[test]
+    fn workloads_are_pure_in_self_and_seed() {
+        let w: Vec<Box<dyn Workload + Send + Sync>> = vec![
+            Box::new(AsyncIntervals {
+                params: params3(),
+                lines: 200,
+            }),
+            Box::new(SplitChainStats {
+                params: params3(),
+                tagged: 0,
+            }),
+            Box::new(PrpStorage {
+                params: params3(),
+                horizon: 50.0,
+                t_r: 1e-3,
+            }),
+            Box::new(FailureEpisodes::new(
+                params3(),
+                FaultConfig::uniform(3, 0.05, 0.5, 0.5),
+                30,
+            )),
+            Box::new(Conversations {
+                cfg: ConversationConfig::new(AsyncParams::symmetric(4, 1.0, 1.0), 2),
+                horizon: 300.0,
+            }),
+            Box::new(HistoryAudit {
+                params: params3(),
+                horizon: 10.0,
+            }),
+        ];
+        for workload in &w {
+            let a = workload.run(99);
+            let b = workload.run(99);
+            assert_eq!(a.len(), b.len(), "{}", workload.label());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{}", x.name);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_episodes_orderings_hold_per_seed() {
+        // Same seed ⇒ identical histories ⇒ the refinements can only
+        // shrink rollback, sample by sample.
+        let w = FailureEpisodes::new(
+            AsyncParams::symmetric(3, 0.5, 1.5),
+            FaultConfig::uniform(3, 0.05, 0.5, 0.5),
+            120,
+        );
+        let metrics = w.run(4242);
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+                .value
+        };
+        assert!(get("directed/sup_distance") <= get("async/sup_distance") + 1e-12);
+        assert!(get("directed/n_affected") <= get("async/n_affected") + 1e-12);
+        assert!(get("prp/sup_distance") <= get("async/sup_distance") + 1e-9);
+        assert_eq!(get("async/episodes"), 120.0);
+        assert_eq!(get("prp/episodes"), 120.0);
+    }
+
+    #[test]
+    fn failure_episode_legs_are_independent_and_optional() {
+        let make = || {
+            FailureEpisodes::new(
+                AsyncParams::symmetric(3, 1.0, 1.0),
+                FaultConfig::uniform(3, 0.05, 0.5, 0.5),
+                40,
+            )
+        };
+        let full = make().run(7);
+        let no_prp = make().without_prp().run(7);
+        let no_dir = make().without_directed().run(7);
+        // Dropped legs emit no metrics…
+        assert!(no_prp.iter().all(|m| !m.name.starts_with("prp/")));
+        assert!(no_dir.iter().all(|m| !m.name.starts_with("directed/")));
+        // …and the remaining legs are bit-identical to the full run
+        // (each leg owns its seed-derived streams).
+        for m in &no_prp {
+            let twin = full.iter().find(|f| f.name == m.name).unwrap();
+            assert_eq!(m.value.to_bits(), twin.value.to_bits(), "{}", m.name);
+        }
+        for m in &no_dir {
+            let twin = full.iter().find(|f| f.name == m.name).unwrap();
+            assert_eq!(m.value.to_bits(), twin.value.to_bits(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn conversation_round_loss_averages_rotating_windows() {
+        // Homogeneous rates: the window average equals the single-window
+        // formula (k = 3 at μ = 1 → 2.5 exactly).
+        let homo = Conversations {
+            cfg: ConversationConfig::new(AsyncParams::symmetric(4, 1.0, 1.0), 3),
+            horizon: 1.0,
+        };
+        assert!((homo.mean_window_round_loss() - 2.5).abs() < 1e-12);
+        // Heterogeneous rates: must equal the explicit mean over the n
+        // round-robin windows, not the first-rate-replicated formula.
+        let params = AsyncParams::new(vec![2.0, 0.5, 0.5, 0.5], vec![1.0; 6]).unwrap();
+        let hetero = Conversations {
+            cfg: ConversationConfig::new(params, 2),
+            horizon: 1.0,
+        };
+        let mu = [2.0, 0.5, 0.5, 0.5];
+        let want: f64 = (0..4)
+            .map(|s| {
+                crate::schemes::conversation::conversation_round_loss(&[mu[s], mu[(s + 1) % 4]])
+            })
+            .sum::<f64>()
+            / 4.0;
+        assert!((hetero.mean_window_round_loss() - want).abs() < 1e-12);
+        let wrong = crate::schemes::conversation::conversation_round_loss(&[2.0, 2.0]);
+        assert!((hetero.mean_window_round_loss() - wrong).abs() > 1e-3);
+    }
+
+    #[test]
+    fn async_density_tracks_reference_away_from_spike() {
+        let w = AsyncDensity {
+            params: params3(),
+            lines: 20_000,
+            t_max: 4.0,
+            bins: 40,
+        };
+        let metrics = w.run(1961);
+        let gap = metrics
+            .iter()
+            .find(|m| m.name == "max_abs_gap_interior")
+            .unwrap();
+        assert!(gap.value < 0.08, "interior gap {}", gap.value);
+        let f0 = metrics.iter().find(|m| m.name == "f0").unwrap().value;
+        let total_mu = metrics.iter().find(|m| m.name == "total_mu").unwrap().value;
+        assert!((f0 - total_mu).abs() < 1e-9, "f(0) = Σμ (R4 spike)");
+    }
+
+    #[test]
+    fn sync_timeline_reports_lines_and_loss() {
+        let w = SyncTimeline {
+            params: params3(),
+            strategy: SyncStrategy::ElapsedSinceLine(5.0),
+            horizon: 2_000.0,
+        };
+        let metrics = w.run(3);
+        let get = |name: &str| metrics.iter().find(|m| m.name == name).unwrap().value;
+        assert!(get("lines") > 100.0);
+        assert!(get("loss_rate") > 0.0 && get("loss_rate") < 1.0);
+        assert!(get("loss_per_line") > 0.0);
+    }
+
+    #[test]
+    fn labels_are_stable_and_nonempty() {
+        let w = AsyncIntervals {
+            params: params3(),
+            lines: 1,
+        };
+        assert_eq!(w.label(), "async-intervals/n3");
+        let f = FailureEpisodes::new(params3(), FaultConfig::uniform(3, 0.1, 0.5, 0.5), 1);
+        assert_eq!(f.label(), "failure-episodes/n3");
+    }
+}

@@ -21,6 +21,7 @@ use rbanalysis::order_stats::max_exp_mean;
 use rbanalysis::prp_overhead::prp_overhead;
 use rbanalysis::sync_loss::{mean_idle, mean_loss, mean_loss_quadrature};
 use rbcore::fault::FaultConfig;
+use rbcore::metrics::Metric;
 use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbcore::schemes::prp::{PrpConfig, PrpScheme};
 use rbcore::schemes::synchronized::simulate_commit_losses;
@@ -390,6 +391,39 @@ impl SchemeConformance {
             self.check_synchronized(sc),
             self.check_prp(sc),
         ]
+    }
+}
+
+/// One scenario of the conformance matrix as a sweepable
+/// [`rbcore::workload::Workload`]: every pairwise [`Check`] becomes one
+/// [`Metric`] (`value = lhs − rhs`, `std_err = tol`, `ok = pass`), so
+/// the whole correctness gate parallelises per grid point through the
+/// `rbbench` sweep engine.
+///
+/// The scenario carries its own simulation seed (part of the matrix's
+/// identity), so the sweep-derived seed is deliberately ignored — the
+/// checks are reproducible grid-point audits, not seed-swept samples.
+#[derive(Clone, Debug)]
+pub struct ConformanceWorkload {
+    /// The grid point to check.
+    pub scenario: Scenario,
+    /// Simulation effort / tolerance configuration.
+    pub cfg: SchemeConformance,
+}
+
+impl rbcore::workload::Workload for ConformanceWorkload {
+    fn label(&self) -> String {
+        self.scenario.id.clone()
+    }
+
+    fn run(&self, _seed: u64) -> Vec<Metric> {
+        let mut metrics = Vec::new();
+        for report in self.cfg.check_all(&self.scenario) {
+            for c in report.checks {
+                metrics.push(Metric::check(c.label, c.lhs - c.rhs, c.tol, c.pass));
+            }
+        }
+        metrics
     }
 }
 

@@ -28,5 +28,5 @@
 pub mod conformance;
 pub mod scenarios;
 
-pub use conformance::{Check, ConformanceReport, SchemeConformance};
+pub use conformance::{Check, ConformanceReport, ConformanceWorkload, SchemeConformance};
 pub use scenarios::{standard_matrix, Scenario, ScenarioKind};
