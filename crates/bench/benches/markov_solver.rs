@@ -1,12 +1,17 @@
 //! Criterion: Markov-solver scaling.
 //!
-//! How expensive are the three analytic solves as the process count
-//! grows? The full chain is 2ⁿ+1 states (dense LU through n = 10), the
-//! lumped chain n+2 states, and the density solve is uniformization
-//! over the full chain.
+//! How expensive are the analytic solves as the process count grows?
+//! The full chain is 2ⁿ+1 states — dense LU through n = 10, CSR
+//! Gauss–Seidel through n = 13, matrix-free Krylov beyond — the lumped
+//! chain n+2 states, and the density solve is uniformization over the
+//! full chain. The `mean_interval/strategy` group pits sparse
+//! Gauss–Seidel against the matrix-free path on identical models at
+//! the sizes where they hand over (the CI perf-smoke job runs this
+//! group on every PR).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SplitChain};
+use rbmarkov::solver::SolverStrategy;
 use std::hint::black_box;
 
 fn bench_mean_interval_full(c: &mut Criterion) {
@@ -34,6 +39,27 @@ fn bench_mean_interval_lumped(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_solver_strategies(c: &mut Criterion) {
+    // Identical models (ρ = 1), two backends. Gauss–Seidel stops at its
+    // n = 13 cap — beyond it the CSR alone is the problem — while the
+    // matrix-free operator continues to n = 16 here (n = 20 lives in
+    // the fig2/fig3 sweeps and the matfree_scale gates).
+    let mut g = c.benchmark_group("mean_interval/strategy");
+    for n in [12usize, 13] {
+        let params = AsyncParams::symmetric(n, 1.0, 1.0 / (n as f64 - 1.0));
+        g.bench_with_input(BenchmarkId::new("sparse_gs", n), &params, |b, p| {
+            b.iter(|| black_box(p.mean_interval_with(SolverStrategy::GaussSeidel)))
+        });
+    }
+    for n in [12usize, 13, 14, 16] {
+        let params = AsyncParams::symmetric(n, 1.0, 1.0 / (n as f64 - 1.0));
+        g.bench_with_input(BenchmarkId::new("matrix_free", n), &params, |b, p| {
+            b.iter(|| black_box(p.mean_interval_with(SolverStrategy::MatrixFree)))
+        });
+    }
+    g.finish();
+}
+
 fn bench_density(c: &mut Criterion) {
     let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
     let ts: Vec<f64> = (0..50).map(|k| k as f64 * 0.1).collect();
@@ -56,6 +82,7 @@ criterion_group!(
     benches,
     bench_mean_interval_full,
     bench_mean_interval_lumped,
+    bench_solver_strategies,
     bench_density,
     bench_split_chain
 );

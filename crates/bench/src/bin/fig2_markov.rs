@@ -6,11 +6,15 @@
 //! rates, generator row sums, and the E\[X\] the chain yields. The
 //! audit runs as a **binary-local** [`Workload`] on the sweep engine —
 //! the open-trait seam means a one-off figure check needs no engine or
-//! core changes.
+//! core changes — and a **matrix-free scaling sweep**
+//! ([`rbbench::workloads::MatrixFreeLumpability`], shared with
+//! `fig3_markov`) pushes the same chain to n = 20 (2²⁰+1 states, never
+//! materialised).
 
 use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
 use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
+use rbbench::workloads::MatrixFreeLumpability;
 use rbmarkov::paper::{AsyncParams, Rule};
 use serde::Serialize;
 
@@ -45,27 +49,46 @@ struct Edge {
 }
 
 #[derive(Serialize)]
+struct ScalingRow {
+    n: usize,
+    n_states: u64,
+    ex_matfree: f64,
+    ex_lumped: f64,
+    rel_err: f64,
+}
+
+#[derive(Serialize)]
 struct Fig2Result {
     n_states: usize,
     n_transitions: usize,
     mean_interval: f64,
     edges: Vec<Edge>,
+    /// Matrix-free large-n extension: the same chain at 2ⁿ+1 states.
+    matrix_free_scaling: Vec<ScalingRow>,
 }
+
+/// The matrix-free sweep sizes: from comfortably materialisable to the
+/// 2²⁰+1-state regime no CSR path can reach.
+const SCALING_NS: [usize; 4] = [8, 12, 16, 20];
 
 fn main() {
     let args = BenchArgs::parse("fig2_markov");
     let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
     let chain = params.build_full_chain();
 
-    // The structural audit as a sweep cell (local workload).
-    let report = SweepSpec::new(
-        "fig2_markov_sweep",
-        args.master_seed(2),
-        vec![SweepCell::new(ChainAudit {
-            params: params.clone(),
-        })],
-    )
-    .run(args.threads());
+    // The structural audit plus the matrix-free scaling points, fanned
+    // out as sweep cells (local workloads).
+    let mut cells = vec![SweepCell::new(ChainAudit {
+        params: params.clone(),
+    })];
+    for n in SCALING_NS {
+        cells.push(SweepCell::named(
+            format!("matfree/n{n}"),
+            MatrixFreeLumpability { n },
+        ));
+    }
+    let report =
+        SweepSpec::new("fig2_markov_sweep", args.master_seed(2), cells).run(args.threads());
     let audit = report.cell("chain-audit/n3").expect("audit cell ran");
 
     println!("Figure 2 — full flag chain for n = 3 (states: S_r, (x1x2x3), S_r+1)\n");
@@ -116,6 +139,27 @@ fn main() {
     assert_eq!(audit.value("n_states"), 9.0, "2^3 + 1 states");
     assert_eq!(audit.value("n_transitions"), chain.transitions.len() as f64);
 
+    println!("\nmatrix-free scaling (same chain, never materialised; ρ = 1):");
+    report.assert_ok();
+    let mut scaling = Vec::new();
+    for n in SCALING_NS {
+        let cell = report.cell(&format!("matfree/n{n}")).expect("cell ran");
+        let ex_mf = cell.value("EX_matfree");
+        let ex_lumped = cell.value("EX_lumped");
+        let rel = (ex_mf - ex_lumped).abs() / ex_lumped;
+        println!(
+            "  n = {n:>2}: {:>9} states  E[X] = {ex_mf:>14.6}  (lumped {ex_lumped:>14.6}, rel err {rel:.2e})",
+            cell.value("n_states") as u64
+        );
+        scaling.push(ScalingRow {
+            n,
+            n_states: cell.value("n_states") as u64,
+            ex_matfree: ex_mf,
+            ex_lumped,
+            rel_err: rel,
+        });
+    }
+
     emit_json(
         "fig2_markov",
         &Fig2Result {
@@ -123,6 +167,7 @@ fn main() {
             n_transitions: audit.value("n_transitions") as usize,
             mean_interval: ex,
             edges,
+            matrix_free_scaling: scaling,
         },
     );
 }

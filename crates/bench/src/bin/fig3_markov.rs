@@ -3,14 +3,19 @@
 //!
 //! Prints the aggregated chain S_r, S̃₀, …, S̃ₙ₋₁, S_{r+1} and verifies
 //! exact lumpability: the full 2ⁿ+1-state chain and the n+2-state
-//! aggregate produce identical E\[X\] and f_X(t). Both the lumpability
-//! audit and the large-n scaling curve run as **binary-local**
-//! [`Workload`]s on the parallel sweep engine — each scaling n is its
-//! own cell, so the expensive solves fan out over cores.
+//! aggregate produce identical E\[X\] and f_X(t). The verification now
+//! runs at **two scales**: the materialised chain for small n, and —
+//! via the shared [`rbbench::workloads::MatrixFreeLumpability`]
+//! workload — the matrix-free Krylov solve of the *full* 2ⁿ+1-state
+//! chain up to n = 20, the lumpability theorem checked on a million
+//! states. The audits and scaling curves run as [`Workload`]s on the
+//! parallel sweep engine — each scaling n is its own cell, so the
+//! expensive solves fan out over cores.
 
 use rbbench::cli::BenchArgs;
 use rbbench::emit_json;
 use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
+use rbbench::workloads::MatrixFreeLumpability;
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SymmetricChain};
 use serde::Serialize;
 
@@ -68,6 +73,15 @@ impl Workload for ScalingPoint {
 }
 
 #[derive(Serialize)]
+struct LargeNRow {
+    n: usize,
+    n_states_full: u64,
+    ex_full_matfree: f64,
+    ex_lumped: f64,
+    rel_err: f64,
+}
+
+#[derive(Serialize)]
 struct Fig3Result {
     n: usize,
     mu: f64,
@@ -77,7 +91,13 @@ struct Fig3Result {
     ex_full: f64,
     ex_lumped: f64,
     density_max_abs_diff: f64,
+    /// Lumpability re-verified at 2ⁿ+1 states via the matrix-free solver.
+    large_n_lumpability: Vec<LargeNRow>,
 }
+
+/// Sizes of the matrix-free lumpability sweep — all beyond the CSR
+/// Gauss–Seidel cap (2¹³ states), topping out at 2²⁰+1.
+const LARGE_NS: [usize; 4] = [14, 16, 18, 20];
 
 fn main() {
     let args = BenchArgs::parse("fig3_markov");
@@ -89,6 +109,14 @@ fn main() {
     let mut cells = vec![SweepCell::new(LumpabilityAudit { n, mu, lambda })];
     for nn in scaling_ns {
         cells.push(SweepCell::new(ScalingPoint { n: nn, mu, lambda }));
+    }
+    for nn in LARGE_NS {
+        // The shared matrix-free lumpability workload (also swept by
+        // fig2_markov), under this binary's historical cell ids.
+        cells.push(SweepCell::named(
+            format!("lumpability-large/n{nn}"),
+            MatrixFreeLumpability { n: nn },
+        ));
     }
     let report =
         SweepSpec::new("fig3_markov_sweep", args.master_seed(3), cells).run(args.threads());
@@ -152,6 +180,29 @@ fn main() {
         println!("  n = {nn:>2}: E[X] = {:.4e}", cell.value("EX"));
     }
 
+    println!("\nlumpability at scale (full chain matrix-free, ρ = 1):");
+    report.assert_ok();
+    let mut large_rows = Vec::new();
+    for nn in LARGE_NS {
+        let cell = report
+            .cell(&format!("lumpability-large/n{nn}"))
+            .expect("cell ran");
+        let full_mf = cell.value("EX_matfree");
+        let lump = cell.value("EX_lumped");
+        let rel = (full_mf - lump).abs() / lump;
+        println!(
+            "  n = {nn:>2}: {:>9} states  E[X] full = {full_mf:>12.6}  lumped = {lump:>12.6}  rel err {rel:.2e}",
+            (1u64 << nn) + 1
+        );
+        large_rows.push(LargeNRow {
+            n: nn,
+            n_states_full: (1u64 << nn) + 1,
+            ex_full_matfree: full_mf,
+            ex_lumped: lump,
+            rel_err: rel,
+        });
+    }
+
     emit_json(
         "fig3_markov",
         &Fig3Result {
@@ -163,6 +214,7 @@ fn main() {
             ex_full,
             ex_lumped,
             density_max_abs_diff: max_diff,
+            large_n_lumpability: large_rows,
         },
     );
 }

@@ -14,7 +14,8 @@ use rbanalysis::tradeoff::{recommend, Scheme, TradeoffInputs};
 use rbcore::metrics::Metric;
 use rbcore::schemes::synchronized::{run_sync_timeline, simulate_commit_losses, SyncStrategy};
 use rbcore::workload::Workload;
-use rbmarkov::paper::AsyncParams;
+use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
+use rbmarkov::solver::SolverStrategy;
 
 pub use rbcore::workload::{
     AsyncDensity, AsyncIntervals, Conversations, FailureEpisodes, HistoryAudit, PrpStorage,
@@ -167,6 +168,47 @@ impl Workload for OptimalPeriodCell {
             Metric::exact("mean_loss", opt.mean_loss),
             Metric::exact("mean_span", opt.mean_span),
             Metric::exact("sim_loss_rate_at_optimum", sim.loss_rate),
+        ]
+    }
+}
+
+/// Large-n lumpability through the matrix-free solver: the full
+/// 2ⁿ+1-state chain, solved through the R1–R4 bit-mask operator
+/// (forced — no CSR is ever built), pinned against the n+2-state
+/// lumped chain of Figure 3, which the homogeneous rates make an exact
+/// reference. λ = 1/(n−1) holds ρ = 1 as n grows, keeping E\[X\] in a
+/// numerically comfortable range. Shared by `fig2_markov` (scaling
+/// sweep) and `fig3_markov` (lumpability at scale).
+///
+/// Metrics: `n_states`, `EX_matfree`, `EX_lumped`, and the pass/fail
+/// check `matfree-vs-lumped` at 1e-6 relative.
+#[derive(Clone, Debug)]
+pub struct MatrixFreeLumpability {
+    /// Process count (the chain has 2ⁿ+1 states).
+    pub n: usize,
+}
+
+impl Workload for MatrixFreeLumpability {
+    fn label(&self) -> String {
+        format!("matfree-vs-lumped/n{}", self.n)
+    }
+
+    fn run(&self, _seed: u64) -> Vec<Metric> {
+        let lambda = 1.0 / (self.n as f64 - 1.0);
+        let params = AsyncParams::symmetric(self.n, 1.0, lambda);
+        let ex = params.mean_interval_with(SolverStrategy::MatrixFree);
+        let lumped = mean_interval_symmetric(self.n, 1.0, lambda);
+        let rel_err = (ex - lumped).abs() / lumped;
+        vec![
+            Metric::exact("n_states", ((1u64 << self.n) + 1) as f64),
+            Metric::exact("EX_matfree", ex),
+            Metric::exact("EX_lumped", lumped),
+            Metric::check(
+                "matfree-vs-lumped",
+                ex - lumped,
+                1e-6 * lumped,
+                rel_err <= 1e-6,
+            ),
         ]
     }
 }

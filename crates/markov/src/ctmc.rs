@@ -12,10 +12,9 @@
 //!   uniformization, as the probability flux into the absorbing states.
 
 use crate::linalg::{LuFactors, Matrix};
+use crate::matfree::{bicgstab, Jacobi, LinOp};
+use crate::solver::SolverStrategy;
 use crate::sparse::{Csr, Triplets};
-
-/// Chains at or below this many transient states are solved densely.
-const DENSE_LIMIT: usize = 3000;
 
 /// A finite-state CTMC described by its generator matrix.
 ///
@@ -165,13 +164,29 @@ impl Ctmc {
 
     /// Mean time to absorption starting from `start`.
     ///
-    /// Solves (−Q_TT)·τ = 1 over the transient states: densely (LU) up
-    /// to `DENSE_LIMIT` transient states, by Gauss–Seidel beyond.
+    /// Solves (−Q_TT)·τ = 1 over the transient states with the backend
+    /// [`SolverStrategy::auto`] picks for the block size: dense LU,
+    /// CSR Gauss–Seidel, or operator-interface BiCGSTAB.
     ///
     /// # Panics
     /// Panics if the chain has no absorbing state, or if `start` is
     /// absorbing (the answer would trivially be 0 — asking is a bug).
     pub fn mean_absorption_time(&self, start: usize) -> f64 {
+        let transient = self.transient_states(start);
+        self.mean_absorption_on(SolverStrategy::auto(transient.len()), &transient, start)
+    }
+
+    /// [`Ctmc::mean_absorption_time`] on a caller-chosen backend —
+    /// benches and conformance tests use this to compare solver
+    /// strategies on identical chains.
+    pub fn mean_absorption_time_with(&self, start: usize, strategy: SolverStrategy) -> f64 {
+        let transient = self.transient_states(start);
+        self.mean_absorption_on(strategy, &transient, start)
+    }
+
+    /// The transient state list, validated for an absorption query from
+    /// `start`.
+    fn transient_states(&self, start: usize) -> Vec<usize> {
         assert!(
             !self.is_absorbing(start),
             "start state {start} is absorbing"
@@ -181,7 +196,16 @@ impl Ctmc {
             transient.len() < self.n,
             "chain has no absorbing state; absorption time is infinite"
         );
-        let tau = self.absorption_times(&transient);
+        transient
+    }
+
+    fn mean_absorption_on(
+        &self,
+        strategy: SolverStrategy,
+        transient: &[usize],
+        start: usize,
+    ) -> f64 {
+        let tau = self.solve_neg_qtt_with(strategy, transient, &vec![1.0; transient.len()]);
         let local = transient
             .iter()
             .position(|&s| s == start)
@@ -225,53 +249,89 @@ impl Ctmc {
         self.solve_neg_qtt(transient, &vec![1.0; transient.len()])
     }
 
-    /// Solves (−Q_TT)·x = b over the given transient states.
+    /// Solves (−Q_TT)·x = b over the given transient states with the
+    /// auto-selected backend.
     fn solve_neg_qtt(&self, transient: &[usize], b: &[f64]) -> Vec<f64> {
+        self.solve_neg_qtt_with(SolverStrategy::auto(transient.len()), transient, b)
+    }
+
+    /// Solves (−Q_TT)·x = b on an explicit backend.
+    fn solve_neg_qtt_with(
+        &self,
+        strategy: SolverStrategy,
+        transient: &[usize],
+        b: &[f64],
+    ) -> Vec<f64> {
         let nt = transient.len();
         let mut local = vec![usize::MAX; self.n];
         for (k, &s) in transient.iter().enumerate() {
             local[s] = k;
         }
         assert_eq!(b.len(), nt);
-        if nt <= DENSE_LIMIT {
-            // Dense: A = −Q_TT.
-            let mut a = Matrix::zeros(nt, nt);
-            for (k, &s) in transient.iter().enumerate() {
-                for (c, v) in self.q.row(s) {
-                    if local[c] != usize::MAX {
-                        a[(k, local[c])] = -v;
-                    }
-                }
-            }
-            let lu = LuFactors::new(a).expect("transient generator block is nonsingular");
-            lu.solve(b)
-        } else {
-            // Gauss–Seidel on xᵢ = (bᵢ + Σ_{j≠i} q_ij xⱼ) / (−q_ii).
-            let mut tau = vec![0.0; nt];
-            let max_iter = 200_000;
-            let tol = 1e-12;
-            for _ in 0..max_iter {
-                let mut delta = 0.0_f64;
+        match strategy {
+            SolverStrategy::Dense => {
+                // Dense: A = −Q_TT.
+                let mut a = Matrix::zeros(nt, nt);
                 for (k, &s) in transient.iter().enumerate() {
-                    let mut acc = b[k];
-                    let mut diag = 0.0;
                     for (c, v) in self.q.row(s) {
-                        if c == s {
-                            diag = -v;
-                        } else if local[c] != usize::MAX {
-                            acc += v * tau[local[c]];
+                        if local[c] != usize::MAX {
+                            a[(k, local[c])] = -v;
                         }
                     }
-                    debug_assert!(diag > 0.0);
-                    let new = acc / diag;
-                    delta = delta.max((new - tau[k]).abs());
-                    tau[k] = new;
                 }
-                if delta < tol {
-                    return tau;
-                }
+                let lu = LuFactors::new(a).expect("transient generator block is nonsingular");
+                lu.solve(b)
             }
-            panic!("Gauss–Seidel failed to converge on absorption times");
+            SolverStrategy::GaussSeidel => {
+                // Gauss–Seidel on xᵢ = (bᵢ + Σ_{j≠i} q_ij xⱼ) / (−q_ii).
+                let mut tau = vec![0.0; nt];
+                let max_iter = 200_000;
+                let tol = 1e-12;
+                for _ in 0..max_iter {
+                    let mut delta = 0.0_f64;
+                    for (k, &s) in transient.iter().enumerate() {
+                        let mut acc = b[k];
+                        let mut diag = 0.0;
+                        for (c, v) in self.q.row(s) {
+                            if c == s {
+                                diag = -v;
+                            } else if local[c] != usize::MAX {
+                                acc += v * tau[local[c]];
+                            }
+                        }
+                        debug_assert!(diag > 0.0);
+                        let new = acc / diag;
+                        delta = delta.max((new - tau[k]).abs());
+                        tau[k] = new;
+                    }
+                    if delta < tol {
+                        return tau;
+                    }
+                }
+                panic!("Gauss–Seidel failed to converge on absorption times");
+            }
+            SolverStrategy::MatrixFree => {
+                // BiCGSTAB touching the CSR generator only through
+                // operator applies. (The flag chain has a cheaper,
+                // never-materialised operator in `crate::matfree`;
+                // this path serves arbitrary chains.)
+                let op = CsrNegQtt {
+                    q: &self.q,
+                    transient,
+                    local: &local,
+                };
+                let diag: Vec<f64> = transient.iter().map(|&s| self.exit[s]).collect();
+                let mut x = vec![0.0; nt];
+                let outcome = bicgstab(&op, &Jacobi::new(&diag), b, &mut x, 1e-13, 2000);
+                assert!(
+                    outcome.relative_residual <= 1e-9,
+                    "BiCGSTAB failed to converge on absorption times \
+                     (relative residual {} after {} iterations)",
+                    outcome.relative_residual,
+                    outcome.iterations
+                );
+                x
+            }
         }
     }
 
@@ -307,6 +367,33 @@ impl Ctmc {
             .filter(|&s| self.is_absorbing(s))
             .map(|s| pi[s])
             .sum()
+    }
+}
+
+/// `−Q_TT` of a materialised chain as a [`LinOp`] (the CSR is touched
+/// only through row sweeps inside `apply`).
+struct CsrNegQtt<'a> {
+    q: &'a Csr,
+    transient: &'a [usize],
+    local: &'a [usize],
+}
+
+impl LinOp for CsrNegQtt<'_> {
+    fn dim(&self) -> usize {
+        self.transient.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for (k, &s) in self.transient.iter().enumerate() {
+            let mut acc = 0.0;
+            for (c, v) in self.q.row(s) {
+                let lc = self.local[c];
+                if lc != usize::MAX {
+                    acc -= v * x[lc];
+                }
+            }
+            y[k] = acc;
+        }
     }
 }
 
@@ -475,6 +562,33 @@ mod tests {
                 assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
             }
         }
+    }
+
+    #[test]
+    fn all_solver_strategies_agree() {
+        // A chain with cycles, several absorbing exits and uneven rates.
+        let c = Ctmc::from_transitions(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 0.8),
+                (2, 1, 0.3),
+                (1, 0, 0.2),
+                (2, 3, 1.1),
+                (3, 0, 0.4),
+                (3, 4, 0.9),
+                (2, 5, 0.05),
+            ],
+        );
+        let dense = c.mean_absorption_time_with(0, SolverStrategy::Dense);
+        let gs = c.mean_absorption_time_with(0, SolverStrategy::GaussSeidel);
+        let krylov = c.mean_absorption_time_with(0, SolverStrategy::MatrixFree);
+        assert!((dense - gs).abs() < 1e-9 * dense, "{dense} vs GS {gs}");
+        assert!(
+            (dense - krylov).abs() < 1e-9 * dense,
+            "{dense} vs Krylov {krylov}"
+        );
+        assert!((c.mean_absorption_time(0) - dense).abs() < 1e-12);
     }
 
     #[test]

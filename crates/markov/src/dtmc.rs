@@ -8,10 +8,9 @@
 //! the fundamental matrix N = (I − Q)⁻¹.
 
 use crate::linalg::{LuFactors, Matrix};
+use crate::matfree::{bicgstab, Jacobi, LinOp};
+use crate::solver::SolverStrategy;
 use crate::sparse::{Csr, Triplets};
-
-/// Chains at or below this many transient states are solved densely.
-const DENSE_LIMIT: usize = 3000;
 
 /// A finite-state DTMC described by its (row-stochastic) transition
 /// matrix.
@@ -78,6 +77,17 @@ impl Dtmc {
     /// Panics if `start` is not transient, or if no absorbing state is
     /// reachable (the expected counts would diverge).
     pub fn expected_visits(&self, start: usize, is_transient: &[bool]) -> Vec<f64> {
+        let strategy = SolverStrategy::auto(is_transient.iter().filter(|&&t| t).count());
+        self.expected_visits_with(start, is_transient, strategy)
+    }
+
+    /// [`Dtmc::expected_visits`] on a caller-chosen backend.
+    pub fn expected_visits_with(
+        &self,
+        start: usize,
+        is_transient: &[bool],
+        strategy: SolverStrategy,
+    ) -> Vec<f64> {
         assert_eq!(is_transient.len(), self.n);
         assert!(is_transient[start], "start state must be transient");
         let transient: Vec<usize> = (0..self.n).filter(|&s| is_transient[s]).collect();
@@ -89,64 +99,89 @@ impl Dtmc {
         }
         let start_local = local[start];
 
-        let v_local = if nt <= DENSE_LIMIT {
-            // Solve (I − Qᵀ)·v = e_start: v[j] = expected visits to j.
-            let mut a = Matrix::zeros(nt, nt);
-            for (k, &s) in transient.iter().enumerate() {
-                a[(k, k)] += 1.0;
-                for (c, p) in self.p.row(s) {
-                    if local[c] != usize::MAX {
-                        a[(local[c], k)] -= p;
+        let v_local = match strategy {
+            SolverStrategy::Dense => {
+                // Solve (I − Qᵀ)·v = e_start: v[j] = expected visits to j.
+                let mut a = Matrix::zeros(nt, nt);
+                for (k, &s) in transient.iter().enumerate() {
+                    a[(k, k)] += 1.0;
+                    for (c, p) in self.p.row(s) {
+                        if local[c] != usize::MAX {
+                            a[(local[c], k)] -= p;
+                        }
                     }
                 }
+                let mut b = vec![0.0; nt];
+                b[start_local] = 1.0;
+                LuFactors::new(a)
+                    .expect("fundamental matrix is nonsingular for absorbing chains")
+                    .solve(&b)
             }
-            let mut b = vec![0.0; nt];
-            b[start_local] = 1.0;
-            LuFactors::new(a)
-                .expect("fundamental matrix is nonsingular for absorbing chains")
-                .solve(&b)
-        } else {
-            // Gauss–Seidel on v = e_start + Qᵀ·v.
-            // Build the transposed adjacency once.
-            let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nt];
-            let mut self_loop = vec![0.0; nt];
-            for (k, &s) in transient.iter().enumerate() {
-                for (c, p) in self.p.row(s) {
-                    if local[c] == usize::MAX {
-                        continue;
-                    }
-                    if local[c] == k {
-                        self_loop[k] = p;
-                    } else {
-                        incoming[local[c]].push((k, p));
+            SolverStrategy::GaussSeidel => {
+                // Gauss–Seidel on v = e_start + Qᵀ·v.
+                // Build the transposed adjacency once.
+                let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); nt];
+                let mut self_loop = vec![0.0; nt];
+                for (k, &s) in transient.iter().enumerate() {
+                    for (c, p) in self.p.row(s) {
+                        if local[c] == usize::MAX {
+                            continue;
+                        }
+                        if local[c] == k {
+                            self_loop[k] = p;
+                        } else {
+                            incoming[local[c]].push((k, p));
+                        }
                     }
                 }
+                let mut v = vec![0.0; nt];
+                let max_iter = 500_000;
+                let tol = 1e-12;
+                let mut converged = false;
+                for _ in 0..max_iter {
+                    let mut delta = 0.0_f64;
+                    for j in 0..nt {
+                        let mut acc = if j == start_local { 1.0 } else { 0.0 };
+                        for &(k, p) in &incoming[j] {
+                            acc += p * v[k];
+                        }
+                        let new = acc / (1.0 - self_loop[j]);
+                        delta = delta.max((new - v[j]).abs());
+                        v[j] = new;
+                    }
+                    if delta < tol {
+                        converged = true;
+                        break;
+                    }
+                }
+                assert!(
+                    converged,
+                    "Gauss–Seidel failed to converge on expected visits"
+                );
+                v
             }
-            let mut v = vec![0.0; nt];
-            let max_iter = 500_000;
-            let tol = 1e-12;
-            let mut converged = false;
-            for _ in 0..max_iter {
-                let mut delta = 0.0_f64;
-                for j in 0..nt {
-                    let mut acc = if j == start_local { 1.0 } else { 0.0 };
-                    for &(k, p) in &incoming[j] {
-                        acc += p * v[k];
-                    }
-                    let new = acc / (1.0 - self_loop[j]);
-                    delta = delta.max((new - v[j]).abs());
-                    v[j] = new;
-                }
-                if delta < tol {
-                    converged = true;
-                    break;
-                }
+            SolverStrategy::MatrixFree => {
+                // BiCGSTAB on (I − Qᵀ)·v = e_start, touching the CSR
+                // only through operator applies.
+                let op = FundamentalTransposed {
+                    p: &self.p,
+                    transient: &transient,
+                    local: &local,
+                };
+                let diag: Vec<f64> = transient.iter().map(|&s| 1.0 - self.prob(s, s)).collect();
+                let mut b = vec![0.0; nt];
+                b[start_local] = 1.0;
+                let mut v = vec![0.0; nt];
+                let outcome = bicgstab(&op, &Jacobi::new(&diag), &b, &mut v, 1e-13, 2000);
+                assert!(
+                    outcome.relative_residual <= 1e-9,
+                    "BiCGSTAB failed to converge on expected visits \
+                     (relative residual {} after {} iterations)",
+                    outcome.relative_residual,
+                    outcome.iterations
+                );
+                v
             }
-            assert!(
-                converged,
-                "Gauss–Seidel failed to converge on expected visits"
-            );
-            v
         };
 
         let mut out = vec![0.0; self.n];
@@ -175,6 +210,35 @@ impl Dtmc {
             .filter(|&s| is_transient[s])
             .map(|s| visits[s] * self.prob(s, target))
             .sum()
+    }
+}
+
+/// `(I − Qᵀ)` of a materialised DTMC as a [`LinOp`].
+struct FundamentalTransposed<'a> {
+    p: &'a Csr,
+    transient: &'a [usize],
+    local: &'a [usize],
+}
+
+impl LinOp for FundamentalTransposed<'_> {
+    fn dim(&self) -> usize {
+        self.transient.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+        for (k, &s) in self.transient.iter().enumerate() {
+            let xs = x[k];
+            if xs == 0.0 {
+                continue;
+            }
+            for (c, p) in self.p.row(s) {
+                let lc = self.local[c];
+                if lc != usize::MAX {
+                    y[lc] -= p * xs;
+                }
+            }
+        }
     }
 }
 
@@ -233,6 +297,29 @@ mod tests {
         // Absorption is certain.
         let p = d.absorption_probability(0, 2, &transient);
         assert!((p - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn visit_solver_strategies_agree() {
+        let d = Dtmc::from_transitions(
+            4,
+            &[
+                (0, 1, 0.5),
+                (0, 2, 0.25),
+                (1, 0, 0.3),
+                (1, 2, 0.6),
+                (2, 0, 0.1),
+                (2, 3, 0.7),
+            ],
+        );
+        let transient = [true, true, true, false];
+        let dense = d.expected_visits_with(0, &transient, SolverStrategy::Dense);
+        let gs = d.expected_visits_with(0, &transient, SolverStrategy::GaussSeidel);
+        let krylov = d.expected_visits_with(0, &transient, SolverStrategy::MatrixFree);
+        for s in 0..4 {
+            assert!((dense[s] - gs[s]).abs() < 1e-9, "state {s}: GS");
+            assert!((dense[s] - krylov[s]).abs() < 1e-9, "state {s}: Krylov");
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 
 use crate::ctmc::Ctmc;
 use crate::dtmc::Dtmc;
+use crate::matfree::FlagChainOp;
+use crate::solver::SolverStrategy;
 
 /// Validation failure for [`AsyncParams`].
 #[derive(Clone, Debug, PartialEq)]
@@ -177,7 +179,34 @@ impl AsyncParams {
         FlagChain::build(self)
     }
 
+    /// The full flag chain as a never-materialised operator
+    /// ([`crate::matfree`]) — O(2ⁿ) memory instead of the chain's
+    /// O(n²·2ⁿ) transition list.
+    pub fn matrix_free_op(&self) -> FlagChainOp {
+        FlagChainOp::new(self)
+    }
+
+    /// The backend [`SolverStrategy::auto`] picks for this model's 2ⁿ
+    /// transient states: dense LU through n = 10, CSR Gauss–Seidel
+    /// through n = 13, matrix-free Krylov beyond.
+    pub fn solver_strategy(&self) -> SolverStrategy {
+        SolverStrategy::auto(1usize << self.n())
+    }
+
+    /// The absorption-solve backend for this model at `strategy`:
+    /// either the materialised chain or the matrix-free operator.
+    fn chain_solver(&self, strategy: SolverStrategy) -> ChainSolver {
+        match strategy {
+            SolverStrategy::MatrixFree => ChainSolver::MatrixFree(self.matrix_free_op()),
+            s => ChainSolver::Materialized(self.build_full_chain(), s),
+        }
+    }
+
     /// Mean inter-recovery-line interval E\[X\] (paper §2.3-I).
+    ///
+    /// Dispatches on [`AsyncParams::solver_strategy`], so the same call
+    /// scales from the n = 2 toy chain to the n ≥ 20 matrix-free
+    /// regime.
     ///
     /// ```
     /// use rbmarkov::paper::AsyncParams;
@@ -191,32 +220,36 @@ impl AsyncParams {
     /// assert!((free - 1.0 / 3.0).abs() < 1e-9);
     /// ```
     pub fn mean_interval(&self) -> f64 {
-        self.build_full_chain().mean_interval()
+        self.mean_interval_with(self.solver_strategy())
+    }
+
+    /// [`AsyncParams::mean_interval`] on a caller-chosen backend —
+    /// the conformance matrix and the `markov_solver` bench use this to
+    /// pit the backends against each other on identical models.
+    pub fn mean_interval_with(&self, strategy: SolverStrategy) -> f64 {
+        self.chain_solver(strategy).mean_interval()
     }
 
     /// Density f_X(t) at each requested time (paper Figure 6).
     pub fn interval_density(&self, ts: &[f64]) -> Vec<f64> {
-        self.build_full_chain().interval_density(ts)
+        self.chain_solver(self.solver_strategy())
+            .interval_density(ts)
     }
 
     /// CDF of X at `t`.
     pub fn interval_cdf(&self, t: f64) -> f64 {
-        let chain = self.build_full_chain();
-        chain.ctmc.absorption_cdf(FlagChain::START, t)
+        self.chain_solver(self.solver_strategy()).interval_cdf(t)
     }
 
     /// Second moment E\[X²\] of the inter-line interval.
     pub fn interval_second_moment(&self) -> f64 {
-        self.build_full_chain()
-            .ctmc
-            .absorption_time_second_moment(FlagChain::START)
+        self.chain_solver(self.solver_strategy()).second_moment()
     }
 
     /// Variance of the inter-line interval.
     pub fn interval_variance(&self) -> f64 {
-        self.build_full_chain()
-            .ctmc
-            .absorption_time_variance(FlagChain::START)
+        let (m1, m2) = self.chain_solver(self.solver_strategy()).moments();
+        (m2 - m1 * m1).max(0.0)
     }
 
     /// The length-biased mean E\[X²\]/E\[X\]: the expected length of the
@@ -238,8 +271,8 @@ impl AsyncParams {
             (0.0..1.0).contains(&p) && p > 0.0,
             "quantile level out of (0,1)"
         );
-        let chain = self.build_full_chain();
-        let cdf = |t: f64| chain.ctmc.absorption_cdf(FlagChain::START, t);
+        let solver = self.chain_solver(self.solver_strategy());
+        let cdf = |t: f64| solver.interval_cdf(t);
         // Bracket: double until F(hi) > p.
         let mut hi = 1.0 / self.total_mu();
         let mut guard = 0;
@@ -279,6 +312,57 @@ impl AsyncParams {
     /// exposes as an option.
     pub fn mean_rp_count_yd(&self, i: usize, include_terminal: bool) -> f64 {
         SplitChain::build(self, i).expected_rp_count(include_terminal)
+    }
+}
+
+/// One absorption-solve backend bound to a concrete model: either the
+/// materialised chain (dense LU or CSR Gauss–Seidel over its CSR
+/// generator) or the never-materialised bit-mask operator.
+enum ChainSolver {
+    Materialized(FlagChain, SolverStrategy),
+    MatrixFree(FlagChainOp),
+}
+
+impl ChainSolver {
+    fn mean_interval(&self) -> f64 {
+        match self {
+            ChainSolver::Materialized(chain, s) => {
+                chain.ctmc.mean_absorption_time_with(FlagChain::START, *s)
+            }
+            ChainSolver::MatrixFree(op) => op.mean_absorption_time(),
+        }
+    }
+
+    fn interval_cdf(&self, t: f64) -> f64 {
+        match self {
+            ChainSolver::Materialized(chain, _) => chain.ctmc.absorption_cdf(FlagChain::START, t),
+            ChainSolver::MatrixFree(op) => op.absorption_cdf(t),
+        }
+    }
+
+    fn interval_density(&self, ts: &[f64]) -> Vec<f64> {
+        match self {
+            ChainSolver::Materialized(chain, _) => chain.interval_density(ts),
+            ChainSolver::MatrixFree(op) => op.absorption_density(ts),
+        }
+    }
+
+    fn second_moment(&self) -> f64 {
+        match self {
+            ChainSolver::Materialized(chain, _) => {
+                chain.ctmc.absorption_time_second_moment(FlagChain::START)
+            }
+            ChainSolver::MatrixFree(op) => op.absorption_time_second_moment(),
+        }
+    }
+
+    /// (E\[X\], E\[X²\]) — on the matrix-free path the mean rides the
+    /// second-moment recursion's τ solve instead of paying its own.
+    fn moments(&self) -> (f64, f64) {
+        match self {
+            ChainSolver::Materialized(..) => (self.mean_interval(), self.second_moment()),
+            ChainSolver::MatrixFree(op) => op.absorption_time_moments(),
+        }
     }
 }
 
@@ -995,16 +1079,83 @@ mod tests {
     }
 
     #[test]
+    fn all_strategies_agree_on_heterogeneous_rates() {
+        // The same model solved three ways — dense LU, CSR
+        // Gauss–Seidel, matrix-free Krylov — must agree to solver
+        // precision, at every size the dense reference can reach.
+        for n in [3usize, 5, 7] {
+            let mu: Vec<f64> = (0..n).map(|i| 0.7 + 0.3 * (i % 3) as f64).collect();
+            let lambda: Vec<f64> = (0..n * (n - 1) / 2)
+                .map(|k| 0.1 + 0.12 * (k % 4) as f64)
+                .collect();
+            let p = AsyncParams::new(mu, lambda).unwrap();
+            let dense = p.mean_interval_with(SolverStrategy::Dense);
+            let gs = p.mean_interval_with(SolverStrategy::GaussSeidel);
+            let mf = p.mean_interval_with(SolverStrategy::MatrixFree);
+            assert!(
+                (gs - dense).abs() < 1e-9 * dense,
+                "n={n}: GS {gs} vs {dense}"
+            );
+            assert!(
+                (mf - dense).abs() < 1e-9 * dense,
+                "n={n}: matrix-free {mf} vs {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_strategy_tracks_state_count() {
+        assert_eq!(
+            AsyncParams::symmetric(3, 1.0, 1.0).solver_strategy(),
+            SolverStrategy::Dense
+        );
+        assert_eq!(
+            AsyncParams::symmetric(12, 1.0, 1.0).solver_strategy(),
+            SolverStrategy::GaussSeidel
+        );
+        assert_eq!(
+            AsyncParams::symmetric(14, 1.0, 1.0).solver_strategy(),
+            SolverStrategy::MatrixFree
+        );
+    }
+
+    #[test]
     #[cfg_attr(debug_assertions, ignore = "minutes in debug; run with --release")]
     fn large_n_sparse_gauss_seidel_matches_lumped() {
         // n = 12 ⇒ 4097 states > the dense limit: exercises the sparse
         // Gauss–Seidel absorption solve against the exact lumped chain.
         let (n, mu, lambda) = (12usize, 1.0, 0.1);
-        let full = AsyncParams::symmetric(n, mu, lambda).mean_interval();
+        let p = AsyncParams::symmetric(n, mu, lambda);
+        let full = p.mean_interval();
         let lumped = mean_interval_symmetric(n, mu, lambda);
         assert!(
             (full - lumped).abs() < 1e-6 * lumped,
             "sparse GS {full} vs lumped {lumped}"
+        );
+        // The matrix-free Krylov path, forced onto the same model, must
+        // land on the same answer without ever materialising the chain.
+        let mf = p.mean_interval_with(SolverStrategy::MatrixFree);
+        assert!(
+            (mf - lumped).abs() < 1e-9 * lumped,
+            "matrix-free {mf} vs lumped {lumped}"
+        );
+    }
+
+    #[test]
+    fn beyond_gauss_seidel_matrix_free_matches_lumped() {
+        // n = 14 ⇒ 2¹⁴+1 states: past the CSR Gauss–Seidel cap, so the
+        // auto dispatch goes matrix-free — and must still reproduce the
+        // exact lumped chain. Cheap enough for debug runs (≈ 20 ms in
+        // release) because the popcount aggregation is exact here.
+        let (n, mu) = (14usize, 1.0);
+        let lambda = 1.0 / (n as f64 - 1.0);
+        let p = AsyncParams::symmetric(n, mu, lambda);
+        assert_eq!(p.solver_strategy(), SolverStrategy::MatrixFree);
+        let full = p.mean_interval();
+        let lumped = mean_interval_symmetric(n, mu, lambda);
+        assert!(
+            (full - lumped).abs() < 1e-8 * lumped,
+            "matrix-free {full} vs lumped {lumped}"
         );
     }
 

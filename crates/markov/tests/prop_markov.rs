@@ -5,7 +5,23 @@
 use proptest::prelude::*;
 use rbmarkov::ctmc::Ctmc;
 use rbmarkov::linalg::{solve, Matrix};
+use rbmarkov::matfree::FlagChainOp;
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SplitChain};
+use rbmarkov::solver::SolverStrategy;
+
+/// Random heterogeneous parameters for `n` processes: strictly positive
+/// μ and non-negative λ. The λ range keeps ρ below the domino regime —
+/// there E\[X\] (and with it the condition number of −Q_TT) grows
+/// exponentially, and *every* f64 backend loses digits to κ·ε, so
+/// backend-agreement assertions at 1e-9 would test conditioning, not
+/// correctness.
+fn arb_params(n: usize) -> impl Strategy<Value = AsyncParams> {
+    (
+        prop::collection::vec(0.2f64..3.0, n),
+        prop::collection::vec(0.0f64..0.8, n * (n - 1) / 2),
+    )
+        .prop_map(|(mu, lam)| AsyncParams::new(mu, lam).unwrap())
+}
 
 fn diag_dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
     prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
@@ -137,5 +153,60 @@ proptest! {
         let low = AsyncParams::symmetric(3, mu, l1).mean_interval();
         let high = AsyncParams::symmetric(3, mu, l1 + dl).mean_interval();
         prop_assert!(high >= low - 1e-9, "λ↑ must not shorten E[X]: {low} → {high}");
+    }
+
+    // ---- matrix-free ↔ dense ↔ Gauss–Seidel conformance -------------
+
+    #[test]
+    fn matrix_free_mean_matches_dense_and_gs(p in arb_params(5)) {
+        // Three backends, one model: the matrix-free Krylov solve must
+        // reproduce the dense LU and CSR Gauss–Seidel answers to 1e-9
+        // relative error (the PR's acceptance tolerance for n ≤ 10).
+        let dense = p.mean_interval_with(SolverStrategy::Dense);
+        let gs = p.mean_interval_with(SolverStrategy::GaussSeidel);
+        let mf = p.mean_interval_with(SolverStrategy::MatrixFree);
+        prop_assert!((gs - dense).abs() <= 1e-9 * dense, "GS {gs} vs dense {dense}");
+        prop_assert!((mf - dense).abs() <= 1e-9 * dense, "matrix-free {mf} vs dense {dense}");
+    }
+
+    #[test]
+    fn matrix_free_visits_sum_to_the_mean(p in arb_params(4)) {
+        // The transposed solve: per-state occupancy times must sum to
+        // the mean absorption time from the forward solve, and every
+        // occupancy must be non-negative.
+        let op = FlagChainOp::new(&p);
+        let visits = op.expected_visits();
+        let total: f64 = visits.iter().sum();
+        let mean = p.mean_interval_with(SolverStrategy::Dense);
+        prop_assert!(
+            (total - mean).abs() <= 1e-9 * mean.max(1.0),
+            "Σ visits {total} vs E[X] {mean}"
+        );
+        prop_assert!(visits.iter().all(|&v| v >= -1e-12));
+    }
+
+    #[test]
+    fn matrix_free_cdf_matches_dense_at_sampled_times(
+        p in arb_params(4),
+        t in 0.05f64..6.0,
+    ) {
+        let op = FlagChainOp::new(&p);
+        let chain = p.build_full_chain();
+        let want = chain.ctmc.absorption_cdf(0, t);
+        let got = op.absorption_cdf(t);
+        prop_assert!((got - want).abs() < 1e-9, "F({t}): {got} vs {want}");
+        let fd = op.absorption_density(&[t]);
+        let fw = chain.interval_density(&[t]);
+        prop_assert!((fd[0] - fw[0]).abs() < 1e-9, "f({t}): {} vs {}", fd[0], fw[0]);
+    }
+
+    #[test]
+    fn matrix_free_second_moment_matches_dense(p in arb_params(4)) {
+        let dense = p.build_full_chain().ctmc.absorption_time_second_moment(0);
+        let mf = FlagChainOp::new(&p).absorption_time_second_moment();
+        prop_assert!(
+            (mf - dense).abs() <= 1e-8 * dense.max(1.0),
+            "matrix-free E[X²] {mf} vs dense {dense}"
+        );
     }
 }

@@ -2,34 +2,165 @@
 //!
 //! Only the `channel` module is provided — an unbounded MPMC channel
 //! with crossbeam's API surface (`unbounded`, cloneable `Sender` /
-//! `Receiver`, `recv_timeout`, blocking iterator), implemented with a
-//! `Mutex<VecDeque>` + `Condvar`. Throughput is far below the real
-//! crossbeam's lock-free queues, but the semantics (FIFO per channel,
-//! disconnect when the last peer drops) match what `rbruntime` needs.
+//! `Receiver`, `recv_timeout`, blocking iterator), built on a
+//! **segmented ticket queue** in the spirit of crossbeam's own
+//! segmented lists:
+//!
+//! * producers are lock-free on the hot path: one `fetch_add` claims a
+//!   global ticket, the ticket maps to a slot in a 256-slot segment
+//!   (segments are linked through `OnceLock`, so extending the chain
+//!   is also lock-free after initialisation), and publishing is a
+//!   write to the claimed slot followed by one `Release` flag store —
+//!   producers never contend with each other or with consumers on any
+//!   shared lock;
+//! * the consumer side pops tickets in order through a small cursor
+//!   mutex. With a single receiver (the MPSC shape `rbruntime` uses)
+//!   that mutex is uncontended — it exists so that *cloned* receivers
+//!   (full MPMC semantics) stay correct, each message delivered to
+//!   exactly one of them;
+//! * blocking `recv` parks on a `Condvar` only when the queue is
+//!   empty; producers touch that mutex only when a consumer has
+//!   registered itself as sleeping, so steady-state throughput never
+//!   pays for it.
+//!
+//! Per-slot cells are `Mutex<Option<T>>` rather than `unsafe`
+//! uninitialised storage — each slot is written by exactly one
+//! producer and read by exactly one consumer, so these locks are
+//! uncontended single-CAS affairs; the global Mutex+Condvar bottleneck
+//! of the previous shim (every send and every recv serialised on one
+//! lock) is gone. Semantics match what `rbruntime` needs: FIFO in
+//! ticket order, disconnect when the last peer drops.
 
 #![forbid(unsafe_code)]
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
-    use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
     use std::time::{Duration, Instant};
 
-    struct State<T> {
-        queue: VecDeque<T>,
-        senders: usize,
-        receivers: usize,
+    /// Slots per segment. Large enough to amortise segment allocation
+    /// and chain walking, small enough to bound the memory a stale
+    /// producer cache pins.
+    const SEG_LEN: u64 = 256;
+
+    /// Spin budget before yielding when a claimed ticket is still being
+    /// published. On a uniprocessor spinning is pure waste — the
+    /// producer cannot make progress while we burn its quantum — so the
+    /// budget is zero there.
+    fn spin_budget() -> u32 {
+        static BUDGET: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+        *BUDGET.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if cores > 1 {
+                64
+            } else {
+                0
+            }
+        })
     }
 
-    struct Inner<T> {
-        state: Mutex<State<T>>,
-        ready: Condvar,
+    fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    impl<T> Inner<T> {
-        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
-            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    /// One message slot: written by the producer that claimed its
+    /// ticket, consumed by exactly one receiver. `ready` flips to true
+    /// (Release) only after the value is in place.
+    struct Slot<T> {
+        ready: AtomicBool,
+        value: Mutex<Option<T>>,
+    }
+
+    /// A fixed block of slots covering tickets `base .. base + SEG_LEN`,
+    /// linked to its successor through a lock-free `OnceLock`.
+    struct Segment<T> {
+        base: u64,
+        slots: Box<[Slot<T>]>,
+        next: OnceLock<Arc<Segment<T>>>,
+    }
+
+    impl<T> Segment<T> {
+        fn new(base: u64) -> Segment<T> {
+            Segment {
+                base,
+                slots: (0..SEG_LEN)
+                    .map(|_| Slot {
+                        ready: AtomicBool::new(false),
+                        value: Mutex::new(None),
+                    })
+                    .collect(),
+                next: OnceLock::new(),
+            }
+        }
+
+        /// The successor segment, created on first demand.
+        fn next_segment(&self) -> Arc<Segment<T>> {
+            self.next
+                .get_or_init(|| Arc::new(Segment::new(self.base + SEG_LEN)))
+                .clone()
+        }
+    }
+
+    impl<T> Drop for Segment<T> {
+        fn drop(&mut self) {
+            // Unlink the chain iteratively: a long run of unconsumed
+            // segments must not unwind by recursion (stack depth would
+            // scale with queue length).
+            let mut next = self.next.take();
+            while let Some(arc) = next {
+                match Arc::try_unwrap(arc) {
+                    Ok(mut seg) => next = seg.next.take(),
+                    Err(_) => break, // still shared; its owner drops it
+                }
+            }
+        }
+    }
+
+    /// The consumer cursor: the next ticket to pop and the segment
+    /// containing it. Shared by all cloned receivers.
+    struct Cursor<T> {
+        next: u64,
+        seg: Arc<Segment<T>>,
+    }
+
+    struct Shared<T> {
+        /// Next unclaimed ticket (= total messages ever sent).
+        head: AtomicU64,
+        /// Total messages ever popped.
+        popped: AtomicU64,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+        cursor: Mutex<Cursor<T>>,
+        /// A segment at or below the consumer position — the re-entry
+        /// point for producers whose cached segment is unusable.
+        /// Separate from `cursor` so producers never wait on the
+        /// consumer's lock.
+        floor: Mutex<Arc<Segment<T>>>,
+        /// Parking for blocking receivers on an empty queue.
+        sleep: Mutex<()>,
+        ready_cv: Condvar,
+        sleepers: AtomicUsize,
+    }
+
+    impl<T> Shared<T> {
+        /// Queued = sent − popped (both monotone).
+        fn queued(&self) -> u64 {
+            let head = self.head.load(Ordering::SeqCst);
+            let popped = self.popped.load(Ordering::SeqCst);
+            head.saturating_sub(popped)
+        }
+
+        /// Wakes one parked receiver if any is registered (one message,
+        /// one wake — disconnects use `notify_all` instead).
+        fn wake_sleepers(&self) {
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                // Taking the sleep mutex orders the notify after the
+                // sleeper's own empty-check-then-wait.
+                drop(lock(&self.sleep));
+                self.ready_cv.notify_one();
+            }
         }
     }
 
@@ -110,27 +241,39 @@ pub mod channel {
 
     /// The sending half of an unbounded channel.
     pub struct Sender<T> {
-        inner: Arc<Inner<T>>,
+        inner: Arc<Shared<T>>,
+        /// Cached segment of this sender's most recent ticket: the
+        /// usual send walks zero links. Per-clone, so the per-thread
+        /// clone pattern never contends on it.
+        cache: Mutex<Option<Arc<Segment<T>>>>,
     }
 
     /// The receiving half of an unbounded channel.
     pub struct Receiver<T> {
-        inner: Arc<Inner<T>>,
+        inner: Arc<Shared<T>>,
     }
 
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                queue: VecDeque::new(),
-                senders: 1,
-                receivers: 1,
+        let seg0 = Arc::new(Segment::new(0));
+        let inner = Arc::new(Shared {
+            head: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            cursor: Mutex::new(Cursor {
+                next: 0,
+                seg: Arc::clone(&seg0),
             }),
-            ready: Condvar::new(),
+            floor: Mutex::new(seg0),
+            sleep: Mutex::new(()),
+            ready_cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
         });
         (
             Sender {
                 inner: Arc::clone(&inner),
+                cache: Mutex::new(None),
             },
             Receiver { inner },
         )
@@ -139,19 +282,39 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues `msg`, failing only if every receiver has dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            let mut st = self.inner.lock();
-            if st.receivers == 0 {
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
                 return Err(SendError(msg));
             }
-            st.queue.push_back(msg);
-            drop(st);
-            self.inner.ready.notify_one();
+            let ticket = self.inner.head.fetch_add(1, Ordering::SeqCst);
+            let seg = self.segment_for(ticket);
+            let slot = &seg.slots[(ticket - seg.base) as usize];
+            *lock(&slot.value) = Some(msg);
+            slot.ready.store(true, Ordering::Release);
+            self.inner.wake_sleepers();
             Ok(())
+        }
+
+        /// The segment containing `ticket`, starting from this sender's
+        /// cache (or the shared floor when the cache is unset or has
+        /// been overtaken by a concurrent send on the same clone).
+        fn segment_for(&self, ticket: u64) -> Arc<Segment<T>> {
+            let mut cache = lock(&self.cache);
+            let mut seg = match cache.as_ref() {
+                Some(seg) if seg.base <= ticket => Arc::clone(seg),
+                // The floor is a segment at or below the consumer
+                // position, and an unpopped ticket is never below it.
+                _ => Arc::clone(&lock(&self.inner.floor)),
+            };
+            while ticket >= seg.base + SEG_LEN {
+                seg = seg.next_segment();
+            }
+            *cache = Some(Arc::clone(&seg));
+            seg
         }
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.inner.lock().queue.len()
+            self.inner.queued() as usize
         }
 
         /// Whether the queue is currently empty.
@@ -162,81 +325,163 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.inner.lock().senders += 1;
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
             Sender {
                 inner: Arc::clone(&self.inner),
+                cache: Mutex::new(None),
             }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let remaining = {
-                let mut st = self.inner.lock();
-                st.senders -= 1;
-                st.senders
-            };
-            if remaining == 0 {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
                 // Wake blocked receivers so they observe the disconnect.
-                self.inner.ready.notify_all();
+                drop(lock(&self.inner.sleep));
+                self.inner.ready_cv.notify_all();
             }
         }
     }
 
+    /// What one non-blocking pop attempt observed.
+    enum Pop<T> {
+        Msg(T),
+        /// Nothing sent beyond the cursor.
+        Empty,
+        /// A ticket is claimed but its producer has not published yet;
+        /// retry imminently.
+        Inflight,
+    }
+
     impl<T> Receiver<T> {
+        /// One pop attempt (non-blocking).
+        fn try_pop(&self) -> Pop<T> {
+            let mut cur = lock(&self.inner.cursor);
+            if cur.next >= self.inner.head.load(Ordering::SeqCst) {
+                return Pop::Empty;
+            }
+            // Advance into the segment holding the cursor ticket,
+            // publishing the new floor for producer re-entry.
+            while cur.next >= cur.seg.base + SEG_LEN {
+                let next = cur.seg.next_segment();
+                cur.seg = Arc::clone(&next);
+                *lock(&self.inner.floor) = next;
+            }
+            let slot = &cur.seg.slots[(cur.next - cur.seg.base) as usize];
+            if !slot.ready.load(Ordering::Acquire) {
+                return Pop::Inflight;
+            }
+            let msg = lock(&slot.value)
+                .take()
+                .expect("published slot holds a value");
+            cur.next += 1;
+            self.inner.popped.fetch_add(1, Ordering::SeqCst);
+            Pop::Msg(msg)
+        }
+
+        /// Blocking receive with an optional deadline.
+        fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+            let mut spins = 0u32;
+            loop {
+                match self.try_pop() {
+                    Pop::Msg(msg) => return Ok(msg),
+                    Pop::Inflight => {
+                        // The producer is between its ticket claim and
+                        // its publish — a handful of instructions away.
+                        spins += 1;
+                        if spins < spin_budget() {
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                        if let Some(d) = deadline {
+                            if Instant::now() >= d {
+                                return Err(RecvTimeoutError::Timeout);
+                            }
+                        }
+                        continue;
+                    }
+                    Pop::Empty => {}
+                }
+                spins = 0;
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    // Senders may have disconnected after our pop
+                    // attempt; drain anything they left behind first.
+                    if let Pop::Msg(msg) = self.try_pop() {
+                        return Ok(msg);
+                    }
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                // Park. The sleeper registration (SeqCst) orders
+                // against the producer's head increment: whichever
+                // side loses the race observes the other.
+                self.inner.sleepers.fetch_add(1, Ordering::SeqCst);
+                let guard = lock(&self.inner.sleep);
+                let empty = self.inner.queued() == 0;
+                let alive = self.inner.senders.load(Ordering::SeqCst) > 0;
+                if empty && alive {
+                    match deadline {
+                        None => {
+                            let _g = self
+                                .inner
+                                .ready_cv
+                                .wait(guard)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                        Some(d) => {
+                            let now = Instant::now();
+                            if now >= d {
+                                drop(guard);
+                                self.inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                                return Err(RecvTimeoutError::Timeout);
+                            }
+                            let (_g, _) = self
+                                .inner
+                                .ready_cv
+                                .wait_timeout(guard, d - now)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                } else {
+                    drop(guard);
+                }
+                self.inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
         /// Blocks until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut st = self.inner.lock();
-            loop {
-                if let Some(msg) = st.queue.pop_front() {
-                    return Ok(msg);
-                }
-                if st.senders == 0 {
-                    return Err(RecvError);
-                }
-                st = self
-                    .inner
-                    .ready
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
-            }
+            self.recv_deadline(None).map_err(|_| RecvError)
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut st = self.inner.lock();
-            if let Some(msg) = st.queue.pop_front() {
-                return Ok(msg);
+            // Give an in-flight publish a moment — the producer already
+            // claimed the ticket, so "empty" would be a lie a few
+            // nanoseconds long. (Budget 0 on uniprocessors: reporting
+            // Empty is always legal, the send has not returned yet.)
+            for _ in 0..=spin_budget() {
+                match self.try_pop() {
+                    Pop::Msg(msg) => return Ok(msg),
+                    Pop::Inflight => std::hint::spin_loop(),
+                    Pop::Empty => {
+                        return if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                            match self.try_pop() {
+                                Pop::Msg(msg) => Ok(msg),
+                                _ => Err(TryRecvError::Disconnected),
+                            }
+                        } else {
+                            Err(TryRecvError::Empty)
+                        };
+                    }
+                }
             }
-            if st.senders == 0 {
-                Err(TryRecvError::Disconnected)
-            } else {
-                Err(TryRecvError::Empty)
-            }
+            Err(TryRecvError::Empty)
         }
 
         /// Blocks up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            let deadline = Instant::now() + timeout;
-            let mut st = self.inner.lock();
-            loop {
-                if let Some(msg) = st.queue.pop_front() {
-                    return Ok(msg);
-                }
-                if st.senders == 0 {
-                    return Err(RecvTimeoutError::Disconnected);
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    return Err(RecvTimeoutError::Timeout);
-                }
-                let (guard, _) = self
-                    .inner
-                    .ready
-                    .wait_timeout(st, deadline - now)
-                    .unwrap_or_else(PoisonError::into_inner);
-                st = guard;
-            }
+            self.recv_deadline(Some(Instant::now() + timeout))
         }
 
         /// A blocking iterator over received messages; ends on
@@ -252,7 +497,7 @@ pub mod channel {
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.inner.lock().queue.len()
+            self.inner.queued() as usize
         }
 
         /// Whether the queue is currently empty.
@@ -263,7 +508,7 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.inner.lock().receivers += 1;
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver {
                 inner: Arc::clone(&self.inner),
             }
@@ -272,7 +517,7 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.lock().receivers -= 1;
+            self.inner.receivers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -357,5 +602,92 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn crosses_many_segment_boundaries() {
+        // 10_000 messages span ~40 segments; FIFO must hold end to end
+        // and the chain must tear down without recursion.
+        let (tx, rx) = unbounded();
+        for k in 0..10_000u32 {
+            tx.send(k).unwrap();
+        }
+        assert_eq!(tx.len(), 10_000);
+        for k in 0..10_000u32 {
+            assert_eq!(rx.recv(), Ok(k));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn multi_producer_stress_preserves_per_sender_order() {
+        const SENDERS: u64 = 8;
+        const PER_SENDER: u64 = 5_000;
+        let (tx, rx) = unbounded::<u64>();
+        let mut producers = Vec::new();
+        for s in 0..SENDERS {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for k in 0..PER_SENDER {
+                    tx.send(s * PER_SENDER + k).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let consumer = thread::spawn(move || {
+            let mut last_seen = vec![None::<u64>; SENDERS as usize];
+            let mut total = 0u64;
+            for msg in rx.iter() {
+                let (s, k) = (msg / PER_SENDER, msg % PER_SENDER);
+                // Per-sender FIFO: sequence numbers arrive in order.
+                if let Some(prev) = last_seen[s as usize] {
+                    assert!(k > prev, "sender {s}: {k} after {prev}");
+                }
+                last_seen[s as usize] = Some(k);
+                total += 1;
+            }
+            assert_eq!(total, SENDERS * PER_SENDER);
+        });
+        for p in producers {
+            p.join().unwrap();
+        }
+        consumer.join().unwrap();
+    }
+
+    #[test]
+    fn unconsumed_messages_drop_with_the_channel() {
+        // A deep unconsumed queue must not overflow the stack when the
+        // segment chain unwinds (iterative drop).
+        let (tx, rx) = unbounded();
+        for k in 0..200_000u32 {
+            tx.send(vec![k; 4]).unwrap();
+        }
+        drop(tx);
+        drop(rx);
+    }
+
+    #[test]
+    fn cloned_receivers_each_get_messages_exactly_once() {
+        let (tx, rx1) = unbounded::<u32>();
+        let rx2 = rx1.clone();
+        for k in 0..1_000 {
+            tx.send(k).unwrap();
+        }
+        drop(tx);
+        let h1 = thread::spawn(move || rx1.iter().collect::<Vec<_>>());
+        let h2 = thread::spawn(move || rx2.iter().collect::<Vec<_>>());
+        let mut all = h1.join().unwrap();
+        all.extend(h2.join().unwrap());
+        all.sort_unstable();
+        assert_eq!(all, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded::<u8>();
+        let consumer = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(30)); // let it park
+        tx.send(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Ok(42));
     }
 }

@@ -26,6 +26,7 @@ use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbcore::schemes::prp::{PrpConfig, PrpScheme};
 use rbcore::schemes::synchronized::simulate_commit_losses;
 use rbmarkov::paper::{mean_interval_symmetric, SplitChain};
+use rbmarkov::solver::SolverStrategy;
 
 /// One pairwise agreement check between two computation paths.
 #[derive(Clone, Debug)]
@@ -198,6 +199,21 @@ impl SchemeConformance {
                 1e-10,
             ));
         }
+
+        // Path D′: the matrix-free Krylov backend, *forced* at every
+        // size (auto dispatch only reaches it at n ≥ 14). The operator
+        // regenerated from the R1–R4 bit-mask rules must land on the
+        // same E[X] as whichever materialised backend the size picks —
+        // this wires the large-n solver into the whole matrix, so a
+        // perf-motivated change to the operator or the preconditioner
+        // trips the conformance gate, not just the scaling benches.
+        let ex_matfree = params.mean_interval_with(SolverStrategy::MatrixFree);
+        checks.push(Check::within(
+            "async/EX/ctmc-vs-matrix-free",
+            ex_ctmc,
+            ex_matfree,
+            1e-7 * ex_ctmc.max(1.0),
+        ));
 
         // Path E: event simulation, compared at z·std_err.
         let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), sc.seed)
