@@ -38,10 +38,7 @@ fn main() {
             let lambda = rho * mu / (n - 1) as f64;
             cells.push(SweepCell::named(
                 format!("rho{rho}/n{n}"),
-                AsyncIntervals {
-                    params: AsyncParams::symmetric(n, mu, lambda),
-                    lines: 30_000,
-                },
+                AsyncIntervals::new(AsyncParams::symmetric(n, mu, lambda), 30_000),
             ));
         }
     }
@@ -60,7 +57,7 @@ fn main() {
             let (sim, ci) = match report.cell(&format!("rho{rho}/n{n}")) {
                 Some(cell) => {
                     let m = cell.metric("EX").expect("EX measured");
-                    (Some(m.value), Some(1.96 * m.std_err))
+                    (Some(m.value()), Some(1.96 * m.std_err()))
                 }
                 None => (None, None),
             };

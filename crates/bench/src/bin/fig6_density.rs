@@ -43,7 +43,9 @@ fn main() {
     let n_pts = 80;
 
     // One sweep cell per case: each simulates 120k intervals into an
-    // 80-bin histogram and reports sim/analytic densities per bin.
+    // 80-bin histogram, reported as a first-class `X_hist` distribution
+    // metric with embedded KS/χ² goodness-of-fit gates vs the analytic
+    // CDF.
     let spec = SweepSpec::new(
         "fig6_density_sweep",
         args.master_seed(1961),
@@ -69,21 +71,42 @@ fn main() {
     for (label, mu, lam) in cases {
         let params = AsyncParams::three(mu, lam);
         let cell = report.cell(label).expect("cell ran");
-        let bin_center = |k: usize| (k as f64 + 0.5) * t_max / n_pts as f64;
+        let dist = cell
+            .metric("X_hist")
+            .and_then(|m| m.dist())
+            .expect("X_hist distribution metric");
 
+        // The simulated curve comes straight off the histogram payload;
+        // the analytic twin is evaluated at the same bin centers.
+        let centers: Vec<f64> = (0..n_pts).map(|k| dist.bin_center(k)).collect();
+        let f_ref = params.interval_density(&centers);
+        let f_sim = dist.density();
         let mut analytic = Series::new(label);
         let mut simulated = Series::new(format!("{label} (sim)"));
         for k in 0..n_pts {
-            analytic.push(bin_center(k), cell.value(&format!("f_ref{k}")));
-            simulated.push(bin_center(k), cell.value(&format!("f_sim{k}")));
+            analytic.push(centers[k], f_ref[k]);
+            simulated.push(centers[k], f_sim[k]);
         }
         let max_gap = cell.value("max_abs_gap_interior");
         let f0 = cell.value("f0");
+        let ks = cell.metric("ks_sim_vs_analytic").expect("KS gate ran");
+        let chi = cell.metric("chi2_sim_vs_analytic").expect("χ² gate ran");
         println!(
             "{label}: f(0) = {f0:.3} (= Σμ = {:.3}); spike confirmed; \
-             max interior |sim − analytic| = {max_gap:.4}",
-            cell.value("total_mu")
+             max interior |sim − analytic| = {max_gap:.4}; \
+             KS {:.4} ≤ {:.4} [{}]; χ² {:.1} ≤ {:.1} [{}]; \
+             median {:.3}, p99 {:.3}",
+            cell.value("total_mu"),
+            ks.value(),
+            ks.std_err(),
+            if ks.ok() { "OK" } else { "VIOLATED" },
+            chi.value(),
+            chi.std_err(),
+            if chi.ok() { "OK" } else { "VIOLATED" },
+            dist.quantile(0.5).unwrap_or(f64::NAN),
+            dist.quantile(0.99).unwrap_or(f64::NAN),
         );
+        assert!(ks.ok() && chi.ok(), "{label}: distribution gate failed");
         // Print a coarse curve for the terminal.
         let ts: Vec<f64> = (0..=8).map(|k| k as f64 * t_max / 8.0).collect();
         let f = params.interval_density(&ts);

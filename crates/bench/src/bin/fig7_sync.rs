@@ -13,7 +13,7 @@
 use rbanalysis::sync_loss;
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
-use rbbench::workloads::{SyncLoss, SyncTimeline};
+use rbbench::workloads::{DistSpec, SyncLoss, SyncTimeline};
 use rbbench::{emit_json, Table};
 use rbcore::schemes::synchronized::SyncStrategy;
 use rbmarkov::paper::AsyncParams;
@@ -37,6 +37,8 @@ struct StrategyPoint {
     loss_rate: f64,
     loss_per_line: f64,
     line_interval: f64,
+    cl_median: f64,
+    cl_p99: f64,
 }
 
 fn main() {
@@ -100,6 +102,14 @@ fn main() {
                 params: params.clone(),
                 strategy: strat,
                 horizon: 50_000.0,
+                // Support sized from the closed form: E[CL] ≈ 2.5 at
+                // μ = 1, n = 3; 6× covers the tail, the overflow
+                // counter catches the rest explicitly.
+                dist: Some(DistSpec::new(
+                    0.0,
+                    6.0 * sync_loss::mean_loss(params.mu()),
+                    30,
+                )),
             },
         ));
     }
@@ -119,15 +129,15 @@ fn main() {
             format!("{mus:?}"),
             format!("{analytic:.4}"),
             format!("{quad:.4}"),
-            format!("{:.4}", ecl.value),
-            format!("{:.4}", 1.96 * ecl.std_err),
+            format!("{:.4}", ecl.value()),
+            format!("{:.4}", 1.96 * ecl.std_err()),
         ]);
         losses.push(LossPoint {
             mu: mus.clone(),
             analytic,
             quadrature: quad,
-            simulated: ecl.value,
-            ci95: 1.96 * ecl.std_err,
+            simulated: ecl.value(),
+            ci95: 1.96 * ecl.std_err(),
         });
     }
 
@@ -143,6 +153,10 @@ fn main() {
         let cell = report
             .cell(&format!("strategy/{name}"))
             .expect("strategy cell ran");
+        let dist = cell
+            .metric("CL_dist")
+            .and_then(|m| m.dist())
+            .expect("CL_dist distribution metric");
         table.print_row(&[
             name.to_string(),
             format!("{}", cell.value("lines") as u64),
@@ -156,6 +170,8 @@ fn main() {
             loss_rate: cell.value("loss_rate"),
             loss_per_line: cell.value("loss_per_line"),
             line_interval: cell.value("line_interval"),
+            cl_median: dist.quantile(0.5).unwrap_or(f64::NAN),
+            cl_p99: dist.quantile(0.99).unwrap_or(f64::NAN),
         });
     }
     println!(

@@ -66,14 +66,14 @@ fn main() {
         let cf = cell.value("ECL_closed_form");
         let quad = cell.value("ECL_quadrature");
         assert!((cf - quad).abs() < 1e-5);
-        assert!((cf - ecl.value).abs() < 4.0 * 1.96 * ecl.std_err + 0.02);
+        assert!((cf - ecl.value()).abs() < 4.0 * 1.96 * ecl.std_err() + 0.02);
         SweepPoint {
             label: label.to_string(),
             mu: mu.to_vec(),
             closed_form: cf,
             quadrature: quad,
-            simulated: ecl.value,
-            sim_ci95: 1.96 * ecl.std_err,
+            simulated: ecl.value(),
+            sim_ci95: 1.96 * ecl.std_err(),
             per_process_loss: cf / mu.len() as f64,
         }
     };

@@ -14,7 +14,7 @@
 
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
-use rbbench::workloads::AsyncIntervals;
+use rbbench::workloads::{AsyncIntervals, DistSpec};
 use rbbench::{emit_json, Table};
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
@@ -29,6 +29,9 @@ struct CaseResult {
     ex_sim: f64,
     ex_sim_ci95: f64,
     ex_paper: f64,
+    x_median: f64,
+    x_p99: f64,
+    x_p99_markov: f64,
     l_markov: [f64; 3],
     l_sim: [f64; 3],
     l_paper: [f64; 3],
@@ -83,12 +86,15 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(k, &(mu, lam, _, _))| {
+                let params = AsyncParams::three(mu, lam);
+                // Support from the analytic 99.9 % quantile — the
+                // interval histogram and its tail quantiles become part
+                // of the Table 1 artifact (rollback-exposure bounds).
+                let hi = params.interval_quantile(0.999);
                 SweepCell::named(
                     format!("case{}", k + 1),
-                    AsyncIntervals {
-                        params: AsyncParams::three(mu, lam),
-                        lines,
-                    },
+                    AsyncIntervals::new(params, lines)
+                        .with_distribution(DistSpec::new(0.0, hi, 40)),
                 )
             })
             .collect(),
@@ -113,9 +119,16 @@ fn main() {
 
         let cell = report.cell(&format!("case{}", k + 1)).expect("cell ran");
         let ex_metric = cell.metric("EX").expect("EX measured");
-        let ex_sim = ex_metric.value;
-        let ex_sim_ci95 = 1.96 * ex_metric.std_err;
+        let ex_sim = ex_metric.value();
+        let ex_sim_ci95 = 1.96 * ex_metric.std_err();
         let l_sim = [0, 1, 2].map(|i| cell.value(&format!("EL{i}")));
+        let dist = cell
+            .metric("X_dist")
+            .and_then(|m| m.dist())
+            .expect("X_dist distribution metric");
+        let x_median = dist.quantile(0.5).unwrap_or(f64::NAN);
+        let x_p99 = dist.quantile(0.99).unwrap_or(f64::NAN);
+        let x_p99_markov = params.interval_quantile(0.99);
 
         table.print_row(&[
             format!("{}", k + 1),
@@ -139,12 +152,30 @@ fn main() {
             ex_sim,
             ex_sim_ci95,
             ex_paper,
+            x_median,
+            x_p99,
+            x_p99_markov,
             l_markov,
             l_sim,
             l_paper,
             l_total_markov: l_markov.iter().sum(),
             l_total_paper: l_paper.iter().sum(),
         });
+    }
+
+    println!("\ninterval quantiles (sim histogram vs Markov CDF):");
+    for r in &results {
+        println!(
+            "  case{}: median {:.3}, p99 sim {:.3} vs analytic {:.3}",
+            r.case, r.x_median, r.x_p99, r.x_p99_markov
+        );
+        assert!(
+            (r.x_p99 - r.x_p99_markov).abs() < 0.15 * r.x_p99_markov,
+            "case{}: simulated p99 {} drifted from analytic {}",
+            r.case,
+            r.x_p99,
+            r.x_p99_markov
+        );
     }
 
     println!("\nChecks (the paper's qualitative claims):");

@@ -110,7 +110,7 @@ pub struct CellReport {
 impl CellReport {
     /// The metric named `name`, if present.
     pub fn metric(&self, name: &str) -> Option<&Metric> {
-        self.metrics.iter().find(|m| m.name == name)
+        self.metrics.iter().find(|m| m.name() == name)
     }
 
     /// The value of the metric named `name`.
@@ -120,7 +120,7 @@ impl CellReport {
     pub fn value(&self, name: &str) -> f64 {
         self.metric(name)
             .unwrap_or_else(|| panic!("cell `{}` has no metric `{name}`", self.id))
-            .value
+            .value()
     }
 }
 
@@ -149,10 +149,7 @@ impl AsyncGrid {
                 for &lambda in &self.lambda {
                     cells.push(SweepCell::named(
                         format!("n{n}/mu{mu}/lam{lambda}"),
-                        AsyncIntervals {
-                            params: AsyncParams::symmetric(n, mu, lambda),
-                            lines: self.lines,
-                        },
+                        AsyncIntervals::new(AsyncParams::symmetric(n, mu, lambda), self.lines),
                     ));
                 }
             }
@@ -286,7 +283,7 @@ impl SweepReport {
         self.cells
             .iter()
             .flat_map(|c| c.metrics.iter().map(move |m| (c.id.as_str(), m)))
-            .filter(|(_, m)| !m.ok)
+            .filter(|(_, m)| !m.ok())
             .collect()
     }
 
@@ -300,7 +297,12 @@ impl SweepReport {
             failures.len(),
             failures
                 .iter()
-                .map(|(cell, m)| format!("{cell}:{} (Δ = {}, tol {})", m.name, m.value, m.std_err))
+                .map(|(cell, m)| format!(
+                    "{cell}:{} (Δ = {}, tol {})",
+                    m.name(),
+                    m.value(),
+                    m.std_err()
+                ))
                 .collect::<Vec<_>>()
         );
     }
@@ -358,17 +360,17 @@ mod tests {
         let report = small_grid().run_parallel();
         for cell in &report.cells {
             let ex = cell.metric("EX").unwrap();
-            assert!(ex.count >= 150);
-            assert!(ex.value > 0.0 && ex.std_err > 0.0);
+            assert!(ex.count() >= 150);
+            assert!(ex.value() > 0.0 && ex.std_err() > 0.0);
         }
         // Spot-check one cell against the analytic mean.
         let c = report.cell("n3/mu1/lam1").unwrap();
         let analytic = AsyncParams::symmetric(3, 1.0, 1.0).mean_interval();
         let m = c.metric("EX").unwrap();
         assert!(
-            (m.value - analytic).abs() < 6.0 * m.std_err + 0.05,
+            (m.value() - analytic).abs() < 6.0 * m.std_err() + 0.05,
             "sim {} vs analytic {analytic}",
-            m.value
+            m.value()
         );
     }
 
@@ -410,7 +412,7 @@ mod tests {
         let cf = sync.value("ECL_closed_form");
         assert!((cf - sync.value("ECL_quadrature")).abs() < 1e-5);
         let ecl = sync.metric("ECL").unwrap();
-        assert!((ecl.value - cf).abs() < 6.0 * ecl.std_err + 0.05);
+        assert!((ecl.value() - cf).abs() < 6.0 * ecl.std_err() + 0.05);
 
         let split = report.cell("split").unwrap();
         assert!((split.value("EX") - split.value("EX_ctmc")).abs() < 1e-7);
@@ -475,13 +477,7 @@ mod tests {
             cells: vec![CellReport {
                 id: "c".into(),
                 seed: 0,
-                metrics: vec![Metric {
-                    name: "bad/check".into(),
-                    value: 1.0,
-                    std_err: 0.1,
-                    count: 1,
-                    ok: false,
-                }],
+                metrics: vec![Metric::check("bad/check", 1.0, 0.1, false)],
             }],
         };
         assert_eq!(report.failures().len(), 1);

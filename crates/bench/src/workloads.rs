@@ -18,8 +18,8 @@ use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
 use rbmarkov::solver::SolverStrategy;
 
 pub use rbcore::workload::{
-    AsyncDensity, AsyncIntervals, Conversations, FailureEpisodes, HistoryAudit, PrpStorage,
-    SplitChainStats, SyncTimeline,
+    AsyncDensity, AsyncIntervals, Conversations, DistSpec, FailureEpisodes, HistoryAudit,
+    PrpStorage, SplitChainStats, SyncTimeline, GOF_ALPHA,
 };
 pub use rbtestutil::ConformanceWorkload;
 
@@ -224,12 +224,12 @@ mod tests {
             rounds: 20_000,
         };
         let metrics = w.run(7);
-        let get = |n: &str| metrics.iter().find(|m| m.name == n).unwrap();
-        let cf = get("ECL_closed_form").value;
+        let get = |n: &str| metrics.iter().find(|m| m.name() == n).unwrap();
+        let cf = get("ECL_closed_form").value();
         assert!((cf - 2.5).abs() < 1e-12, "3·H₃ − 3 = 2.5");
-        assert!((cf - get("ECL_quadrature").value).abs() < 1e-5);
+        assert!((cf - get("ECL_quadrature").value()).abs() < 1e-5);
         let ecl = get("ECL");
-        assert!((ecl.value - cf).abs() < 6.0 * ecl.std_err + 0.02);
+        assert!((ecl.value() - cf).abs() < 6.0 * ecl.std_err() + 0.02);
     }
 
     #[test]
@@ -242,8 +242,8 @@ mod tests {
             deadline: 2.0,
         };
         let m = rare.run(0);
-        let code = m.iter().find(|x| x.name == "scheme_no_deadline").unwrap();
-        assert_eq!(scheme_short(code.value), "async");
+        let code = m.iter().find(|x| x.name() == "scheme_no_deadline").unwrap();
+        assert_eq!(scheme_short(code.value()), "async");
 
         let hot = TradeoffCell {
             params: AsyncParams::symmetric(3, 1.0, 4.0),
@@ -251,8 +251,8 @@ mod tests {
             ..rare
         };
         let m = hot.run(0);
-        let code = m.iter().find(|x| x.name == "scheme_no_deadline").unwrap();
-        assert_ne!(scheme_short(code.value), "async");
+        let code = m.iter().find(|x| x.name() == "scheme_no_deadline").unwrap();
+        assert_ne!(scheme_short(code.value()), "async");
     }
 
     #[test]
@@ -264,7 +264,7 @@ mod tests {
             sim_horizon: 50_000.0,
         };
         let metrics = w.run(3);
-        let get = |n: &str| metrics.iter().find(|m| m.name == n).unwrap().value;
+        let get = |n: &str| metrics.iter().find(|m| m.name() == n).unwrap().value();
         assert!(get("rate_at_half") >= get("rate_at_optimum"));
         assert!(get("rate_at_double") >= get("rate_at_optimum"));
         let waiting = get("mean_loss") / (3.0 * (get("delta_star") + get("mean_span")));

@@ -10,7 +10,7 @@
 //! golden_sweep`.
 
 use rbbench::sweep::{SweepCell, SweepSpec};
-use rbbench::workloads::{AsyncIntervals, FailureEpisodes, SplitChainStats, SyncLoss};
+use rbbench::workloads::{AsyncIntervals, DistSpec, FailureEpisodes, SplitChainStats, SyncLoss};
 use rbcore::fault::FaultConfig;
 use rbmarkov::paper::AsyncParams;
 
@@ -22,12 +22,13 @@ fn golden_spec() -> SweepSpec {
         "golden_small",
         0x601D,
         vec![
+            // The intervals cell carries a first-class distribution
+            // metric, pinning `Metric::Distribution` serialization
+            // (histogram counts + quantile vector) at the byte level.
             SweepCell::named(
                 "intervals",
-                AsyncIntervals {
-                    params: params.clone(),
-                    lines: 200,
-                },
+                AsyncIntervals::new(params.clone(), 200)
+                    .with_distribution(DistSpec::new(0.0, 10.0, 12)),
             ),
             SweepCell::named(
                 "split",

@@ -42,6 +42,8 @@ fn light_conformance() -> SchemeConformance {
         prp_horizon: 80.0,
         episodes: 0,
         z: 4.8,
+        gof_alpha: rbbench::workloads::GOF_ALPHA,
+        gof_bins: 12,
     }
 }
 
@@ -101,6 +103,51 @@ fn batched_runs_are_byte_identical_to_serial() {
             );
         }
     }
+}
+
+#[test]
+fn distribution_metrics_are_byte_identical_across_thread_counts() {
+    let _serial = serial_guard();
+    // Cells carrying first-class `Metric::Distribution` payloads
+    // (histogram counts, quantile vectors) and embedded KS/χ² checks:
+    // the serialized artifact must stay a pure function of the spec —
+    // the acceptance bar for promoting distributions into the metrics
+    // layer.
+    use rbbench::workloads::{AsyncDensity, AsyncIntervals, DistSpec};
+    let spec = SweepSpec::new(
+        "distribution_determinism",
+        0xD157,
+        vec![
+            SweepCell::named(
+                "density",
+                AsyncDensity {
+                    params: AsyncParams::symmetric(3, 1.0, 1.0),
+                    lines: 4_000,
+                    t_max: 6.0,
+                    bins: 24,
+                },
+            ),
+            SweepCell::named(
+                "intervals",
+                AsyncIntervals::new(AsyncParams::symmetric(2, 1.0, 0.5), 2_000)
+                    .with_distribution(DistSpec::new(0.0, 8.0, 16)),
+            ),
+        ],
+    );
+    let serial = spec.run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial.to_json(),
+            spec.run(threads).to_json(),
+            "parallel ({threads} threads) diverged from serial"
+        );
+    }
+    // Not vacuous: the artifact really carries distributions and
+    // passing GoF gates.
+    serial.assert_ok();
+    let density = serial.cell("density").unwrap();
+    assert!(density.metric("X_hist").unwrap().dist().is_some());
+    assert!(serial.to_json().contains("\"quantiles\""));
 }
 
 #[test]

@@ -1,36 +1,148 @@
 //! Shared measurement records produced by the scheme drivers.
 
-use rbsim::stats::Welford;
-use serde::Serialize;
+use rbsim::stats::{Histogram, Welford};
+use serde::{Serialize, Value};
 
 use crate::rollback::RollbackPlan;
 
-/// One aggregated quantity measured by a [`crate::workload::Workload`].
+/// One quantile of a distribution-valued metric: `P(X ≤ x) = p`.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Quantile {
+    /// The level in (0, 1).
+    pub p: f64,
+    /// The quantile value.
+    pub x: f64,
+}
+
+/// A serializable summary of a sampled distribution: a fixed-bin
+/// histogram, the total sample count (out-of-range mass explicit), the
+/// sample mean, and a small quantile vector.
 ///
-/// The serialized field order is part of the sweep artifacts' byte-level
-/// contract (`crates/bench/tests/sweep_determinism.rs` and the golden
-/// JSON test pin it) — do not reorder fields.
+/// The serialized field order is part of the sweep artifacts'
+/// byte-level contract — do not reorder fields.
 #[derive(Clone, Debug, Serialize)]
-pub struct Metric {
-    /// What was measured, e.g. `EX` or `async/EX/sim-vs-ctmc`.
-    pub name: String,
-    /// Point value: a sample mean, an exact analytic value, or — for
-    /// conformance checks — the signed discrepancy `lhs − rhs`.
-    pub value: f64,
-    /// Standard error of the mean (sampled metrics), the allowed
-    /// tolerance (conformance checks), or 0 (exact values).
-    pub std_err: f64,
-    /// Observations folded in (0 for exact analytic values).
+pub struct DistSummary {
+    /// Lower support bound of the histogram.
+    pub lo: f64,
+    /// Upper support bound of the histogram.
+    pub hi: f64,
+    /// Raw per-bin counts over `[lo, hi)`.
+    pub counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+    /// Total observations, including out-of-range ones.
     pub count: u64,
-    /// Whether the metric is acceptable. Always `true` for measurements;
-    /// conformance checks carry their pass/fail verdict here.
-    pub ok: bool,
+    /// Sample mean (from the full sample, not the binned one).
+    pub mean: f64,
+    /// Empirical quantiles at [`DistSummary::DEFAULT_LEVELS`] (or the
+    /// caller's levels), interpolated within bins.
+    pub quantiles: Vec<Quantile>,
+}
+
+impl DistSummary {
+    /// The default quantile levels a distribution metric carries: the
+    /// median and the upper tail that bounds rollback exposure.
+    pub const DEFAULT_LEVELS: [f64; 5] = [0.1, 0.5, 0.9, 0.95, 0.99];
+
+    /// Builds a summary from a filled [`Histogram`] plus the sample
+    /// mean, with quantiles interpolated at `levels`. An **empty**
+    /// histogram (a workload that measured nothing — e.g. a timeline
+    /// shorter than its first event) yields NaN quantiles, which
+    /// serialize as `null` rather than panicking the sweep.
+    pub fn from_histogram(h: &Histogram, mean: f64, levels: &[f64]) -> DistSummary {
+        DistSummary {
+            lo: h.lo(),
+            hi: h.hi(),
+            counts: h.counts().to_vec(),
+            underflow: h.underflow(),
+            overflow: h.overflow(),
+            count: h.count(),
+            mean,
+            quantiles: levels
+                .iter()
+                .map(|&p| Quantile {
+                    p,
+                    x: if h.count() == 0 {
+                        f64::NAN
+                    } else {
+                        h.quantile(p)
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Bin width of the summarized histogram.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// The center of bin `k`.
+    pub fn bin_center(&self, k: usize) -> f64 {
+        self.lo + (k as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Density estimate per bin: count / (N · width), total-count
+    /// normalized like [`Histogram::density`].
+    pub fn density(&self) -> Vec<f64> {
+        let norm = self.count.max(1) as f64 * self.bin_width();
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// The stored quantile at level `p`, if one was recorded.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        self.quantiles
+            .iter()
+            .find(|q| (q.p - p).abs() < 1e-12)
+            .map(|q| q.x)
+    }
+}
+
+/// One quantity measured by a [`crate::workload::Workload`]: either a
+/// scalar (sample mean, exact value, or pass/fail check) or a
+/// first-class distribution (histogram + quantiles).
+///
+/// The serialized shape is part of the sweep artifacts' byte-level
+/// contract (`crates/bench/tests/sweep_determinism.rs` and the golden
+/// JSON test pin it): scalars keep the historical five-field object
+/// `{name, value, std_err, count, ok}`, distributions serialize as
+/// `{name, dist: {…}, ok}` — see the manual [`Serialize`] impl below.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// A scalar quantity.
+    Scalar {
+        /// What was measured, e.g. `EX` or `async/EX/sim-vs-ctmc`.
+        name: String,
+        /// Point value: a sample mean, an exact analytic value, or —
+        /// for conformance checks — the statistic / signed discrepancy.
+        value: f64,
+        /// Standard error of the mean (sampled metrics), the allowed
+        /// tolerance or critical value (checks), or 0 (exact values).
+        std_err: f64,
+        /// Observations folded in (0 for exact analytic values).
+        count: u64,
+        /// Whether the metric is acceptable. Always `true` for
+        /// measurements; checks carry their verdict here.
+        ok: bool,
+    },
+    /// A distribution-valued quantity.
+    Distribution {
+        /// What was measured, e.g. `X_hist`.
+        name: String,
+        /// The histogram/quantile summary.
+        dist: DistSummary,
+        /// Whether the metric is acceptable (always `true` for plain
+        /// measurements).
+        ok: bool,
+    },
 }
 
 impl Metric {
     /// A metric aggregated from a [`Welford`] accumulator.
     pub fn sampled(name: impl Into<String>, w: &Welford) -> Metric {
-        Metric {
+        Metric::Scalar {
             name: name.into(),
             value: w.mean(),
             std_err: w.std_err(),
@@ -41,7 +153,7 @@ impl Metric {
 
     /// An exact (analytic or structural) value.
     pub fn exact(name: impl Into<String>, value: f64) -> Metric {
-        Metric {
+        Metric::Scalar {
             name: name.into(),
             value,
             std_err: 0.0,
@@ -50,15 +162,102 @@ impl Metric {
         }
     }
 
-    /// A pass/fail check: `value` is the signed discrepancy, `std_err`
-    /// the allowed tolerance, and `ok` the verdict.
+    /// A pass/fail check: `value` is the signed discrepancy (or GoF
+    /// statistic), `std_err` the allowed tolerance (or critical value),
+    /// and `ok` the verdict.
     pub fn check(name: impl Into<String>, discrepancy: f64, tol: f64, pass: bool) -> Metric {
-        Metric {
+        Metric::Scalar {
             name: name.into(),
             value: discrepancy,
             std_err: tol,
             count: 1,
             ok: pass,
+        }
+    }
+
+    /// A first-class distribution metric.
+    pub fn distribution(name: impl Into<String>, dist: DistSummary) -> Metric {
+        Metric::Distribution {
+            name: name.into(),
+            dist,
+            ok: true,
+        }
+    }
+
+    /// The metric's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Metric::Scalar { name, .. } | Metric::Distribution { name, .. } => name,
+        }
+    }
+
+    /// The scalar value — the point value for scalars, the sample mean
+    /// for distributions.
+    pub fn value(&self) -> f64 {
+        match self {
+            Metric::Scalar { value, .. } => *value,
+            Metric::Distribution { dist, .. } => dist.mean,
+        }
+    }
+
+    /// The scalar's standard error / tolerance; 0 for distributions
+    /// (their dispersion lives in the summary itself).
+    pub fn std_err(&self) -> f64 {
+        match self {
+            Metric::Scalar { std_err, .. } => *std_err,
+            Metric::Distribution { .. } => 0.0,
+        }
+    }
+
+    /// Observations folded in.
+    pub fn count(&self) -> u64 {
+        match self {
+            Metric::Scalar { count, .. } => *count,
+            Metric::Distribution { dist, .. } => dist.count,
+        }
+    }
+
+    /// Whether the metric is acceptable.
+    pub fn ok(&self) -> bool {
+        match self {
+            Metric::Scalar { ok, .. } | Metric::Distribution { ok, .. } => *ok,
+        }
+    }
+
+    /// The distribution summary, for distribution-valued metrics.
+    pub fn dist(&self) -> Option<&DistSummary> {
+        match self {
+            Metric::Scalar { .. } => None,
+            Metric::Distribution { dist, .. } => Some(dist),
+        }
+    }
+}
+
+/// Deterministic serialization: scalars keep the exact historical
+/// five-field object (so scalar-only artifacts are byte-identical to
+/// pre-distribution ones); distributions nest their summary under
+/// `dist` between `name` and `ok`.
+impl Serialize for Metric {
+    fn to_value(&self) -> Value {
+        match self {
+            Metric::Scalar {
+                name,
+                value,
+                std_err,
+                count,
+                ok,
+            } => Value::Map(vec![
+                ("name".to_string(), name.to_value()),
+                ("value".to_string(), value.to_value()),
+                ("std_err".to_string(), std_err.to_value()),
+                ("count".to_string(), count.to_value()),
+                ("ok".to_string(), ok.to_value()),
+            ]),
+            Metric::Distribution { name, dist, ok } => Value::Map(vec![
+                ("name".to_string(), name.to_value()),
+                ("dist".to_string(), dist.to_value()),
+                ("ok".to_string(), ok.to_value()),
+            ]),
         }
     }
 }
@@ -122,6 +321,79 @@ impl SchemeMetrics {
 mod tests {
     use super::*;
     use crate::history::ProcessId;
+
+    #[test]
+    fn scalar_serialization_shape_is_the_historical_one() {
+        let m = Metric::check("c", 0.5, 1.0, true);
+        let json = serde_json::to_string(&m).unwrap();
+        assert_eq!(
+            json,
+            r#"{"name":"c","value":0.5,"std_err":1,"count":1,"ok":true}"#
+        );
+    }
+
+    #[test]
+    fn distribution_metric_carries_histogram_and_quantiles() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for x in [0.5, 1.5, 1.5, 2.5, 3.5, 9.0] {
+            h.push(x);
+        }
+        let d = DistSummary::from_histogram(&h, 2.0, &[0.5]);
+        let m = Metric::distribution("X_hist", d);
+        assert_eq!(m.name(), "X_hist");
+        assert_eq!(m.count(), 6);
+        assert!(m.ok());
+        assert_eq!(m.value(), 2.0, "value() is the sample mean");
+        assert_eq!(m.std_err(), 0.0);
+        let dist = m.dist().unwrap();
+        assert_eq!(dist.counts, vec![1, 2, 1, 1]);
+        assert_eq!(dist.overflow, 1);
+        assert!(dist.quantile(0.5).is_some());
+        assert!(dist.quantile(0.99).is_none());
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(json.starts_with(r#"{"name":"X_hist","dist":{"lo":0,"hi":4,"counts":[1,2,1,1],"#));
+        assert!(json.ends_with(r#""ok":true}"#));
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_without_panicking() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        let d = DistSummary::from_histogram(&h, 0.0, &[0.5, 0.99]);
+        assert_eq!(d.count, 0);
+        assert!(d.quantiles.iter().all(|q| q.x.is_nan()));
+        // NaN quantiles serialize as null — the artifact stays valid.
+        let json = serde_json::to_string(&Metric::distribution("empty", d)).unwrap();
+        assert!(json.contains(r#"{"p":0.5,"x":null}"#), "{json}");
+    }
+
+    #[test]
+    fn dist_summary_density_matches_histogram() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        for i in 0..100 {
+            h.push(i as f64 / 100.0);
+        }
+        let d = DistSummary::from_histogram(&h, 0.5, &DistSummary::DEFAULT_LEVELS);
+        assert_eq!(d.density(), h.density());
+        assert_eq!(d.bin_width(), h.bin_width());
+        assert_eq!(d.bin_center(2), h.bin_center(2));
+        assert_eq!(d.quantiles.len(), DistSummary::DEFAULT_LEVELS.len());
+    }
+
+    #[test]
+    fn scalar_accessors_round_trip_ctors() {
+        let mut w = Welford::new();
+        for x in [1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        let s = Metric::sampled("m", &w);
+        assert_eq!(s.name(), "m");
+        assert_eq!(s.value(), 2.0);
+        assert_eq!(s.count(), 3);
+        assert!(s.ok() && s.dist().is_none());
+        let c = Metric::check("gate", 3.0, 2.0, false);
+        assert!(!c.ok());
+        assert_eq!(c.std_err(), 2.0);
+    }
 
     #[test]
     fn records_aggregate() {

@@ -54,6 +54,11 @@ pub struct IntervalStats {
     pub rp_counts: Vec<Welford>,
     /// Optional histogram of X (density estimation for Figure 6).
     pub histogram: Option<Histogram>,
+    /// Optional raw interval samples, in measurement order — the input
+    /// the distribution-level conformance gates (KS vs the analytic
+    /// CDF) need. Collection never touches the RNG, so runs with and
+    /// without it are event-for-event identical.
+    pub samples: Option<Vec<f64>>,
     /// Events consumed.
     pub events: u64,
 }
@@ -158,10 +163,30 @@ impl AsyncScheme {
         n_lines: usize,
         histogram: Option<Histogram>,
     ) -> IntervalStats {
+        self.run_intervals_full(n_lines, histogram, false)
+    }
+
+    /// Measures `n_lines` intervals, additionally collecting the raw
+    /// interval samples ([`IntervalStats::samples`]) for
+    /// distribution-level conformance checks.
+    pub fn run_intervals_samples(&mut self, n_lines: usize) -> IntervalStats {
+        self.run_intervals_full(n_lines, None, true)
+    }
+
+    /// The common interval-measurement loop behind
+    /// [`Self::run_intervals`], [`Self::run_intervals_hist`] and
+    /// [`Self::run_intervals_samples`].
+    pub fn run_intervals_full(
+        &mut self,
+        n_lines: usize,
+        histogram: Option<Histogram>,
+        collect_samples: bool,
+    ) -> IntervalStats {
         let n = self.cfg.params.n();
         let mut interval = Welford::new();
         let mut rp_counts = vec![Welford::new(); n];
         let mut histogram = histogram;
+        let mut samples = collect_samples.then(|| Vec::with_capacity(n_lines));
         let mut flags = vec![true; n]; // at a recovery line
         let mut counts = vec![0u64; n];
         let mut t = 0.0_f64;
@@ -182,6 +207,9 @@ impl AsyncScheme {
                         if let Some(h) = &mut histogram {
                             h.push(x);
                         }
+                        if let Some(s) = &mut samples {
+                            s.push(x);
+                        }
                         for (w, c) in rp_counts.iter_mut().zip(&mut counts) {
                             w.push(*c as f64);
                             *c = 0;
@@ -201,6 +229,7 @@ impl AsyncScheme {
             interval,
             rp_counts,
             histogram,
+            samples,
             events,
         }
     }
@@ -376,6 +405,21 @@ mod tests {
                 "bin {k}: sim {d} vs analytic {a}"
             );
         }
+    }
+
+    #[test]
+    fn sample_collection_is_event_identical_and_complete() {
+        let p = AsyncParams::symmetric(3, 1.0, 1.0);
+        let plain = AsyncScheme::new(AsyncConfig::new(p.clone()), 77).run_intervals(800);
+        let with = AsyncScheme::new(AsyncConfig::new(p), 77).run_intervals_samples(800);
+        // Collection must not perturb the event stream.
+        assert_eq!(plain.events, with.events);
+        assert_eq!(plain.interval.mean(), with.interval.mean());
+        let s = with.samples.expect("samples were requested");
+        assert_eq!(s.len(), 800);
+        let mean = s.iter().sum::<f64>() / 800.0;
+        assert!((mean - with.interval.mean()).abs() < 1e-9);
+        assert!(plain.samples.is_none());
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct CommitStats {
     pub loss: Welford,
     /// Per-round establishment span Z = max yᵢ.
     pub span: Welford,
+    /// Raw per-round span samples, in round order — the input for the
+    /// distribution-level conformance check against the closed-form
+    /// order-statistics CDF `P(Z ≤ t) = Πᵢ (1 − e^{−μᵢ t})`.
+    pub span_samples: Vec<f64>,
 }
 
 /// Simulates `rounds` independent synchronizations for processes with
@@ -67,6 +71,7 @@ pub fn simulate_commit_losses(mu: &[f64], rounds: usize, seed: u64) -> CommitSta
             sum += *y;
         }
         stats.span.push(z);
+        stats.span_samples.push(z);
         stats.loss.push(mu.len() as f64 * z - sum);
     }
     stats
@@ -79,6 +84,9 @@ pub struct SyncTimelineStats {
     pub lines: u64,
     /// Mean loss CL per line.
     pub loss_per_line: Welford,
+    /// Raw per-line loss samples, in line order (distribution metrics
+    /// for the fig7 artifact).
+    pub loss_samples: Vec<f64>,
     /// Interval between successive recovery lines.
     pub line_interval: Welford,
     /// Total lost computation over the horizon (process-time units).
@@ -118,6 +126,7 @@ pub fn run_sync_timeline(
     let mut lines = 0u64;
     let mut total_loss = 0.0_f64;
     let mut loss_per_line = Welford::new();
+    let mut loss_samples = Vec::new();
     let mut line_interval = Welford::new();
     let mut requests_coalesced = 0u64;
 
@@ -187,6 +196,7 @@ pub fn run_sync_timeline(
         let loss = n as f64 * z - sum;
         total_loss += loss;
         loss_per_line.push(loss);
+        loss_samples.push(loss);
         t += z;
         lines += 1;
         line_interval.push(t - last_line);
@@ -207,6 +217,7 @@ pub fn run_sync_timeline(
     SyncTimelineStats {
         lines,
         loss_per_line,
+        loss_samples,
         line_interval,
         total_loss,
         loss_rate: total_loss / (horizon * n as f64),

@@ -35,14 +35,15 @@
 //! }
 //!
 //! let w = CoinBias { flips: 100 };
-//! assert_eq!(w.run(7)[0].value, w.run(7)[0].value); // pure in (self, seed)
+//! assert_eq!(w.run(7)[0].value(), w.run(7)[0].value()); // pure in (self, seed)
 //! ```
 
 use rbmarkov::paper::{AsyncParams, SplitChain};
+use rbsim::gof;
 use rbsim::stats::Histogram;
 
 use crate::fault::FaultConfig;
-use crate::metrics::Metric;
+use crate::metrics::{DistSummary, Metric};
 use crate::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use crate::schemes::conversation::{
     conversation_round_loss, run_conversations, ConversationConfig,
@@ -70,14 +71,72 @@ pub trait Workload {
     fn run(&self, seed: u64) -> Vec<Metric>;
 }
 
+/// Significance level of the goodness-of-fit gates workloads embed:
+/// with ~10² distribution checks per CI run, a correct implementation
+/// trips one with probability ≈ 1e-4 per full run.
+pub const GOF_ALPHA: f64 = 1e-6;
+
+/// The support of a distribution-valued metric: the fixed-bin histogram
+/// a workload summarizes its samples into. Part of the workload's
+/// identity (the sweep contract requires runs to be pure in
+/// `(self, seed)`), so it is explicit configuration, never derived from
+/// the data.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistSpec {
+    /// Lower support bound.
+    pub lo: f64,
+    /// Upper support bound.
+    pub hi: f64,
+    /// Number of equal-width bins.
+    pub bins: usize,
+}
+
+impl DistSpec {
+    /// A support over `[lo, hi)` with `bins` bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> DistSpec {
+        DistSpec { lo, hi, bins }
+    }
+
+    /// Builds the summary of `samples` over this support; `mean` is the
+    /// full-sample mean (not the binned one).
+    pub fn summarize(&self, samples: &[f64], mean: f64) -> DistSummary {
+        let mut h = Histogram::new(self.lo, self.hi, self.bins);
+        for &x in samples {
+            h.push(x);
+        }
+        DistSummary::from_histogram(&h, mean, &DistSummary::DEFAULT_LEVELS)
+    }
+}
+
 /// §2 asynchronous scheme: measure `lines` recovery-line intervals
-/// (Table 1, Figures 5/6). Metrics: `EX`, `EL{i}`, `events`.
+/// (Table 1, Figures 5/6). Metrics: `EX`, `EL{i}`, `events`, plus —
+/// when a [`DistSpec`] is configured — a first-class `X_dist`
+/// distribution metric (histogram + quantiles) of the interval.
 #[derive(Clone, Debug)]
 pub struct AsyncIntervals {
     /// Checkpoint and interaction rates.
     pub params: AsyncParams,
     /// Recovery-line intervals to measure.
     pub lines: usize,
+    /// Optional histogram support for the `X_dist` metric.
+    pub dist: Option<DistSpec>,
+}
+
+impl AsyncIntervals {
+    /// A workload without a distribution metric (scalar moments only).
+    pub fn new(params: AsyncParams, lines: usize) -> AsyncIntervals {
+        AsyncIntervals {
+            params,
+            lines,
+            dist: None,
+        }
+    }
+
+    /// Adds the `X_dist` distribution metric over the given support.
+    pub fn with_distribution(mut self, dist: DistSpec) -> AsyncIntervals {
+        self.dist = Some(dist);
+        self
+    }
 }
 
 impl Workload for AsyncIntervals {
@@ -86,23 +145,40 @@ impl Workload for AsyncIntervals {
     }
 
     fn run(&self, seed: u64) -> Vec<Metric> {
-        let stats =
-            AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed).run_intervals(self.lines);
-        let mut metrics = Vec::with_capacity(self.params.n() + 2);
+        let mut scheme = AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed);
+        let stats = match self.dist {
+            Some(_) => scheme.run_intervals_samples(self.lines),
+            None => scheme.run_intervals(self.lines),
+        };
+        let mut metrics = Vec::with_capacity(self.params.n() + 3);
         metrics.push(Metric::sampled("EX", &stats.interval));
         for (i, w) in stats.rp_counts.iter().enumerate() {
             metrics.push(Metric::sampled(format!("EL{i}"), w));
         }
         metrics.push(Metric::exact("events", stats.events as f64));
+        if let Some(spec) = self.dist {
+            let samples = stats.samples.as_ref().expect("samples were requested");
+            metrics.push(Metric::distribution(
+                "X_dist",
+                spec.summarize(samples, stats.interval.mean()),
+            ));
+        }
         metrics
     }
 }
 
 /// Figure 6: estimate the recovery-line interval density f_X(t) from a
-/// simulation histogram and compare it against the uniformization
-/// solve. Metrics: `EX`, `f0` (analytic f(0) = Σμ), `total_mu`,
-/// `f_sim{k}` / `f_ref{k}` per bin, and `max_abs_gap_interior`
-/// (sim-vs-analytic away from the t = 0 spike, bins ≥ 3).
+/// simulation histogram and gate it against the uniformization solve.
+///
+/// The histogram is a first-class `X_hist` [`Metric::Distribution`]
+/// (bin counts + quantiles) rather than one metric per bin, and the
+/// sim-vs-analytic comparison is a pair of goodness-of-fit checks:
+/// `ks_sim_vs_analytic` (empirical CDF of the raw samples vs the
+/// batched analytic CDF) and `chi2_sim_vs_analytic` (binned counts —
+/// out-of-range cells included — vs expected masses), both at
+/// [`GOF_ALPHA`]. Scalar metrics: `EX`, `f0` (analytic f(0) = Σμ),
+/// `total_mu`, `max_abs_gap_interior` (density gap away from the t = 0
+/// spike, bins ≥ 3).
 #[derive(Clone, Debug)]
 pub struct AsyncDensity {
     /// Checkpoint and interaction rates.
@@ -121,36 +197,65 @@ impl Workload for AsyncDensity {
     }
 
     fn run(&self, seed: u64) -> Vec<Metric> {
-        let hist = Histogram::new(0.0, self.t_max, self.bins);
         let stats = AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed)
-            .run_intervals_hist(self.lines, Some(hist));
-        let h = stats.histogram.expect("histogram was requested");
-        let density = h.density();
-        let centers: Vec<f64> = (0..self.bins).map(|k| h.bin_center(k)).collect();
-        let reference = self.params.interval_density(&centers);
-
-        let mut metrics = Vec::with_capacity(2 * self.bins + 4);
-        metrics.push(Metric::sampled("EX", &stats.interval));
-        metrics.push(Metric::exact("f0", self.params.interval_density(&[0.0])[0]));
-        metrics.push(Metric::exact("total_mu", self.params.total_mu()));
-        for (k, (&d, &a)) in density.iter().zip(&reference).enumerate() {
-            metrics.push(Metric::exact(format!("f_sim{k}"), d));
-            metrics.push(Metric::exact(format!("f_ref{k}"), a));
+            .run_intervals_samples(self.lines);
+        let samples = stats.samples.as_ref().expect("samples were requested");
+        let mut hist = Histogram::new(0.0, self.t_max, self.bins);
+        for &x in samples {
+            hist.push(x);
         }
+
+        // KS over the raw samples and χ² over the binned counts, both
+        // against the analytic CDF (one batched uniformization pass
+        // per statistic).
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let pts = gof::ks_eval_points(&sorted);
+        let f_pts = self.params.interval_cdf_batch(&pts);
+        let d = gof::ks_statistic_at(&sorted, &f_pts);
+        let d_crit = gof::ks_critical(sorted.len() as u64, GOF_ALPHA);
+        let f_edges = self.params.interval_cdf_batch(&hist.bin_edges());
+        let chi = gof::chi_square_hist_test(&hist, &f_edges, GOF_ALPHA, 5.0);
+
+        let density = hist.density();
+        let centers: Vec<f64> = (0..self.bins).map(|k| hist.bin_center(k)).collect();
+        let reference = self.params.interval_density(&centers);
         let max_gap = density
             .iter()
             .zip(&reference)
             .skip(3)
             .map(|(d, a)| (d - a).abs())
             .fold(0.0_f64, f64::max);
-        metrics.push(Metric::exact("max_abs_gap_interior", max_gap));
-        metrics
+
+        vec![
+            Metric::sampled("EX", &stats.interval),
+            Metric::exact("f0", self.params.interval_density(&[0.0])[0]),
+            Metric::exact("total_mu", self.params.total_mu()),
+            Metric::distribution(
+                "X_hist",
+                DistSummary::from_histogram(
+                    &hist,
+                    stats.interval.mean(),
+                    &DistSummary::DEFAULT_LEVELS,
+                ),
+            ),
+            Metric::check("ks_sim_vs_analytic", d, d_crit, d <= d_crit),
+            Metric::check(
+                "chi2_sim_vs_analytic",
+                chi.statistic,
+                chi.critical,
+                chi.pass,
+            ),
+            Metric::exact("max_abs_gap_interior", max_gap),
+        ]
     }
 }
 
 /// §3 synchronized scheme driven by a request strategy over a long
 /// timeline (Figure 7). Metrics: `lines`, `loss_rate`, `loss_per_line`,
-/// `line_interval`, `states_saved`, `requests_coalesced`.
+/// `line_interval`, `states_saved`, `requests_coalesced`, plus — when a
+/// [`DistSpec`] is configured — a first-class `CL_dist` distribution
+/// metric of the per-line loss.
 #[derive(Clone, Debug)]
 pub struct SyncTimeline {
     /// Checkpoint and interaction rates.
@@ -159,6 +264,8 @@ pub struct SyncTimeline {
     pub strategy: SyncStrategy,
     /// Simulated horizon.
     pub horizon: f64,
+    /// Optional histogram support for the `CL_dist` metric.
+    pub dist: Option<DistSpec>,
 }
 
 impl Workload for SyncTimeline {
@@ -168,14 +275,21 @@ impl Workload for SyncTimeline {
 
     fn run(&self, seed: u64) -> Vec<Metric> {
         let s = run_sync_timeline(&self.params, self.strategy, self.horizon, seed);
-        vec![
+        let mut metrics = vec![
             Metric::exact("lines", s.lines as f64),
             Metric::exact("loss_rate", s.loss_rate),
             Metric::sampled("loss_per_line", &s.loss_per_line),
             Metric::sampled("line_interval", &s.line_interval),
             Metric::exact("states_saved", s.states_saved as f64),
             Metric::exact("requests_coalesced", s.requests_coalesced as f64),
-        ]
+        ];
+        if let Some(spec) = self.dist {
+            metrics.push(Metric::distribution(
+                "CL_dist",
+                spec.summarize(&s.loss_samples, s.loss_per_line.mean()),
+            ));
+        }
+        metrics
     }
 }
 
@@ -477,10 +591,9 @@ mod tests {
     #[test]
     fn workloads_are_pure_in_self_and_seed() {
         let w: Vec<Box<dyn Workload + Send + Sync>> = vec![
-            Box::new(AsyncIntervals {
-                params: params3(),
-                lines: 200,
-            }),
+            Box::new(
+                AsyncIntervals::new(params3(), 200).with_distribution(DistSpec::new(0.0, 8.0, 16)),
+            ),
             Box::new(SplitChainStats {
                 params: params3(),
                 tagged: 0,
@@ -509,8 +622,12 @@ mod tests {
             let b = workload.run(99);
             assert_eq!(a.len(), b.len(), "{}", workload.label());
             for (x, y) in a.iter().zip(&b) {
-                assert_eq!(x.name, y.name);
-                assert_eq!(x.value.to_bits(), y.value.to_bits(), "{}", x.name);
+                assert_eq!(x.name(), y.name());
+                assert_eq!(x.value().to_bits(), y.value().to_bits(), "{}", x.name());
+                // Distribution payloads must be bit-stable too.
+                if let (Some(dx), Some(dy)) = (x.dist(), y.dist()) {
+                    assert_eq!(dx.counts, dy.counts, "{}", x.name());
+                }
             }
         }
     }
@@ -528,9 +645,9 @@ mod tests {
         let get = |name: &str| {
             metrics
                 .iter()
-                .find(|m| m.name == name)
+                .find(|m| m.name() == name)
                 .unwrap_or_else(|| panic!("missing {name}"))
-                .value
+                .value()
         };
         assert!(get("directed/sup_distance") <= get("async/sup_distance") + 1e-12);
         assert!(get("directed/n_affected") <= get("async/n_affected") + 1e-12);
@@ -552,17 +669,17 @@ mod tests {
         let no_prp = make().without_prp().run(7);
         let no_dir = make().without_directed().run(7);
         // Dropped legs emit no metrics…
-        assert!(no_prp.iter().all(|m| !m.name.starts_with("prp/")));
-        assert!(no_dir.iter().all(|m| !m.name.starts_with("directed/")));
+        assert!(no_prp.iter().all(|m| !m.name().starts_with("prp/")));
+        assert!(no_dir.iter().all(|m| !m.name().starts_with("directed/")));
         // …and the remaining legs are bit-identical to the full run
         // (each leg owns its seed-derived streams).
         for m in &no_prp {
-            let twin = full.iter().find(|f| f.name == m.name).unwrap();
-            assert_eq!(m.value.to_bits(), twin.value.to_bits(), "{}", m.name);
+            let twin = full.iter().find(|f| f.name() == m.name()).unwrap();
+            assert_eq!(m.value().to_bits(), twin.value().to_bits(), "{}", m.name());
         }
         for m in &no_dir {
-            let twin = full.iter().find(|f| f.name == m.name).unwrap();
-            assert_eq!(m.value.to_bits(), twin.value.to_bits(), "{}", m.name);
+            let twin = full.iter().find(|f| f.name() == m.name()).unwrap();
+            assert_eq!(m.value().to_bits(), twin.value().to_bits(), "{}", m.name());
         }
     }
 
@@ -603,14 +720,31 @@ mod tests {
             bins: 40,
         };
         let metrics = w.run(1961);
-        let gap = metrics
-            .iter()
-            .find(|m| m.name == "max_abs_gap_interior")
-            .unwrap();
-        assert!(gap.value < 0.08, "interior gap {}", gap.value);
-        let f0 = metrics.iter().find(|m| m.name == "f0").unwrap().value;
-        let total_mu = metrics.iter().find(|m| m.name == "total_mu").unwrap().value;
-        assert!((f0 - total_mu).abs() < 1e-9, "f(0) = Σμ (R4 spike)");
+        let get = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name() == name)
+                .unwrap_or_else(|| panic!("missing {name}"))
+        };
+        assert!(
+            get("max_abs_gap_interior").value() < 0.08,
+            "interior gap {}",
+            get("max_abs_gap_interior").value()
+        );
+        assert!(
+            (get("f0").value() - get("total_mu").value()).abs() < 1e-9,
+            "f(0) = Σμ (R4 spike)"
+        );
+        // The histogram is a first-class distribution metric…
+        let dist = get("X_hist").dist().expect("X_hist is a distribution");
+        assert_eq!(dist.counts.len(), 40);
+        assert_eq!(dist.count, 20_000);
+        assert!(dist.quantile(0.5).is_some());
+        // …and the embedded GoF gates pass on a correct implementation.
+        let ks = get("ks_sim_vs_analytic");
+        assert!(ks.ok(), "KS {} > critical {}", ks.value(), ks.std_err());
+        let chi = get("chi2_sim_vs_analytic");
+        assert!(chi.ok(), "χ² {} > critical {}", chi.value(), chi.std_err());
     }
 
     #[test]
@@ -619,20 +753,42 @@ mod tests {
             params: params3(),
             strategy: SyncStrategy::ElapsedSinceLine(5.0),
             horizon: 2_000.0,
+            dist: Some(DistSpec::new(0.0, 12.0, 24)),
         };
         let metrics = w.run(3);
-        let get = |name: &str| metrics.iter().find(|m| m.name == name).unwrap().value;
+        let get = |name: &str| metrics.iter().find(|m| m.name() == name).unwrap().value();
         assert!(get("lines") > 100.0);
         assert!(get("loss_rate") > 0.0 && get("loss_rate") < 1.0);
         assert!(get("loss_per_line") > 0.0);
+        let dist = metrics
+            .iter()
+            .find(|m| m.name() == "CL_dist")
+            .and_then(|m| m.dist())
+            .expect("CL_dist distribution");
+        assert_eq!(dist.count, get("lines") as u64);
+        assert!((dist.mean - get("loss_per_line")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn async_intervals_distribution_is_opt_in() {
+        let plain = AsyncIntervals::new(params3(), 300).run(5);
+        assert!(plain.iter().all(|m| m.dist().is_none()));
+        let with = AsyncIntervals::new(params3(), 300)
+            .with_distribution(DistSpec::new(0.0, 10.0, 20))
+            .run(5);
+        // Scalar metrics are bit-identical with and without collection.
+        for (a, b) in plain.iter().zip(&with) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.value().to_bits(), b.value().to_bits());
+        }
+        let dist = with.last().unwrap();
+        assert_eq!(dist.name(), "X_dist");
+        assert_eq!(dist.dist().unwrap().count, 300);
     }
 
     #[test]
     fn labels_are_stable_and_nonempty() {
-        let w = AsyncIntervals {
-            params: params3(),
-            lines: 1,
-        };
+        let w = AsyncIntervals::new(params3(), 1);
         assert_eq!(w.label(), "async-intervals/n3");
         let f = FailureEpisodes::new(params3(), FaultConfig::uniform(3, 0.1, 0.5, 0.5), 1);
         assert_eq!(f.label(), "failure-episodes/n3");

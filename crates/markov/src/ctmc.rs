@@ -368,6 +368,85 @@ impl Ctmc {
             .map(|s| pi[s])
             .sum()
     }
+
+    /// [`Ctmc::absorption_cdf`] at **many** times in one uniformization
+    /// pass: the jump chain is propagated once up to the horizon the
+    /// largest `t` needs, recording the absorbed mass after each step;
+    /// every F(t) is then a Poisson mixture over that sequence. Cost is
+    /// one propagation plus O(Λ·tᵢ) scalar work per point — the hook
+    /// the distribution-level conformance gates (KS over thousands of
+    /// sample points) rely on.
+    ///
+    /// Negative `t` evaluates to 0 (the absorption time is a.s.
+    /// non-negative), so callers may pass left-limit points `x⁻` from
+    /// `rbsim::gof::ks_eval_points` unclamped.
+    pub fn absorption_cdf_batch(&self, start: usize, ts: &[f64]) -> Vec<f64> {
+        assert!(
+            ts.iter().all(|t| t.is_finite()),
+            "invalid CDF evaluation time"
+        );
+        let eps = 1e-12;
+        let lambda = self.uniformization_constant();
+        let t_max = ts.iter().cloned().fold(0.0_f64, f64::max);
+        let absorbing: Vec<usize> = (0..self.n).filter(|&s| self.is_absorbing(s)).collect();
+        if lambda == 0.0 || t_max <= 0.0 {
+            // No movement (or no positive query): F(t) is the initial
+            // absorbed mass for t ≥ 0, and 0 below.
+            let f0: f64 = if absorbing.contains(&start) { 1.0 } else { 0.0 };
+            return ts
+                .iter()
+                .map(|&t| if t >= 0.0 { f0 } else { 0.0 })
+                .collect();
+        }
+        let p = self.uniformized(lambda);
+        let lt_max = lambda * t_max;
+        let k_max = (lt_max + 10.0 * lt_max.sqrt() + 64.0) as usize;
+        let mut v = vec![0.0; self.n];
+        v[start] = 1.0;
+        let mut absorbed = Vec::with_capacity(k_max + 1);
+        absorbed.push(absorbing.iter().map(|&s| v[s]).sum::<f64>());
+        for _ in 0..k_max {
+            // The absorbed mass is non-decreasing; once it is within eps
+            // of 1 the remaining steps cannot change any mixture by more
+            // than eps, so stop propagating (keeps the pass bounded by
+            // the chain's mixing time, not by t_max).
+            if 1.0 - absorbed[absorbed.len() - 1] <= eps {
+                break;
+            }
+            v = p.vec_mul(&v);
+            absorbed.push(absorbing.iter().map(|&s| v[s]).sum::<f64>());
+        }
+        ts.iter()
+            .map(|&t| poisson_mixture(lambda * t, &absorbed, eps))
+            .collect()
+    }
+}
+
+/// `Σ_k Pois(k; lt) · seq[min(k, last)]` with adaptive truncation
+/// (weights accumulated in log space; total truncated mass ≤ eps). The
+/// clamp to the last entry is exact up to eps when the sequence has
+/// converged there (see the early cutoff in the batch CDF).
+pub(crate) fn poisson_mixture(lt: f64, seq: &[f64], eps: f64) -> f64 {
+    if lt <= 0.0 {
+        return if lt < 0.0 { 0.0 } else { seq[0] };
+    }
+    let ln_lt = lt.ln();
+    let mut ln_w = -lt;
+    let mut acc = 0.0;
+    let mut cum = 0.0;
+    let k_max = (lt + 10.0 * lt.sqrt() + 64.0) as u64;
+    for k in 0..=k_max {
+        let w = ln_w.exp();
+        if w > 0.0 {
+            acc += w * seq[(k as usize).min(seq.len() - 1)];
+            cum += w;
+        }
+        if cum >= 1.0 - eps {
+            break;
+        }
+        ln_w += ln_lt - ((k + 1) as f64).ln();
+    }
+    acc
 }
 
 /// `−Q_TT` of a materialised chain as a [`LinOp`] (the CSR is touched

@@ -236,9 +236,36 @@ impl AsyncParams {
             .interval_density(ts)
     }
 
+    /// [`AsyncParams::interval_density`] on a caller-chosen backend —
+    /// the distribution-level conformance gates force the matrix-free
+    /// operator through this to pit its uniformization against the
+    /// materialised chain's on identical models.
+    pub fn interval_density_with(&self, strategy: SolverStrategy, ts: &[f64]) -> Vec<f64> {
+        self.chain_solver(strategy).interval_density(ts)
+    }
+
     /// CDF of X at `t`.
     pub fn interval_cdf(&self, t: f64) -> f64 {
         self.chain_solver(self.solver_strategy()).interval_cdf(t)
+    }
+
+    /// [`AsyncParams::interval_cdf`] on a caller-chosen backend.
+    pub fn interval_cdf_with(&self, strategy: SolverStrategy, t: f64) -> f64 {
+        self.chain_solver(strategy).interval_cdf(t)
+    }
+
+    /// CDF of X at **many** times from a single uniformization pass —
+    /// the evaluation hook for goodness-of-fit gates (empirical CDF at
+    /// thousands of sample points vs this analytic one). Negative times
+    /// evaluate to 0.
+    pub fn interval_cdf_batch(&self, ts: &[f64]) -> Vec<f64> {
+        self.chain_solver(self.solver_strategy())
+            .interval_cdf_batch(ts)
+    }
+
+    /// [`AsyncParams::interval_cdf_batch`] on a caller-chosen backend.
+    pub fn interval_cdf_batch_with(&self, strategy: SolverStrategy, ts: &[f64]) -> Vec<f64> {
+        self.chain_solver(strategy).interval_cdf_batch(ts)
     }
 
     /// Second moment E\[X²\] of the inter-line interval.
@@ -267,11 +294,18 @@ impl AsyncParams {
     /// time-critical task must budget for under the asynchronous
     /// scheme.
     pub fn interval_quantile(&self, p: f64) -> f64 {
+        self.interval_quantile_with(self.solver_strategy(), p)
+    }
+
+    /// [`AsyncParams::interval_quantile`] on a caller-chosen backend —
+    /// lets the conformance tests pin matrix-free quantiles against the
+    /// dense reference.
+    pub fn interval_quantile_with(&self, strategy: SolverStrategy, p: f64) -> f64 {
         assert!(
             (0.0..1.0).contains(&p) && p > 0.0,
             "quantile level out of (0,1)"
         );
-        let solver = self.chain_solver(self.solver_strategy());
+        let solver = self.chain_solver(strategy);
         let cdf = |t: f64| solver.interval_cdf(t);
         // Bracket: double until F(hi) > p.
         let mut hi = 1.0 / self.total_mu();
@@ -337,6 +371,15 @@ impl ChainSolver {
         match self {
             ChainSolver::Materialized(chain, _) => chain.ctmc.absorption_cdf(FlagChain::START, t),
             ChainSolver::MatrixFree(op) => op.absorption_cdf(t),
+        }
+    }
+
+    fn interval_cdf_batch(&self, ts: &[f64]) -> Vec<f64> {
+        match self {
+            ChainSolver::Materialized(chain, _) => {
+                chain.ctmc.absorption_cdf_batch(FlagChain::START, ts)
+            }
+            ChainSolver::MatrixFree(op) => op.absorption_cdf_batch(ts),
         }
     }
 
@@ -1068,13 +1111,95 @@ mod tests {
     }
 
     #[test]
+    fn cdf_batch_matches_pointwise_on_every_backend() {
+        let p = AsyncParams::three((1.5, 1.0, 0.5), (1.0, 0.5, 1.5));
+        let ts = [-0.5, 0.0, 0.1, 0.7, 1.3, 2.9, 6.0];
+        for strategy in [
+            SolverStrategy::Dense,
+            SolverStrategy::GaussSeidel,
+            SolverStrategy::MatrixFree,
+        ] {
+            let batch = p.interval_cdf_batch_with(strategy, &ts);
+            for (&t, &f) in ts.iter().zip(&batch) {
+                let want = if t < 0.0 {
+                    0.0
+                } else {
+                    p.interval_cdf_with(strategy, t)
+                };
+                assert!(
+                    (f - want).abs() < 1e-10,
+                    "{strategy:?} F({t}): batch {f} vs pointwise {want}"
+                );
+            }
+            // Monotone in t over the non-negative points.
+            for w in batch[1..].windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+        // The two genuinely independent uniformization paths (CSR chain
+        // vs bit-rule operator) agree on the whole batch.
+        let mat = p.interval_cdf_batch_with(SolverStrategy::Dense, &ts);
+        let mf = p.interval_cdf_batch_with(SolverStrategy::MatrixFree, &ts);
+        for (a, b) in mat.iter().zip(&mf) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantile_edge_levels_bracket_the_support() {
+        // p → 0⁺: the quantile collapses toward 0 (the R4 spike gives X
+        // positive density at 0⁺); p → 1⁻: the bracket doubling must
+        // reach the far tail without tripping its guard, and the CDF
+        // must round-trip at both extremes.
+        let p = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
+        let q_lo = p.interval_quantile(1e-7);
+        assert!(q_lo > 0.0 && q_lo < 1e-5, "q(1e-7) = {q_lo}");
+        let q_hi = p.interval_quantile(1.0 - 1e-7);
+        assert!(q_hi > p.mean_interval(), "q(1−1e-7) = {q_hi}");
+        assert!(q_hi.is_finite());
+        assert!((p.interval_cdf(q_hi) - (1.0 - 1e-7)).abs() < 1e-9);
+        assert!((p.interval_cdf(q_lo) - 1e-7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_stalled_corner_scenario() {
+        // The conformance matrix's `corner/stalled-process` parameters:
+        // one near-stalled process gates the line, so the upper
+        // quantiles stretch far beyond the median.
+        let p = AsyncParams::new(vec![2.0, 2.0, 0.05], vec![0.3, 0.3, 0.3]).unwrap();
+        let q50 = p.interval_quantile(0.5);
+        let q99 = p.interval_quantile(0.99);
+        assert!(q50 < p.mean_interval());
+        assert!(q99 > 3.0 * q50, "stalled tail: q99 {q99} vs median {q50}");
+        assert!((p.interval_cdf(q99) - 0.99).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_backends_agree_to_solver_precision() {
+        let p = AsyncParams::three((1.5, 1.0, 0.5), (1.0, 1.0, 1.0));
+        for level in [0.05, 0.5, 0.9, 0.99] {
+            let dense = p.interval_quantile_with(SolverStrategy::Dense, level);
+            let mf = p.interval_quantile_with(SolverStrategy::MatrixFree, level);
+            assert!(
+                (dense - mf).abs() < 1e-9 * dense.max(1.0),
+                "q({level}): dense {dense} vs matrix-free {mf}"
+            );
+        }
+    }
+
+    #[test]
     fn exponential_case_quantiles_closed_form() {
-        // λ = 0 ⇒ X ~ Exp(Σμ): q_p = −ln(1−p)/Σμ.
+        // λ = 0 ⇒ X ~ Exp(Σμ): q_p = −ln(1−p)/Σμ — including the
+        // near-degenerate levels, where the relative agreement must
+        // survive the bracket-and-bisect search.
         let p = AsyncParams::new(vec![1.0, 2.0], vec![0.0]).unwrap();
-        for level in [0.25, 0.5, 0.9] {
+        for level in [1e-6, 0.25, 0.5, 0.9, 1.0 - 1e-6] {
             let want = -(1.0_f64 - level).ln() / 3.0;
             let got = p.interval_quantile(level);
-            assert!((got - want).abs() < 1e-6, "{got} vs {want}");
+            assert!(
+                (got - want).abs() < 1e-6 * want.max(1e-3),
+                "q({level}): {got} vs {want}"
+            );
         }
     }
 

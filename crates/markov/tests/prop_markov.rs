@@ -209,4 +209,94 @@ proptest! {
             "matrix-free E[X²] {mf} vs dense {dense}"
         );
     }
+
+    // ---- interval quantiles ------------------------------------------
+
+    #[test]
+    fn quantile_round_trips_through_the_cdf(
+        p in arb_params(3),
+        level in 0.01f64..0.99,
+    ) {
+        let q = p.interval_quantile(level);
+        prop_assert!(q > 0.0 && q.is_finite());
+        let f = p.interval_cdf(q);
+        prop_assert!((f - level).abs() < 1e-6, "F(q({level})) = {f}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_the_level(
+        p in arb_params(3),
+        lo in 0.05f64..0.45,
+        gap in 0.05f64..0.5,
+    ) {
+        let q_lo = p.interval_quantile(lo);
+        let q_hi = p.interval_quantile(lo + gap);
+        prop_assert!(q_lo <= q_hi + 1e-12, "q({lo}) = {q_lo} > q({}) = {q_hi}", lo + gap);
+    }
+
+    #[test]
+    fn matrix_free_quantiles_match_dense(
+        p in arb_params(4),
+        level in 0.02f64..0.98,
+    ) {
+        // The distribution-level analogue of the E[X] backend race: the
+        // bisection runs on two independently built CDFs (CSR
+        // uniformization vs bit-rule operator) and must land on the
+        // same quantile to solver precision.
+        let dense = p.interval_quantile_with(SolverStrategy::Dense, level);
+        let mf = p.interval_quantile_with(SolverStrategy::MatrixFree, level);
+        prop_assert!(
+            (dense - mf).abs() <= 1e-9 * dense.max(1.0),
+            "q({level}): dense {dense} vs matrix-free {mf}"
+        );
+    }
+
+    #[test]
+    fn batch_cdf_is_consistent_with_quantiles(
+        p in arb_params(3),
+        levels in prop::collection::vec(0.05f64..0.95, 1..5),
+    ) {
+        // interval_cdf_batch at the quantile points must recover the
+        // levels — ties the two new evaluation hooks to each other.
+        let qs: Vec<f64> = levels.iter().map(|&l| p.interval_quantile(l)).collect();
+        let fs = p.interval_cdf_batch(&qs);
+        for (l, f) in levels.iter().zip(&fs) {
+            prop_assert!((l - f).abs() < 1e-6, "batch F(q({l})) = {f}");
+        }
+    }
+}
+
+/// λ = 0 and stalled-process corners from the `rbtestutil` matrix
+/// (values replicated here — rbmarkov cannot depend on rbtestutil
+/// without a cycle): the quantile search must behave at both edges of
+/// the level range on the degenerate parameter sets, not just generic
+/// ones.
+#[test]
+fn quantile_edges_on_matrix_corner_scenarios() {
+    // corner/no-interaction: X ~ Exp(Σμ) exactly. The upper edge stops
+    // at 1 − 1e-6: beyond that the quantile amplifies the CDF's 1e-12
+    // uniformization truncation by 1/f(q) past the assertion band.
+    let free = AsyncParams::new(vec![1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0]).unwrap();
+    for level in [1e-8, 0.5, 1.0 - 1e-6] {
+        let want = -(1.0_f64 - level).ln() / 6.0;
+        let got = free.interval_quantile(level);
+        assert!(
+            (got - want).abs() < 1e-6 * want.max(1e-4),
+            "q({level}) = {got}, want {want}"
+        );
+    }
+    // corner/stalled-process: the μ₃ = 0.05 process stretches the tail;
+    // extreme levels must still bracket and round-trip, on both the
+    // materialised and the matrix-free backend.
+    let stalled = AsyncParams::new(vec![2.0, 2.0, 0.05], vec![0.3, 0.3, 0.3]).unwrap();
+    for level in [1e-6, 0.999] {
+        let dense = stalled.interval_quantile_with(SolverStrategy::Dense, level);
+        let mf = stalled.interval_quantile_with(SolverStrategy::MatrixFree, level);
+        assert!(dense.is_finite() && dense > 0.0);
+        assert!(
+            (dense - mf).abs() < 1e-9 * dense.max(1.0),
+            "q({level}): dense {dense} vs matrix-free {mf}"
+        );
+        assert!((stalled.interval_cdf(dense) - level).abs() < 1e-8);
+    }
 }

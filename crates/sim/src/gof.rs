@@ -1,0 +1,515 @@
+//! Goodness-of-fit statistics: Kolmogorov–Smirnov and Pearson χ².
+//!
+//! The conformance matrix (`rbtestutil`) cross-checks *distributions*,
+//! not just moments: the simulated recovery-line interval sample against
+//! the analytic CDF from the Markov solvers (paper Figure 6), forced
+//! through each solver backend. This module provides the statistics and
+//! the critical values those gates compare against.
+//!
+//! * [`ks_statistic`] — the two-sided Kolmogorov–Smirnov statistic
+//!   `D = sup_x |F_n(x) − F(x)|` of a sample against a reference CDF
+//!   closure. The supremum is evaluated exactly, including the left
+//!   limits at sample points, so a sample tested against **its own
+//!   empirical CDF scores exactly 0** (step-CDF references are handled
+//!   correctly, not just continuous ones).
+//! * [`ks_eval_points`] / [`ks_statistic_at`] — the split form for
+//!   callers whose reference CDF is expensive per point and supports
+//!   batched evaluation (the uniformization solves in `rbmarkov`).
+//! * [`chi_square_statistic`] and friends — Pearson's χ² over binned
+//!   expected masses, with low-expectation pooling and an explicit
+//!   treatment of a histogram's out-of-range mass (underflow and
+//!   overflow become cells of their own, so a truncated support can
+//!   never silently pass).
+//! * [`ks_critical`] / [`chi_square_critical`] / [`normal_quantile`] —
+//!   critical values at CI-appropriate significance levels.
+
+use crate::stats::Histogram;
+
+/// Result of one goodness-of-fit test: the statistic, the critical
+/// value it was compared against, the degrees of freedom (0 for KS),
+/// and the verdict.
+#[derive(Clone, Copy, Debug)]
+pub struct GofTest {
+    /// The computed statistic (KS `D` or Pearson χ²).
+    pub statistic: f64,
+    /// The rejection threshold at the requested significance level.
+    pub critical: f64,
+    /// Degrees of freedom (χ² only; 0 for KS).
+    pub dof: u64,
+    /// `statistic <= critical`.
+    pub pass: bool,
+}
+
+/// An empirical CDF: `eval(x)` is the fraction of samples ≤ x
+/// (right-continuous, the standard convention).
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `samples` (cloned and sorted).
+    ///
+    /// # Panics
+    /// Panics on an empty or non-finite sample.
+    pub fn new(samples: &[f64]) -> Ecdf {
+        assert!(!samples.is_empty(), "ECDF of an empty sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "ECDF of a non-finite sample"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Ecdf { sorted }
+    }
+
+    /// F_n(x) — the fraction of samples ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let le = self.sorted.partition_point(|&s| s <= x);
+        le as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted sample the ECDF was built from.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// The CDF evaluation points [`ks_statistic_at`] needs for a **sorted**
+/// sample: for each distinct value `v`, the pair `(v⁻, v)` where `v⁻`
+/// is the largest float below `v` (left limit for step references).
+pub fn ks_eval_points(sorted: &[f64]) -> Vec<f64> {
+    let mut pts = Vec::with_capacity(2 * sorted.len());
+    let mut prev = f64::NAN; // never equal to a finite sample
+    for &x in sorted {
+        if x != prev {
+            pts.push(x.next_down());
+            pts.push(x);
+            prev = x;
+        }
+    }
+    pts
+}
+
+/// The KS statistic for a sorted sample, given the reference CDF
+/// pre-evaluated at [`ks_eval_points`]`(sorted)`:
+/// `D = max_v max(|F(v) − F_n(v)|, |F(v⁻) − F_n(v⁻)|)` over the
+/// distinct sample values — exactly `sup_x |F_n(x) − F(x)|` for any
+/// non-decreasing F (the sup of a difference of monotone steps is
+/// attained at a jump point of one of them).
+///
+/// # Panics
+/// Panics on an empty sample or a point/sample length mismatch.
+pub fn ks_statistic_at(sorted: &[f64], cdf_at_points: &[f64]) -> f64 {
+    let n = sorted.len();
+    assert!(n > 0, "KS statistic of an empty sample");
+    // Validate the contract up front, so a mismatched slice (CDF
+    // evaluated at the samples themselves, or a mis-sliced batch
+    // result) fails with this diagnostic instead of an index panic
+    // mid-loop.
+    let distinct = {
+        let mut c = 0usize;
+        let mut prev = f64::NAN;
+        for &x in sorted {
+            if x != prev {
+                c += 1;
+                prev = x;
+            }
+        }
+        c
+    };
+    assert_eq!(
+        cdf_at_points.len(),
+        2 * distinct,
+        "cdf_at_points must be the reference CDF evaluated at \
+         ks_eval_points(sorted) — one (v⁻, v) pair per distinct value"
+    );
+    let nf = n as f64;
+    let mut d = 0.0_f64;
+    let mut i = 0; // first index of the current tie run
+    let mut p = 0; // pair index into cdf_at_points
+    while i < n {
+        let v = sorted[i];
+        let mut j = i;
+        while j < n && sorted[j] == v {
+            j += 1;
+        }
+        let f_below = cdf_at_points[2 * p]; // F(v⁻)
+        let f_at = cdf_at_points[2 * p + 1]; // F(v)
+        d = d.max((f_below - i as f64 / nf).abs());
+        d = d.max((f_at - j as f64 / nf).abs());
+        i = j;
+        p += 1;
+    }
+    debug_assert_eq!(2 * p, cdf_at_points.len());
+    d
+}
+
+/// The two-sided KS statistic of `samples` against the CDF closure
+/// `cdf`. Invariant under sample permutation (the sample is sorted
+/// internally); exactly 0 when `cdf` is the sample's own ECDF.
+///
+/// ```
+/// use rbsim::gof::ks_statistic;
+///
+/// // Exact uniform spacing on [0,1): D = 1/(2n) against U(0,1).
+/// let xs: Vec<f64> = (0..10).map(|i| (i as f64 + 0.5) / 10.0).collect();
+/// let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+/// assert!((d - 0.05).abs() < 1e-12);
+/// ```
+pub fn ks_statistic(samples: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pts = ks_eval_points(&sorted);
+    let vals: Vec<f64> = pts.iter().map(|&t| cdf(t)).collect();
+    ks_statistic_at(&sorted, &vals)
+}
+
+/// The asymptotic two-sided KS critical value at significance `alpha`:
+/// `D_crit = sqrt(ln(2/α) / (2n))` (Smirnov). Accurate for n ≳ 35;
+/// the conformance gates run thousands of samples.
+///
+/// # Panics
+/// Panics unless `n > 0` and `0 < alpha < 1`.
+pub fn ks_critical(n: u64, alpha: f64) -> f64 {
+    assert!(n > 0, "KS critical value needs a sample");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "bad alpha");
+    ((2.0 / alpha).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// Runs the full KS test: statistic vs the critical value at `alpha`.
+pub fn ks_test(samples: &[f64], cdf: impl Fn(f64) -> f64, alpha: f64) -> GofTest {
+    let statistic = ks_statistic(samples, cdf);
+    let critical = ks_critical(samples.len() as u64, alpha);
+    GofTest {
+        statistic,
+        critical,
+        dof: 0,
+        pass: statistic <= critical,
+    }
+}
+
+/// Pearson's χ² statistic `Σ (Oᵢ − Eᵢ)² / Eᵢ` over matched
+/// observed/expected cells.
+///
+/// # Panics
+/// Panics on a length mismatch or a non-positive expected count —
+/// pool cells first ([`pool_low_expected`]).
+pub fn chi_square_statistic(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected count {e} must be positive");
+            let d = o - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Merges adjacent cells (left to right) until every pooled cell's
+/// expected count reaches `min_expected` (the classical "expected ≥ 5"
+/// rule); a trailing short cell is merged back into its predecessor.
+/// Returns the pooled `(observed, expected)` pair.
+pub fn pool_low_expected(
+    observed: &[f64],
+    expected: &[f64],
+    min_expected: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(observed.len(), expected.len(), "cell count mismatch");
+    let mut po: Vec<f64> = Vec::new();
+    let mut pe: Vec<f64> = Vec::new();
+    let (mut acc_o, mut acc_e) = (0.0_f64, 0.0_f64);
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= min_expected {
+            po.push(acc_o);
+            pe.push(acc_e);
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let (Some(lo), Some(le)) = (po.last_mut(), pe.last_mut()) {
+            *lo += acc_o;
+            *le += acc_e;
+        } else {
+            po.push(acc_o);
+            pe.push(acc_e);
+        }
+    }
+    (po, pe)
+}
+
+/// Observed counts and expected probability masses for a χ² test of a
+/// [`Histogram`] against a reference CDF evaluated at the histogram's
+/// bin edges (`nbins + 1` values, `lo` to `hi`).
+///
+/// Out-of-range mass is **explicit**: the first cell is the underflow
+/// counter vs `F(lo)`, the last the overflow counter vs `1 − F(hi)`.
+/// A histogram whose support truncates real mass therefore shows up as
+/// a mismatch in those cells rather than silently renormalizing away.
+///
+/// # Panics
+/// Panics if the edge values do not number `nbins + 1`.
+pub fn binned_masses(h: &Histogram, cdf_at_edges: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let nbins = h.counts().len();
+    assert_eq!(
+        cdf_at_edges.len(),
+        nbins + 1,
+        "need one CDF value per bin edge"
+    );
+    let mut observed = Vec::with_capacity(nbins + 2);
+    let mut mass = Vec::with_capacity(nbins + 2);
+    observed.push(h.underflow() as f64);
+    mass.push(cdf_at_edges[0].max(0.0));
+    for (k, &c) in h.counts().iter().enumerate() {
+        observed.push(c as f64);
+        mass.push((cdf_at_edges[k + 1] - cdf_at_edges[k]).max(0.0));
+    }
+    observed.push(h.overflow() as f64);
+    mass.push((1.0 - cdf_at_edges[nbins]).max(0.0));
+    (observed, mass)
+}
+
+/// Runs the full χ² test of a histogram against a reference CDF
+/// pre-evaluated at the bin edges: cells from [`binned_masses`]
+/// (including the out-of-range cells), pooled to `min_expected`, with
+/// `dof = cells − 1` (no fitted parameters).
+///
+/// # Panics
+/// Panics if pooling leaves fewer than two cells — the histogram is too
+/// coarse (or too empty) for a χ² verdict, which should be a test-setup
+/// error rather than a silent pass.
+pub fn chi_square_hist_test(
+    h: &Histogram,
+    cdf_at_edges: &[f64],
+    alpha: f64,
+    min_expected: f64,
+) -> GofTest {
+    let (observed, mass) = binned_masses(h, cdf_at_edges);
+    let n = h.count() as f64;
+    let expected: Vec<f64> = mass.iter().map(|&m| m * n).collect();
+    let (po, pe) = pool_low_expected(&observed, &expected, min_expected);
+    assert!(
+        po.len() >= 2,
+        "χ² needs ≥ 2 pooled cells (got {} from {} raw)",
+        po.len(),
+        observed.len()
+    );
+    let statistic = chi_square_statistic(&po, &pe);
+    let dof = (po.len() - 1) as u64;
+    let critical = chi_square_critical(dof, alpha);
+    GofTest {
+        statistic,
+        critical,
+        dof,
+        pass: statistic <= critical,
+    }
+}
+
+/// Upper-tail χ² critical value at significance `alpha` by the
+/// Wilson–Hilferty cube approximation
+/// `χ²_α ≈ k·(1 − 2/(9k) + z_{1−α}·sqrt(2/(9k)))³` — within ~1 % for
+/// k ≥ 3, conservative enough at the extreme α the gates use.
+///
+/// # Panics
+/// Panics unless `dof ≥ 1` and `0 < alpha < 1`.
+pub fn chi_square_critical(dof: u64, alpha: f64) -> f64 {
+    assert!(dof >= 1, "χ² needs ≥ 1 degree of freedom");
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "bad alpha");
+    let k = dof as f64;
+    let z = normal_quantile(1.0 - alpha);
+    let c = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    (k * c * c * c).max(0.0)
+}
+
+/// The standard normal quantile Φ⁻¹(p) by Acklam's rational
+/// approximation (absolute error < 1.2e-8 over (0, 1)).
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile level {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.38357751867269e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_uniforms(n: usize, mut seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (seed >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ks_is_zero_against_own_ecdf_including_ties() {
+        let mut xs = lcg_uniforms(200, 42);
+        xs.extend_from_slice(&[0.5, 0.5, 0.5]); // forced ties
+        let ecdf = Ecdf::new(&xs);
+        let d = ks_statistic(&xs, |x| ecdf.eval(x));
+        assert_eq!(d, 0.0, "own-ECDF KS must be exactly 0, got {d}");
+    }
+
+    #[test]
+    fn ks_matches_classical_formula_for_continuous_cdf() {
+        // Against the true U(0,1) CDF the statistic must equal the
+        // classical max(i/n − F(x_i), F(x_i) − (i−1)/n) evaluation.
+        let xs = lcg_uniforms(500, 7);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len() as f64;
+        let classical = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| {
+                let f = x.clamp(0.0, 1.0);
+                ((i as f64 + 1.0) / n - f).max(f - i as f64 / n)
+            })
+            .fold(0.0_f64, f64::max);
+        let d = ks_statistic(&xs, |x| x.clamp(0.0, 1.0));
+        assert!((d - classical).abs() < 1e-12, "{d} vs {classical}");
+        // And a genuine uniform sample should sit well under a loose
+        // critical value.
+        assert!(d < ks_critical(500, 1e-6));
+    }
+
+    #[test]
+    fn ks_critical_shrinks_with_n_and_grows_with_confidence() {
+        assert!(ks_critical(100, 0.01) > ks_critical(1000, 0.01));
+        assert!(ks_critical(100, 1e-6) > ks_critical(100, 0.01));
+        // Classical table value: c(0.05) ≈ 1.358/√n.
+        assert!((ks_critical(10_000, 0.05) - 1.358 / 100.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_hand_computed_three_bins() {
+        // O = (10, 20, 30), E = (15, 20, 25):
+        // χ² = 25/15 + 0 + 25/25 = 8/3.
+        let stat = chi_square_statistic(&[10.0, 20.0, 30.0], &[15.0, 20.0, 25.0]);
+        assert!((stat - 8.0 / 3.0).abs() < 1e-12, "{stat}");
+    }
+
+    #[test]
+    fn pooling_merges_until_min_expected() {
+        let obs = [1.0, 2.0, 3.0, 4.0, 0.0];
+        let exp = [2.0, 2.0, 6.0, 4.0, 1.0];
+        let (po, pe) = pool_low_expected(&obs, &exp, 5.0);
+        // (2+2) < 5 pools with 6 → 10; 4 < 5 pools with the trailing 1
+        // → 5; leaving two cells.
+        assert_eq!(pe, vec![10.0, 5.0]);
+        assert_eq!(po, vec![6.0, 4.0]);
+        assert_eq!(po.iter().sum::<f64>(), obs.iter().sum::<f64>());
+        assert_eq!(pe.iter().sum::<f64>(), exp.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn binned_masses_make_out_of_range_cells_explicit() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for &x in &[-0.5, 0.1, 0.3, 0.6, 0.9, 1.5, 2.0] {
+            h.push(x);
+        }
+        // Reference: U(0,1) — all mass in range, so the out-of-range
+        // observations must land in cells with (near-)zero expectation.
+        let edges = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let (obs, mass) = binned_masses(&h, &edges);
+        assert_eq!(obs.len(), 6);
+        assert_eq!(obs[0], 1.0, "underflow cell");
+        assert_eq!(obs[5], 2.0, "overflow cell");
+        assert_eq!(mass[0], 0.0);
+        assert_eq!(mass[5], 0.0);
+        assert!((mass.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_hist_test_passes_uniform_and_rejects_shifted() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for x in lcg_uniforms(5_000, 99) {
+            h.push(x);
+        }
+        let edges: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+        let uniform: Vec<f64> = edges.clone();
+        let good = chi_square_hist_test(&h, &uniform, 1e-6, 5.0);
+        assert!(good.pass, "χ² = {} > {}", good.statistic, good.critical);
+        // Shifted reference: expected mass concentrated low.
+        let shifted: Vec<f64> = edges.iter().map(|&e| e.sqrt()).collect();
+        let bad = chi_square_hist_test(&h, &shifted, 1e-6, 5.0);
+        assert!(!bad.pass, "χ² = {} ≤ {}", bad.statistic, bad.critical);
+    }
+
+    #[test]
+    fn normal_quantile_round_trips_known_values() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(0.025) + 1.959964).abs() < 1e-4);
+        assert!((normal_quantile(1.0 - 1e-6) - 4.7534).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_critical_tracks_tables() {
+        // χ²_{0.05}(10) ≈ 18.307; χ²_{0.01}(5) ≈ 15.086.
+        assert!((chi_square_critical(10, 0.05) - 18.307).abs() < 0.15);
+        assert!((chi_square_critical(5, 0.01) - 15.086).abs() < 0.2);
+        assert!(chi_square_critical(5, 1e-6) > chi_square_critical(5, 1e-2));
+    }
+
+    #[test]
+    fn ks_test_wraps_statistic_and_critical() {
+        let xs = lcg_uniforms(1_000, 3);
+        let t = ks_test(&xs, |x| x.clamp(0.0, 1.0), 1e-4);
+        assert!(t.pass);
+        assert_eq!(t.dof, 0);
+        let bad = ks_test(&xs, |x| (x - 0.2).clamp(0.0, 1.0), 1e-4);
+        assert!(!bad.pass);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`stats`] — online statistics (Welford mean/variance, histograms,
 //!   time-weighted averages, confidence intervals) for estimating
 //!   E\[X\], E\[Lᵢ\], CL, utilization, …;
+//! * [`gof`] — goodness-of-fit statistics (Kolmogorov–Smirnov, Pearson
+//!   χ²) with critical values, for the distribution-level conformance
+//!   gates comparing simulated histograms against analytic CDFs;
 //! * [`Executor`] — a minimal event-loop driver for simulations written
 //!   as state machines implementing [`Simulation`];
 //! * [`par`] — deterministic parallel dispatch for scenario sweeps
@@ -51,6 +54,7 @@
 #![forbid(unsafe_code)]
 
 mod executor;
+pub mod gof;
 pub mod par;
 mod queue;
 mod rng;

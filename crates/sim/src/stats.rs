@@ -182,9 +182,37 @@ impl Histogram {
         self.overflow
     }
 
+    /// Observations outside `[lo, hi)` — underflow plus overflow. The
+    /// [`Histogram::cdf`] and [`Histogram::density`] normalizations
+    /// divide by the **total** count, so this mass is accounted for but
+    /// not located: consumers comparing against an analytic CDF over a
+    /// truncated support must handle it explicitly
+    /// (`rbsim::gof::binned_masses` turns it into χ² cells of its own).
+    pub fn out_of_range(&self) -> u64 {
+        self.underflow + self.overflow
+    }
+
     /// Bin width.
     pub fn bin_width(&self) -> f64 {
         (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Lower support bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper support bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// The `nbins + 1` bin edges, `lo` to `hi` inclusive.
+    pub fn bin_edges(&self) -> Vec<f64> {
+        let w = self.bin_width();
+        (0..=self.bins.len())
+            .map(|k| self.lo + k as f64 * w)
+            .collect()
     }
 
     /// The center of bin `k`.
@@ -204,7 +232,11 @@ impl Histogram {
         self.bins.iter().map(|&c| c as f64 / norm).collect()
     }
 
-    /// Empirical CDF evaluated at bin upper edges (in-range mass only).
+    /// Empirical CDF evaluated at the bin **upper** edges, normalized by
+    /// the total observation count: the first value includes the
+    /// underflow mass, and the last equals `1 − overflow/count` — any
+    /// overflow mass sits "beyond `hi`" and is deliberately *not*
+    /// renormalized away (see [`Histogram::out_of_range`]).
     pub fn cdf(&self) -> Vec<f64> {
         let n = self.count.max(1) as f64;
         let mut acc = self.underflow as f64;
@@ -215,6 +247,35 @@ impl Histogram {
                 acc / n
             })
             .collect()
+    }
+
+    /// The empirical p-quantile by linear interpolation within bins,
+    /// over the **total**-count normalization (out-of-range mass
+    /// included): a rank falling into the underflow mass clamps to
+    /// `lo`, one falling into the overflow mass clamps to `hi`. The
+    /// clamping is the honest answer a fixed-support histogram can give
+    /// — callers needing exact tail quantiles must widen the support.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p < 1` and the histogram is non-empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p) && p > 0.0, "quantile level {p}");
+        assert!(self.count > 0, "quantile of an empty histogram");
+        let rank = p * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if rank <= acc {
+            return self.lo;
+        }
+        let w = self.bin_width();
+        for (k, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if rank <= next && c > 0 {
+                let frac = (rank - acc) / c as f64;
+                return self.lo + (k as f64 + frac) * w;
+            }
+            acc = next;
+        }
+        self.hi
     }
 }
 
@@ -416,6 +477,34 @@ mod tests {
             assert!(w[0] <= w[1] + 1e-12);
         }
         assert!(*cdf.last().unwrap() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..1000 {
+            h.push(i as f64 / 100.0); // uniform on [0, 10)
+        }
+        for p in [0.1, 0.25, 0.5, 0.9] {
+            let q = h.quantile(p);
+            assert!((q - 10.0 * p).abs() < 0.05, "q({p}) = {q}");
+        }
+        // Out-of-range mass clamps to the support boundaries.
+        let mut t = Histogram::new(0.0, 1.0, 4);
+        for &x in &[-1.0, -1.0, 0.5, 2.0, 2.0, 2.0] {
+            t.push(x);
+        }
+        assert_eq!(t.quantile(0.2), 0.0, "rank inside underflow → lo");
+        assert_eq!(t.quantile(0.9), 1.0, "rank inside overflow → hi");
+        assert_eq!(t.out_of_range(), 5);
+    }
+
+    #[test]
+    fn histogram_edges_and_bounds() {
+        let h = Histogram::new(1.0, 3.0, 4);
+        assert_eq!(h.bin_edges(), vec![1.0, 1.5, 2.0, 2.5, 3.0]);
+        assert_eq!(h.lo(), 1.0);
+        assert_eq!(h.hi(), 3.0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property tests for the goodness-of-fit layer itself — the statistics
+//! must be trustworthy before the conformance matrix can lean on them.
+//!
+//! The three core properties: the KS statistic of a sample against its
+//! **own** empirical CDF is exactly 0 (left limits handled, ties
+//! included); the statistic is invariant under sample permutation; and
+//! the gate actually *rejects* a deliberately shifted exponential. The
+//! χ² path is pinned against a hand-computed 3-bin case.
+
+use proptest::prelude::*;
+use rbsim::gof::{
+    chi_square_hist_test, chi_square_statistic, ks_critical, ks_statistic, ks_test, Ecdf,
+};
+use rbsim::stats::Histogram;
+
+/// Deterministic shuffle: reverses, then interleaves front/back halves
+/// — enough to destroy any ordering without needing an RNG.
+fn scramble(xs: &[f64]) -> Vec<f64> {
+    let rev: Vec<f64> = xs.iter().rev().copied().collect();
+    let mid = rev.len() / 2;
+    let (a, b) = rev.split_at(mid);
+    let mut out = Vec::with_capacity(xs.len());
+    for i in 0..b.len() {
+        out.push(b[i]);
+        if i < a.len() {
+            out.push(a[i]);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ks_vs_own_ecdf_is_exactly_zero(
+        mut xs in prop::collection::vec(-50.0f64..50.0, 1..120),
+        dup in 0usize..4,
+    ) {
+        // Force ties: duplicate a prefix of the sample `dup` times.
+        for _ in 0..dup {
+            let x0 = xs[0];
+            xs.push(x0);
+        }
+        let ecdf = Ecdf::new(&xs);
+        let d = ks_statistic(&xs, |x| ecdf.eval(x));
+        prop_assert_eq!(d, 0.0, "own-ECDF KS must be exactly 0");
+    }
+
+    #[test]
+    fn ks_is_invariant_under_permutation(
+        xs in prop::collection::vec(0.001f64..30.0, 2..200),
+        rate in 0.2f64..3.0,
+    ) {
+        let cdf = move |t: f64| if t <= 0.0 { 0.0 } else { 1.0 - (-rate * t).exp() };
+        let d1 = ks_statistic(&xs, cdf);
+        let d2 = ks_statistic(&scramble(&xs), cdf);
+        prop_assert_eq!(d1.to_bits(), d2.to_bits(), "{} vs {}", d1, d2);
+    }
+
+    #[test]
+    fn ks_rejects_a_shifted_exponential(
+        us in prop::collection::vec(1e-9f64..1.0, 2000..2001),
+        rate in 0.5f64..2.0,
+    ) {
+        // Exact inverse-CDF sampling: xs ~ Exp(rate) by construction,
+        // so against the true CDF the gate passes…
+        let xs: Vec<f64> = us.iter().map(|&u| -(1.0 - u).ln() / rate).collect();
+        let honest = ks_test(&xs, |t: f64| if t <= 0.0 { 0.0 } else { 1.0 - (-rate * t).exp() }, 1e-4);
+        prop_assert!(
+            honest.pass,
+            "true-CDF gate failed: D = {} > {}", honest.statistic, honest.critical
+        );
+        // …and against the intentionally shifted rate (1.5×) it must
+        // fail: sup|F_r − F_{1.5r}| ≈ 0.148 for every r, far above the
+        // n = 2000 critical value ≈ 0.05.
+        let shifted_rate = 1.5 * rate;
+        let shifted = ks_test(
+            &xs,
+            |t: f64| if t <= 0.0 { 0.0 } else { 1.0 - (-shifted_rate * t).exp() },
+            1e-4,
+        );
+        prop_assert!(
+            !shifted.pass,
+            "shifted-CDF gate passed: D = {} ≤ {}", shifted.statistic, shifted.critical
+        );
+    }
+
+    #[test]
+    fn ks_bounds_and_critical_value_sanity(
+        xs in prop::collection::vec(0.0f64..1.0, 1..300),
+    ) {
+        // D ∈ [0, 1] for any sample and any CDF.
+        let d = ks_statistic(&xs, |x: f64| x.clamp(0.0, 1.0));
+        prop_assert!((0.0..=1.0).contains(&d));
+        // The critical value shrinks like 1/√n.
+        let n = xs.len() as u64;
+        prop_assert!(ks_critical(n, 1e-6) >= ks_critical(4 * n, 1e-6) * 1.9);
+    }
+
+    #[test]
+    fn chi_square_statistic_is_zero_iff_observed_equals_expected(
+        expected in prop::collection::vec(1.0f64..100.0, 2..20),
+    ) {
+        let observed: Vec<f64> = expected.clone();
+        prop_assert_eq!(chi_square_statistic(&observed, &expected), 0.0);
+        // Any perturbation strictly increases it.
+        let mut bumped = observed;
+        bumped[0] += 1.0;
+        prop_assert!(chi_square_statistic(&bumped, &expected) > 0.0);
+    }
+}
+
+#[test]
+fn chi_square_agrees_with_hand_computed_three_bin_case() {
+    // 100 observations over [0, 3) in three bins: O = (16, 34, 50).
+    let mut h = Histogram::new(0.0, 3.0, 3);
+    for _ in 0..16 {
+        h.push(0.5);
+    }
+    for _ in 0..34 {
+        h.push(1.5);
+    }
+    for _ in 0..50 {
+        h.push(2.5);
+    }
+    // Reference masses (0.2, 0.3, 0.5) → E = (20, 30, 50):
+    // χ² = (16−20)²/20 + (34−30)²/30 + 0 = 0.8 + 8/15 = 4/3.
+    let edges = [0.0, 0.2, 0.5, 1.0];
+    let t = chi_square_hist_test(&h, &edges, 0.01, 5.0);
+    assert!(
+        (t.statistic - 4.0 / 3.0).abs() < 1e-12,
+        "χ² = {} ≠ 4/3",
+        t.statistic
+    );
+    // The empty out-of-range cells pool away: dof = 3 − 1.
+    assert_eq!(t.dof, 2);
+    assert!(t.pass, "4/3 is far below χ²_{{0.01}}(2) ≈ 9.21");
+    // Raw-statistic twin of the same numbers.
+    let raw = chi_square_statistic(&[16.0, 34.0, 50.0], &[20.0, 30.0, 50.0]);
+    assert!((raw - t.statistic).abs() < 1e-12);
+}
+
+#[test]
+fn ks_handles_single_sample_and_extreme_alpha() {
+    let d = ks_statistic(&[0.5], |x: f64| x.clamp(0.0, 1.0));
+    assert!((d - 0.5).abs() < 1e-12, "one sample at the median: D = 1/2");
+    assert!(
+        ks_critical(1, 1e-9) > 1.0,
+        "tiny n + tiny α: gate is vacuous, visibly so"
+    );
+}

@@ -15,18 +15,33 @@
 //! absolute floor for near-zero quantities); analytic-vs-analytic
 //! checks use fixed numerical tolerances matched to the solver
 //! precision (LU/fundamental-matrix ~1e-7 relative, quadrature ~1e-5).
+//!
+//! **Distribution-level checks** go beyond the scalar moments: every
+//! scenario's simulated interval *sample* is gated against the analytic
+//! CDF with a Kolmogorov–Smirnov statistic (through the auto backend
+//! and the forced matrix-free operator — two independent uniformization
+//! constructions) and a Pearson χ² over binned expected masses with the
+//! histogram's out-of-range mass as explicit cells; the synchronized
+//! scheme's establishment span is gated against its order-statistics
+//! closed form the same way. Critical values sit at
+//! [`SchemeConformance::gof_alpha`], and each scenario also reports its
+//! interval histogram as a first-class [`Metric::Distribution`]
+//! ([`ConformanceReport::distributions`]).
 
 use crate::scenarios::Scenario;
 use rbanalysis::order_stats::max_exp_mean;
 use rbanalysis::prp_overhead::prp_overhead;
 use rbanalysis::sync_loss::{mean_idle, mean_loss, mean_loss_quadrature};
 use rbcore::fault::FaultConfig;
-use rbcore::metrics::Metric;
+use rbcore::metrics::{DistSummary, Metric};
 use rbcore::schemes::asynchronous::{AsyncConfig, AsyncScheme};
 use rbcore::schemes::prp::{PrpConfig, PrpScheme};
 use rbcore::schemes::synchronized::simulate_commit_losses;
-use rbmarkov::paper::{mean_interval_symmetric, SplitChain};
+use rbcore::workload::GOF_ALPHA;
+use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SplitChain};
 use rbmarkov::solver::SolverStrategy;
+use rbsim::gof;
+use rbsim::stats::Histogram;
 
 /// One pairwise agreement check between two computation paths.
 #[derive(Clone, Debug)]
@@ -75,6 +90,10 @@ pub struct ConformanceReport {
     pub scenario: String,
     /// The individual pairwise checks.
     pub checks: Vec<Check>,
+    /// First-class distribution metrics measured along the way (the
+    /// simulated interval histogram, with quantiles) — carried into the
+    /// sweep artifacts by [`ConformanceWorkload`].
+    pub distributions: Vec<Metric>,
 }
 
 impl ConformanceReport {
@@ -127,6 +146,14 @@ pub struct SchemeConformance {
     /// probability ≈ 1.6e-6 — across a ~300-check matrix, ≈ 5e-4 per
     /// full run.
     pub z: f64,
+    /// Significance level of the KS/χ² distribution gates. The KS
+    /// critical value is `sqrt(ln(2/α)/(2n))`, so the band widens
+    /// automatically with smaller samples, like the z·std_err scalar
+    /// tolerances do.
+    pub gof_alpha: f64,
+    /// Bins of the χ² histogram (its support is the empirical 98 %
+    /// range of each run, the tail mass becoming an explicit cell).
+    pub gof_bins: usize,
 }
 
 impl Default for SchemeConformance {
@@ -137,6 +164,8 @@ impl Default for SchemeConformance {
             prp_horizon: 400.0,
             episodes: 120,
             z: 4.8,
+            gof_alpha: GOF_ALPHA,
+            gof_bins: 24,
         }
     }
 }
@@ -150,6 +179,8 @@ impl SchemeConformance {
             prp_horizon: 150.0,
             episodes: 40,
             z: 4.8,
+            gof_alpha: GOF_ALPHA,
+            gof_bins: 16,
         }
     }
 
@@ -217,7 +248,7 @@ impl SchemeConformance {
 
         // Path E: event simulation, compared at z·std_err.
         let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), sc.seed)
-            .run_intervals(self.intervals);
+            .run_intervals_samples(self.intervals);
         let se = stats.interval.std_err();
         checks.push(Check::within(
             "async/EX/sim-vs-ctmc",
@@ -246,10 +277,193 @@ impl SchemeConformance {
             ));
         }
 
+        // Distribution-level gates: the whole simulated interval sample
+        // against the analytic law, not just its first moment. Two CDF
+        // constructions are gated — the auto backend (materialised CSR
+        // uniformization at these sizes) and the forced matrix-free
+        // bit-rule operator — plus the Exp(Σμ) closed form where the
+        // chain degenerates to the first-RP race.
+        let samples = stats.samples.as_ref().expect("samples were requested");
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let x_hist = self.interval_distribution_gates(
+            &sorted,
+            stats.interval.mean(),
+            "ctmc",
+            |ts| params.interval_cdf_batch(ts),
+            &mut checks,
+        );
+        // The forced matrix-free operator is an independent CDF
+        // construction; KS alone is enough there (χ² already gated the
+        // binned shape against the auto backend above).
+        let pts = gof::ks_eval_points(&sorted);
+        let ks_crit = gof::ks_critical(sorted.len() as u64, self.gof_alpha);
+        let f_mf = params.interval_cdf_batch_with(SolverStrategy::MatrixFree, &pts);
+        checks.push(Check::at_most(
+            "async/Xdist/ks-sim-vs-matrix-free",
+            gof::ks_statistic_at(&sorted, &f_mf),
+            ks_crit,
+            0.0,
+        ));
+        if total_lambda == 0.0 {
+            let rate = params.total_mu();
+            let f_exp: Vec<f64> = pts
+                .iter()
+                .map(|&t| {
+                    if t <= 0.0 {
+                        0.0
+                    } else {
+                        1.0 - (-rate * t).exp()
+                    }
+                })
+                .collect();
+            checks.push(Check::at_most(
+                "async/Xdist/ks-sim-vs-exp-closed-form",
+                gof::ks_statistic_at(&sorted, &f_exp),
+                ks_crit,
+                0.0,
+            ));
+        }
+        let distributions = vec![x_hist];
+
         ConformanceReport {
             scenario: sc.id.clone(),
             checks,
+            distributions,
         }
+    }
+
+    /// The χ² histogram for a sorted interval sample: support from 0 to
+    /// the empirical 98 % point (a pure function of the sample, so the
+    /// sweep purity contract holds), the remaining 2 % becoming the
+    /// explicit overflow cell.
+    fn interval_histogram(&self, sorted: &[f64]) -> Histogram {
+        let hi = sorted[(0.98 * sorted.len() as f64) as usize].max(1e-9);
+        let mut hist = Histogram::new(0.0, hi, self.gof_bins);
+        for &x in sorted {
+            hist.push(x);
+        }
+        hist
+    }
+
+    /// The shared distribution-gate recipe: build the χ² histogram,
+    /// evaluate `cdf_batch` **once** over the concatenated KS sample
+    /// points and bin edges (one jump-chain propagation — the expensive
+    /// part at large n), and push the
+    /// `async/Xdist/{ks,chi2}-sim-vs-{label}` checks. Returns the
+    /// `async/X_hist` distribution metric. `sorted` must be ascending.
+    fn interval_distribution_gates(
+        &self,
+        sorted: &[f64],
+        mean: f64,
+        label: &str,
+        cdf_batch: impl Fn(&[f64]) -> Vec<f64>,
+        checks: &mut Vec<Check>,
+    ) -> Metric {
+        let hist = self.interval_histogram(sorted);
+        let mut pts = gof::ks_eval_points(sorted);
+        let n_ks = pts.len();
+        pts.extend(hist.bin_edges());
+        let f = cdf_batch(&pts);
+        checks.push(Check::at_most(
+            format!("async/Xdist/ks-sim-vs-{label}"),
+            gof::ks_statistic_at(sorted, &f[..n_ks]),
+            gof::ks_critical(sorted.len() as u64, self.gof_alpha),
+            0.0,
+        ));
+        // χ²: binned counts vs expected masses from the reference CDF
+        // at the bin edges, with the out-of-range tail as an explicit
+        // cell (a truncated support cannot silently pass).
+        let chi = gof::chi_square_hist_test(&hist, &f[n_ks..], self.gof_alpha, 5.0);
+        checks.push(Check::at_most(
+            format!("async/Xdist/chi2-sim-vs-{label}"),
+            chi.statistic,
+            chi.critical,
+            0.0,
+        ));
+        Metric::distribution(
+            "async/X_hist",
+            DistSummary::from_histogram(&hist, mean, &DistSummary::DEFAULT_LEVELS),
+        )
+    }
+
+    /// Distribution-only conformance for one scenario against one
+    /// forced solver backend: KS over the raw interval sample and χ²
+    /// over the binned counts, both vs that backend's CDF. This is the
+    /// path the large-n gate uses — the full [`Self::check_async`]
+    /// battery builds split chains and dense solves that do not scale
+    /// past n ≈ 13, while this stays O(2ⁿ) through the matrix-free
+    /// operator.
+    pub fn check_interval_distribution(
+        &self,
+        sc: &Scenario,
+        strategy: SolverStrategy,
+    ) -> ConformanceReport {
+        let params = sc.params();
+        let label = match strategy {
+            SolverStrategy::Dense => "dense",
+            SolverStrategy::GaussSeidel => "gauss-seidel",
+            SolverStrategy::MatrixFree => "matrix-free",
+        };
+        let stats = AsyncScheme::new(AsyncConfig::new(params.clone()), sc.seed)
+            .run_intervals_samples(self.intervals);
+        let samples = stats.samples.as_ref().expect("samples were requested");
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut checks = Vec::new();
+        let x_hist = self.interval_distribution_gates(
+            &sorted,
+            stats.interval.mean(),
+            label,
+            |ts| params.interval_cdf_batch_with(strategy, ts),
+            &mut checks,
+        );
+        ConformanceReport {
+            scenario: sc.id.clone(),
+            checks,
+            distributions: vec![x_hist],
+        }
+    }
+
+    /// The negative control proving the KS gate has teeth: one
+    /// simulated sample, tested against the analytic CDF with every μ
+    /// scaled by each `factor` in turn — the checks for factors ≠ 1
+    /// must **fail** (and the caller asserts that they do). A gate that
+    /// accepted a 5 % parameter perturbation would be tolerance
+    /// theater. The simulation runs once; only the reference CDF
+    /// changes per factor.
+    pub fn interval_ks_negative_controls(&self, sc: &Scenario, factors: &[f64]) -> Vec<Check> {
+        let stats = AsyncScheme::new(AsyncConfig::new(sc.params()), sc.seed)
+            .run_intervals_samples(self.intervals);
+        let mut sorted = stats.samples.expect("samples were requested");
+        sorted.sort_by(f64::total_cmp);
+        let pts = gof::ks_eval_points(&sorted);
+        let ks_crit = gof::ks_critical(sorted.len() as u64, self.gof_alpha);
+        factors
+            .iter()
+            .map(|&factor| {
+                let perturbed = AsyncParams::new(
+                    sc.mu.iter().map(|m| m * factor).collect(),
+                    sc.lambda.clone(),
+                )
+                .expect("perturbed parameters stay valid");
+                let f = perturbed.interval_cdf_batch(&pts);
+                Check::at_most(
+                    format!("async/Xdist/ks-negative-control-x{factor}"),
+                    gof::ks_statistic_at(&sorted, &f),
+                    ks_crit,
+                    0.0,
+                )
+            })
+            .collect()
+    }
+
+    /// Single-factor convenience wrapper over
+    /// [`Self::interval_ks_negative_controls`].
+    pub fn interval_ks_negative_control(&self, sc: &Scenario, factor: f64) -> Check {
+        self.interval_ks_negative_controls(sc, &[factor])
+            .pop()
+            .expect("one factor in, one check out")
     }
 
     /// Runs the synchronized scheme (§3): commit-round simulation vs
@@ -260,6 +474,7 @@ impl SchemeConformance {
         ConformanceReport {
             scenario: sc.id.clone(),
             checks,
+            distributions: Vec::new(),
         }
     }
 
@@ -298,6 +513,24 @@ impl SchemeConformance {
             stats.span.mean(),
             max_exp_mean(mu),
             self.z * stats.span.std_err() + 5e-3,
+        ));
+
+        // Distribution-level: the establishment span Z = max yᵢ has the
+        // exact order-statistics CDF Π(1 − e^{−μᵢ t}); the whole
+        // simulated span sample must conform, not just its mean. (For
+        // n = 1 this degenerates to the plain Exp(μ) law.)
+        let d = gof::ks_statistic(&stats.span_samples, |t| {
+            if t <= 0.0 {
+                0.0
+            } else {
+                mu.iter().map(|&m| 1.0 - (-m * t).exp()).product()
+            }
+        });
+        checks.push(Check::at_most(
+            "sync/Zdist/ks-sim-vs-order-stats",
+            d,
+            gof::ks_critical(stats.span_samples.len() as u64, self.gof_alpha),
+            0.0,
         ));
 
         if mu.len() == 1 {
@@ -397,6 +630,7 @@ impl SchemeConformance {
         ConformanceReport {
             scenario: sc.id.clone(),
             checks,
+            distributions: Vec::new(),
         }
     }
 
@@ -435,6 +669,7 @@ impl rbcore::workload::Workload for ConformanceWorkload {
     fn run(&self, _seed: u64) -> Vec<Metric> {
         let mut metrics = Vec::new();
         for report in self.cfg.check_all(&self.scenario) {
+            metrics.extend(report.distributions);
             for c in report.checks {
                 metrics.push(Metric::check(c.label, c.lhs - c.rhs, c.tol, c.pass));
             }
@@ -461,6 +696,32 @@ mod tests {
         assert!(labels.iter().any(|l| l.starts_with("async/EX/sim")));
         assert!(labels.iter().any(|l| l.starts_with("sync/ECL")));
         assert!(labels.iter().any(|l| l.starts_with("prp/")));
+        // Distribution-level gates run on every scenario: KS against
+        // both CDF constructions, χ², and the sync span law.
+        assert!(labels.contains(&"async/Xdist/ks-sim-vs-ctmc"));
+        assert!(labels.contains(&"async/Xdist/ks-sim-vs-matrix-free"));
+        assert!(labels.contains(&"async/Xdist/chi2-sim-vs-ctmc"));
+        assert!(labels.contains(&"sync/Zdist/ks-sim-vs-order-stats"));
+        // And the interval histogram rides along as a first-class
+        // distribution metric.
+        let dists: Vec<&Metric> = reports
+            .iter()
+            .flat_map(|r| r.distributions.iter())
+            .collect();
+        assert!(dists.iter().any(|m| m.name() == "async/X_hist"));
+        assert!(dists.iter().all(|m| m.dist().is_some()));
+    }
+
+    #[test]
+    fn negative_control_rejects_perturbed_rates() {
+        let sc = &standard_matrix(11)[1];
+        let quick = SchemeConformance::quick();
+        // The honest gate passes…
+        let honest = quick.interval_ks_negative_control(sc, 1.0);
+        assert!(honest.pass, "unperturbed control failed: {honest:?}");
+        // …a grossly wrong CDF fails even at quick sample sizes.
+        let wrong = quick.interval_ks_negative_control(sc, 2.0);
+        assert!(!wrong.pass, "2× μ perturbation slipped through");
     }
 
     #[test]
@@ -468,6 +729,7 @@ mod tests {
         let report = ConformanceReport {
             scenario: "synthetic".into(),
             checks: vec![Check::within("x", 1.0, 2.0, 0.1)],
+            distributions: Vec::new(),
         };
         assert_eq!(report.failures().len(), 1);
         let msg = std::panic::catch_unwind(|| report.assert_ok())

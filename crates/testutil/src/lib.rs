@@ -29,4 +29,4 @@ pub mod conformance;
 pub mod scenarios;
 
 pub use conformance::{Check, ConformanceReport, ConformanceWorkload, SchemeConformance};
-pub use scenarios::{standard_matrix, Scenario, ScenarioKind};
+pub use scenarios::{matfree_large_scenario, standard_matrix, Scenario, ScenarioKind};

@@ -180,6 +180,29 @@ pub fn single_process_mus() -> Vec<Vec<f64>> {
     vec![vec![1.0], vec![0.2], vec![5.0]]
 }
 
+/// The large-n distribution scenario: n = 14 (2¹⁴ + 1 chain states,
+/// homogeneous rates at ρ = 0.5) — past the CSR materialization cap, so
+/// its analytic CDF can only come from the matrix-free operator. Kept
+/// out of [`standard_matrix`] because the full per-scheme battery
+/// builds split chains and dense solves that do not scale to this n;
+/// the distribution gate runs it through
+/// `SchemeConformance::check_interval_distribution` with a forced
+/// `SolverStrategy::MatrixFree` (see `tests/distribution_conformance.rs`).
+pub fn matfree_large_scenario(master_seed: u64) -> Scenario {
+    let n = 14usize;
+    // ρ = 0.5: interaction-coupled enough that all 2¹⁴ masks carry
+    // mass, but fast-mixing — the uniformization pass behind the
+    // batched CDF costs Λ·(mixing time) jump steps, and ρ ≥ 1 at this n
+    // pushes that past any reasonable CI wall-clock budget.
+    Scenario {
+        id: "large/matfree-n14".into(),
+        kind: ScenarioKind::Corner,
+        mu: vec![1.0; n],
+        lambda: vec![0.5 / (n as f64 - 1.0); n * (n - 1) / 2],
+        seed: master_seed ^ 0x14D1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
