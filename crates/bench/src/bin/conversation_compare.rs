@@ -12,7 +12,7 @@
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::Conversations;
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbcore::schemes::conversation::ConversationConfig;
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
@@ -53,7 +53,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     let table = Table::new(
         13,
@@ -110,5 +110,5 @@ fn main() {
     );
     assert!(full.deferred_per_conversation == 0.0);
 
-    emit_json("conversation_compare", &points);
+    args.emit_json("conversation_compare", &points);
 }

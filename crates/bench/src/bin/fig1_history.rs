@@ -11,7 +11,6 @@
 //! diagram and the metrics describe the same sample path.
 
 use rbbench::cli::BenchArgs;
-use rbbench::emit_json;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::HistoryAudit;
 use rbcore::history::{History, ProcessId};
@@ -71,7 +70,7 @@ fn main() {
     let params = AsyncParams::three((1.0, 1.0, 1.0), (1.0, 1.0, 1.0));
     let master = args.master_seed(1983);
     let horizon = 6.0;
-    let report = SweepSpec::new(
+    let spec = SweepSpec::new(
         "fig1_history_sweep",
         master,
         vec![SweepCell::named(
@@ -81,8 +80,8 @@ fn main() {
                 horizon,
             },
         )],
-    )
-    .run(args.threads());
+    );
+    let report = args.run_sweep(&spec);
     let cell = report.cell("random-history").expect("cell ran");
 
     // Regenerate the cell's exact sample path for rendering: cell 0's
@@ -110,7 +109,7 @@ fn main() {
     assert_eq!(cell.value("lines_formed"), (lines.len() - 1) as f64);
     assert_eq!(cell.value("sup_distance"), plan_r.sup_distance());
 
-    emit_json(
+    args.emit_json(
         "fig1_history",
         &Fig1Result {
             deterministic_restart: plan.restart.clone(),

@@ -12,7 +12,6 @@
 //! materialised).
 
 use rbbench::cli::BenchArgs;
-use rbbench::emit_json;
 use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
 use rbbench::workloads::MatrixFreeLumpability;
 use rbmarkov::paper::{AsyncParams, Rule};
@@ -87,8 +86,8 @@ fn main() {
             MatrixFreeLumpability { n },
         ));
     }
-    let report =
-        SweepSpec::new("fig2_markov_sweep", args.master_seed(2), cells).run(args.threads());
+    let spec = SweepSpec::new("fig2_markov_sweep", args.master_seed(2), cells);
+    let report = args.run_sweep(&spec);
     let audit = report.cell("chain-audit/n3").expect("audit cell ran");
 
     println!("Figure 2 — full flag chain for n = 3 (states: S_r, (x1x2x3), S_r+1)\n");
@@ -160,7 +159,7 @@ fn main() {
         });
     }
 
-    emit_json(
+    args.emit_json(
         "fig2_markov",
         &Fig2Result {
             n_states: audit.value("n_states") as usize,

@@ -13,7 +13,6 @@
 //! expensive solves fan out over cores.
 
 use rbbench::cli::BenchArgs;
-use rbbench::emit_json;
 use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
 use rbbench::workloads::MatrixFreeLumpability;
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams, SymmetricChain};
@@ -118,8 +117,8 @@ fn main() {
             MatrixFreeLumpability { n: nn },
         ));
     }
-    let report =
-        SweepSpec::new("fig3_markov_sweep", args.master_seed(3), cells).run(args.threads());
+    let spec = SweepSpec::new("fig3_markov_sweep", args.master_seed(3), cells);
+    let report = args.run_sweep(&spec);
 
     println!("Figure 3 — lumped chain for n = {n}, μ = {mu}, λ = {lambda}\n");
     let label = |s: usize| -> String {
@@ -203,7 +202,7 @@ fn main() {
         });
     }
 
-    emit_json(
+    args.emit_json(
         "fig3_markov",
         &Fig3Result {
             n,

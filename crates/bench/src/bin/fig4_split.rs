@@ -15,7 +15,7 @@
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::SplitChainStats;
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbmarkov::paper::{AsyncParams, SplitChain, SplitState};
 
 fn table1_cases() -> Vec<AsyncParams> {
@@ -111,7 +111,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     println!("\nsplit-chain statistics over Table 1 × tagged process:\n");
     let table = Table::new(
@@ -134,8 +134,8 @@ fn main() {
         assert!((cell.value("EL_with_terminal") - cell.value("identity_mu_EX")).abs() < 1e-7);
     }
 
-    report.emit();
+    report.emit_in(args.out_dir());
     // Backwards-compatible summary of the paper's own n = 3 example.
     let c1 = report.cell("case1/P1").expect("case1/P1 ran");
-    emit_json("fig4_split_case1", &c1.metrics);
+    args.emit_json("fig4_split_case1", &c1.metrics);
 }

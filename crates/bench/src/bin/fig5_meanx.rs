@@ -11,7 +11,7 @@
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::AsyncIntervals;
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbmarkov::paper::{mean_interval_symmetric, AsyncParams};
 use serde::Serialize;
 
@@ -42,8 +42,8 @@ fn main() {
             ));
         }
     }
-    let report =
-        SweepSpec::new("fig5_meanx_sweep", args.master_seed(7_000), cells).run(args.threads());
+    let spec = SweepSpec::new("fig5_meanx_sweep", args.master_seed(7_000), cells);
+    let report = args.run_sweep(&spec);
 
     println!("Figure 5 — E[X] vs number of processes (μ = 1, λ = ρ/(n−1), ρ fixed)\n");
     let table = Table::new(11, &["n", "ρ", "λ", "E[X] mkv", "E[X] sim", "±95%"]);
@@ -106,5 +106,5 @@ fn main() {
         );
     }
 
-    emit_json("fig5_meanx", &points);
+    args.emit_json("fig5_meanx", &points);
 }

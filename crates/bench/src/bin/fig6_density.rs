@@ -13,7 +13,6 @@
 //! [`rbbench::workloads::AsyncDensity`] cells.
 
 use rbbench::cli::BenchArgs;
-use rbbench::emit_json;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::AsyncDensity;
 use rbmarkov::paper::AsyncParams;
@@ -64,7 +63,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     println!("Figure 6 — density f_X(t) (analytic via uniformization, sim = 80-bin histogram)\n");
     let mut out = Vec::new();
@@ -148,5 +147,5 @@ fn main() {
     );
     assert!(s2 > s1);
 
-    emit_json("fig6_density", &out);
+    args.emit_json("fig6_density", &out);
 }

@@ -14,7 +14,7 @@ use rbanalysis::sync_loss;
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::{DistSpec, SyncLoss, SyncTimeline};
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbcore::schemes::synchronized::SyncStrategy;
 use rbmarkov::paper::AsyncParams;
 use rbruntime::{run_synchronization, SyncParticipant};
@@ -113,7 +113,8 @@ fn main() {
             },
         ));
     }
-    let report = SweepSpec::new("fig7_sync_sweep", args.master_seed(99), cells).run(args.threads());
+    let spec = SweepSpec::new("fig7_sync_sweep", args.master_seed(99), cells);
+    let report = args.run_sweep(&spec);
 
     // ── E[CL]: closed form vs quadrature vs Monte-Carlo ──────────────
     println!("\nE[CL] cross-validation:");
@@ -188,7 +189,7 @@ fn main() {
         losses: Vec<LossPoint>,
         strategies: Vec<StrategyPoint>,
     }
-    emit_json(
+    args.emit_json(
         "fig7_sync",
         &Fig7Result {
             threaded_z: outcome.z,

@@ -10,7 +10,6 @@
 
 use rbanalysis::prp_overhead::prp_overhead;
 use rbbench::cli::BenchArgs;
-use rbbench::emit_json;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::PrpStorage;
 use rbcore::history::{History, ProcessId};
@@ -86,7 +85,7 @@ fn main() {
     // ── §4 overheads: measured vs analytic (one sweep cell) ──────────
     let params = AsyncParams::symmetric(3, 1.0, 1.0);
     let t_r = 1e-3;
-    let report = SweepSpec::new(
+    let spec = SweepSpec::new(
         "fig8_prp_sweep",
         args.master_seed(8),
         vec![SweepCell::named(
@@ -97,8 +96,8 @@ fn main() {
                 t_r,
             },
         )],
-    )
-    .run(args.threads());
+    );
+    let report = args.run_sweep(&spec);
     let storage = report.cell("storage").expect("storage cell ran");
     let analytic = prp_overhead(params.mu(), t_r);
     println!("\n§4 overheads (μ = λ = 1, t_r = {t_r}):");
@@ -128,7 +127,7 @@ fn main() {
         "n−1 = 2 PRPs per RP"
     );
 
-    emit_json(
+    args.emit_json(
         "fig8_prp",
         &Fig8Result {
             sup_distance: plan.sup_distance(),

@@ -13,7 +13,7 @@ use rbanalysis::sync_loss::mean_loss;
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::OptimalPeriodCell;
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -54,7 +54,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     let table = Table::new(
         13,
@@ -112,5 +112,5 @@ fn main() {
         assert!(w[1].delta_star > w[0].delta_star, "Δ* must grow as ε falls");
     }
 
-    emit_json("optimal_period", &points);
+    args.emit_json("optimal_period", &points);
 }

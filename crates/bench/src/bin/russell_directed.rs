@@ -16,7 +16,7 @@
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::FailureEpisodes;
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbcore::fault::FaultConfig;
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
@@ -61,7 +61,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     let table = Table::new(
         11,
@@ -108,5 +108,5 @@ fn main() {
          substantial fraction of the rollback distance, most at high λ."
     );
 
-    emit_json("russell_directed", &points);
+    args.emit_json("russell_directed", &points);
 }

@@ -12,7 +12,7 @@
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::SyncLoss;
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -58,7 +58,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     let point = |label: &str, mu: &[f64]| -> SweepPoint {
         let cell = report.cell(label).expect("cell ran");
@@ -132,5 +132,5 @@ fn main() {
         if balanced < extreme { "OK" } else { "VIOLATED" }
     );
 
-    emit_json("sec3_loss", &points);
+    args.emit_json("sec3_loss", &points);
 }

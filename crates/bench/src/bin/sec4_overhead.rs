@@ -18,7 +18,7 @@ use rbanalysis::prp_overhead::{prp_overhead, waste_ratio};
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::{FailureEpisodes, PrpStorage};
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbcore::fault::FaultConfig;
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
@@ -74,8 +74,8 @@ fn main() {
             .without_directed(),
         ));
     }
-    let report =
-        SweepSpec::new("sec4_overhead_sweep", args.master_seed(21), cells).run(args.threads());
+    let spec = SweepSpec::new("sec4_overhead_sweep", args.master_seed(21), cells);
+    let report = args.run_sweep(&spec);
 
     // ── Storage and time overheads ────────────────────────────────────
     let storage = report.cell("storage").expect("storage cell ran");
@@ -153,7 +153,7 @@ fn main() {
          rarely communicate\""
     );
 
-    emit_json(
+    args.emit_json(
         "sec4_overhead",
         &Sec4Result {
             storage_peak_max: storage.value("peak_live_max") as usize,

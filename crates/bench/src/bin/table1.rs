@@ -15,7 +15,7 @@
 use rbbench::cli::BenchArgs;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::{AsyncIntervals, DistSpec};
-use rbbench::{emit_json, Table};
+use rbbench::Table;
 use rbmarkov::paper::AsyncParams;
 use serde::Serialize;
 
@@ -99,7 +99,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     println!("Table 1 — E(X) and E(Lᵢ) at constant ρ (5 cases, {lines} simulated lines each)\n");
     let table = Table::new(
@@ -201,5 +201,5 @@ fn main() {
                 .fold(0.0_f64, f64::max)
     );
 
-    emit_json("table1", &results);
+    args.emit_json("table1", &results);
 }

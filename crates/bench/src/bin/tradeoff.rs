@@ -11,7 +11,6 @@
 //! [`rbbench::workloads::TradeoffCell`]s.
 
 use rbbench::cli::BenchArgs;
-use rbbench::emit_json;
 use rbbench::sweep::{SweepCell, SweepSpec};
 use rbbench::workloads::{scheme_short, TradeoffCell};
 use rbmarkov::paper::AsyncParams;
@@ -52,7 +51,7 @@ fn main() {
             })
             .collect(),
     );
-    let report = spec.run(args.threads());
+    let report = args.run_sweep(&spec);
 
     println!("§5 decision surface (n = 3, μ = 1, t_r = 0.01, sync period 2):");
     println!("rows: error rate; columns: λ. cell = no-deadline / deadline-{deadline}\n");
@@ -103,5 +102,5 @@ fn main() {
          column removes async where E[X] exceeds {deadline}."
     );
 
-    emit_json("tradeoff", &cells);
+    args.emit_json("tradeoff", &cells);
 }

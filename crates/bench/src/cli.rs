@@ -1,15 +1,22 @@
 //! Shared command-line parsing for the figure binaries.
 //!
-//! Every binary accepts the same three flags — there is exactly one
+//! Every binary accepts the same four flags — there is exactly one
 //! parser, so they cannot drift:
 //!
 //! * `--seed <u64>` — override the sweep's master seed (default: the
 //!   binary's published seed, so bare runs reproduce the committed
 //!   artifacts);
 //! * `--threads <n>` — cap the sweep's worker threads (default: all
-//!   hardware threads; results are byte-identical at any value);
-//! * `--out <dir>` — redirect the JSON artifacts (sets `RB_RESULTS_DIR`
-//!   for [`crate::emit_json`]).
+//!   hardware threads; results are byte-identical at any value; `0` is
+//!   a usage error);
+//! * `--out <dir>` — redirect the JSON artifacts (threaded explicitly
+//!   through [`BenchArgs::emit_json`]; the parser never mutates the
+//!   process environment);
+//! * `--journal <dir>` — journal completed sweep cells to
+//!   `<dir>/<sweep name>.wal` and resume from it on re-run
+//!   ([`crate::sweep::SweepSpec::run_resumable`] via
+//!   [`BenchArgs::run_sweep`]); the resumed artifact is byte-identical
+//!   to an uninterrupted run.
 //!
 //! ```no_run
 //! let args = rbbench::cli::BenchArgs::parse("table1");
@@ -17,7 +24,11 @@
 //! let threads = args.threads();
 //! ```
 
+use std::path::{Path, PathBuf};
+
 use rbsim::par::available_threads;
+
+use crate::sweep::{SweepReport, SweepSpec};
 
 /// Parsed common flags of a figure binary.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -27,25 +38,26 @@ pub struct BenchArgs {
     /// `--threads`: worker-thread cap.
     pub threads: Option<usize>,
     /// `--out`: artifact directory override.
-    pub out: Option<String>,
+    pub out: Option<PathBuf>,
+    /// `--journal`: directory for resumable sweep journals.
+    pub journal: Option<PathBuf>,
 }
 
 impl BenchArgs {
-    /// Parses `std::env::args`, applying `--out` to `RB_RESULTS_DIR`.
+    /// Parses `std::env::args`.
     ///
     /// Prints usage and exits 0 on `--help`/`-h`; prints the error and
     /// exits 2 on a malformed or unknown argument.
     pub fn parse(bin: &str) -> BenchArgs {
         match Self::parse_from(std::env::args().skip(1)) {
-            Ok(args) => {
-                if let Some(dir) = &args.out {
-                    std::env::set_var("RB_RESULTS_DIR", dir);
-                }
-                args
-            }
-            Err(Help) => {
+            Ok(args) => args,
+            Err(ParseError::Help) => {
                 println!("{}", Self::usage(bin));
                 std::process::exit(0);
+            }
+            Err(ParseError::Invalid(msg)) => {
+                eprintln!("error: {msg} (try --help)");
+                std::process::exit(2);
             }
         }
     }
@@ -53,57 +65,59 @@ impl BenchArgs {
     /// The usage text printed for `--help`.
     pub fn usage(bin: &str) -> String {
         format!(
-            "usage: {bin} [--seed <u64>] [--threads <n>] [--out <dir>]\n\
+            "usage: {bin} [--seed <u64>] [--threads <n>] [--out <dir>] [--journal <dir>]\n\
              \n\
              --seed <u64>    master seed for the sweep (default: the binary's\n\
              \x20               published seed; per-cell seeds derive from it)\n\
-             --threads <n>   worker threads for the sweep (default: all cores;\n\
-             \x20               the output is byte-identical at any value)\n\
+             --threads <n>   worker threads for the sweep, at least 1 (default:\n\
+             \x20               all cores; output is byte-identical at any value)\n\
              --out <dir>     directory for JSON artifacts (default: results/,\n\
-             \x20               or RB_RESULTS_DIR)"
+             \x20               or RB_RESULTS_DIR)\n\
+             --journal <dir> journal completed cells to <dir>/<sweep>.wal and\n\
+             \x20               resume from it on re-run; a resumed run's artifact\n\
+             \x20               is byte-identical to an uninterrupted one"
         )
     }
 
     /// Parses an explicit argument list (testable core of [`Self::parse`]).
-    ///
-    /// Returns `Err(Help)` when `--help`/`-h` is present. Malformed
-    /// input terminates the process with exit code 2 — binaries have no
-    /// recovery path for bad flags.
-    fn parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, Help> {
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Result<BenchArgs, ParseError> {
         let mut out = BenchArgs::default();
         let mut args = args;
         while let Some(arg) = args.next() {
             match arg.as_str() {
-                "--help" | "-h" => return Err(Help),
-                "--seed" => out.seed = Some(Self::value(&arg, args.next())),
+                "--help" | "-h" => return Err(ParseError::Help),
+                "--seed" => out.seed = Some(Self::value(&arg, args.next())?),
                 "--threads" => {
-                    let t: usize = Self::value(&arg, args.next());
+                    let t: usize = Self::value(&arg, args.next())?;
                     if t == 0 {
-                        Self::bail("--threads must be at least 1");
+                        return Err(ParseError::Invalid("--threads must be at least 1".into()));
                     }
                     out.threads = Some(t);
                 }
-                "--out" => match args.next() {
-                    Some(dir) if !dir.is_empty() => out.out = Some(dir),
-                    _ => Self::bail("--out requires a directory"),
-                },
-                other => Self::bail(&format!("unknown argument `{other}`")),
+                "--out" => out.out = Some(Self::dir(&arg, args.next())?),
+                "--journal" => out.journal = Some(Self::dir(&arg, args.next())?),
+                other => return Err(ParseError::Invalid(format!("unknown argument `{other}`"))),
             }
         }
         Ok(out)
     }
 
-    fn value<T: std::str::FromStr>(flag: &str, raw: Option<String>) -> T {
+    fn value<T: std::str::FromStr>(flag: &str, raw: Option<String>) -> Result<T, ParseError> {
         match raw.as_deref().map(str::parse) {
-            Some(Ok(v)) => v,
-            Some(Err(_)) => Self::bail(&format!("invalid value for {flag}: `{}`", raw.unwrap())),
-            None => Self::bail(&format!("{flag} requires a value")),
+            Some(Ok(v)) => Ok(v),
+            Some(Err(_)) => Err(ParseError::Invalid(format!(
+                "invalid value for {flag}: `{}`",
+                raw.unwrap()
+            ))),
+            None => Err(ParseError::Invalid(format!("{flag} requires a value"))),
         }
     }
 
-    fn bail(msg: &str) -> ! {
-        eprintln!("error: {msg} (try --help)");
-        std::process::exit(2);
+    fn dir(flag: &str, raw: Option<String>) -> Result<PathBuf, ParseError> {
+        match raw {
+            Some(dir) if !dir.is_empty() => Ok(PathBuf::from(dir)),
+            _ => Err(ParseError::Invalid(format!("{flag} requires a directory"))),
+        }
     }
 
     /// The master seed: the `--seed` override or the binary's default.
@@ -116,18 +130,76 @@ impl BenchArgs {
     pub fn threads(&self) -> usize {
         self.threads.unwrap_or_else(available_threads)
     }
+
+    /// The `--out` artifact directory, if given.
+    pub fn out_dir(&self) -> Option<&Path> {
+        self.out.as_deref()
+    }
+
+    /// The journal file a sweep named `sweep_name` would use under
+    /// `--journal` (one file per sweep, so binaries running several
+    /// specs share one flag without header collisions).
+    pub fn journal_file(&self, sweep_name: &str) -> Option<PathBuf> {
+        self.journal
+            .as_ref()
+            .map(|dir| dir.join(format!("{sweep_name}.wal")))
+    }
+
+    /// Runs a sweep honouring the shared flags: plain
+    /// [`SweepSpec::run`] without `--journal`, resumable
+    /// ([`SweepSpec::run_resumable`]) with it. A journal that cannot be
+    /// replayed (spec mismatch, refused corruption, I/O failure) prints
+    /// its error and exits 2 — binaries have no recovery path.
+    pub fn run_sweep(&self, spec: &SweepSpec) -> SweepReport {
+        match self.journal_file(&spec.name) {
+            None => spec.run(self.threads()),
+            Some(path) => {
+                if let Some(dir) = path.parent() {
+                    if let Err(e) = std::fs::create_dir_all(dir) {
+                        eprintln!("error: create journal dir {}: {e}", dir.display());
+                        std::process::exit(2);
+                    }
+                }
+                match spec.run_resumable(self.threads(), &path) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Writes an artifact honouring `--out` ([`crate::emit_json_in`]).
+    pub fn emit_json<T: serde::Serialize>(&self, name: &str, value: &T) -> PathBuf {
+        crate::emit_json_in(self.out_dir(), name, value)
+    }
 }
 
-/// Marker error: `--help` was requested.
+/// Why parsing stopped: an explicit help request, or a malformed /
+/// unknown argument with its message.
 #[derive(Debug)]
-pub struct Help;
+pub enum ParseError {
+    /// `--help`/`-h` was present.
+    Help,
+    /// Malformed or unknown argument.
+    Invalid(String),
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<BenchArgs, Help> {
+    fn parse(args: &[&str]) -> Result<BenchArgs, ParseError> {
         BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    fn invalid(args: &[&str]) -> String {
+        match parse(args) {
+            Err(ParseError::Invalid(msg)) => msg,
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]
@@ -136,28 +208,61 @@ mod tests {
         assert_eq!(a, BenchArgs::default());
         assert_eq!(a.master_seed(1983), 1983);
         assert!(a.threads() >= 1);
+        assert!(a.out_dir().is_none());
+        assert!(a.journal_file("s").is_none());
     }
 
     #[test]
     fn all_flags_parse() {
-        let a = parse(&["--seed", "42", "--threads", "3", "--out", "/tmp/x"]).unwrap();
+        let a = parse(&[
+            "--seed",
+            "42",
+            "--threads",
+            "3",
+            "--out",
+            "/tmp/x",
+            "--journal",
+            "/tmp/j",
+        ])
+        .unwrap();
         assert_eq!(a.seed, Some(42));
         assert_eq!(a.threads, Some(3));
-        assert_eq!(a.out.as_deref(), Some("/tmp/x"));
+        assert_eq!(a.out_dir(), Some(Path::new("/tmp/x")));
         assert_eq!(a.master_seed(1983), 42);
         assert_eq!(a.threads(), 3);
+        assert_eq!(
+            a.journal_file("fig7_sync_sweep"),
+            Some(PathBuf::from("/tmp/j/fig7_sync_sweep.wal"))
+        );
     }
 
     #[test]
     fn help_is_signalled_not_fatal() {
-        assert!(parse(&["--help"]).is_err());
-        assert!(parse(&["--seed", "1", "-h"]).is_err());
+        assert!(matches!(parse(&["--help"]), Err(ParseError::Help)));
+        assert!(matches!(
+            parse(&["--seed", "1", "-h"]),
+            Err(ParseError::Help)
+        ));
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        assert!(invalid(&["--threads", "0"]).contains("at least 1"));
+    }
+
+    #[test]
+    fn malformed_arguments_are_reported_not_panicked() {
+        assert!(invalid(&["--seed"]).contains("requires a value"));
+        assert!(invalid(&["--seed", "abc"]).contains("invalid value"));
+        assert!(invalid(&["--out"]).contains("requires a directory"));
+        assert!(invalid(&["--journal", ""]).contains("requires a directory"));
+        assert!(invalid(&["--frobnicate"]).contains("unknown argument"));
     }
 
     #[test]
     fn usage_names_every_flag() {
         let u = BenchArgs::usage("table1");
-        for flag in ["--seed", "--threads", "--out"] {
+        for flag in ["--seed", "--threads", "--out", "--journal"] {
             assert!(u.contains(flag), "usage lost {flag}");
         }
         assert!(u.starts_with("usage: table1"));

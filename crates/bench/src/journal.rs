@@ -1,0 +1,737 @@
+//! The sweep journal: crash-safe, resumable sweeps with a
+//! byte-identical replay guarantee.
+//!
+//! A preempted million-cell sweep should not lose its finished cells.
+//! Because every cell's randomness derives purely from
+//! `(master_seed, cell index)` ([`rbsim::derive_seed`]), a finished
+//! [`CellReport`] is a pure function of the [`SweepSpec`] — so a journal
+//! of completed cells can be replayed on restart and the reassembled
+//! [`crate::sweep::SweepReport`] is **byte-identical** to an
+//! uninterrupted run (`spec.run(1)`). That equivalence is a standing CI
+//! invariant: `tests/sweep_resume.rs` kills a sweep mid-flight
+//! (SIGKILL), resumes it from the journal, and `diff`s the artifact
+//! bytes against an uninterrupted run.
+//!
+//! ## On-disk format
+//!
+//! The journal is an append-only sequence of [`rbruntime::wal`] frames
+//! (`[len: u32 LE][fnv1a64 checksum: u64 LE][payload]`):
+//!
+//! * **frame 0 — header.** Binds the journal to one spec and one code
+//!   version: format version, crate version, sweep name, master seed,
+//!   cell count, and an FNV-1a hash of the full cell-id list. A journal
+//!   whose header does not match the spec being resumed is **refused**
+//!   ([`JournalError::SpecMismatch`]) — replaying cells from a
+//!   different grid would silently produce a divergent report.
+//! * **frames 1…— cell records.** One per completed cell, appended (and
+//!   flushed) the moment the cell finishes, in completion order — which
+//!   under parallel dispatch is *not* grid order; replay re-slots each
+//!   record by its stored index. The payload carries the cell index,
+//!   id, derived seed and the full metric vector with `f64`s stored as
+//!   raw IEEE-754 bits, so replayed values are bit-exact (including
+//!   NaN quantiles of empty histograms, which JSON could not round-trip).
+//!
+//! ## Recovery rules
+//!
+//! * **Torn tail** (killed mid-write) or a **checksum-mismatched
+//!   record**: the scan stops at the last intact frame, the file is
+//!   truncated there, and the affected cells simply re-run. Records
+//!   *after* a corrupt one are dropped too — their cells re-run; the
+//!   report never diverges, it is only recomputed.
+//! * **Intact but undecodable or inconsistent records** (unknown tag,
+//!   out-of-range index, duplicate index, id/seed that contradict the
+//!   spec): **refused** with a clear error naming the journal — a
+//!   checksummed-yet-wrong record means the file is not this sweep's
+//!   journal (or was written by incompatible code), and re-running
+//!   "around" it could mask a real mismatch.
+//! * **Unreadable header**: refused; delete the journal to start fresh.
+//!
+//! One writer at a time: the journal has no inter-process lock; drive a
+//! given journal file from a single process.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use rbcore::metrics::{DistSummary, Metric, Quantile};
+use rbruntime::wal::{fnv1a64, write_frame, FrameScan};
+use rbsim::derive_seed;
+
+use crate::sweep::{CellReport, SweepSpec};
+
+/// Version of the journal's record encoding; bumped on any layout
+/// change so stale journals are refused instead of misread.
+pub const FORMAT_VERSION: u16 = 1;
+
+const TAG_HEADER: u8 = 1;
+const TAG_CELL: u8 = 2;
+
+/// Why a journal could not be opened, replayed or appended to.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem-level failure.
+    Io {
+        /// The journal path.
+        path: PathBuf,
+        /// What was being attempted.
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The journal's header is intact but describes a different sweep
+    /// (or was written by an incompatible code version).
+    SpecMismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// Which binding field disagreed.
+        field: &'static str,
+        /// The value recorded in the journal.
+        journal: String,
+        /// The value the spec being resumed expects.
+        spec: String,
+    },
+    /// The journal cannot be trusted: unreadable header, or an intact
+    /// (checksummed) record that contradicts itself. Delete the journal
+    /// to start fresh.
+    Refused {
+        /// The journal path.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, op, source } => {
+                write!(f, "sweep journal {}: {op}: {source}", path.display())
+            }
+            JournalError::SpecMismatch {
+                path,
+                field,
+                journal,
+                spec,
+            } => write!(
+                f,
+                "sweep journal {}: header/spec mismatch on {field}: journal has {journal}, \
+                 the spec being resumed has {spec} — refusing to replay (a different sweep's \
+                 journal would produce a divergent report); delete the journal to start fresh",
+                path.display()
+            ),
+            JournalError::Refused { path, reason } => write!(
+                f,
+                "sweep journal {}: {reason} — refusing to replay; delete the journal to \
+                 start fresh",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+// --- binary record codec ----------------------------------------------
+//
+// Little-endian throughout; strings are u32-length-prefixed UTF-8;
+// f64s are stored as raw IEEE-754 bits so replay is bit-exact.
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string exceeds u32::MAX bytes"));
+        self.0.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Dec { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("record truncated at byte {}", self.pos))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in record string".into())
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after record body",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn encode_metric(enc: &mut Enc, m: &Metric) {
+    match m {
+        Metric::Scalar {
+            name,
+            value,
+            std_err,
+            count,
+            ok,
+        } => {
+            enc.u8(0);
+            enc.str(name);
+            enc.f64(*value);
+            enc.f64(*std_err);
+            enc.u64(*count);
+            enc.u8(*ok as u8);
+        }
+        Metric::Distribution { name, dist, ok } => {
+            enc.u8(1);
+            enc.str(name);
+            enc.u8(*ok as u8);
+            enc.f64(dist.lo);
+            enc.f64(dist.hi);
+            enc.u32(dist.counts.len() as u32);
+            for &c in &dist.counts {
+                enc.u64(c);
+            }
+            enc.u64(dist.underflow);
+            enc.u64(dist.overflow);
+            enc.u64(dist.count);
+            enc.f64(dist.mean);
+            enc.u32(dist.quantiles.len() as u32);
+            for q in &dist.quantiles {
+                enc.f64(q.p);
+                enc.f64(q.x);
+            }
+        }
+    }
+}
+
+fn decode_metric(dec: &mut Dec) -> Result<Metric, String> {
+    match dec.u8()? {
+        0 => Ok(Metric::Scalar {
+            name: dec.str()?,
+            value: dec.f64()?,
+            std_err: dec.f64()?,
+            count: dec.u64()?,
+            ok: dec.u8()? != 0,
+        }),
+        1 => {
+            let name = dec.str()?;
+            let ok = dec.u8()? != 0;
+            let lo = dec.f64()?;
+            let hi = dec.f64()?;
+            let n_counts = dec.u32()? as usize;
+            let mut counts = Vec::with_capacity(n_counts.min(1 << 20));
+            for _ in 0..n_counts {
+                counts.push(dec.u64()?);
+            }
+            let underflow = dec.u64()?;
+            let overflow = dec.u64()?;
+            let count = dec.u64()?;
+            let mean = dec.f64()?;
+            let n_q = dec.u32()? as usize;
+            let mut quantiles = Vec::with_capacity(n_q.min(1 << 20));
+            for _ in 0..n_q {
+                quantiles.push(Quantile {
+                    p: dec.f64()?,
+                    x: dec.f64()?,
+                });
+            }
+            Ok(Metric::Distribution {
+                name,
+                ok,
+                dist: DistSummary {
+                    lo,
+                    hi,
+                    counts,
+                    underflow,
+                    overflow,
+                    count,
+                    mean,
+                    quantiles,
+                },
+            })
+        }
+        tag => Err(format!("unknown metric tag {tag}")),
+    }
+}
+
+fn encode_cell(index: usize, report: &CellReport) -> Vec<u8> {
+    let mut enc = Enc(Vec::new());
+    enc.u8(TAG_CELL);
+    enc.u64(index as u64);
+    enc.str(&report.id);
+    enc.u64(report.seed);
+    enc.u32(report.metrics.len() as u32);
+    for m in &report.metrics {
+        encode_metric(&mut enc, m);
+    }
+    enc.0
+}
+
+fn decode_cell(payload: &[u8]) -> Result<(usize, CellReport), String> {
+    let mut dec = Dec::new(payload);
+    match dec.u8()? {
+        TAG_CELL => {}
+        tag => return Err(format!("unexpected record tag {tag} (wanted cell record)")),
+    }
+    let index = dec.u64()? as usize;
+    let id = dec.str()?;
+    let seed = dec.u64()?;
+    let n = dec.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        metrics.push(decode_metric(&mut dec)?);
+    }
+    dec.finish()?;
+    Ok((index, CellReport { id, seed, metrics }))
+}
+
+/// The spec-binding hash over the full cell-id list (each id hashed
+/// with its length, so `["ab","c"]` ≠ `["a","bc"]`).
+fn ids_hash(spec: &SweepSpec) -> u64 {
+    let mut buf = Vec::new();
+    for cell in &spec.cells {
+        buf.extend_from_slice(&(cell.id.len() as u64).to_le_bytes());
+        buf.extend_from_slice(cell.id.as_bytes());
+    }
+    fnv1a64(&buf)
+}
+
+fn encode_header(spec: &SweepSpec) -> Vec<u8> {
+    let mut enc = Enc(Vec::new());
+    enc.u8(TAG_HEADER);
+    enc.u16(FORMAT_VERSION);
+    enc.str(env!("CARGO_PKG_VERSION"));
+    enc.str(&spec.name);
+    enc.u64(spec.master_seed);
+    enc.u64(spec.cells.len() as u64);
+    enc.u64(ids_hash(spec));
+    enc.0
+}
+
+struct Header {
+    format_version: u16,
+    code_version: String,
+    sweep: String,
+    master_seed: u64,
+    cell_count: u64,
+    ids_hash: u64,
+}
+
+fn decode_header(payload: &[u8]) -> Result<Header, String> {
+    let mut dec = Dec::new(payload);
+    match dec.u8()? {
+        TAG_HEADER => {}
+        tag => return Err(format!("first record has tag {tag}, not a journal header")),
+    }
+    let header = Header {
+        format_version: dec.u16()?,
+        code_version: dec.str()?,
+        sweep: dec.str()?,
+        master_seed: dec.u64()?,
+        cell_count: dec.u64()?,
+        ids_hash: dec.u64()?,
+    };
+    dec.finish()?;
+    Ok(header)
+}
+
+/// An open, append-mode sweep journal (created by
+/// [`SweepJournal::open`], fed by [`SweepJournal::append`]).
+pub struct SweepJournal {
+    path: PathBuf,
+    file: File,
+}
+
+impl SweepJournal {
+    /// Opens (or creates) the journal at `path` for `spec`, replaying
+    /// every intact cell record.
+    ///
+    /// Returns the journal positioned for appending plus the replayed
+    /// `(cell index, report)` pairs. A fresh or empty file gets a
+    /// header written immediately; an existing file is validated
+    /// against the spec (name, master seed, cell count, cell-id hash,
+    /// code version) and its torn tail — if any — is truncated away.
+    pub fn open(
+        path: &Path,
+        spec: &SweepSpec,
+    ) -> Result<(SweepJournal, Vec<(usize, CellReport)>), JournalError> {
+        let io = |op: &'static str| {
+            let path = path.to_path_buf();
+            move |source: std::io::Error| JournalError::Io { path, op, source }
+        };
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io("open"))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io("read"))?;
+
+        let mut journal = SweepJournal {
+            path: path.to_path_buf(),
+            file,
+        };
+        if bytes.is_empty() {
+            journal.write_all(&framed(&encode_header(spec)), "write header")?;
+            return Ok((journal, Vec::new()));
+        }
+
+        let refuse = |reason: String| JournalError::Refused {
+            path: path.to_path_buf(),
+            reason,
+        };
+        let mut scan = FrameScan::new(&bytes);
+        let header = scan
+            .next()
+            .ok_or_else(|| refuse("unreadable journal header (torn or corrupt)".into()))
+            .and_then(|payload| decode_header(payload).map_err(refuse))?;
+        let mismatch = |field: &'static str, journal: String, spec: String| {
+            Err(JournalError::SpecMismatch {
+                path: path.to_path_buf(),
+                field,
+                journal,
+                spec,
+            })
+        };
+        if header.format_version != FORMAT_VERSION {
+            mismatch(
+                "format version",
+                header.format_version.to_string(),
+                FORMAT_VERSION.to_string(),
+            )?;
+        }
+        if header.code_version != env!("CARGO_PKG_VERSION") {
+            mismatch(
+                "code version",
+                header.code_version.clone(),
+                env!("CARGO_PKG_VERSION").into(),
+            )?;
+        }
+        if header.sweep != spec.name {
+            mismatch(
+                "sweep name",
+                format!("`{}`", header.sweep),
+                format!("`{}`", spec.name),
+            )?;
+        }
+        if header.master_seed != spec.master_seed {
+            mismatch(
+                "master seed",
+                header.master_seed.to_string(),
+                spec.master_seed.to_string(),
+            )?;
+        }
+        if header.cell_count != spec.cells.len() as u64 {
+            mismatch(
+                "cell count",
+                header.cell_count.to_string(),
+                spec.cells.len().to_string(),
+            )?;
+        }
+        if header.ids_hash != ids_hash(spec) {
+            mismatch(
+                "cell-id list hash",
+                format!("{:#018x}", header.ids_hash),
+                format!("{:#018x}", ids_hash(spec)),
+            )?;
+        }
+
+        let mut replayed: Vec<(usize, CellReport)> = Vec::new();
+        let mut seen = vec![false; spec.cells.len()];
+        for payload in scan.by_ref() {
+            let (index, report) = decode_cell(payload).map_err(&refuse)?;
+            if index >= spec.cells.len() {
+                return Err(refuse(format!(
+                    "record for cell index {index}, but the sweep has only {} cells",
+                    spec.cells.len()
+                )));
+            }
+            if seen[index] {
+                return Err(refuse(format!("duplicate record for cell index {index}")));
+            }
+            if report.id != spec.cells[index].id {
+                return Err(refuse(format!(
+                    "record {index} names cell `{}` but the spec's cell {index} is `{}`",
+                    report.id, spec.cells[index].id
+                )));
+            }
+            let expected_seed = derive_seed(spec.master_seed, index as u64);
+            if report.seed != expected_seed {
+                return Err(refuse(format!(
+                    "record {index} carries seed {} but derive_seed gives {expected_seed}",
+                    report.seed
+                )));
+            }
+            seen[index] = true;
+            replayed.push((index, report));
+        }
+
+        // Discard the torn (or checksum-mismatched) tail, if any: the
+        // cells it covered will simply re-run and be re-appended.
+        let valid = scan.offset();
+        if valid < bytes.len() {
+            journal
+                .file
+                .set_len(valid as u64)
+                .map_err(io("truncate torn tail"))?;
+        }
+        journal
+            .file
+            .seek(SeekFrom::Start(valid as u64))
+            .map_err(io("seek"))?;
+        Ok((journal, replayed))
+    }
+
+    /// Appends (and flushes) one completed cell record.
+    pub fn append(&mut self, index: usize, report: &CellReport) -> Result<(), JournalError> {
+        self.write_all(&framed(&encode_cell(index, report)), "append cell record")
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_all(&mut self, bytes: &[u8], op: &'static str) -> Result<(), JournalError> {
+        self.file
+            .write_all(bytes)
+            .and_then(|()| self.file.flush())
+            .map_err(|source| JournalError::Io {
+                path: self.path.clone(),
+                op,
+                source,
+            })
+    }
+}
+
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + rbruntime::wal::FRAME_OVERHEAD);
+    write_frame(&mut out, payload);
+    out
+}
+
+/// A structural summary of a journal file, for tests and diagnostics —
+/// no spec needed, nothing decoded beyond the framing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Byte offset where each cell record's frame starts (the header
+    /// frame ends at `record_offsets[0]`, or at `valid_len` if there
+    /// are no records).
+    pub record_offsets: Vec<usize>,
+    /// Length of the intact prefix (every byte beyond it is torn or
+    /// corrupt).
+    pub valid_len: usize,
+    /// Total file length.
+    pub total_len: usize,
+}
+
+impl JournalStats {
+    /// Number of intact cell records.
+    pub fn records(&self) -> usize {
+        self.record_offsets.len()
+    }
+
+    /// The truncation point that keeps exactly the first `n` intact
+    /// cell records (plus the header).
+    pub fn keep_records(&self, n: usize) -> usize {
+        match self.record_offsets.get(n) {
+            Some(&off) => off,
+            None => self.valid_len,
+        }
+    }
+}
+
+/// Scans the framing of the journal at `path`.
+pub fn inspect(path: &Path) -> Result<JournalStats, JournalError> {
+    let bytes = std::fs::read(path).map_err(|source| JournalError::Io {
+        path: path.to_path_buf(),
+        op: "read",
+        source,
+    })?;
+    let mut scan = FrameScan::new(&bytes);
+    let mut record_offsets = Vec::new();
+    let mut first = true;
+    loop {
+        let offset = scan.offset();
+        if scan.next().is_none() {
+            break;
+        }
+        if !first {
+            record_offsets.push(offset);
+        }
+        first = false;
+    }
+    Ok(JournalStats {
+        record_offsets,
+        valid_len: scan.offset(),
+        total_len: bytes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(report: &CellReport, index: usize) -> (usize, CellReport) {
+        decode_cell(&encode_cell(index, report)).expect("decode")
+    }
+
+    #[test]
+    fn cell_records_round_trip_bit_exactly() {
+        let report = CellReport {
+            id: "n3/mu1/lam0.5".into(),
+            seed: u64::MAX - 17, // full 64-bit fidelity (JSON would lose this)
+            metrics: vec![
+                Metric::exact("EX", 2.598_712_3e-9),
+                Metric::check("gate", -0.0, 1e-9, false),
+                Metric::Scalar {
+                    name: "weird".into(),
+                    value: f64::NAN,
+                    std_err: f64::INFINITY,
+                    count: u64::MAX,
+                    ok: true,
+                },
+                Metric::Distribution {
+                    name: "X_hist".into(),
+                    ok: true,
+                    dist: DistSummary {
+                        lo: 0.0,
+                        hi: 4.5,
+                        counts: vec![3, 0, 7, 2],
+                        underflow: 1,
+                        overflow: 9,
+                        count: 22,
+                        mean: 1.75,
+                        quantiles: vec![
+                            Quantile { p: 0.5, x: 1.5 },
+                            Quantile {
+                                p: 0.99,
+                                x: f64::NAN,
+                            },
+                        ],
+                    },
+                },
+            ],
+        };
+        let (index, got) = roundtrip(&report, 41);
+        assert_eq!(index, 41);
+        assert_eq!(got.id, report.id);
+        assert_eq!(got.seed, report.seed);
+        assert_eq!(got.metrics.len(), report.metrics.len());
+        for (a, b) in report.metrics.iter().zip(&got.metrics) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.value().to_bits(), b.value().to_bits(), "{}", a.name());
+            assert_eq!(a.std_err().to_bits(), b.std_err().to_bits());
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.ok(), b.ok());
+        }
+        let (a, b) = (
+            report.metrics[3].dist().unwrap(),
+            got.metrics[3].dist().unwrap(),
+        );
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.quantiles[1].x.to_bits(), b.quantiles[1].x.to_bits());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_tags() {
+        let report = CellReport {
+            id: "c".into(),
+            seed: 7,
+            metrics: vec![Metric::exact("v", 1.0)],
+        };
+        let mut bytes = encode_cell(3, &report);
+        bytes.push(0xAB);
+        assert!(decode_cell(&bytes).unwrap_err().contains("trailing"));
+        let mut bytes = encode_cell(3, &report);
+        bytes[0] = 0x77;
+        assert!(decode_cell(&bytes).unwrap_err().contains("tag"));
+        let whole = encode_cell(3, &report);
+        assert!(decode_cell(&whole[..4]).unwrap_err().contains("truncated"));
+    }
+
+    #[test]
+    fn ids_hash_separates_id_boundaries() {
+        use crate::sweep::SweepCell;
+        use rbcore::workload::Workload;
+        struct Nop;
+        impl Workload for Nop {
+            fn label(&self) -> String {
+                "nop".into()
+            }
+            fn run(&self, _seed: u64) -> Vec<Metric> {
+                Vec::new()
+            }
+        }
+        let spec_a = SweepSpec::new(
+            "s",
+            1,
+            vec![SweepCell::named("ab", Nop), SweepCell::named("c", Nop)],
+        );
+        let spec_b = SweepSpec::new(
+            "s",
+            1,
+            vec![SweepCell::named("a", Nop), SweepCell::named("bc", Nop)],
+        );
+        assert_ne!(ids_hash(&spec_a), ids_hash(&spec_b));
+    }
+}

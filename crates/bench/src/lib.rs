@@ -12,11 +12,15 @@
 //!   loss, §5 trade-off scoring, optimal-period search) plus re-exports
 //!   of the `rbcore` scheme adapters, so binaries import every workload
 //!   kind from one place;
-//! * [`cli`] — the shared `--seed` / `--threads` / `--out` flag parser
-//!   every binary uses;
-//! * [`emit_json`] / [`artifact_json`] — the one JSON artifact writer
-//!   every binary funnels through (machine-readable twins of the
-//!   printed tables, under `results/`);
+//! * [`journal`] — the WAL-style sweep journal behind
+//!   [`sweep::SweepSpec::run_resumable`]: completed cells are appended
+//!   to an on-disk log and replayed on restart, byte-identical to an
+//!   uninterrupted run;
+//! * [`cli`] — the shared `--seed` / `--threads` / `--out` /
+//!   `--journal` flag parser every binary uses;
+//! * [`emit_json`] / [`emit_json_in`] / [`artifact_json`] — the one
+//!   JSON artifact writer every binary funnels through
+//!   (machine-readable twins of the printed tables, under `results/`);
 //! * [`Table`], [`row`], [`rule`] — fixed-width table printing.
 //!
 //! ```
@@ -35,18 +39,31 @@
 #![forbid(unsafe_code)]
 
 pub mod cli;
+pub mod journal;
 pub mod sweep;
 pub mod workloads;
 
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Where experiment artifacts are written (`results/` at the workspace
 /// root, created on demand; override with `RB_RESULTS_DIR`).
 pub fn results_dir() -> PathBuf {
-    let dir = std::env::var_os("RB_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"));
+    results_dir_in(None)
+}
+
+/// [`results_dir`] with an explicit override. `Some(dir)` wins
+/// outright; `None` falls back to the `RB_RESULTS_DIR` environment
+/// variable (read-only — nothing in this workspace *sets* it, so
+/// concurrent test threads cannot race on process state), then to
+/// `results/`.
+pub fn results_dir_in(dir: Option<&Path>) -> PathBuf {
+    let dir = match dir {
+        Some(d) => d.to_path_buf(),
+        None => std::env::var_os("RB_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("results")),
+    };
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
 }
@@ -65,7 +82,16 @@ pub fn artifact_json<T: serde::Serialize>(value: &T) -> String {
 /// returning the path. The figure binaries both print human-readable
 /// tables and persist these machine-readable twins.
 pub fn emit_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
-    let path = results_dir().join(format!("{name}.json"));
+    emit_json_in(None, name, value)
+}
+
+/// [`emit_json`] with an explicit artifact directory — how binaries
+/// thread their `--out` flag through
+/// ([`cli::BenchArgs::emit_json`]) instead of mutating process-wide
+/// environment state. `None` falls back to `RB_RESULTS_DIR`, then
+/// `results/`.
+pub fn emit_json_in<T: serde::Serialize>(dir: Option<&Path>, name: &str, value: &T) -> PathBuf {
+    let path = results_dir_in(dir).join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path).expect("create artifact");
     f.write_all(artifact_json(value).as_bytes())
         .expect("write artifact");
@@ -140,16 +166,17 @@ mod tests {
 
     #[test]
     fn emit_json_roundtrips() {
+        // Explicit directory, no env-var mutation: safe under
+        // concurrent test threads.
         let dir = std::env::temp_dir().join("rbbench-test-artifacts");
-        std::env::set_var("RB_RESULTS_DIR", &dir);
-        let path = emit_json("unit-test", &vec![1, 2, 3]);
+        let path = emit_json_in(Some(&dir), "unit-test", &vec![1, 2, 3]);
+        assert!(path.starts_with(&dir));
         let body = std::fs::read_to_string(path).unwrap();
         assert_eq!(
             serde_json::from_str::<Vec<i32>>(&body).unwrap(),
             vec![1, 2, 3]
         );
         assert_eq!(body, artifact_json(&vec![1, 2, 3]));
-        std::env::remove_var("RB_RESULTS_DIR");
     }
 
     #[test]

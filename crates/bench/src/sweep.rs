@@ -48,7 +48,7 @@
 use rbcore::workload::AsyncIntervals;
 use rbmarkov::paper::AsyncParams;
 use rbsim::derive_seed;
-use rbsim::par::{available_threads, par_map_batched};
+use rbsim::par::{available_threads, par_map_batched, par_map_sparse};
 use rbtestutil::{standard_matrix, ConformanceWorkload, SchemeConformance};
 use serde::Serialize;
 
@@ -116,10 +116,22 @@ impl CellReport {
     /// The value of the metric named `name`.
     ///
     /// # Panics
-    /// Panics if the cell did not produce that metric.
+    /// Panics if the cell did not produce that metric; the message
+    /// names the cell and lists every metric it *did* produce, so a
+    /// failed figure-bin run is diagnosable straight from a CI log.
     pub fn value(&self, name: &str) -> f64 {
         self.metric(name)
-            .unwrap_or_else(|| panic!("cell `{}` has no metric `{name}`", self.id))
+            .unwrap_or_else(|| {
+                panic!(
+                    "cell `{}` has no metric `{name}`; available: [{}]",
+                    self.id,
+                    self.metrics
+                        .iter()
+                        .map(Metric::name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })
             .value()
     }
 }
@@ -173,9 +185,25 @@ pub struct SweepSpec {
 
 impl SweepSpec {
     /// A spec from explicit cells.
+    ///
+    /// # Panics
+    /// Panics if two cells share an id. Ids are how binaries look cells
+    /// up ([`SweepReport::cell`] returns the *first* match) and how the
+    /// resume journal re-slots replayed records — a duplicate would
+    /// silently shadow one cell's results, so it is rejected here, at
+    /// construction, naming the offending id.
     pub fn new(name: impl Into<String>, master_seed: u64, cells: Vec<SweepCell>) -> Self {
+        let name = name.into();
+        let mut seen = std::collections::HashSet::with_capacity(cells.len());
+        for cell in &cells {
+            assert!(
+                seen.insert(cell.id.as_str()),
+                "sweep `{name}`: duplicate cell id `{}`",
+                cell.id
+            );
+        }
         SweepSpec {
-            name: name.into(),
+            name,
             master_seed,
             cells,
         }
@@ -243,6 +271,60 @@ impl SweepSpec {
             master_seed: master,
             cells,
         }
+    }
+
+    /// [`SweepSpec::run`] with a write-ahead journal: completed cells
+    /// are appended to `journal_path` as they finish, and a re-run of
+    /// the same spec against the same journal **resumes** — intact
+    /// records are replayed, a torn tail is discarded, and only the
+    /// missing cell indices are dispatched (through the same sparse
+    /// cursor, under the same `(master_seed, index)` seeds), so the
+    /// reassembled report is byte-identical to an uninterrupted
+    /// `spec.run(1)`. See [`crate::journal`] for the record format and
+    /// the recovery rules; a journal written by a *different* spec is
+    /// refused rather than replayed.
+    pub fn run_resumable(
+        &self,
+        threads: usize,
+        journal_path: &std::path::Path,
+    ) -> Result<SweepReport, crate::journal::JournalError> {
+        let (journal, replayed) = crate::journal::SweepJournal::open(journal_path, self)?;
+        let mut slots: Vec<Option<CellReport>> = vec![None; self.cells.len()];
+        for (idx, report) in replayed {
+            slots[idx] = Some(report);
+        }
+        let missing: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| slots[i].is_none())
+            .collect();
+
+        let master = self.master_seed;
+        let journal = std::sync::Mutex::new(journal);
+        let fresh = par_map_sparse(
+            &self.cells,
+            &missing,
+            threads,
+            1,
+            |idx, cell: &SweepCell| {
+                let report = cell.run(derive_seed(master, idx as u64));
+                journal
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .append(idx, &report)
+                    .unwrap_or_else(|e| panic!("sweep `{}`: {e}", self.name));
+                report
+            },
+        );
+        for (p, report) in fresh.into_iter().enumerate() {
+            slots[missing[p]] = Some(report);
+        }
+        Ok(SweepReport {
+            sweep: self.name.clone(),
+            master_seed: master,
+            cells: slots
+                .into_iter()
+                .map(|s| s.expect("every cell replayed or run"))
+                .collect(),
+        })
     }
 
     /// [`SweepSpec::run`] on a single thread (the serial reference path).
@@ -314,9 +396,16 @@ impl SweepReport {
     }
 
     /// Writes the report under `results/<sweep name>.json` and returns
-    /// the path.
+    /// the path (env-var fallback for the directory; binaries with an
+    /// explicit `--out` should use [`SweepReport::emit_in`]).
     pub fn emit(&self) -> std::path::PathBuf {
-        crate::emit_json(&self.sweep, self)
+        self.emit_in(None)
+    }
+
+    /// [`SweepReport::emit`] with an explicit artifact directory
+    /// (`None` falls back to `RB_RESULTS_DIR`, then `results/`).
+    pub fn emit_in(&self, dir: Option<&std::path::Path>) -> std::path::PathBuf {
+        crate::emit_json_in(dir, &self.sweep, self)
     }
 }
 
@@ -467,6 +556,58 @@ mod tests {
         assert!(spec.cells.len() >= 20);
         let ids: std::collections::HashSet<_> = spec.cells.iter().map(|c| c.id.clone()).collect();
         assert_eq!(ids.len(), spec.cells.len(), "duplicate cell ids");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell id `twin`")]
+    fn duplicate_cell_ids_are_rejected_at_construction() {
+        struct Nop;
+        impl Workload for Nop {
+            fn label(&self) -> String {
+                "nop".into()
+            }
+            fn run(&self, _seed: u64) -> Vec<Metric> {
+                Vec::new()
+            }
+        }
+        SweepSpec::new(
+            "unit-dup",
+            1,
+            vec![
+                SweepCell::named("twin", Nop),
+                SweepCell::named("other", Nop),
+                SweepCell::named("twin", Nop),
+            ],
+        );
+    }
+
+    #[test]
+    fn missing_metric_panic_lists_available_names() {
+        let report = CellReport {
+            id: "c0".into(),
+            seed: 0,
+            metrics: vec![Metric::exact("EX", 1.0), Metric::exact("EL0", 2.0)],
+        };
+        let err = std::panic::catch_unwind(|| report.value("EY")).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("cell `c0`"), "{msg}");
+        assert!(msg.contains("`EY`"), "{msg}");
+        assert!(msg.contains("EX, EL0"), "{msg}");
+    }
+
+    #[test]
+    fn run_resumable_on_a_fresh_journal_matches_serial_bytes() {
+        let dir = std::env::temp_dir().join("rbbench-unit-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit-grid.wal");
+        let _ = std::fs::remove_file(&path);
+        let spec = small_grid();
+        let resumable = spec.run_resumable(4, &path).expect("resumable run");
+        assert_eq!(resumable.to_json(), spec.run(1).to_json());
+        // Re-open: everything replays, nothing re-runs, bytes identical.
+        let replayed = spec.run_resumable(4, &path).expect("replay run");
+        assert_eq!(replayed.to_json(), resumable.to_json());
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! The resumable-sweep contract, end to end.
+//!
+//! Three layers of guarantee, mirroring `rbbench::journal`'s recovery
+//! rules:
+//!
+//! 1. **Replay equivalence** — a sweep resumed from a journal (fresh,
+//!    complete, torn, or partially corrupt) reassembles a
+//!    `SweepReport` whose JSON is byte-identical to an uninterrupted
+//!    serial run, and resume *skips* completed cells (verified by a
+//!    run-count probe workload, not just by timing).
+//! 2. **Corruption handling** — a truncated tail record and a flipped
+//!    checksum byte cleanly re-run the affected cells; a header/spec
+//!    mismatch (wrong master seed, name, cell count or cell-id list)
+//!    and a corrupt header are refused with a clear error. No case
+//!    produces a divergent report.
+//! 3. **Kill realism** — a release-only test SIGKILLs the
+//!    `sweep_resume_probe` binary mid-sweep (a real child process, not
+//!    a simulated panic), resumes it, and byte-diffs the artifact
+//!    against an uninterrupted run — the CI `sweep-resume` job's gate.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rbbench::journal::{inspect, JournalError};
+use rbbench::sweep::{AsyncGrid, Metric, SweepCell, SweepSpec, Workload};
+use rbbench::workloads::{AsyncIntervals, DistSpec};
+use rbmarkov::paper::AsyncParams;
+
+/// A fresh scratch directory per test (removed up front, so reruns are
+/// clean even after a crash).
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbbench-sweep-resume-{test}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Deterministic echo workload that counts how many times it actually
+/// ran — the probe that distinguishes "replayed from the journal" from
+/// "recomputed".
+#[derive(Clone)]
+struct CountingEcho {
+    runs: Arc<AtomicUsize>,
+}
+
+impl Workload for CountingEcho {
+    fn label(&self) -> String {
+        "counting-echo".into()
+    }
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        vec![
+            Metric::exact("seed_lo32", (seed & 0xFFFF_FFFF) as f64),
+            Metric::exact("seed_hi32", (seed >> 32) as f64),
+        ]
+    }
+}
+
+fn counting_spec(name: &str, cells: usize, runs: &Arc<AtomicUsize>) -> SweepSpec {
+    SweepSpec::new(
+        name,
+        4242,
+        (0..cells)
+            .map(|k| {
+                SweepCell::named(
+                    format!("c{k}"),
+                    CountingEcho {
+                        runs: Arc::clone(runs),
+                    },
+                )
+            })
+            .collect(),
+    )
+}
+
+/// A small but *real* sweep — simulation cells with a distribution
+/// metric — so replay fidelity is proven on the payloads the figure
+/// bins actually journal.
+fn sim_spec() -> SweepSpec {
+    let grid = AsyncGrid {
+        n: vec![2, 3],
+        mu: vec![1.0],
+        lambda: vec![0.5, 1.0],
+        lines: 120,
+    };
+    let mut spec = SweepSpec::async_grid("resume-sim", 7, &grid);
+    let params = AsyncParams::symmetric(3, 1.0, 0.5);
+    spec.cells.push(SweepCell::named(
+        "with-dist",
+        AsyncIntervals::new(params, 150).with_distribution(DistSpec::new(0.0, 8.0, 16)),
+    ));
+    spec
+}
+
+#[test]
+fn fresh_then_replayed_journal_matches_serial_bytes() {
+    let dir = scratch("fresh");
+    let path = dir.join("resume-sim.wal");
+    let spec = sim_spec();
+    let reference = spec.run(1).to_json();
+
+    // Fresh journal, parallel run: identical bytes.
+    let first = spec.run_resumable(4, &path).expect("fresh run");
+    assert_eq!(first.to_json(), reference);
+
+    // Complete journal: pure replay, still identical (including the
+    // distribution payload's bit-exact f64s).
+    let replayed = spec.run_resumable(4, &path).expect("replay run");
+    assert_eq!(replayed.to_json(), reference);
+}
+
+#[test]
+fn resume_skips_completed_cells() {
+    let dir = scratch("skip");
+    let path = dir.join("count.wal");
+    let cells = 8;
+
+    let runs = Arc::new(AtomicUsize::new(0));
+    let spec = counting_spec("count", cells, &runs);
+    let full = spec.run_resumable(1, &path).expect("initial run");
+    assert_eq!(runs.load(Ordering::Relaxed), cells, "all cells ran once");
+
+    // Keep only the first 3 records — as if the run died after cell 2.
+    let stats = inspect(&path).expect("inspect");
+    assert_eq!(stats.records(), cells);
+    let keep = 3;
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(stats.keep_records(keep) as u64).unwrap();
+
+    let runs2 = Arc::new(AtomicUsize::new(0));
+    let spec2 = counting_spec("count", cells, &runs2);
+    let resumed = spec2.run_resumable(2, &path).expect("resumed run");
+    assert_eq!(
+        runs2.load(Ordering::Relaxed),
+        cells - keep,
+        "resume must re-run exactly the missing cells"
+    );
+    assert_eq!(resumed.to_json(), full.to_json());
+    assert_eq!(inspect(&path).unwrap().records(), cells, "journal refilled");
+}
+
+#[test]
+fn truncated_tail_record_is_discarded_and_rerun() {
+    let dir = scratch("torn");
+    let path = dir.join("count.wal");
+    let cells = 6;
+
+    let runs = Arc::new(AtomicUsize::new(0));
+    let spec = counting_spec("count", cells, &runs);
+    let full = spec.run_resumable(1, &path).expect("initial run");
+
+    // Tear the last record mid-frame (as SIGKILL mid-write would).
+    let stats = inspect(&path).expect("inspect");
+    let torn_len = stats.record_offsets[cells - 1] + 5;
+    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_len(torn_len as u64).unwrap();
+    let stats = inspect(&path).expect("inspect torn");
+    assert_eq!(stats.records(), cells - 1);
+    assert!(stats.valid_len < stats.total_len, "torn bytes present");
+
+    let runs2 = Arc::new(AtomicUsize::new(0));
+    let spec2 = counting_spec("count", cells, &runs2);
+    let resumed = spec2.run_resumable(1, &path).expect("resumed run");
+    assert_eq!(
+        runs2.load(Ordering::Relaxed),
+        1,
+        "only the torn cell re-ran"
+    );
+    assert_eq!(resumed.to_json(), full.to_json());
+    assert!(
+        inspect(&path).unwrap().valid_len > torn_len,
+        "torn tail truncated, fresh record appended"
+    );
+}
+
+#[test]
+fn flipped_checksum_byte_reruns_the_affected_cells() {
+    let dir = scratch("flip");
+    let path = dir.join("count.wal");
+    let cells = 6;
+
+    let runs = Arc::new(AtomicUsize::new(0));
+    let spec = counting_spec("count", cells, &runs);
+    let full = spec.run_resumable(1, &path).expect("initial run");
+
+    // Flip one checksum byte of record 2: records 2.. are dropped (the
+    // scan cannot trust anything past an unverifiable frame), their
+    // cells re-run, and the report still matches.
+    let stats = inspect(&path).expect("inspect");
+    let flip_at = stats.record_offsets[2] + 5;
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[flip_at] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let runs2 = Arc::new(AtomicUsize::new(0));
+    let spec2 = counting_spec("count", cells, &runs2);
+    let resumed = spec2.run_resumable(3, &path).expect("resumed run");
+    assert_eq!(
+        runs2.load(Ordering::Relaxed),
+        cells - 2,
+        "cells 2.. re-ran; cells 0 and 1 replayed"
+    );
+    assert_eq!(resumed.to_json(), full.to_json());
+}
+
+#[test]
+fn header_spec_mismatches_are_refused_with_clear_errors() {
+    let dir = scratch("mismatch");
+    let path = dir.join("count.wal");
+    let cells = 4;
+
+    let runs = Arc::new(AtomicUsize::new(0));
+    counting_spec("count", cells, &runs)
+        .run_resumable(1, &path)
+        .expect("initial run");
+
+    let expect_mismatch = |spec: SweepSpec, field: &str| {
+        match spec.run_resumable(1, &path) {
+            Err(e @ JournalError::SpecMismatch { .. }) => {
+                let msg = e.to_string();
+                assert!(msg.contains(field), "error for {field}: {msg}");
+                assert!(msg.contains("refusing to replay"), "{msg}");
+            }
+            other => panic!(
+                "expected SpecMismatch on {field}, got {other:?}",
+                other = other.map(|r| r.to_json().len())
+            ),
+        }
+        // The journal itself must be left untouched by a refused open.
+        assert_eq!(inspect(&path).unwrap().records(), cells);
+    };
+
+    // Wrong master seed.
+    let mut wrong_seed = counting_spec("count", cells, &runs);
+    wrong_seed.master_seed = 4243;
+    expect_mismatch(wrong_seed, "master seed");
+
+    // Wrong sweep name.
+    expect_mismatch(counting_spec("other", cells, &runs), "sweep name");
+
+    // Wrong cell count.
+    expect_mismatch(counting_spec("count", cells + 1, &runs), "cell count");
+
+    // Same count, different cell ids.
+    let mut wrong_ids = counting_spec("count", cells, &runs);
+    wrong_ids.cells[1].id = "renamed".into();
+    expect_mismatch(wrong_ids, "cell-id list hash");
+}
+
+#[test]
+fn corrupt_header_is_refused() {
+    let dir = scratch("header");
+    let path = dir.join("count.wal");
+    let runs = Arc::new(AtomicUsize::new(0));
+    counting_spec("count", 3, &runs)
+        .run_resumable(1, &path)
+        .expect("initial run");
+
+    // Flip a byte inside the header frame: the file can no longer be
+    // tied to any spec, so resuming must refuse, not guess.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[13] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+
+    match counting_spec("count", 3, &runs).run_resumable(1, &path) {
+        Err(e @ JournalError::Refused { .. }) => {
+            let msg = e.to_string();
+            assert!(msg.contains("header"), "{msg}");
+            assert!(msg.contains("delete the journal"), "{msg}");
+        }
+        other => panic!("expected Refused, got {:?}", other.map(|r| r.cells.len())),
+    }
+}
+
+#[test]
+fn records_from_a_foreign_grid_are_refused() {
+    // Hand-craft the nastiest case the header cannot catch: a journal
+    // whose header matches but whose records were (somehow) written
+    // for other cells. Splice a record from journal A after journal
+    // B's header, with matching ids hash via identical specs but a
+    // duplicated record index.
+    let dir = scratch("foreign");
+    let path = dir.join("count.wal");
+    let runs = Arc::new(AtomicUsize::new(0));
+    counting_spec("count", 3, &runs)
+        .run_resumable(1, &path)
+        .expect("initial run");
+
+    // Duplicate record 0 at the end of the file: intact frames, valid
+    // header — but an index that appears twice cannot be trusted.
+    let stats = inspect(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let record0 = bytes[stats.record_offsets[0]..stats.record_offsets[1]].to_vec();
+    let mut spliced = bytes;
+    spliced.extend_from_slice(&record0);
+    std::fs::write(&path, &spliced).unwrap();
+
+    match counting_spec("count", 3, &runs).run_resumable(1, &path) {
+        Err(e @ JournalError::Refused { .. }) => {
+            assert!(e.to_string().contains("duplicate record"), "{e}");
+        }
+        other => panic!("expected Refused, got {:?}", other.map(|r| r.cells.len())),
+    }
+}
+
+/// The CI gate: SIGKILL a real sweep process partway, resume it, and
+/// byte-diff the artifact against an uninterrupted run. Release-only —
+/// debug builds simulate enough cells/second to make the kill window
+/// unreliable, and CI's `sweep-resume` job runs the release suite.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "kill/resume gate runs in release (CI sweep-resume job)"
+)]
+fn kill_mid_sweep_then_resume_is_byte_identical() {
+    use std::process::{Command, Stdio};
+
+    let bin = env!("CARGO_BIN_EXE_sweep_resume_probe");
+    let base = scratch("kill");
+    let ref_out = base.join("reference");
+    let res_out = base.join("resumed");
+    let journal_dir = base.join("journal");
+    let lines = "60000";
+
+    // Reference: uninterrupted, serial, no journal.
+    let status = Command::new(bin)
+        .args(["--out", ref_out.to_str().unwrap(), "--threads", "1"])
+        .env("RB_PROBE_LINES", lines)
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn reference run");
+    assert!(status.success(), "reference run failed");
+
+    // Journaled run, killed once the journal shows progress but (we
+    // hope) before completion. SIGKILL, not SIGTERM: no destructors,
+    // exactly the preemption the journal exists for.
+    let journaled = |threads: &str| {
+        let mut cmd = Command::new(bin);
+        cmd.args([
+            "--out",
+            res_out.to_str().unwrap(),
+            "--journal",
+            journal_dir.to_str().unwrap(),
+            "--threads",
+            threads,
+        ])
+        .env("RB_PROBE_LINES", lines)
+        .stdout(Stdio::null());
+        cmd
+    };
+    let mut child = journaled("2").spawn().expect("spawn journaled run");
+    let journal_file = journal_dir.join("sweep_resume_probe.wal");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let mut finished_early = false;
+    loop {
+        if let Ok(stats) = inspect(&journal_file) {
+            if stats.records() >= 3 {
+                break;
+            }
+        }
+        if child.try_wait().expect("try_wait").is_some() {
+            finished_early = true;
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "journaled run made no progress within 120 s"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    if !finished_early {
+        child.kill().expect("SIGKILL the sweep");
+        child.wait().expect("reap the killed sweep");
+        let at_kill = inspect(&journal_file).expect("journal after kill");
+        assert!(
+            at_kill.records() < 24,
+            "kill landed after completion; probe too fast for the gate"
+        );
+    } else {
+        eprintln!("note: probe finished before the kill window; resume degrades to pure replay");
+    }
+
+    // Resume (different thread count on purpose) and byte-diff.
+    let status = journaled("4").status().expect("spawn resumed run");
+    assert!(status.success(), "resumed run failed");
+    let reference = std::fs::read(ref_out.join("sweep_resume_probe.json")).unwrap();
+    let resumed = std::fs::read(res_out.join("sweep_resume_probe.json")).unwrap();
+    assert!(
+        reference == resumed,
+        "resumed artifact diverged from the uninterrupted run ({} vs {} bytes)",
+        reference.len(),
+        resumed.len()
+    );
+    assert_eq!(
+        inspect(&journal_file).unwrap().records(),
+        24,
+        "journal holds every cell after resume"
+    );
+}

@@ -1,4 +1,11 @@
 //! Checkpoint stores: saved process states with the paper's purge rule.
+//!
+//! This store keeps snapshots *in memory*; when a checkpoint-like log
+//! must survive the process itself (e.g. the resumable sweep journal in
+//! `rbbench::journal`), the same save-then-trust-on-restart discipline
+//! is carried to disk by the [`crate::wal`] record framing, whose
+//! torn-tail rule plays the role of the acceptance test: only intact,
+//! checksummed records are restored.
 
 /// Distinguishes acceptance-tested recovery points from implanted
 /// pseudo recovery points (paper §4).

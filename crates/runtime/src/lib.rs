@@ -9,6 +9,10 @@
 //!
 //! * [`checkpoint`] — per-process stores of cloned state snapshots
 //!   (real RPs and PRPs), with the paper's purge rule;
+//! * [`wal`] — length-prefixed, checksummed record framing for durable
+//!   journals (the on-disk counterpart of the checkpoint discipline:
+//!   a killed writer leaves a log replayable up to its last intact
+//!   record — `rbbench`'s resumable sweep journal builds on it);
 //! * [`channel`] — sequence-numbered FIFO channels with sender-side
 //!   logs (the §4 requirement that messages sent before a commitment
 //!   be retained in the saved state);
@@ -36,6 +40,7 @@ pub mod conversation;
 pub mod coordinator;
 pub mod prp;
 pub mod recovery_block;
+pub mod wal;
 
 pub use async_group::{AsyncGroup, PropagationMode};
 pub use channel::{logged_pair, LoggedReceiver, LoggedSender, SeqError};
