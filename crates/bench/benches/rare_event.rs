@@ -1,0 +1,65 @@
+//! Criterion: the rare-event hot loops.
+//!
+//! Multilevel splitting spends its time in two places — the flag-chain
+//! jump-path simulator (`advance`: one exponential draw + one uniform
+//! pick per jump) and the per-level resample/advance loop of
+//! `rbsim::splitting::run`. Both are pinned here, alongside the exact
+//! survival oracle the tail-conformance gate compares against (one
+//! lazily-extended uniformization sequence shared across probes). The
+//! CI rare-event job runs this bench as a fixed-budget smoke on every
+//! PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbcore::tail::FlagChainPath;
+use rbmarkov::paper::AsyncParams;
+use rbsim::splitting::{naive_monte_carlo, run, SplittingSpec};
+use std::hint::black_box;
+
+fn params() -> AsyncParams {
+    AsyncParams::symmetric(3, 1.0, 1.0)
+}
+
+fn bench_splitting_run(c: &mut Criterion) {
+    let p = params();
+    let path = FlagChainPath::new(&p);
+    let mut g = c.benchmark_group("splitting/run");
+    for (label, p_target, trials) in [("p1e-6", 1e-6, 256usize), ("p1e-9", 1e-9, 256)] {
+        let t = p.interval_tail_time(p_target);
+        let levels = (p_target.ln() / 0.2f64.ln()).ceil() as usize;
+        let spec = SplittingSpec::equal(t, levels, trials);
+        g.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
+            b.iter(|| black_box(run(&path, spec, 1983)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_naive_baseline(c: &mut Criterion) {
+    // The single-level degenerate case: pure path simulation with no
+    // resampling, isolating the jump loop from the splitting overhead.
+    let p = params();
+    let path = FlagChainPath::new(&p);
+    let t = p.interval_quantile(0.99);
+    c.bench_function("splitting/naive_mc_4096", |b| {
+        b.iter(|| black_box(naive_monte_carlo(&path, t, 4_096, 1983)))
+    });
+}
+
+fn bench_survival_oracle(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("survival/tail_time_1e-9", |b| {
+        b.iter(|| black_box(p.interval_tail_time(1e-9)))
+    });
+    let ts: Vec<f64> = (1..=40).map(|k| k as f64 * 2.5).collect();
+    c.bench_function("survival/batch_40pts", |b| {
+        b.iter(|| black_box(p.interval_survival_batch(&ts)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_splitting_run,
+    bench_naive_baseline,
+    bench_survival_oracle
+);
+criterion_main!(benches);

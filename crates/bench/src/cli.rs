@@ -1,7 +1,7 @@
 //! Shared command-line parsing for the figure binaries.
 //!
-//! Every binary accepts the same four flags — there is exactly one
-//! parser, so they cannot drift:
+//! Every binary accepts the same flags — there is exactly one parser,
+//! so they cannot drift:
 //!
 //! * `--seed <u64>` — override the sweep's master seed (default: the
 //!   binary's published seed, so bare runs reproduce the committed
@@ -16,7 +16,14 @@
 //!   `<dir>/<sweep name>.wal` and resume from it on re-run
 //!   ([`crate::sweep::SweepSpec::run_resumable`] via
 //!   [`BenchArgs::run_sweep`]); the resumed artifact is byte-identical
-//!   to an uninterrupted run.
+//!   to an uninterrupted run;
+//! * `--adaptive <budget>` — for binaries with an adaptive-refinement
+//!   mode ([`crate::adaptive::AdaptiveSpec`]): refine the sweep axis
+//!   under a global cell budget of `budget` (at least 1; binaries
+//!   without the mode reject the flag themselves);
+//! * `--splitting <trials>` — for binaries with a rare-event mode:
+//!   trials per multilevel-splitting level
+//!   (`rbsim::splitting`; at least 1).
 //!
 //! ```no_run
 //! let args = rbbench::cli::BenchArgs::parse("table1");
@@ -41,6 +48,10 @@ pub struct BenchArgs {
     pub out: Option<PathBuf>,
     /// `--journal`: directory for resumable sweep journals.
     pub journal: Option<PathBuf>,
+    /// `--adaptive`: global cell budget for adaptive grid refinement.
+    pub adaptive: Option<usize>,
+    /// `--splitting`: trials per multilevel-splitting level.
+    pub splitting: Option<usize>,
 }
 
 impl BenchArgs {
@@ -66,6 +77,7 @@ impl BenchArgs {
     pub fn usage(bin: &str) -> String {
         format!(
             "usage: {bin} [--seed <u64>] [--threads <n>] [--out <dir>] [--journal <dir>]\n\
+             \x20          [--adaptive <budget>] [--splitting <trials>]\n\
              \n\
              --seed <u64>    master seed for the sweep (default: the binary's\n\
              \x20               published seed; per-cell seeds derive from it)\n\
@@ -75,7 +87,13 @@ impl BenchArgs {
              \x20               or RB_RESULTS_DIR)\n\
              --journal <dir> journal completed cells to <dir>/<sweep>.wal and\n\
              \x20               resume from it on re-run; a resumed run's artifact\n\
-             \x20               is byte-identical to an uninterrupted one"
+             \x20               is byte-identical to an uninterrupted one\n\
+             --adaptive <budget>\n\
+             \x20               refine the sweep axis adaptively under a global\n\
+             \x20               cell budget (binaries with a refinement mode)\n\
+             --splitting <trials>\n\
+             \x20               trials per multilevel-splitting level (binaries\n\
+             \x20               with a rare-event mode)"
         )
     }
 
@@ -96,6 +114,12 @@ impl BenchArgs {
                 }
                 "--out" => out.out = Some(Self::dir(&arg, args.next())?),
                 "--journal" => out.journal = Some(Self::dir(&arg, args.next())?),
+                "--adaptive" => {
+                    out.adaptive = Some(Self::positive(&arg, args.next(), "a cell budget")?)
+                }
+                "--splitting" => {
+                    out.splitting = Some(Self::positive(&arg, args.next(), "a trial count")?)
+                }
                 other => return Err(ParseError::Invalid(format!("unknown argument `{other}`"))),
             }
         }
@@ -111,6 +135,16 @@ impl BenchArgs {
             ))),
             None => Err(ParseError::Invalid(format!("{flag} requires a value"))),
         }
+    }
+
+    fn positive(flag: &str, raw: Option<String>, what: &str) -> Result<usize, ParseError> {
+        let v: usize = Self::value(flag, raw)?;
+        if v == 0 {
+            return Err(ParseError::Invalid(format!(
+                "{flag} requires {what} of at least 1"
+            )));
+        }
+        Ok(v)
     }
 
     fn dir(flag: &str, raw: Option<String>) -> Result<PathBuf, ParseError> {
@@ -223,6 +257,10 @@ mod tests {
             "/tmp/x",
             "--journal",
             "/tmp/j",
+            "--adaptive",
+            "128",
+            "--splitting",
+            "4096",
         ])
         .unwrap();
         assert_eq!(a.seed, Some(42));
@@ -234,6 +272,8 @@ mod tests {
             a.journal_file("fig7_sync_sweep"),
             Some(PathBuf::from("/tmp/j/fig7_sync_sweep.wal"))
         );
+        assert_eq!(a.adaptive, Some(128));
+        assert_eq!(a.splitting, Some(4096));
     }
 
     #[test]
@@ -251,6 +291,14 @@ mod tests {
     }
 
     #[test]
+    fn zero_budget_or_trials_are_usage_errors() {
+        assert!(invalid(&["--adaptive", "0"]).contains("at least 1"));
+        assert!(invalid(&["--splitting", "0"]).contains("at least 1"));
+        assert!(invalid(&["--adaptive", "-3"]).contains("invalid value"));
+        assert!(invalid(&["--splitting"]).contains("requires a value"));
+    }
+
+    #[test]
     fn malformed_arguments_are_reported_not_panicked() {
         assert!(invalid(&["--seed"]).contains("requires a value"));
         assert!(invalid(&["--seed", "abc"]).contains("invalid value"));
@@ -262,7 +310,14 @@ mod tests {
     #[test]
     fn usage_names_every_flag() {
         let u = BenchArgs::usage("table1");
-        for flag in ["--seed", "--threads", "--out", "--journal"] {
+        for flag in [
+            "--seed",
+            "--threads",
+            "--out",
+            "--journal",
+            "--adaptive",
+            "--splitting",
+        ] {
             assert!(u.contains(flag), "usage lost {flag}");
         }
         assert!(u.starts_with("usage: table1"));

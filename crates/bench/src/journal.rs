@@ -3,7 +3,9 @@
 //!
 //! A preempted million-cell sweep should not lose its finished cells.
 //! Because every cell's randomness derives purely from
-//! `(master_seed, cell index)` ([`rbsim::derive_seed`]), a finished
+//! `(master_seed, seed index)` ([`rbsim::derive_seed`], where the seed
+//! index is the grid position unless the cell overrides it — see
+//! [`crate::sweep::SweepCell::seed_index`]), a finished
 //! [`CellReport`] is a pure function of the [`SweepSpec`] — so a journal
 //! of completed cells can be replayed on restart and the reassembled
 //! [`crate::sweep::SweepReport`] is **byte-identical** to an
@@ -19,7 +21,8 @@
 //!
 //! * **frame 0 — header.** Binds the journal to one spec and one code
 //!   version: format version, crate version, sweep name, master seed,
-//!   cell count, and an FNV-1a hash of the full cell-id list. A journal
+//!   cell count, and an FNV-1a hash of the full cell-id list together
+//!   with each cell's seed-derivation index. A journal
 //!   whose header does not match the spec being resumed is **refused**
 //!   ([`JournalError::SpecMismatch`]) — replaying cells from a
 //!   different grid would silently produce a divergent report.
@@ -60,9 +63,14 @@ use rbsim::derive_seed;
 
 use crate::sweep::{CellReport, SweepSpec};
 
-/// Version of the journal's record encoding; bumped on any layout
-/// change so stale journals are refused instead of misread.
-pub const FORMAT_VERSION: u16 = 1;
+/// Version of the journal's record encoding; bumped on any layout *or
+/// validation-semantics* change so stale journals are refused instead
+/// of misread. v2: the header's cell-list hash binds each cell's
+/// **seed-derivation index** (see [`crate::sweep::SweepCell::seed_index`])
+/// alongside its id, and record seeds are validated against that index
+/// — required for the dynamically added cells of adaptive refinement,
+/// and invalidating v1 journals whose hash covered ids alone.
+pub const FORMAT_VERSION: u16 = 2;
 
 const TAG_HEADER: u8 = 1;
 const TAG_CELL: u8 = 2;
@@ -343,12 +351,17 @@ fn decode_cell(payload: &[u8]) -> Result<(usize, CellReport), String> {
 }
 
 /// The spec-binding hash over the full cell-id list (each id hashed
-/// with its length, so `["ab","c"]` ≠ `["a","bc"]`).
+/// with its length, so `["ab","c"]` ≠ `["a","bc"]`) *and* each cell's
+/// effective seed-derivation index. Adaptive refinement adds cells
+/// dynamically with explicit seed indices; binding them here means a
+/// journal can never replay a record into a cell whose seed convention
+/// changed, even when the ids line up.
 fn ids_hash(spec: &SweepSpec) -> u64 {
     let mut buf = Vec::new();
-    for cell in &spec.cells {
+    for (idx, cell) in spec.cells.iter().enumerate() {
         buf.extend_from_slice(&(cell.id.len() as u64).to_le_bytes());
         buf.extend_from_slice(cell.id.as_bytes());
+        buf.extend_from_slice(&spec.seed_index(idx).to_le_bytes());
     }
     fnv1a64(&buf)
 }
@@ -514,10 +527,12 @@ impl SweepJournal {
                     report.id, spec.cells[index].id
                 )));
             }
-            let expected_seed = derive_seed(spec.master_seed, index as u64);
+            let seed_index = spec.seed_index(index);
+            let expected_seed = derive_seed(spec.master_seed, seed_index);
             if report.seed != expected_seed {
                 return Err(refuse(format!(
-                    "record {index} carries seed {} but derive_seed gives {expected_seed}",
+                    "record {index} carries seed {} but derive_seed(master, {seed_index}) \
+                     gives {expected_seed}",
                     report.seed
                 )));
             }
@@ -709,19 +724,46 @@ mod tests {
         assert!(decode_cell(&whole[..4]).unwrap_err().contains("truncated"));
     }
 
+    use crate::sweep::SweepCell;
+    use rbcore::workload::Workload;
+
+    struct Nop;
+    impl Workload for Nop {
+        fn label(&self) -> String {
+            "nop".into()
+        }
+        fn run(&self, _seed: u64) -> Vec<Metric> {
+            Vec::new()
+        }
+    }
+
+    /// A two-cell spec whose cells optionally override their
+    /// seed-derivation index.
+    fn spec_with(master_seed: u64, indices: [Option<u64>; 2]) -> SweepSpec {
+        let cells = ["a", "b"]
+            .into_iter()
+            .zip(indices)
+            .map(|(id, idx)| {
+                let cell = SweepCell::named(id, Nop);
+                match idx {
+                    Some(i) => cell.with_seed_index(i),
+                    None => cell,
+                }
+            })
+            .collect();
+        SweepSpec::new("s", master_seed, cells)
+    }
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rbbench-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
     #[test]
     fn ids_hash_separates_id_boundaries() {
-        use crate::sweep::SweepCell;
-        use rbcore::workload::Workload;
-        struct Nop;
-        impl Workload for Nop {
-            fn label(&self) -> String {
-                "nop".into()
-            }
-            fn run(&self, _seed: u64) -> Vec<Metric> {
-                Vec::new()
-            }
-        }
         let spec_a = SweepSpec::new(
             "s",
             1,
@@ -733,5 +775,71 @@ mod tests {
             vec![SweepCell::named("a", Nop), SweepCell::named("bc", Nop)],
         );
         assert_ne!(ids_hash(&spec_a), ids_hash(&spec_b));
+    }
+
+    #[test]
+    fn ids_hash_binds_seed_indices() {
+        // Same ids, same grid — only one cell's seed-derivation index
+        // differs. The header hash must treat that as a different spec.
+        let plain = spec_with(1, [None, None]);
+        let shifted = spec_with(1, [None, Some(1 << 40)]);
+        assert_ne!(ids_hash(&plain), ids_hash(&shifted));
+        // Spelling out the default indices explicitly changes nothing.
+        let explicit = spec_with(1, [Some(0), Some(1)]);
+        assert_eq!(ids_hash(&plain), ids_hash(&explicit));
+    }
+
+    #[test]
+    fn reopening_under_a_different_seed_convention_is_a_spec_mismatch() {
+        let dir = scratch("seed-convention");
+        let path = dir.join("s.wal");
+        let plain = spec_with(9, [None, None]);
+        let (journal, replayed) = SweepJournal::open(&path, &plain).expect("fresh open");
+        assert!(replayed.is_empty());
+        drop(journal);
+        let shifted = spec_with(9, [None, Some(1 << 40)]);
+        let err = match SweepJournal::open(&path, &shifted) {
+            Ok(_) => panic!("journal must refuse a changed seed convention"),
+            Err(err) => err,
+        };
+        match &err {
+            JournalError::SpecMismatch { field, .. } => assert_eq!(*field, "cell-id list hash"),
+            other => panic!("wanted SpecMismatch, got {other}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("cell-id list hash"), "message: {msg}");
+        assert!(msg.contains("refusing to replay"), "message: {msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_seeded_under_the_wrong_index_is_refused() {
+        // Forge a record whose seed was derived from the grid position
+        // even though the spec's cell overrides its seed index — the
+        // refusal must name the expected index so the mismatch is
+        // diagnosable.
+        let dir = scratch("wrong-seed");
+        let path = dir.join("s.wal");
+        let spec = spec_with(9, [None, Some(1 << 40)]);
+        let (mut journal, _) = SweepJournal::open(&path, &spec).expect("fresh open");
+        let report = CellReport {
+            id: "b".into(),
+            seed: derive_seed(9, 1), // grid-position convention, not 1 << 40
+            metrics: Vec::new(),
+        };
+        journal.append(1, &report).expect("append");
+        drop(journal);
+        let err = match SweepJournal::open(&path, &spec) {
+            Ok(_) => panic!("journal must refuse a wrong-seed record"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, JournalError::Refused { .. }), "got {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("carries seed"), "message: {msg}");
+        assert!(
+            msg.contains(&format!("derive_seed(master, {})", 1u64 << 40)),
+            "message: {msg}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -12,12 +12,17 @@
 //!   loss, §5 trade-off scoring, optimal-period search) plus re-exports
 //!   of the `rbcore` scheme adapters, so binaries import every workload
 //!   kind from one place;
+//! * [`adaptive`] — adaptive 1-D grid refinement: bisect the gaps
+//!   where a metric jumps, under a global cell budget, with
+//!   path-determined per-point seeds so the refined profile is
+//!   byte-identical at any thread count and through kill/resume;
 //! * [`journal`] — the WAL-style sweep journal behind
 //!   [`sweep::SweepSpec::run_resumable`]: completed cells are appended
 //!   to an on-disk log and replayed on restart, byte-identical to an
 //!   uninterrupted run;
 //! * [`cli`] — the shared `--seed` / `--threads` / `--out` /
-//!   `--journal` flag parser every binary uses;
+//!   `--journal` / `--adaptive` / `--splitting` flag parser every
+//!   binary uses;
 //! * [`emit_json`] / [`emit_json_in`] / [`artifact_json`] — the one
 //!   JSON artifact writer every binary funnels through
 //!   (machine-readable twins of the printed tables, under `results/`);
@@ -38,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod cli;
 pub mod journal;
 pub mod sweep;

@@ -67,6 +67,18 @@ pub struct SweepCell {
     pub id: String,
     /// What the cell computes.
     pub workload: Box<dyn Workload + Send + Sync>,
+    /// Seed-derivation index override: the cell runs under
+    /// [`derive_seed`]`(master_seed, seed_index)` instead of the cell's
+    /// grid position. `None` (the default) keeps the historical
+    /// position-based seeding, so existing sweeps are byte-identical.
+    ///
+    /// Dynamically added cells — the adaptive refinement engine's
+    /// bisection midpoints ([`crate::adaptive`]) — need this: their
+    /// grid position depends on *which round discovered them*, while
+    /// their refinement-path index is a pure function of the point
+    /// itself, keeping reports byte-identical across thread counts and
+    /// kill/resume schedules.
+    pub seed_index: Option<u64>,
 }
 
 impl SweepCell {
@@ -75,6 +87,7 @@ impl SweepCell {
         SweepCell {
             id: workload.label(),
             workload: Box::new(workload),
+            seed_index: None,
         }
     }
 
@@ -83,7 +96,15 @@ impl SweepCell {
         SweepCell {
             id: id.into(),
             workload: Box::new(workload),
+            seed_index: None,
         }
+    }
+
+    /// Overrides the seed-derivation index (see
+    /// [`SweepCell::seed_index`]).
+    pub fn with_seed_index(mut self, seed_index: u64) -> Self {
+        self.seed_index = Some(seed_index);
+        self
     }
 
     /// Runs the cell with the given derived seed, producing its report.
@@ -176,7 +197,7 @@ pub struct SweepSpec {
     /// [`SweepReport::emit`].
     pub name: String,
     /// Master seed; cell `k` runs under
-    /// [`derive_seed`]`(master_seed, k)`.
+    /// [`derive_seed`]`(master_seed, `[`SweepSpec::seed_index`]`(k))`.
     pub master_seed: u64,
     /// The grid cells, in a fixed order (the order is part of the
     /// sweep's identity: it determines the per-cell seeds).
@@ -212,6 +233,14 @@ impl SweepSpec {
     /// A spec over an [`AsyncGrid`] cross product.
     pub fn async_grid(name: impl Into<String>, master_seed: u64, grid: &AsyncGrid) -> Self {
         SweepSpec::new(name, master_seed, grid.cells())
+    }
+
+    /// The seed-derivation index of cell `idx`: its explicit
+    /// [`SweepCell::seed_index`] override, or its grid position. Part
+    /// of the sweep's identity — the journal binds it into the header
+    /// hash and validates every record's seed against it.
+    pub fn seed_index(&self, idx: usize) -> u64 {
+        self.cells[idx].seed_index.unwrap_or(idx as u64)
     }
 
     /// A spec running the full `rbtestutil` conformance matrix (≥ 20
@@ -264,7 +293,7 @@ impl SweepSpec {
     pub fn run_batched(&self, threads: usize, min_batch: usize) -> SweepReport {
         let master = self.master_seed;
         let cells = par_map_batched(&self.cells, threads, min_batch, |idx, cell: &SweepCell| {
-            cell.run(derive_seed(master, idx as u64))
+            cell.run(derive_seed(master, cell.seed_index.unwrap_or(idx as u64)))
         });
         SweepReport {
             sweep: self.name.clone(),
@@ -305,7 +334,7 @@ impl SweepSpec {
             threads,
             1,
             |idx, cell: &SweepCell| {
-                let report = cell.run(derive_seed(master, idx as u64));
+                let report = cell.run(derive_seed(master, cell.seed_index.unwrap_or(idx as u64)));
                 journal
                     .lock()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -547,6 +576,39 @@ mod tests {
             report.cells[1].value("seed_lo32"),
             (rbsim::derive_seed(5, 1) & 0xFFFF_FFFF) as f64
         );
+    }
+
+    #[test]
+    fn seed_index_override_detaches_seeding_from_grid_position() {
+        struct SeedEcho;
+        impl Workload for SeedEcho {
+            fn label(&self) -> String {
+                "seed-echo".into()
+            }
+            fn run(&self, seed: u64) -> Vec<Metric> {
+                vec![Metric::exact("seed_lo32", (seed & 0xFFFF_FFFF) as f64)]
+            }
+        }
+        let spec = SweepSpec::new(
+            "unit-seed-index",
+            5,
+            vec![
+                SweepCell::named("default", SeedEcho),
+                SweepCell::named("pinned", SeedEcho).with_seed_index(1 << 40),
+            ],
+        );
+        assert_eq!(spec.seed_index(0), 0);
+        assert_eq!(spec.seed_index(1), 1 << 40);
+        let report = spec.run(2);
+        assert_eq!(report.cells[0].seed, rbsim::derive_seed(5, 0));
+        assert_eq!(report.cells[1].seed, rbsim::derive_seed(5, 1 << 40));
+        // The override is position-independent: the same cell first.
+        let flipped = SweepSpec::new(
+            "unit-seed-index-flipped",
+            5,
+            vec![SweepCell::named("pinned", SeedEcho).with_seed_index(1 << 40)],
+        );
+        assert_eq!(flipped.run(1).cells[0].seed, rbsim::derive_seed(5, 1 << 40));
     }
 
     #[test]

@@ -213,6 +213,49 @@ fn failure_episodes_sweep_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn adaptive_refinement_is_byte_identical_across_thread_counts() {
+    let _serial = serial_guard();
+    // The refinement *order* depends on measured values and the rounds
+    // run as parallel sweeps — but every point's seed index is a pure
+    // function of its position on the axis, so the whole refined
+    // profile (rounds, points, every derived seed) must reproduce the
+    // single-threaded bytes exactly under a fixed budget.
+    use rbbench::adaptive::AdaptiveSpec;
+    use rbbench::workloads::AsyncIntervals;
+    let mk = || {
+        AdaptiveSpec::new(
+            "adaptive_determinism",
+            0xADA7,
+            vec![0.25, 1.0, 2.5, 4.0],
+            "EX",
+            0.4,
+            16,
+            Box::new(|lambda| {
+                Box::new(AsyncIntervals::new(
+                    AsyncParams::symmetric(3, 1.0, lambda),
+                    300,
+                ))
+            }),
+        )
+        .with_max_depth(8)
+    };
+    let serial = mk().run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(
+            serial.to_json(),
+            mk().run(threads).to_json(),
+            "adaptive refinement ({threads} threads) diverged from serial"
+        );
+    }
+    // Not vacuous: the budget forced real refinement beyond the axis,
+    // and refined cells carry stochastic measurements.
+    assert_eq!(serial.points.len(), 16);
+    assert!(serial.points.iter().any(|p| p.depth > 0));
+    assert!(serial.rounds.len() > 1);
+    assert!(serial.points.iter().all(|p| p.value > 0.0));
+}
+
+#[test]
 fn sweep_report_json_shape_is_stable() {
     let _serial = serial_guard();
     let spec = SweepSpec::async_grid(

@@ -17,6 +17,12 @@
 //!    `sweep_resume_probe` binary mid-sweep (a real child process, not
 //!    a simulated panic), resumes it, and byte-diffs the artifact
 //!    against an uninterrupted run — the CI `sweep-resume` job's gate.
+//! 4. **Refinement resume** — an adaptive refinement killed mid-round
+//!    (torn journal for the interrupted round, later rounds' journals
+//!    never written) resumes byte-for-byte: finished rounds replay
+//!    wholesale, the torn round re-runs only its missing cells, and
+//!    re-discovered midpoints land on their path-determined seed
+//!    indices.
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -302,6 +308,98 @@ fn records_from_a_foreign_grid_are_refused() {
         }
         other => panic!("expected Refused, got {:?}", other.map(|r| r.cells.len())),
     }
+}
+
+#[test]
+fn kill_mid_refinement_resumes_byte_identically() {
+    use rbbench::adaptive::AdaptiveSpec;
+
+    // Two discontinuities, one per initial interval: every refinement
+    // round bisects exactly the two gaps bracketing them, so each round
+    // past the coarse sweep has two cells — enough to tear one round
+    // mid-write and leave the other cell finished.
+    fn profile(x: f64) -> f64 {
+        f64::from(u8::from(x >= 0.3) + u8::from(x >= 1.7))
+    }
+
+    #[derive(Clone)]
+    struct CountingProfile {
+        x: f64,
+        runs: Arc<AtomicUsize>,
+    }
+    impl Workload for CountingProfile {
+        fn label(&self) -> String {
+            "counting-profile".into()
+        }
+        fn run(&self, seed: u64) -> Vec<Metric> {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            vec![
+                Metric::exact("f", profile(self.x)),
+                Metric::exact("seed_lo32", (seed & 0xFFFF_FFFF) as f64),
+            ]
+        }
+    }
+
+    let mk = |runs: &Arc<AtomicUsize>| {
+        let runs = Arc::clone(runs);
+        AdaptiveSpec::new(
+            "adaptive-kill",
+            0xADA5,
+            vec![0.0, 1.0, 2.0],
+            "f",
+            0.5,
+            16,
+            Box::new(move |x| {
+                Box::new(CountingProfile {
+                    x,
+                    runs: Arc::clone(&runs),
+                })
+            }),
+        )
+        .with_max_depth(4)
+    };
+
+    // Uninterrupted, unjournalled reference.
+    let reference = mk(&Arc::new(AtomicUsize::new(0))).run(1).to_json();
+
+    // Full journaled run: rounds r0 (3 cells) then r1..r4 (2 cells
+    // each, one per discontinuity) until the depth cap converges.
+    let dir = scratch("adaptive-kill");
+    let runs = Arc::new(AtomicUsize::new(0));
+    let full = mk(&runs).run_resumable(2, &dir).expect("journaled run");
+    assert_eq!(full.to_json(), reference);
+    assert!(full.converged);
+    assert_eq!(full.rounds.len(), 5);
+    assert_eq!(runs.load(Ordering::Relaxed), 11, "3 + 4 rounds x 2 cells");
+
+    // Reproduce the disk state a SIGKILL during round 2 leaves behind
+    // (the process-level realism of exactly this state is proven by
+    // `kill_mid_sweep_then_resume_is_byte_identical` below): r0 and r1
+    // complete, r2 torn after its first record, r3 and r4 never begun.
+    let r2 = dir.join("adaptive-kill#r2.wal");
+    let stats = inspect(&r2).expect("inspect r2");
+    assert_eq!(stats.records(), 2);
+    let file = std::fs::OpenOptions::new().write(true).open(&r2).unwrap();
+    file.set_len(stats.keep_records(1) as u64).unwrap();
+    for later in ["adaptive-kill#r3.wal", "adaptive-kill#r4.wal"] {
+        std::fs::remove_file(dir.join(later)).expect("remove later round");
+    }
+
+    // Resume at a different thread count: finished work replays, the
+    // rest re-runs, and the report reproduces the reference bytes.
+    let runs2 = Arc::new(AtomicUsize::new(0));
+    let resumed = mk(&runs2).run_resumable(4, &dir).expect("resumed run");
+    assert_eq!(
+        resumed.to_json(),
+        reference,
+        "resumed refinement diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        runs2.load(Ordering::Relaxed),
+        5,
+        "resume must re-run exactly r2's missing cell plus r3 and r4"
+    );
+    assert_eq!(inspect(&r2).unwrap().records(), 2, "torn round refilled");
 }
 
 /// The CI gate: SIGKILL a real sweep process partway, resume it, and

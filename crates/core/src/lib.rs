@@ -30,6 +30,9 @@
 //! * [`workload`] — the open [`workload::Workload`] trait every
 //!   sweepable experiment implements (the seam the `rbbench` sweep
 //!   engine dispatches through), plus adapters for the scheme drivers;
+//! * [`tail`] — rare-event estimation: the flag chain as a jump-path
+//!   simulator for multilevel splitting, with deep-tail workloads gated
+//!   against the exact matrix-free survival oracle;
 //! * [`render`] — ASCII history diagrams for the figure binaries.
 //!
 //! ```
@@ -52,6 +55,7 @@ pub mod recovery_line;
 pub mod render;
 pub mod rollback;
 pub mod schemes;
+pub mod tail;
 pub mod workload;
 
 pub use history::{History, HistoryArena, InteractionRecord, ProcessId, RpId, RpKind, RpRecord};

@@ -268,6 +268,24 @@ impl AsyncParams {
         self.chain_solver(strategy).interval_cdf_batch(ts)
     }
 
+    /// Survival (tail) function P(X > t) at many times — always on the
+    /// matrix-free operator, whose
+    /// [`FlagChainOp::absorption_survival_batch`] tracks the transient
+    /// mass directly and so keeps full *relative* precision in the
+    /// deep-tail regime (S ≤ 1e-12) where `1 − interval_cdf(t)` has no
+    /// correct digits left. This is the exact oracle the rare-event
+    /// splitting gates compare against.
+    pub fn interval_survival_batch(&self, ts: &[f64]) -> Vec<f64> {
+        self.matrix_free_op().absorption_survival_batch(ts)
+    }
+
+    /// The time at which the interval tail reaches `p` (P(X > t) = p),
+    /// for p as deep as 1e-12 — the level-placement oracle for
+    /// multilevel splitting ([`FlagChainOp::survival_time`]).
+    pub fn interval_tail_time(&self, p: f64) -> f64 {
+        self.matrix_free_op().survival_time(p)
+    }
+
     /// Second moment E\[X²\] of the inter-line interval.
     pub fn interval_second_moment(&self) -> f64 {
         self.chain_solver(self.solver_strategy()).second_moment()

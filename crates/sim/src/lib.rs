@@ -18,7 +18,10 @@
 //!   as state machines implementing [`Simulation`];
 //! * [`par`] — deterministic parallel dispatch for scenario sweeps
 //!   ([`par::par_map`]), with [`derive_seed`] producing independent
-//!   per-cell streams from a sweep's master seed.
+//!   per-cell streams from a sweep's master seed;
+//! * [`splitting`] — fixed-effort multilevel splitting for rare-event
+//!   (deep-tail) probabilities naive Monte Carlo cannot resolve, with
+//!   per-level derived RNG streams and reported relative errors.
 //!
 //! The substrate is deliberately free of global state: every simulation
 //! owns its clock, queue and RNG, so experiments sweep in parallel from
@@ -58,6 +61,7 @@ pub mod gof;
 pub mod par;
 mod queue;
 mod rng;
+pub mod splitting;
 pub mod stats;
 mod time;
 

@@ -1,0 +1,354 @@
+//! Fixed-effort multilevel splitting for rare-event estimation.
+//!
+//! Naive Monte Carlo cannot see a 10⁻⁹ event: 10⁹ trials buy a single
+//! expected hit. **Multilevel splitting** partitions the path to the
+//! rare event into intermediate *levels* and estimates the product of
+//! the (much larger) conditional level-crossing probabilities. In the
+//! *fixed-effort* variant each level restarts the same number of trials
+//! `N` from starting states resampled uniformly among the previous
+//! level's survivors:
+//!
+//! ```text
+//!   p̂ = Π_k p̂_k,   p̂_k = S_k / N        (S_k survivors at level k)
+//! ```
+//!
+//! The product telescopes under conditional expectation, so p̂ is an
+//! unbiased estimator of P(survive to the last level). Treating levels
+//! as independent gives the standard squared relative error
+//!
+//! ```text
+//!   RE² ≈ Σ_k (1 − p̂_k) / S_k
+//! ```
+//!
+//! which the estimate reports alongside the probability; a level with
+//! zero survivors yields estimate 0 with infinite relative error.
+//!
+//! Levels here are **time thresholds**: a path "survives" level k when
+//! the underlying process has not been absorbed by time `levels[k]`.
+//! The process itself stays behind the [`LevelPath`] trait so the
+//! engine never learns what a state is — the recovery-block flag chain
+//! implements it in `rbcore`, and the toy chains in the property tests
+//! implement it in a dozen lines.
+//!
+//! Determinism: every RNG stream is derived from the run seed by
+//! [`derive_seed`] — level k draws from `derive_seed(seed, k)`, its
+//! resampling stream from `derive_seed(level_seed, 0)` and trial j from
+//! `derive_seed(level_seed, 1 + j)` — so estimates are bit-reproducible
+//! and independent of scheduling. [`naive_monte_carlo`] uses the *same*
+//! convention, which is what makes the degenerate single-level
+//! equivalence (`run` with one level ≡ naive MC, bit-exact) testable
+//! across two independent implementations.
+//!
+//! ```
+//! use rbsim::splitting::{run, LevelPath, SplittingSpec};
+//! use rbsim::SimRng;
+//!
+//! /// Absorption after an Exp(1) time: P(X > t) = e^{−t}.
+//! struct ExpPath;
+//! impl LevelPath for ExpPath {
+//!     type State = ();
+//!     fn initial(&self) -> Self::State {}
+//!     fn advance(&self, _s: (), from: f64, to: f64, rng: &mut SimRng) -> Option<()> {
+//!         // Memoryless: one fresh draw per segment is a valid restart.
+//!         (rng.exp(1.0) >= to - from).then_some(())
+//!     }
+//! }
+//!
+//! let spec = SplittingSpec::new(vec![4.0, 8.0, 12.0], 4_000);
+//! let est = run(&ExpPath, &spec, 7);
+//! let exact = (-12.0_f64).exp(); // ≈ 6.1e-6, far below 1/4000
+//! assert!((est.probability / exact - 1.0).abs() <= 5.0 * est.rel_err);
+//! ```
+
+use crate::rng::{derive_seed, SimRng};
+
+/// A stochastic path that can be advanced between time thresholds.
+///
+/// Implementations must be *memoryless at level boundaries*: the state
+/// handed back by [`LevelPath::advance`] has to carry everything the
+/// next segment needs, because the engine clones and restarts it under
+/// a fresh RNG stream (that is what makes survivor resampling valid for
+/// continuous-time Markov chains — holding times are re-drawn fresh).
+pub trait LevelPath {
+    /// Snapshot of the path at a level boundary.
+    type State: Clone;
+
+    /// The state every trial of the first level starts from.
+    fn initial(&self) -> Self::State;
+
+    /// Advances the path from time `from` to time `to`; returns the
+    /// state at `to` if the path survives the segment, `None` if it is
+    /// absorbed in `(from, to]`.
+    fn advance(
+        &self,
+        state: Self::State,
+        from: f64,
+        to: f64,
+        rng: &mut SimRng,
+    ) -> Option<Self::State>;
+}
+
+/// Level thresholds and per-level effort of a splitting run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplittingSpec {
+    /// Strictly increasing positive time thresholds; the estimate is
+    /// P(survival past the last one).
+    pub levels: Vec<f64>,
+    /// Trials started at every level (fixed effort).
+    pub trials: usize,
+}
+
+impl SplittingSpec {
+    /// Builds a spec, validating the level structure.
+    ///
+    /// # Panics
+    /// Panics if `levels` is empty, not strictly increasing, not
+    /// positive and finite, or if `trials` is zero.
+    pub fn new(levels: Vec<f64>, trials: usize) -> SplittingSpec {
+        assert!(!levels.is_empty(), "splitting needs at least one level");
+        assert!(trials > 0, "splitting needs at least one trial per level");
+        let mut prev = 0.0;
+        for &t in &levels {
+            assert!(
+                t > prev && t.is_finite(),
+                "splitting levels must be strictly increasing, positive and finite \
+                 (got {t} after {prev})"
+            );
+            prev = t;
+        }
+        SplittingSpec { levels, trials }
+    }
+
+    /// `count` equally spaced levels ending at `t_final` — the default
+    /// partition when nothing better is known about the path.
+    pub fn equal(t_final: f64, count: usize, trials: usize) -> SplittingSpec {
+        assert!(count > 0, "splitting needs at least one level");
+        assert!(
+            t_final > 0.0 && t_final.is_finite(),
+            "invalid final threshold {t_final}"
+        );
+        let levels = (1..=count)
+            .map(|k| t_final * k as f64 / count as f64)
+            .collect();
+        SplittingSpec::new(levels, trials)
+    }
+}
+
+/// Per-level outcome of a splitting run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelEstimate {
+    /// The level's time threshold.
+    pub threshold: f64,
+    /// Trials started at this level.
+    pub trials: usize,
+    /// Trials that survived to the threshold.
+    pub survivors: usize,
+    /// `survivors / trials` — the conditional probability estimate.
+    pub fraction: f64,
+}
+
+/// Result of a splitting (or naive Monte Carlo) run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SplittingEstimate {
+    /// The product estimate `Π p̂_k` of the survival probability past
+    /// the last level.
+    pub probability: f64,
+    /// Estimated relative error `sqrt(Σ (1 − p̂_k)/S_k)`; infinite when
+    /// any level had zero survivors.
+    pub rel_err: f64,
+    /// Per-level breakdown, in level order. Truncated at the first
+    /// zero-survivor level (later levels were never attempted).
+    pub levels: Vec<LevelEstimate>,
+    /// Total trials simulated across all attempted levels.
+    pub total_trials: usize,
+}
+
+impl SplittingEstimate {
+    /// Absolute tolerance at `z` standard relative errors:
+    /// `z · rel_err · probability` (infinite when `rel_err` is).
+    pub fn tolerance(&self, z: f64) -> f64 {
+        z * self.rel_err * self.probability
+    }
+}
+
+/// Runs fixed-effort multilevel splitting for `path` under `spec`.
+///
+/// Level `k` starts `spec.trials` trials: at the first level each from
+/// [`LevelPath::initial`], afterwards each from a uniformly resampled
+/// survivor of the previous level. The run is sequential and
+/// bit-deterministic in `(path, spec, seed)`.
+pub fn run<P: LevelPath>(path: &P, spec: &SplittingSpec, seed: u64) -> SplittingEstimate {
+    let n = spec.trials;
+    let mut survivors: Vec<P::State> = Vec::new();
+    let mut levels = Vec::with_capacity(spec.levels.len());
+    let mut probability = 1.0_f64;
+    let mut re2 = 0.0_f64;
+    let mut from = 0.0_f64;
+    let mut total_trials = 0;
+
+    for (k, &to) in spec.levels.iter().enumerate() {
+        let level_seed = derive_seed(seed, k as u64);
+        let mut resample = SimRng::from_seed_only(derive_seed(level_seed, 0));
+        let mut next = Vec::new();
+        for j in 0..n {
+            let start = if k == 0 {
+                path.initial()
+            } else {
+                survivors[resample.index(survivors.len())].clone()
+            };
+            let mut rng = SimRng::from_seed_only(derive_seed(level_seed, 1 + j as u64));
+            if let Some(state) = path.advance(start, from, to, &mut rng) {
+                next.push(state);
+            }
+        }
+        total_trials += n;
+        let s = next.len();
+        let fraction = s as f64 / n as f64;
+        levels.push(LevelEstimate {
+            threshold: to,
+            trials: n,
+            survivors: s,
+            fraction,
+        });
+        probability *= fraction;
+        if s == 0 {
+            // Estimate is exactly 0 with no survivors to continue from;
+            // the infinite RE flags "increase the effort or move the
+            // levels" to the caller.
+            re2 = f64::INFINITY;
+            break;
+        }
+        re2 += (1.0 - fraction) / s as f64;
+        survivors = next;
+        from = to;
+    }
+
+    SplittingEstimate {
+        probability,
+        rel_err: re2.sqrt(),
+        levels,
+        total_trials,
+    }
+}
+
+/// Naive Monte Carlo estimate of P(survival past `t_final`): `trials`
+/// independent full paths, no levels, no resampling.
+///
+/// Deliberately a **separate implementation** from [`run`] sharing only
+/// the seed-derivation convention: with a single level at `t_final`,
+/// `run` must reproduce this estimate *bit-exactly* (the property tests
+/// pin that), which cross-checks both code paths.
+pub fn naive_monte_carlo<P: LevelPath>(
+    path: &P,
+    t_final: f64,
+    trials: usize,
+    seed: u64,
+) -> SplittingEstimate {
+    assert!(
+        t_final > 0.0 && t_final.is_finite(),
+        "invalid final threshold {t_final}"
+    );
+    assert!(trials > 0, "naive Monte Carlo needs at least one trial");
+    let level_seed = derive_seed(seed, 0);
+    let mut survivors = 0_usize;
+    for j in 0..trials {
+        let mut rng = SimRng::from_seed_only(derive_seed(level_seed, 1 + j as u64));
+        if path
+            .advance(path.initial(), 0.0, t_final, &mut rng)
+            .is_some()
+        {
+            survivors += 1;
+        }
+    }
+    let fraction = survivors as f64 / trials as f64;
+    SplittingEstimate {
+        probability: fraction,
+        rel_err: if survivors == 0 {
+            f64::INFINITY
+        } else {
+            ((1.0 - fraction) / survivors as f64).sqrt()
+        },
+        levels: vec![LevelEstimate {
+            threshold: t_final,
+            trials,
+            survivors,
+            fraction,
+        }],
+        total_trials: trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exp(rate) absorption: P(X > t) = e^{−rate·t}.
+    struct ExpPath {
+        rate: f64,
+    }
+
+    impl LevelPath for ExpPath {
+        type State = ();
+        fn initial(&self) -> Self::State {}
+        fn advance(&self, _s: (), from: f64, to: f64, rng: &mut SimRng) -> Option<()> {
+            (rng.exp(self.rate) >= to - from).then_some(())
+        }
+    }
+
+    #[test]
+    fn estimate_is_deterministic_in_seed() {
+        let spec = SplittingSpec::equal(6.0, 3, 500);
+        let a = run(&ExpPath { rate: 1.0 }, &spec, 42);
+        let b = run(&ExpPath { rate: 1.0 }, &spec, 42);
+        assert_eq!(a, b);
+        let c = run(&ExpPath { rate: 1.0 }, &spec, 43);
+        assert_ne!(a.probability.to_bits(), c.probability.to_bits());
+    }
+
+    #[test]
+    fn probability_stays_in_unit_interval_and_levels_accumulate() {
+        let spec = SplittingSpec::equal(8.0, 4, 300);
+        let est = run(&ExpPath { rate: 1.0 }, &spec, 7);
+        assert!(est.probability > 0.0 && est.probability < 1.0);
+        assert_eq!(est.levels.len(), 4);
+        assert_eq!(est.total_trials, 4 * 300);
+        let product: f64 = est.levels.iter().map(|l| l.fraction).product();
+        assert_eq!(est.probability.to_bits(), product.to_bits());
+        assert!(est.rel_err.is_finite() && est.rel_err > 0.0);
+        assert!(est.tolerance(3.0) > 0.0);
+    }
+
+    #[test]
+    fn zero_survivors_yield_zero_estimate_with_infinite_rel_err() {
+        // Rate 50 over a unit segment: survival e^{−50} ≈ 2e-22, so a
+        // handful of trials all die at the first level.
+        let spec = SplittingSpec::equal(3.0, 3, 8);
+        let est = run(&ExpPath { rate: 50.0 }, &spec, 1);
+        assert_eq!(est.probability, 0.0);
+        assert!(est.rel_err.is_infinite());
+        assert_eq!(est.levels.len(), 1, "later levels must not be attempted");
+        assert_eq!(est.total_trials, 8);
+    }
+
+    #[test]
+    fn single_level_run_is_bit_exact_naive_monte_carlo() {
+        let spec = SplittingSpec::new(vec![2.5], 400);
+        for seed in [0_u64, 9, 1983] {
+            let split = run(&ExpPath { rate: 0.8 }, &spec, seed);
+            let naive = naive_monte_carlo(&ExpPath { rate: 0.8 }, 2.5, 400, seed);
+            assert_eq!(split, naive);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_levels_are_rejected() {
+        SplittingSpec::new(vec![1.0, 1.0], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_are_rejected() {
+        SplittingSpec::new(vec![1.0], 0);
+    }
+}

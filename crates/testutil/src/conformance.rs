@@ -644,6 +644,151 @@ impl SchemeConformance {
     }
 }
 
+/// The deep-tail conformance gate: fixed-effort multilevel splitting
+/// ([`rbsim::splitting`] through [`rbcore::tail::FlagChainPath`])
+/// against the **exact** matrix-free survival oracle
+/// ([`AsyncParams::interval_survival_batch`]), at tail levels naive
+/// Monte Carlo cannot reach.
+///
+/// The tolerance is the estimator's *own reported relative error*
+/// (`z · rel_err`, relative), mirroring how the scalar sim-vs-analytic
+/// checks use their Welford `z · std_err` — an estimator that
+/// under-reports its error fails the gate exactly like a biased one.
+#[derive(Clone, Debug)]
+pub struct TailGate {
+    /// Target tail level: the final splitting threshold is placed at
+    /// `interval_tail_time(p_target)`.
+    pub p_target: f64,
+    /// Equal-width time levels partitioning `[0, t*]`.
+    pub levels: usize,
+    /// Trials per level (fixed effort).
+    pub trials: usize,
+    /// Gate width in reported relative errors.
+    pub z: f64,
+}
+
+impl TailGate {
+    /// Levels targeting a per-level survival fraction of roughly 0.2 —
+    /// near the fixed-effort variance optimum.
+    fn auto_levels(p_target: f64) -> usize {
+        (p_target.ln() / 0.2f64.ln()).ceil().max(1.0) as usize
+    }
+
+    /// The release gate: p ≈ 10⁻⁹, sized so the reported relative
+    /// error lands near 8 % (gate half-width ≈ 0.4 relative — far
+    /// below the ≈ 2–3× shift a 5 % μ perturbation induces at this
+    /// depth, so the negative controls stay sharp).
+    pub fn deep() -> TailGate {
+        TailGate {
+            p_target: 1e-9,
+            levels: Self::auto_levels(1e-9),
+            trials: 8_192,
+            z: 5.0,
+        }
+    }
+
+    /// A cheap configuration for debug builds / smoke runs (p ≈ 10⁻⁴).
+    /// Sized like [`TailGate::deep`]: enough trials that `z · rel_err`
+    /// stays well below the shift a coarse perturbation induces, so
+    /// the negative controls keep their teeth at smoke depth too.
+    pub fn quick() -> TailGate {
+        TailGate {
+            p_target: 1e-4,
+            levels: Self::auto_levels(1e-4),
+            trials: 3_000,
+            z: 5.0,
+        }
+    }
+
+    /// Runs the splitting estimator against the exact oracle for one
+    /// scenario.
+    ///
+    /// Two checks: the threshold solve round-trips (the oracle's
+    /// survival at its own `interval_tail_time` is `p_target`), and the
+    /// splitting estimate agrees with the exact tail within
+    /// `z · rel_err` **relative** — a zero-survivor run (infinite
+    /// reported error) fails rather than passing on an infinite
+    /// tolerance.
+    pub fn check_tail(&self, sc: &Scenario) -> ConformanceReport {
+        let params = sc.params();
+        let t = params.interval_tail_time(self.p_target);
+        let p_exact = params.interval_survival_batch(&[t])[0];
+        let est = self.estimate(&params, t, sc.seed);
+        let mut checks = vec![Check::within(
+            "tail/threshold-solve-round-trip",
+            p_exact,
+            self.p_target,
+            1e-6 * self.p_target,
+        )];
+        checks.push(self.gate_check("tail/splitting-vs-matfree-cdf".into(), &est, p_exact));
+        ConformanceReport {
+            scenario: sc.id.clone(),
+            checks,
+            distributions: Vec::new(),
+        }
+    }
+
+    /// The negative control proving the tail gate has teeth, mirroring
+    /// [`SchemeConformance::interval_ks_negative_controls`]: one honest
+    /// splitting run, gated against the oracle of every-μ-scaled-by-
+    /// `factor` parameters at the *same* threshold. The checks for
+    /// factors ≠ 1 must **fail in both directions** (the caller asserts
+    /// that they do) — at p ≈ 10⁻⁹ a 5 % rate shift moves the tail by
+    /// a factor of ~2–3, far outside the estimator's error band. The
+    /// simulation runs once; only the reference tail changes.
+    pub fn tail_negative_controls(&self, sc: &Scenario, factors: &[f64]) -> Vec<Check> {
+        let params = sc.params();
+        let t = params.interval_tail_time(self.p_target);
+        let est = self.estimate(&params, t, sc.seed);
+        factors
+            .iter()
+            .map(|&factor| {
+                let perturbed = AsyncParams::new(
+                    sc.mu.iter().map(|m| m * factor).collect(),
+                    sc.lambda.clone(),
+                )
+                .expect("perturbed parameters stay valid");
+                let p_ref = perturbed.interval_survival_batch(&[t])[0];
+                self.gate_check(
+                    format!("tail/splitting-negative-control-x{factor}"),
+                    &est,
+                    p_ref,
+                )
+            })
+            .collect()
+    }
+
+    fn estimate(
+        &self,
+        params: &AsyncParams,
+        threshold: f64,
+        seed: u64,
+    ) -> rbsim::splitting::SplittingEstimate {
+        rbsim::splitting::run(
+            &rbcore::tail::FlagChainPath::new(params),
+            &rbsim::splitting::SplittingSpec::equal(threshold, self.levels, self.trials),
+            seed,
+        )
+    }
+
+    fn gate_check(
+        &self,
+        label: String,
+        est: &rbsim::splitting::SplittingEstimate,
+        p_ref: f64,
+    ) -> Check {
+        // Relative-error bound, scaled to an absolute tolerance on the
+        // reference; a dry (zero-survivor) run reports infinite error
+        // and must fail, not inherit an infinite tolerance.
+        let tol = if est.rel_err.is_finite() {
+            self.z * est.rel_err * p_ref
+        } else {
+            0.0
+        };
+        Check::within(label, est.probability, p_ref, tol)
+    }
+}
+
 /// One scenario of the conformance matrix as a sweepable
 /// [`rbcore::workload::Workload`]: every pairwise [`Check`] becomes one
 /// [`Metric`] (`value = lhs − rhs`, `std_err = tol`, `ok = pass`), so
@@ -722,6 +867,52 @@ mod tests {
         // …a grossly wrong CDF fails even at quick sample sizes.
         let wrong = quick.interval_ks_negative_control(sc, 2.0);
         assert!(!wrong.pass, "2× μ perturbation slipped through");
+    }
+
+    #[test]
+    fn tail_gate_passes_honestly_at_quick_depth() {
+        let gate = TailGate::quick();
+        let sc = &standard_matrix(11)[1];
+        let report = gate.check_tail(sc);
+        report.assert_ok();
+        let labels: Vec<&str> = report.checks.iter().map(|c| c.label.as_str()).collect();
+        assert!(labels.contains(&"tail/splitting-vs-matfree-cdf"));
+        assert!(labels.contains(&"tail/threshold-solve-round-trip"));
+    }
+
+    #[test]
+    fn tail_negative_control_rejects_perturbations_in_both_directions() {
+        // quick() targets p = 1e-4 (|ln p| ≈ 9.2), so even a 25 % μ
+        // shift moves the tail far outside the error band; the deep
+        // release gate pins the 5 % version in tests/tail_conformance.rs.
+        let gate = TailGate::quick();
+        let sc = &standard_matrix(11)[1];
+        let checks = gate.tail_negative_controls(sc, &[1.0, 1.25, 0.8]);
+        assert!(checks[0].pass, "honest control failed: {:?}", checks[0]);
+        for c in &checks[1..] {
+            assert!(!c.pass, "perturbed tail slipped through: {c:?}");
+        }
+    }
+
+    #[test]
+    fn dry_tail_runs_fail_rather_than_inherit_infinite_tolerance() {
+        // One trial per level at a deep target: survivor extinction is
+        // certain, the estimator reports rel_err = ∞, and the gate must
+        // fail.
+        let gate = TailGate {
+            p_target: 1e-9,
+            levels: 13,
+            trials: 1,
+            z: 5.0,
+        };
+        let sc = &standard_matrix(11)[1];
+        let report = gate.check_tail(sc);
+        let c = report
+            .checks
+            .iter()
+            .find(|c| c.label == "tail/splitting-vs-matfree-cdf")
+            .unwrap();
+        assert!(!c.pass, "dry run passed the gate: {c:?}");
     }
 
     #[test]

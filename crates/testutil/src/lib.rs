@@ -12,7 +12,9 @@
 //! * [`conformance`] — the [`SchemeConformance`] driver running the
 //!   paper's three schemes (asynchronous §2, synchronized §3, PRP §4)
 //!   through all applicable paths and collecting pairwise agreement
-//!   checks.
+//!   checks, plus the [`TailGate`] deep-tail gate (multilevel splitting
+//!   vs the exact matrix-free survival oracle at p ≈ 10⁻⁹, with
+//!   perturbed-μ negative controls).
 //!
 //! Used by `tests/scheme_conformance.rs` at the workspace root; kept as
 //! a library crate so perf work can reuse the matrix as a correctness
@@ -28,5 +30,5 @@
 pub mod conformance;
 pub mod scenarios;
 
-pub use conformance::{Check, ConformanceReport, ConformanceWorkload, SchemeConformance};
+pub use conformance::{Check, ConformanceReport, ConformanceWorkload, SchemeConformance, TailGate};
 pub use scenarios::{matfree_large_scenario, standard_matrix, Scenario, ScenarioKind};

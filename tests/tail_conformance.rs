@@ -1,0 +1,146 @@
+//! Deep-tail conformance: fixed-effort multilevel splitting
+//! (`rbsim::splitting` driving `rbcore::tail::FlagChainPath`) must
+//! agree with the exact matrix-free survival oracle at tail levels
+//! naive Monte Carlo cannot reach — and the gate must provably have
+//! teeth.
+//!
+//! Three layers, mirroring `tests/distribution_conformance.rs`:
+//!
+//! * **smoke** (debug-runnable) — `TailGate::quick` (p ≈ 10⁻⁴) on one
+//!   scenario, pinning the check labels and the honest pass;
+//! * **deep gates** (release-only; run by the CI `rare-event` job) —
+//!   `TailGate::deep` (p = 10⁻⁹) on one scenario of every matrix class
+//!   (symmetric / skewed / corner): the splitting estimate must agree
+//!   with the exact tail within its *own reported* relative error band
+//!   (`z · rel_err`), plus one p = 10⁻¹² probe proving the estimator
+//!   stays calibrated three decades deeper;
+//! * **negative controls** (release-only) — the same honest estimate
+//!   gated against the oracle of every-μ-scaled-by-5 % parameters must
+//!   *fail in both directions* on every class: at p = 10⁻⁹ a 5 % rate
+//!   shift moves the exact tail by a factor of ~2–3, far outside the
+//!   estimator's error band, so a gate that accepts it has no teeth.
+
+use rbtestutil::{standard_matrix, Scenario, ScenarioKind, TailGate};
+
+/// Same master seed as the other root conformance suites.
+const MASTER_SEED: u64 = 0x5EED_1983;
+
+/// One representative scenario per matrix class.
+fn class_representatives() -> Vec<Scenario> {
+    let matrix = standard_matrix(MASTER_SEED);
+    [
+        ScenarioKind::Symmetric,
+        ScenarioKind::Skewed,
+        ScenarioKind::Corner,
+    ]
+    .into_iter()
+    .map(|kind| {
+        matrix
+            .iter()
+            .find(|s| s.kind == kind)
+            .expect("matrix covers every kind")
+            .clone()
+    })
+    .collect()
+}
+
+#[test]
+fn quick_tail_gate_smoke() {
+    let sc = &standard_matrix(MASTER_SEED)[0];
+    let report = TailGate::quick().check_tail(sc);
+    for label in [
+        "tail/threshold-solve-round-trip",
+        "tail/splitting-vs-matfree-cdf",
+    ] {
+        assert!(
+            report.checks.iter().any(|c| c.label == label),
+            "{}: missing check {label}",
+            sc.id
+        );
+    }
+    report.assert_ok();
+}
+
+/// The acceptance gate: splitting at p = 10⁻⁹ agrees with the exact
+/// tail within its own reported relative error on ≥ 3 scenarios
+/// spanning every matrix class.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: deep-tail splitting (CI rare-event job)"
+)]
+fn deep_tail_gate_agrees_with_exact_oracle_across_classes() {
+    let start = std::time::Instant::now();
+    let gate = TailGate::deep();
+    assert!(gate.p_target <= 1e-9);
+    let scenarios = class_representatives();
+    assert!(scenarios.len() >= 3);
+    for sc in &scenarios {
+        let report = gate.check_tail(sc);
+        let cdf = report
+            .checks
+            .iter()
+            .find(|c| c.label == "tail/splitting-vs-matfree-cdf")
+            .expect("gate check present");
+        assert!(
+            cdf.tol.is_finite() && cdf.tol > 0.0,
+            "{}: dry run — no survivors at depth 10⁻⁹",
+            sc.id
+        );
+        report.assert_ok();
+        eprintln!(
+            "{}: p-hat {:.3e} vs exact {:.3e} (tol {:.3e})",
+            sc.id, cdf.lhs, cdf.rhs, cdf.tol
+        );
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(
+        elapsed < 120.0,
+        "deep tail gates took {elapsed:.1} s (budget 120 s)"
+    );
+}
+
+/// Three decades deeper: the estimator's self-reported error must stay
+/// honest at p = 10⁻¹² too (the depth `fig_tails` sweeps).
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: deep-tail splitting (CI rare-event job)"
+)]
+fn splitting_stays_calibrated_at_1e_12() {
+    let sc = &class_representatives()[0];
+    let gate = TailGate {
+        p_target: 1e-12,
+        levels: 18, // per-level survival ≈ 0.2, as TailGate::deep sizes it
+        ..TailGate::deep()
+    };
+    gate.check_tail(sc).assert_ok();
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: deep-tail splitting (CI rare-event job)"
+)]
+fn deep_negative_control_rejects_5_percent_mu_perturbation_per_class() {
+    let gate = TailGate::deep();
+    for sc in &class_representatives() {
+        // One honest splitting run, three reference oracles: the honest
+        // gate must pass on the very same estimate, and the 5 %
+        // perturbations must trip it in both directions.
+        let checks = gate.tail_negative_controls(sc, &[1.0, 1.05, 0.95]);
+        assert!(
+            checks[0].pass,
+            "{}: honest control failed (|{:.3e} - {:.3e}| > {:.3e})",
+            sc.id, checks[0].lhs, checks[0].rhs, checks[0].tol
+        );
+        for control in &checks[1..] {
+            assert!(
+                !control.pass,
+                "{} ({:?}): tail gate accepted a perturbed μ ({}) \
+                 (|{:.3e} - {:.3e}| <= tol {:.3e}) — the gate has no teeth",
+                sc.id, sc.kind, control.label, control.lhs, control.rhs, control.tol
+            );
+        }
+    }
+}
