@@ -1,0 +1,630 @@
+//! The content-addressed result cache: repeated cells cost a hash
+//! lookup, not a solve.
+//!
+//! Under multi-user load the common case is a **repeated** cell — the
+//! same workload, same parameters, same derived seed. Because
+//! [`Workload::run`](crate::sweep::Workload::run) is pure in `(self, seed)` (the sweep contract),
+//! its [`CellReport`] is a pure function of the triple
+//! `(label, canonical params, seed)` — so a finished report can be
+//! stored once and served forever, bit-exactly.
+//!
+//! ## Cache keys
+//!
+//! [`cache_key`] builds self-describing **key material**:
+//!
+//! ```text
+//! [CACHE_FORMAT_VERSION: u16 LE]
+//! [label length: u64 LE][label bytes]
+//! [params length: u64 LE][params bytes]
+//! [seed: u64 LE]
+//! ```
+//!
+//! and its FNV-1a-64 hash. Length-prefixing makes the material
+//! injective (`("ab","c")` ≠ `("a","bc")`); the params string comes
+//! from [`Workload::cache_params`](crate::sweep::Workload::cache_params), which renders floats as raw
+//! IEEE-754 bits so no two distinct configurations collide. Workloads
+//! that do not implement `cache_params` (returning `None`) are simply
+//! never cached — opt-in, safe by default.
+//!
+//! Hashes address the in-memory index, but a **hit requires full key
+//! material equality** — a 64-bit hash collision can never serve the
+//! wrong payload.
+//!
+//! ## On-disk format
+//!
+//! One append-only file (`results.wal`) of [`rbruntime::wal`] frames:
+//! a header frame binding the cache format and code version, then one
+//! frame per entry (`[tag][material length: u32][material][payload]`)
+//! where the payload is the journal's bit-exact report codec
+//! (`f64`s as raw bits — NaN quantiles round-trip). Entries are
+//! appended and flushed as produced, so a SIGKILLed server restarts
+//! warm: the recovery rules are the journal's — a torn tail is
+//! truncated (those solves re-run and re-append), an intact but
+//! undecodable or self-contradictory record **refuses** the cache with
+//! an error naming the file, and a header written by a different
+//! format or code version is refused rather than misread.
+//!
+//! One writer at a time: like the journal, the cache has no
+//! inter-process lock; drive a given cache directory from a single
+//! process. [`entry_count`] is the read-only exception — it scans the
+//! framing without opening for append, so tests (and humans) can poll
+//! a live server's cache file.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+
+use rbruntime::wal::{fnv1a64, write_frame, FrameScan, FRAME_OVERHEAD};
+
+use crate::journal::{decode_report_payload, encode_report_payload};
+use crate::sweep::{CellReport, SweepCell};
+
+/// Version of the cache's key derivation **and** on-disk entry layout;
+/// bumped together (a key from an old derivation must never hit a new
+/// store). Part of both the key material and the file header.
+pub const CACHE_FORMAT_VERSION: u16 = 1;
+
+/// File name of the cache WAL inside the cache directory.
+pub const CACHE_FILE: &str = "results.wal";
+
+const MAGIC: &[u8; 8] = b"rbcache\0";
+const TAG_CACHE_HEADER: u8 = 0x10;
+const TAG_CACHE_ENTRY: u8 = 0x11;
+
+/// A derived cache key: the self-describing key material plus its
+/// FNV-1a-64 hash. Build one with [`cache_key`] (or [`cell_key`] for a
+/// sweep cell).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheKey {
+    material: Vec<u8>,
+    hash: u64,
+}
+
+impl CacheKey {
+    /// The full key material (version, length-prefixed label and
+    /// params, seed).
+    pub fn material(&self) -> &[u8] {
+        &self.material
+    }
+
+    /// The FNV-1a-64 hash of the material (the index address; equality
+    /// is always verified against the full material).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Derives the cache key for `(label, params, seed)` under
+/// [`CACHE_FORMAT_VERSION`]. `params` must be the workload's canonical
+/// [`Workload::cache_params`](crate::sweep::Workload::cache_params) rendering.
+pub fn cache_key(label: &str, params: &str, seed: u64) -> CacheKey {
+    let mut m = Vec::with_capacity(2 + 8 + label.len() + 8 + params.len() + 8);
+    m.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+    m.extend_from_slice(&(label.len() as u64).to_le_bytes());
+    m.extend_from_slice(label.as_bytes());
+    m.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    m.extend_from_slice(params.as_bytes());
+    m.extend_from_slice(&seed.to_le_bytes());
+    CacheKey {
+        hash: fnv1a64(&m),
+        material: m,
+    }
+}
+
+/// The cache key of a sweep cell under its derived seed, or `None` if
+/// the cell's workload is not cacheable (no
+/// [`Workload::cache_params`](crate::sweep::Workload::cache_params)).
+pub fn cell_key(cell: &SweepCell, seed: u64) -> Option<CacheKey> {
+    cell.workload
+        .cache_params()
+        .map(|params| cache_key(&cell.workload.label(), &params, seed))
+}
+
+/// Why a cache could not be opened, read or appended to.
+#[derive(Debug)]
+pub enum CacheError {
+    /// Filesystem-level failure.
+    Io {
+        /// The cache file path.
+        path: PathBuf,
+        /// What was being attempted.
+        op: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The cache cannot be trusted: wrong magic/version, an intact
+    /// (checksummed) record that contradicts itself, or two entries
+    /// under one key with different payloads (a purity violation).
+    /// Delete the cache directory to start fresh.
+    Refused {
+        /// The cache file path.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io { path, op, source } => {
+                write!(f, "result cache {}: {op}: {source}", path.display())
+            }
+            CacheError::Refused { path, reason } => write!(
+                f,
+                "result cache {}: {reason} — refusing to serve from it; delete the cache \
+                 to start fresh",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn encode_cache_header() -> Vec<u8> {
+    let code = env!("CARGO_PKG_VERSION").as_bytes();
+    let mut out = Vec::with_capacity(1 + MAGIC.len() + 2 + 4 + code.len());
+    out.push(TAG_CACHE_HEADER);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&CACHE_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(code.len() as u32).to_le_bytes());
+    out.extend_from_slice(code);
+    out
+}
+
+fn decode_cache_header(payload: &[u8]) -> Result<(), String> {
+    let want = encode_cache_header();
+    if payload.first() != Some(&TAG_CACHE_HEADER) {
+        return Err(format!(
+            "first record has tag {:?}, not a cache header",
+            payload.first()
+        ));
+    }
+    if payload.len() < 1 + MAGIC.len() + 2 || &payload[1..1 + MAGIC.len()] != MAGIC {
+        return Err("cache header magic mismatch (not a result-cache file)".into());
+    }
+    let at = 1 + MAGIC.len();
+    let version = u16::from_le_bytes([payload[at], payload[at + 1]]);
+    if version != CACHE_FORMAT_VERSION {
+        return Err(format!(
+            "cache format version {version}, this build writes {CACHE_FORMAT_VERSION}"
+        ));
+    }
+    if payload != want {
+        return Err(format!(
+            "cache header written by a different code version than {}",
+            env!("CARGO_PKG_VERSION")
+        ));
+    }
+    Ok(())
+}
+
+fn encode_entry(key: &CacheKey, payload_bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + key.material.len() + payload_bytes.len());
+    out.push(TAG_CACHE_ENTRY);
+    out.extend_from_slice(&(key.material.len() as u32).to_le_bytes());
+    out.extend_from_slice(&key.material);
+    out.extend_from_slice(payload_bytes);
+    out
+}
+
+fn decode_entry(frame: &[u8]) -> Result<(Vec<u8>, Vec<u8>), String> {
+    if frame.first() != Some(&TAG_CACHE_ENTRY) {
+        return Err(format!(
+            "unexpected record tag {:?} (wanted cache entry)",
+            frame.first()
+        ));
+    }
+    if frame.len() < 5 {
+        return Err("cache entry truncated before key material".into());
+    }
+    let mat_len = u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize;
+    let body = &frame[5..];
+    if body.len() < mat_len {
+        return Err(format!(
+            "cache entry claims {mat_len} key-material bytes but carries {}",
+            body.len()
+        ));
+    }
+    let (material, payload) = body.split_at(mat_len);
+    // Validate the payload decodes now, at open/insert time, so lookup
+    // can trust stored bytes unconditionally.
+    decode_report_payload(payload)?;
+    Ok((material.to_vec(), payload.to_vec()))
+}
+
+/// An open, append-mode result cache over one WAL file (see the module
+/// docs for format and recovery rules). Create with
+/// [`ResultCache::open`]; serve with [`ResultCache::lookup`]; fill with
+/// [`ResultCache::insert`].
+#[derive(Debug)]
+pub struct ResultCache {
+    path: PathBuf,
+    file: File,
+    /// hash → indices into `entries` (collision candidates).
+    index: HashMap<u64, Vec<usize>>,
+    /// `(key material, payload bytes)` in append order.
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl ResultCache {
+    /// Opens (or creates) the cache under directory `dir`, replaying
+    /// every intact entry into the in-memory index. A fresh or empty
+    /// file gets a header immediately; an existing file is validated
+    /// (magic, cache format version, code version) and its torn tail —
+    /// if any — truncated away.
+    pub fn open(dir: &Path) -> Result<ResultCache, CacheError> {
+        let path = dir.join(CACHE_FILE);
+        let io = |op: &'static str| {
+            let path = path.clone();
+            move |source: std::io::Error| CacheError::Io { path, op, source }
+        };
+        std::fs::create_dir_all(dir).map_err(io("create cache dir"))?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(io("open"))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(io("read"))?;
+
+        let mut cache = ResultCache {
+            path: path.clone(),
+            file,
+            index: HashMap::new(),
+            entries: Vec::new(),
+        };
+        if bytes.is_empty() {
+            cache.write_all(&framed(&encode_cache_header()), "write header")?;
+            return Ok(cache);
+        }
+
+        let refuse = |reason: String| CacheError::Refused {
+            path: path.clone(),
+            reason,
+        };
+        let mut scan = FrameScan::new(&bytes);
+        scan.next()
+            .ok_or_else(|| refuse("unreadable cache header (torn or corrupt)".into()))
+            .and_then(|payload| decode_cache_header(payload).map_err(&refuse))?;
+        for frame in scan.by_ref() {
+            let (material, payload) = decode_entry(frame).map_err(&refuse)?;
+            let hash = fnv1a64(&material);
+            if let Some(existing) = cache.find(hash, &material) {
+                if existing != payload.as_slice() {
+                    return Err(refuse(
+                        "two intact entries under one key carry different payloads \
+                         (purity violation or foreign file)"
+                            .into(),
+                    ));
+                }
+                continue; // benign duplicate (two workers raced); keep the first
+            }
+            cache.index_entry(hash, material, payload);
+        }
+
+        // Discard the torn (or checksum-mismatched) tail, if any: the
+        // cells it covered will simply re-solve and re-append.
+        let valid = scan.offset();
+        if valid < bytes.len() {
+            cache
+                .file
+                .set_len(valid as u64)
+                .map_err(io("truncate torn tail"))?;
+        }
+        cache
+            .file
+            .seek(SeekFrom::Start(valid as u64))
+            .map_err(io("seek"))?;
+        Ok(cache)
+    }
+
+    /// The cached report under `key`, decoded, or `None` on a miss.
+    /// Hash collisions are resolved by full material equality, so a hit
+    /// is always the payload stored for exactly this key.
+    pub fn lookup(&self, key: &CacheKey) -> Option<CellReport> {
+        self.lookup_raw(key).map(|payload| {
+            decode_report_payload(payload).expect("cache payloads are validated at open/insert")
+        })
+    }
+
+    /// The raw stored payload bytes under `key` (the bit-exact report
+    /// encoding), or `None` on a miss.
+    pub fn lookup_raw(&self, key: &CacheKey) -> Option<&[u8]> {
+        self.find(key.hash, &key.material)
+    }
+
+    /// Whether `key` has an entry.
+    pub fn contains(&self, key: &CacheKey) -> bool {
+        self.lookup_raw(key).is_some()
+    }
+
+    /// Stores `report` under `key`, appending (and flushing) one WAL
+    /// frame. Idempotent: re-inserting the identical payload is a
+    /// no-op; re-inserting a **different** payload under the same key
+    /// is refused — it means the workload was not pure in
+    /// `(self, seed)` and serving either payload would be wrong.
+    pub fn insert(&mut self, key: &CacheKey, report: &CellReport) -> Result<(), CacheError> {
+        let payload = encode_report_payload(report);
+        if let Some(existing) = self.find(key.hash, &key.material) {
+            if existing == payload.as_slice() {
+                return Ok(());
+            }
+            return Err(CacheError::Refused {
+                path: self.path.clone(),
+                reason: "insert under an existing key with a different payload \
+                         (workload is not pure in (self, seed))"
+                    .into(),
+            });
+        }
+        self.write_all(&framed(&encode_entry(key, &payload)), "append entry")?;
+        self.index_entry(key.hash, key.material.clone(), payload);
+        Ok(())
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cache file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn find(&self, hash: u64, material: &[u8]) -> Option<&[u8]> {
+        self.index.get(&hash).and_then(|candidates| {
+            candidates
+                .iter()
+                .find(|&&i| self.entries[i].0 == material)
+                .map(|&i| self.entries[i].1.as_slice())
+        })
+    }
+
+    fn index_entry(&mut self, hash: u64, material: Vec<u8>, payload: Vec<u8>) {
+        self.entries.push((material, payload));
+        self.index
+            .entry(hash)
+            .or_default()
+            .push(self.entries.len() - 1);
+    }
+
+    fn write_all(&mut self, bytes: &[u8], op: &'static str) -> Result<(), CacheError> {
+        self.file
+            .write_all(bytes)
+            .and_then(|()| self.file.flush())
+            .map_err(|source| CacheError::Io {
+                path: self.path.clone(),
+                op,
+                source,
+            })
+    }
+}
+
+fn framed(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    write_frame(&mut out, payload);
+    out
+}
+
+/// Counts the intact entry frames in the cache under `dir`,
+/// **read-only** — no truncation, no header write, so it is safe to
+/// poll while another process appends (a torn tail just doesn't count
+/// yet). A missing file counts as zero entries.
+pub fn entry_count(dir: &Path) -> Result<usize, CacheError> {
+    let path = dir.join(CACHE_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(source) => {
+            return Err(CacheError::Io {
+                path,
+                op: "read",
+                source,
+            })
+        }
+    };
+    let mut scan = FrameScan::new(&bytes);
+    if scan.next().is_none() {
+        return Ok(0);
+    }
+    Ok(scan.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbcore::metrics::{DistSummary, Metric, Quantile};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rbbench-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn weird_report() -> CellReport {
+        CellReport {
+            id: "n3/mu1/lam0.5".into(),
+            seed: u64::MAX - 17,
+            metrics: vec![
+                Metric::exact("EX", 2.598_712_3e-9),
+                Metric::Scalar {
+                    name: "weird".into(),
+                    value: f64::NAN,
+                    std_err: f64::INFINITY,
+                    count: u64::MAX,
+                    ok: true,
+                },
+                Metric::Distribution {
+                    name: "X_hist".into(),
+                    ok: true,
+                    dist: DistSummary {
+                        lo: -0.0,
+                        hi: 4.5,
+                        counts: vec![3, 0, 7],
+                        underflow: 1,
+                        overflow: 9,
+                        count: 20,
+                        mean: 1.75,
+                        quantiles: vec![Quantile {
+                            p: 0.99,
+                            x: f64::NAN,
+                        }],
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn hit_returns_bit_exact_payload_across_reopen() {
+        let dir = scratch("roundtrip");
+        let key = cache_key("w", "p=1", 7);
+        let report = weird_report();
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            assert!(cache.lookup(&key).is_none());
+            cache.insert(&key, &report).unwrap();
+            assert_eq!(cache.len(), 1);
+        }
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 1);
+        let got = cache.lookup(&key).expect("hit after reopen");
+        assert_eq!(got.id, report.id);
+        assert_eq!(got.seed, report.seed);
+        assert_eq!(
+            cache.lookup_raw(&key).unwrap(),
+            encode_report_payload(&report).as_slice(),
+            "stored bytes are the exact encoding"
+        );
+        for (a, b) in report.metrics.iter().zip(&got.metrics) {
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.value().to_bits(), b.value().to_bits(), "{}", a.name());
+            assert_eq!(a.std_err().to_bits(), b.std_err().to_bits());
+            assert_eq!(a.count(), b.count());
+        }
+        let (a, b) = (
+            report.metrics[2].dist().unwrap(),
+            got.metrics[2].dist().unwrap(),
+        );
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits(), "-0.0 support survives");
+        assert_eq!(a.quantiles[0].x.to_bits(), b.quantiles[0].x.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn insert_is_idempotent_but_refuses_impure_payloads() {
+        let dir = scratch("idempotent");
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let key = cache_key("w", "p", 1);
+        let report = weird_report();
+        cache.insert(&key, &report).unwrap();
+        cache.insert(&key, &report).unwrap(); // no-op, no error
+        assert_eq!(cache.len(), 1);
+        let mut different = report.clone();
+        different.metrics[0] = Metric::exact("EX", 3.0);
+        let err = cache.insert(&key, &different).unwrap_err();
+        assert!(matches!(err, CacheError::Refused { .. }), "{err}");
+        assert!(err.to_string().contains("not pure"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_resolved_by_rerun() {
+        let dir = scratch("torn");
+        let (key_a, key_b) = (cache_key("w", "a", 1), cache_key("w", "b", 2));
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache.insert(&key_a, &weird_report()).unwrap();
+            cache.insert(&key_b, &weird_report()).unwrap();
+        }
+        let path = dir.join(CACHE_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        // Chop into the middle of the last frame.
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let cache = ResultCache::open(&dir).unwrap();
+        assert!(cache.contains(&key_a));
+        assert!(!cache.contains(&key_b), "torn entry is gone, not served");
+        assert!(
+            std::fs::metadata(&path).unwrap().len() < bytes.len() as u64,
+            "tail truncated"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_header_is_refused_with_a_clear_message() {
+        let dir = scratch("header");
+        let _ = ResultCache::open(&dir).unwrap();
+        let path = dir.join(CACHE_FILE);
+        // Forge a file whose first frame is not a cache header.
+        let mut forged = Vec::new();
+        write_frame(&mut forged, &[0x77, 1, 2, 3]);
+        std::fs::write(&path, &forged).unwrap();
+        let err = ResultCache::open(&dir).unwrap_err();
+        assert!(matches!(err, CacheError::Refused { .. }), "{err}");
+        assert!(err.to_string().contains("delete the cache"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_bump_in_header_is_refused() {
+        let dir = scratch("version");
+        let _ = ResultCache::open(&dir).unwrap();
+        let path = dir.join(CACHE_FILE);
+        let mut header = encode_cache_header();
+        let at = 1 + MAGIC.len();
+        let bumped = (CACHE_FORMAT_VERSION + 1).to_le_bytes();
+        header[at..at + 2].copy_from_slice(&bumped);
+        let mut forged = Vec::new();
+        write_frame(&mut forged, &header);
+        std::fs::write(&path, &forged).unwrap();
+        let err = ResultCache::open(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("format version"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_count_is_read_only_and_tail_tolerant() {
+        let dir = scratch("count");
+        assert_eq!(entry_count(&dir).unwrap(), 0, "missing file counts 0");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache
+                .insert(&cache_key("w", "a", 1), &weird_report())
+                .unwrap();
+            cache
+                .insert(&cache_key("w", "b", 2), &weird_report())
+                .unwrap();
+        }
+        assert_eq!(entry_count(&dir).unwrap(), 2);
+        let path = dir.join(CACHE_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(entry_count(&dir).unwrap(), 1, "torn tail not counted");
+        assert_eq!(
+            std::fs::read(&path).unwrap().len(),
+            bytes.len() - 3,
+            "entry_count must not truncate"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,6 +17,13 @@
 //!   ([`crate::sweep::SweepSpec::run_resumable`] via
 //!   [`BenchArgs::run_sweep`]); the resumed artifact is byte-identical
 //!   to an uninterrupted run;
+//! * `--cache <dir>` — route the sweep through the content-addressed
+//!   result cache at `<dir>` ([`crate::cache`] via
+//!   [`crate::sweep::SweepSpec::run_cached`]): cells already stored
+//!   under `(label, params, seed)` skip their solves, freshly solved
+//!   cells are appended, and the emitted artifact is byte-identical
+//!   either way (mutually exclusive with `--journal` — the cache *is*
+//!   persistence, keyed by content rather than by sweep);
 //! * `--adaptive <budget>` — for binaries with an adaptive-refinement
 //!   mode ([`crate::adaptive::AdaptiveSpec`]): refine the sweep axis
 //!   under a global cell budget of `budget` (at least 1; binaries
@@ -48,6 +55,8 @@ pub struct BenchArgs {
     pub out: Option<PathBuf>,
     /// `--journal`: directory for resumable sweep journals.
     pub journal: Option<PathBuf>,
+    /// `--cache`: directory of the content-addressed result cache.
+    pub cache: Option<PathBuf>,
     /// `--adaptive`: global cell budget for adaptive grid refinement.
     pub adaptive: Option<usize>,
     /// `--splitting`: trials per multilevel-splitting level.
@@ -77,7 +86,7 @@ impl BenchArgs {
     pub fn usage(bin: &str) -> String {
         format!(
             "usage: {bin} [--seed <u64>] [--threads <n>] [--out <dir>] [--journal <dir>]\n\
-             \x20          [--adaptive <budget>] [--splitting <trials>]\n\
+             \x20          [--cache <dir>] [--adaptive <budget>] [--splitting <trials>]\n\
              \n\
              --seed <u64>    master seed for the sweep (default: the binary's\n\
              \x20               published seed; per-cell seeds derive from it)\n\
@@ -88,6 +97,10 @@ impl BenchArgs {
              --journal <dir> journal completed cells to <dir>/<sweep>.wal and\n\
              \x20               resume from it on re-run; a resumed run's artifact\n\
              \x20               is byte-identical to an uninterrupted one\n\
+             --cache <dir>   serve repeated cells from the content-addressed\n\
+             \x20               result cache at <dir> (and store fresh solves);\n\
+             \x20               the artifact is byte-identical either way;\n\
+             \x20               mutually exclusive with --journal\n\
              --adaptive <budget>\n\
              \x20               refine the sweep axis adaptively under a global\n\
              \x20               cell budget (binaries with a refinement mode)\n\
@@ -114,6 +127,7 @@ impl BenchArgs {
                 }
                 "--out" => out.out = Some(Self::dir(&arg, args.next())?),
                 "--journal" => out.journal = Some(Self::dir(&arg, args.next())?),
+                "--cache" => out.cache = Some(Self::dir(&arg, args.next())?),
                 "--adaptive" => {
                     out.adaptive = Some(Self::positive(&arg, args.next(), "a cell budget")?)
                 }
@@ -122,6 +136,14 @@ impl BenchArgs {
                 }
                 other => return Err(ParseError::Invalid(format!("unknown argument `{other}`"))),
             }
+        }
+        if out.journal.is_some() && out.cache.is_some() {
+            return Err(ParseError::Invalid(
+                "--journal and --cache are mutually exclusive: the cache already persists \
+                 every completed cell (keyed by content), so journalling on top of it would \
+                 write the same results twice under two recovery policies"
+                    .into(),
+            ));
         }
         Ok(out)
     }
@@ -180,11 +202,29 @@ impl BenchArgs {
     }
 
     /// Runs a sweep honouring the shared flags: plain
-    /// [`SweepSpec::run`] without `--journal`, resumable
-    /// ([`SweepSpec::run_resumable`]) with it. A journal that cannot be
-    /// replayed (spec mismatch, refused corruption, I/O failure) prints
-    /// its error and exits 2 — binaries have no recovery path.
+    /// [`SweepSpec::run`] without `--journal`/`--cache`, resumable
+    /// ([`SweepSpec::run_resumable`]) with `--journal`, cache-routed
+    /// ([`SweepSpec::run_cached`]) with `--cache` (hit/miss counts are
+    /// reported on stderr; the artifact is byte-identical either way).
+    /// A journal or cache that cannot be used (spec mismatch, refused
+    /// corruption, I/O failure) prints its error and exits 2 —
+    /// binaries have no recovery path.
     pub fn run_sweep(&self, spec: &SweepSpec) -> SweepReport {
+        if let Some(dir) = &self.cache {
+            let cache = match crate::cache::ResultCache::open(dir) {
+                Ok(cache) => std::sync::Mutex::new(cache),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let out = spec.run_cached(self.threads(), &cache);
+            eprintln!(
+                "[cache] {}: {} hits, {} misses, {} uncacheable",
+                spec.name, out.hits, out.misses, out.uncacheable
+            );
+            return out.report;
+        }
         match self.journal_file(&spec.name) {
             None => spec.run(self.threads()),
             Some(path) => {
@@ -263,6 +303,7 @@ mod tests {
             "4096",
         ])
         .unwrap();
+        assert!(a.cache.is_none());
         assert_eq!(a.seed, Some(42));
         assert_eq!(a.threads, Some(3));
         assert_eq!(a.out_dir(), Some(Path::new("/tmp/x")));
@@ -274,6 +315,15 @@ mod tests {
         );
         assert_eq!(a.adaptive, Some(128));
         assert_eq!(a.splitting, Some(4096));
+    }
+
+    #[test]
+    fn cache_flag_parses_and_excludes_journal() {
+        let a = parse(&["--cache", "/tmp/c"]).unwrap();
+        assert_eq!(a.cache, Some(PathBuf::from("/tmp/c")));
+        assert!(invalid(&["--cache", ""]).contains("requires a directory"));
+        let msg = invalid(&["--cache", "/tmp/c", "--journal", "/tmp/j"]);
+        assert!(msg.contains("mutually exclusive"), "{msg}");
     }
 
     #[test]
@@ -315,6 +365,7 @@ mod tests {
             "--threads",
             "--out",
             "--journal",
+            "--cache",
             "--adaptive",
             "--splitting",
         ] {

@@ -319,16 +319,52 @@ fn decode_metric(dec: &mut Dec) -> Result<Metric, String> {
     }
 }
 
-fn encode_cell(index: usize, report: &CellReport) -> Vec<u8> {
-    let mut enc = Enc(Vec::new());
-    enc.u8(TAG_CELL);
-    enc.u64(index as u64);
+fn encode_report_into(enc: &mut Enc, report: &CellReport) {
     enc.str(&report.id);
     enc.u64(report.seed);
     enc.u32(report.metrics.len() as u32);
     for m in &report.metrics {
-        encode_metric(&mut enc, m);
+        encode_metric(enc, m);
     }
+}
+
+fn decode_report_from(dec: &mut Dec) -> Result<CellReport, String> {
+    let id = dec.str()?;
+    let seed = dec.u64()?;
+    let n = dec.u32()? as usize;
+    let mut metrics = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        metrics.push(decode_metric(dec)?);
+    }
+    Ok(CellReport { id, seed, metrics })
+}
+
+/// Encodes a bare [`CellReport`] body — id, seed, metric vector with
+/// `f64`s as raw bits — with no index or framing. This is the shared
+/// bit-exact payload codec behind both the journal's cell records and
+/// the result cache's entries (`crate::cache`); the journal wraps it
+/// in `[TAG_CELL][index]`, so journal bytes are unchanged by the
+/// factoring.
+pub(crate) fn encode_report_payload(report: &CellReport) -> Vec<u8> {
+    let mut enc = Enc(Vec::new());
+    encode_report_into(&mut enc, report);
+    enc.0
+}
+
+/// Decodes a payload written by [`encode_report_payload`], rejecting
+/// trailing bytes.
+pub(crate) fn decode_report_payload(payload: &[u8]) -> Result<CellReport, String> {
+    let mut dec = Dec::new(payload);
+    let report = decode_report_from(&mut dec)?;
+    dec.finish()?;
+    Ok(report)
+}
+
+fn encode_cell(index: usize, report: &CellReport) -> Vec<u8> {
+    let mut enc = Enc(Vec::new());
+    enc.u8(TAG_CELL);
+    enc.u64(index as u64);
+    encode_report_into(&mut enc, report);
     enc.0
 }
 
@@ -339,15 +375,9 @@ fn decode_cell(payload: &[u8]) -> Result<(usize, CellReport), String> {
         tag => return Err(format!("unexpected record tag {tag} (wanted cell record)")),
     }
     let index = dec.u64()? as usize;
-    let id = dec.str()?;
-    let seed = dec.u64()?;
-    let n = dec.u32()? as usize;
-    let mut metrics = Vec::with_capacity(n.min(1 << 20));
-    for _ in 0..n {
-        metrics.push(decode_metric(&mut dec)?);
-    }
+    let report = decode_report_from(&mut dec)?;
     dec.finish()?;
-    Ok((index, CellReport { id, seed, metrics }))
+    Ok((index, report))
 }
 
 /// The spec-binding hash over the full cell-id list (each id hashed

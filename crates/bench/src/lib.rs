@@ -20,9 +20,14 @@
 //!   [`sweep::SweepSpec::run_resumable`]: completed cells are appended
 //!   to an on-disk log and replayed on restart, byte-identical to an
 //!   uninterrupted run;
+//! * [`cache`] — the content-addressed result cache behind
+//!   [`sweep::SweepSpec::run_cached`] and the `rbserve` server: completed
+//!   cells stored under `(label, canonical params, seed, format version)`
+//!   keys in a WAL-backed store, so repeated cells cost a hash lookup,
+//!   not a solve — and a killed server restarts warm;
 //! * [`cli`] — the shared `--seed` / `--threads` / `--out` /
-//!   `--journal` / `--adaptive` / `--splitting` flag parser every
-//!   binary uses;
+//!   `--journal` / `--cache` / `--adaptive` / `--splitting` flag parser
+//!   every binary uses;
 //! * [`emit_json`] / [`emit_json_in`] / [`artifact_json`] — the one
 //!   JSON artifact writer every binary funnels through
 //!   (machine-readable twins of the printed tables, under `results/`);
@@ -44,6 +49,7 @@
 #![forbid(unsafe_code)]
 
 pub mod adaptive;
+pub mod cache;
 pub mod cli;
 pub mod journal;
 pub mod sweep;

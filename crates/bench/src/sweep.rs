@@ -128,10 +128,57 @@ pub struct CellReport {
     pub metrics: Vec<Metric>,
 }
 
+/// A metric lookup that failed: the cell has no metric of the
+/// requested name. Carries the cell id and every name the cell *did*
+/// produce, so the failure is diagnosable whether it surfaces as a
+/// panic (figure bins) or as an error response (the `rbserve` query
+/// path, where a malformed client request must never take down a
+/// worker thread).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricLookupError {
+    /// The cell that was queried.
+    pub cell: String,
+    /// The metric name that was requested.
+    pub requested: String,
+    /// Every metric name the cell produced.
+    pub available: Vec<String>,
+}
+
+impl std::fmt::Display for MetricLookupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell `{}` has no metric `{}`; available: [{}]",
+            self.cell,
+            self.requested,
+            self.available.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for MetricLookupError {}
+
 impl CellReport {
     /// The metric named `name`, if present.
     pub fn metric(&self, name: &str) -> Option<&Metric> {
         self.metrics.iter().find(|m| m.name() == name)
+    }
+
+    /// The metric named `name`, or a [`MetricLookupError`] listing the
+    /// names the cell did produce — the non-panicking twin of
+    /// [`CellReport::value`]'s lookup, for server query paths.
+    pub fn try_metric(&self, name: &str) -> Result<&Metric, MetricLookupError> {
+        self.metric(name).ok_or_else(|| MetricLookupError {
+            cell: self.id.clone(),
+            requested: name.to_string(),
+            available: self.metrics.iter().map(|m| m.name().to_string()).collect(),
+        })
+    }
+
+    /// The value of the metric named `name`, or a
+    /// [`MetricLookupError`].
+    pub fn try_value(&self, name: &str) -> Result<f64, MetricLookupError> {
+        self.try_metric(name).map(Metric::value)
     }
 
     /// The value of the metric named `name`.
@@ -140,20 +187,10 @@ impl CellReport {
     /// Panics if the cell did not produce that metric; the message
     /// names the cell and lists every metric it *did* produce, so a
     /// failed figure-bin run is diagnosable straight from a CI log.
+    /// (Thin wrapper over [`CellReport::try_value`]; callers that must
+    /// not panic — server threads — use the `try_` variants.)
     pub fn value(&self, name: &str) -> f64 {
-        self.metric(name)
-            .unwrap_or_else(|| {
-                panic!(
-                    "cell `{}` has no metric `{name}`; available: [{}]",
-                    self.id,
-                    self.metrics
-                        .iter()
-                        .map(Metric::name)
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                )
-            })
-            .value()
+        self.try_value(name).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -356,6 +393,74 @@ impl SweepSpec {
         })
     }
 
+    /// [`SweepSpec::run`] through a content-addressed result cache
+    /// ([`crate::cache`]): each cacheable cell (one whose workload
+    /// implements [`Workload::cache_params`]) is looked up under
+    /// `(label, canonical params, derived seed, format version)` before
+    /// being solved, and freshly solved cells are appended to the cache
+    /// (and flushed) as they finish. Uncacheable cells always run.
+    ///
+    /// The report is **byte-identical** to `spec.run(1)` whatever mix
+    /// of hits and misses served it: the stored payload is the
+    /// bit-exact report codec (`f64`s as raw bits), and a hit is
+    /// re-labelled with *this* spec's cell id — the key binds the
+    /// workload's identity, not the cell's display name, so two sweeps
+    /// naming the same computation differently share entries without
+    /// perturbing each other's artifacts.
+    ///
+    /// The cache is `Mutex`-wrapped because workers share it; lock
+    /// poisoning is ignored (the cache's own WAL recovery handles a
+    /// worker that died mid-append). A cache I/O failure panics,
+    /// naming the sweep — like a journal append failure, losing the
+    /// store mid-run has no recovery path worth masking.
+    pub fn run_cached(
+        &self,
+        threads: usize,
+        cache: &std::sync::Mutex<crate::cache::ResultCache>,
+    ) -> CachedSweep {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let (hits, misses, uncacheable) = (
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        );
+        let lock = || {
+            cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        };
+        let master = self.master_seed;
+        let cells = par_map_batched(&self.cells, threads, 1, |idx, cell: &SweepCell| {
+            let seed = derive_seed(master, cell.seed_index.unwrap_or(idx as u64));
+            let Some(key) = crate::cache::cell_key(cell, seed) else {
+                uncacheable.fetch_add(1, Ordering::Relaxed);
+                return cell.run(seed);
+            };
+            if let Some(mut report) = lock().lookup(&key) {
+                hits.fetch_add(1, Ordering::Relaxed);
+                debug_assert_eq!(report.seed, seed, "seed is part of the key");
+                report.id = cell.id.clone();
+                return report;
+            }
+            misses.fetch_add(1, Ordering::Relaxed);
+            let report = cell.run(seed);
+            lock()
+                .insert(&key, &report)
+                .unwrap_or_else(|e| panic!("sweep `{}`: {e}", self.name));
+            report
+        });
+        CachedSweep {
+            report: SweepReport {
+                sweep: self.name.clone(),
+                master_seed: master,
+                cells,
+            },
+            hits: hits.into_inner(),
+            misses: misses.into_inner(),
+            uncacheable: uncacheable.into_inner(),
+        }
+    }
+
     /// [`SweepSpec::run`] on a single thread (the serial reference path).
     pub fn run_serial(&self) -> SweepReport {
         self.run(1)
@@ -365,6 +470,20 @@ impl SweepSpec {
     pub fn run_parallel(&self) -> SweepReport {
         self.run(available_threads())
     }
+}
+
+/// The outcome of a cache-routed sweep ([`SweepSpec::run_cached`]):
+/// the report plus how each cell was served.
+pub struct CachedSweep {
+    /// The aggregated report, byte-identical to an uncached run.
+    pub report: SweepReport,
+    /// Cells served from the cache (no solve).
+    pub hits: usize,
+    /// Cacheable cells that had to be solved (and were then stored).
+    pub misses: usize,
+    /// Cells whose workload is not cacheable (always solved, never
+    /// stored).
+    pub uncacheable: usize,
 }
 
 /// The aggregated results of a sweep, in grid order.
@@ -641,6 +760,130 @@ mod tests {
                 SweepCell::named("twin", Nop),
             ],
         );
+    }
+
+    #[test]
+    fn try_accessors_return_errors_instead_of_panicking() {
+        let report = CellReport {
+            id: "c0".into(),
+            seed: 0,
+            metrics: vec![Metric::exact("EX", 1.0), Metric::exact("EL0", 2.0)],
+        };
+        assert_eq!(report.try_value("EX"), Ok(1.0));
+        assert_eq!(report.try_metric("EL0").unwrap().value(), 2.0);
+        let err = report.try_value("EY").unwrap_err();
+        assert_eq!(err.cell, "c0");
+        assert_eq!(err.requested, "EY");
+        assert_eq!(err.available, vec!["EX".to_string(), "EL0".to_string()]);
+        // The Display rendering is the panic message of value().
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cell `c0`") && msg.contains("EX, EL0"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn run_cached_skips_solves_and_matches_bytes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Arc, Mutex};
+
+        /// Cacheable workload that counts its own solves.
+        #[derive(Clone)]
+        struct CountingEcho {
+            tag: u64,
+            runs: Arc<AtomicUsize>,
+        }
+        impl Workload for CountingEcho {
+            fn label(&self) -> String {
+                format!("counting-echo/{}", self.tag)
+            }
+            fn run(&self, seed: u64) -> Vec<Metric> {
+                self.runs.fetch_add(1, Ordering::Relaxed);
+                vec![Metric::exact("echo", (seed ^ self.tag) as f64)]
+            }
+            fn cache_params(&self) -> Option<String> {
+                Some(format!("tag={}", self.tag))
+            }
+        }
+        /// Same computation, but never cacheable.
+        struct Uncacheable(Arc<AtomicUsize>);
+        impl Workload for Uncacheable {
+            fn label(&self) -> String {
+                "uncacheable".into()
+            }
+            fn run(&self, _seed: u64) -> Vec<Metric> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                vec![Metric::exact("echo", 0.0)]
+            }
+        }
+
+        let runs = Arc::new(AtomicUsize::new(0));
+        let unc_runs = Arc::new(AtomicUsize::new(0));
+        let spec = || {
+            let mut cells: Vec<SweepCell> = (0..6)
+                .map(|tag| {
+                    SweepCell::named(
+                        format!("cell{tag}"),
+                        CountingEcho {
+                            tag,
+                            runs: runs.clone(),
+                        },
+                    )
+                })
+                .collect();
+            cells.push(SweepCell::named("raw", Uncacheable(unc_runs.clone())));
+            SweepSpec::new("unit-cached", 13, cells)
+        };
+
+        let dir = std::env::temp_dir().join(format!("rbbench-run-cached-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Mutex::new(crate::cache::ResultCache::open(&dir).unwrap());
+
+        let cold = spec().run_cached(4, &cache);
+        assert_eq!((cold.hits, cold.misses, cold.uncacheable), (0, 6, 1));
+        assert_eq!(runs.load(Ordering::Relaxed), 6);
+        assert_eq!(cold.report.to_json(), spec().run(1).to_json());
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            12,
+            "reference run solves again"
+        );
+
+        // Warm: zero cacheable solves, byte-identical report, the
+        // uncacheable cell runs every time.
+        let warm = spec().run_cached(4, &cache);
+        assert_eq!((warm.hits, warm.misses, warm.uncacheable), (6, 0, 1));
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            12,
+            "no new solves on warm run"
+        );
+        assert_eq!(unc_runs.load(Ordering::Relaxed), 3);
+        assert_eq!(warm.report.to_json(), cold.report.to_json());
+
+        // A different sweep naming the same computations differently
+        // still hits — the key binds the workload, not the cell id —
+        // and the hit is re-labelled with the new id.
+        let renamed = SweepSpec::new(
+            "unit-cached-renamed",
+            13,
+            (0..2)
+                .map(|tag| {
+                    SweepCell::named(
+                        format!("other-name{tag}"),
+                        CountingEcho {
+                            tag,
+                            runs: runs.clone(),
+                        },
+                    )
+                })
+                .collect(),
+        );
+        let re = renamed.run_cached(2, &cache);
+        assert_eq!((re.hits, re.misses), (2, 0));
+        assert_eq!(re.report.cells[0].id, "other-name0");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -39,6 +39,14 @@ impl Workload for SyncLoss {
         format!("sync-loss/n{}", self.mu.len())
     }
 
+    fn cache_params(&self) -> Option<String> {
+        Some(format!(
+            "mu=[{}];rounds={}",
+            rbcore::workload::canon_f64s(&self.mu),
+            self.rounds
+        ))
+    }
+
     fn run(&self, seed: u64) -> Vec<Metric> {
         let stats = simulate_commit_losses(&self.mu, self.rounds, seed);
         vec![

@@ -1,0 +1,167 @@
+//! Cache-key conformance: the key derivation is part of the on-disk
+//! contract (entries written today must hit tomorrow), so its exact
+//! bytes are golden-pinned here, its injectivity is property-tested,
+//! and a hit is shown to return the stored payload bit-exactly through
+//! a real WAL round trip.
+
+use proptest::prelude::*;
+use rbbench::cache::{cache_key, cell_key, ResultCache, CACHE_FORMAT_VERSION};
+use rbbench::sweep::{Metric, SweepCell, Workload};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbbench-cache-key-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The key material layout is an on-disk contract. If this test fails,
+/// you changed the derivation: bump [`CACHE_FORMAT_VERSION`] so old
+/// stores are refused instead of silently missed (or worse, mis-hit).
+#[test]
+fn key_material_bytes_and_hash_are_pinned() {
+    assert_eq!(
+        CACHE_FORMAT_VERSION, 1,
+        "bump breaks this golden on purpose"
+    );
+    let key = cache_key("a", "b", 7);
+    let expected: Vec<u8> = [
+        &1u16.to_le_bytes()[..], // CACHE_FORMAT_VERSION
+        &1u64.to_le_bytes()[..], // label length
+        b"a",                    // label bytes
+        &1u64.to_le_bytes()[..], // params length
+        b"b",                    // params bytes
+        &7u64.to_le_bytes()[..], // seed
+    ]
+    .concat();
+    assert_eq!(key.material(), &expected[..]);
+    // The same bytes, pinned as literals (independent of the builders
+    // above), plus their FNV-1a-64 hash.
+    assert_eq!(
+        key.material(),
+        &[
+            0x01, 0x00, // version 1
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // |"a"|
+            0x61, // "a"
+            0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // |"b"|
+            0x62, // "b"
+            0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // seed 7
+        ]
+    );
+    assert_eq!(key.hash(), 0xe341_c90e_a438_81ba);
+}
+
+/// Length prefixes keep the material injective where plain
+/// concatenation would collide.
+#[test]
+fn label_params_boundary_cannot_be_confused() {
+    assert_ne!(
+        cache_key("ab", "c", 1).material(),
+        cache_key("a", "bc", 1).material()
+    );
+    assert_ne!(
+        cache_key("ab", "c", 1).hash(),
+        cache_key("a", "bc", 1).hash()
+    );
+}
+
+/// Random key-ish text over the charset canonical params actually use
+/// (the shim has no regex strategies).
+fn arb_text(max_len: usize) -> impl Strategy<Value = String> {
+    const CHARSET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/=;,.-[]";
+    prop::collection::vec(0usize..CHARSET.len(), 1..max_len)
+        .prop_map(|ix| ix.into_iter().map(|i| CHARSET[i] as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Changing any single field — label, params, or seed — changes the
+    /// key material (and, FNV collisions aside, the hash).
+    #[test]
+    fn any_single_field_change_flips_the_key(
+        label in arb_text(24),
+        params in arb_text(40),
+        seed in any::<u64>(),
+        other_label in arb_text(24),
+        other_params in arb_text(40),
+        other_seed in any::<u64>(),
+    ) {
+        let base = cache_key(&label, &params, seed);
+        if other_label != label {
+            let flipped = cache_key(&other_label, &params, seed);
+            prop_assert_ne!(base.material(), flipped.material());
+        }
+        if other_params != params {
+            let flipped = cache_key(&label, &other_params, seed);
+            prop_assert_ne!(base.material(), flipped.material());
+        }
+        if other_seed != seed {
+            let flipped = cache_key(&label, &params, other_seed);
+            prop_assert_ne!(base.material(), flipped.material());
+        }
+        // And the derivation is deterministic.
+        let again = cache_key(&label, &params, seed);
+        prop_assert_eq!(base.material(), again.material());
+        prop_assert_eq!(base.hash(), again.hash());
+    }
+}
+
+/// A workload whose metrics exercise the bit-exactness of the payload
+/// codec: negative zero, subnormals, NaN — all must round-trip through
+/// the WAL store unchanged.
+struct BitPattern;
+
+impl Workload for BitPattern {
+    fn label(&self) -> String {
+        "bit-pattern".into()
+    }
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        vec![
+            Metric::exact("neg_zero", -0.0),
+            Metric::exact("subnormal", f64::from_bits(1)),
+            Metric::exact("nan", f64::NAN),
+            Metric::exact("seed_echo", seed as f64),
+        ]
+    }
+    fn cache_params(&self) -> Option<String> {
+        Some("v=1".into())
+    }
+}
+
+#[test]
+fn hit_returns_the_stored_payload_bit_exactly_across_reopen() {
+    let dir = scratch("roundtrip");
+    let cell = SweepCell::new(BitPattern);
+    let seed = 0xDEAD_BEEF_u64;
+    let key = cell_key(&cell, seed).expect("cacheable");
+    let report = cell.run(seed);
+
+    let mut cache = ResultCache::open(&dir).unwrap();
+    assert!(cache.lookup(&key).is_none());
+    cache.insert(&key, &report).unwrap();
+    drop(cache);
+
+    // Reopen (as a restarted server would) and compare raw bits.
+    let cache = ResultCache::open(&dir).unwrap();
+    let hit = cache.lookup(&key).expect("persisted entry hits");
+    assert_eq!(hit.id, report.id);
+    assert_eq!(hit.seed, seed);
+    assert_eq!(hit.metrics.len(), report.metrics.len());
+    for (a, b) in hit.metrics.iter().zip(&report.metrics) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(
+            a.value().to_bits(),
+            b.value().to_bits(),
+            "metric `{}` must round-trip bit-exactly (got {:x} vs {:x})",
+            a.name(),
+            a.value().to_bits(),
+            b.value().to_bits()
+        );
+    }
+    // A different seed is a different key: no hit.
+    let other = cell_key(&cell, seed + 1).unwrap();
+    assert!(cache.lookup(&other).is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -98,6 +98,39 @@ impl DistSummary {
             .find(|q| (q.p - p).abs() < 1e-12)
             .map(|q| q.x)
     }
+
+    /// The quantile at **any** level `p ∈ (0, 1)`, interpolated from
+    /// the stored bin counts with the same rank convention as
+    /// `rbsim::stats::Histogram::quantile` — so for a level that was
+    /// recorded at summary time, `quantile_at` reproduces the stored
+    /// value exactly.
+    ///
+    /// Unlike [`DistSummary::quantile`], this serves levels that were
+    /// never recorded (an interactive query path cannot fix its levels
+    /// in advance), and unlike `Histogram::quantile` it never panics:
+    /// out-of-range `p` (including NaN) and empty summaries return
+    /// `None`. Mass below `lo` clamps to `lo`; mass at or above `hi`
+    /// clamps to `hi`.
+    pub fn quantile_at(&self, p: f64) -> Option<f64> {
+        if !(p > 0.0 && p < 1.0) || self.count == 0 {
+            return None;
+        }
+        let rank = p * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if rank <= acc {
+            return Some(self.lo);
+        }
+        let w = self.bin_width();
+        for (k, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if rank <= next && c > 0 {
+                let frac = (rank - acc) / c as f64;
+                return Some(self.lo + (k as f64 + frac) * w);
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
 }
 
 /// One quantity measured by a [`crate::workload::Workload`]: either a
@@ -364,6 +397,31 @@ mod tests {
         // NaN quantiles serialize as null — the artifact stays valid.
         let json = serde_json::to_string(&Metric::distribution("empty", d)).unwrap();
         assert!(json.contains(r#"{"p":0.5,"x":null}"#), "{json}");
+    }
+
+    #[test]
+    fn quantile_at_matches_stored_levels_and_never_panics() {
+        let mut h = Histogram::new(0.0, 4.0, 8);
+        for i in 0..200 {
+            h.push((i % 40) as f64 / 10.0);
+        }
+        h.push(-1.0); // underflow
+        h.push(9.0); // overflow
+        let d = DistSummary::from_histogram(&h, 2.0, &DistSummary::DEFAULT_LEVELS);
+        // Stored levels reproduce exactly (same rank convention).
+        for q in &d.quantiles {
+            assert_eq!(d.quantile_at(q.p), Some(q.x), "level {}", q.p);
+        }
+        // Unstored levels interpolate and agree with the histogram.
+        for p in [0.05, 0.25, 0.42, 0.75, 0.999] {
+            assert_eq!(d.quantile_at(p), Some(h.quantile(p)), "level {p}");
+        }
+        // Degenerate inputs are None, not panics.
+        for p in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            assert!(d.quantile_at(p).is_none(), "level {p}");
+        }
+        let empty = DistSummary::from_histogram(&Histogram::new(0.0, 1.0, 4), 0.0, &[0.5]);
+        assert!(empty.quantile_at(0.5).is_none());
     }
 
     #[test]

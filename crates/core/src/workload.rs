@@ -69,6 +69,61 @@ pub trait Workload {
     /// derives `seed` from `(master_seed, cell index)` and relies on
     /// this purity for its byte-identical serial ≡ parallel guarantee.
     fn run(&self, seed: u64) -> Vec<Metric>;
+
+    /// A canonical, injective rendering of **every** configuration
+    /// field that [`Workload::run`] reads — the workload's half of a
+    /// content-addressed cache key (`rbbench::cache`), alongside
+    /// [`Workload::label`] and the derived seed.
+    ///
+    /// `None` (the default) means "not cacheable": the cache layer
+    /// always re-runs such workloads. Opting in is a promise that two
+    /// instances returning the same `(label, cache_params)` string pair
+    /// produce bit-identical metrics under the same seed — so the
+    /// string must cover *all* of `self`, with floats rendered via
+    /// [`canon_f64`] (raw IEEE-754 bits; `1.0` vs `1.0 + 1e-16` must
+    /// not collide, and NaN payloads must round-trip).
+    fn cache_params(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Canonical, injective rendering of an `f64` for cache-key material:
+/// the raw IEEE-754 bits in fixed-width hex. Unlike `Display`, this
+/// distinguishes `0.0` from `-0.0` and preserves NaN payloads, so two
+/// configurations collide only if they are bit-identical.
+pub fn canon_f64(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// [`canon_f64`] over a slice, comma-joined (length is implicit in the
+/// rendering: fixed-width elements plus separators cannot be confused
+/// across different lengths).
+pub fn canon_f64s(xs: &[f64]) -> String {
+    xs.iter()
+        .map(|&x| canon_f64(x))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Canonical rendering of [`AsyncParams`] for cache-key material: the
+/// per-process μ vector and the upper-triangular λ pairs in canonical
+/// `(i, j), i < j` order, all via [`canon_f64`].
+pub fn canon_async_params(p: &AsyncParams) -> String {
+    let n = p.n();
+    let lam: Vec<f64> = (0..n)
+        .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+        .map(|(i, j)| p.lambda(i, j))
+        .collect();
+    format!("mu=[{}];lam=[{}]", canon_f64s(p.mu()), canon_f64s(&lam))
+}
+
+/// Canonical rendering of an optional [`DistSpec`] for cache-key
+/// material.
+fn canon_dist(dist: &Option<DistSpec>) -> String {
+    match dist {
+        None => "none".into(),
+        Some(d) => format!("{},{},{}", canon_f64(d.lo), canon_f64(d.hi), d.bins),
+    }
 }
 
 /// Significance level of the goodness-of-fit gates workloads embed:
@@ -144,6 +199,15 @@ impl Workload for AsyncIntervals {
         format!("async-intervals/n{}", self.params.n())
     }
 
+    fn cache_params(&self) -> Option<String> {
+        Some(format!(
+            "{};lines={};dist={}",
+            canon_async_params(&self.params),
+            self.lines,
+            canon_dist(&self.dist)
+        ))
+    }
+
     fn run(&self, seed: u64) -> Vec<Metric> {
         let mut scheme = AsyncScheme::new(AsyncConfig::new(self.params.clone()), seed);
         let stats = match self.dist {
@@ -194,6 +258,16 @@ pub struct AsyncDensity {
 impl Workload for AsyncDensity {
     fn label(&self) -> String {
         format!("async-density/n{}", self.params.n())
+    }
+
+    fn cache_params(&self) -> Option<String> {
+        Some(format!(
+            "{};lines={};t_max={};bins={}",
+            canon_async_params(&self.params),
+            self.lines,
+            canon_f64(self.t_max),
+            self.bins
+        ))
     }
 
     fn run(&self, seed: u64) -> Vec<Metric> {
@@ -273,6 +347,20 @@ impl Workload for SyncTimeline {
         format!("sync-timeline/{:?}", self.strategy)
     }
 
+    fn cache_params(&self) -> Option<String> {
+        let strategy = match self.strategy {
+            SyncStrategy::ConstantInterval(d) => format!("const:{}", canon_f64(d)),
+            SyncStrategy::ElapsedSinceLine(d) => format!("elapsed:{}", canon_f64(d)),
+            SyncStrategy::StatesSaved(k) => format!("states:{k}"),
+        };
+        Some(format!(
+            "{};strategy={strategy};horizon={};dist={}",
+            canon_async_params(&self.params),
+            canon_f64(self.horizon),
+            canon_dist(&self.dist)
+        ))
+    }
+
     fn run(&self, seed: u64) -> Vec<Metric> {
         let s = run_sync_timeline(&self.params, self.strategy, self.horizon, seed);
         let mut metrics = vec![
@@ -310,6 +398,14 @@ impl Workload for SplitChainStats {
         format!("split-chain/P{}", self.tagged + 1)
     }
 
+    fn cache_params(&self) -> Option<String> {
+        Some(format!(
+            "{};tagged={}",
+            canon_async_params(&self.params),
+            self.tagged
+        ))
+    }
+
     fn run(&self, _seed: u64) -> Vec<Metric> {
         let sc = SplitChain::build(&self.params, self.tagged);
         let steps = sc.expected_steps();
@@ -343,6 +439,15 @@ pub struct PrpStorage {
 impl Workload for PrpStorage {
     fn label(&self) -> String {
         format!("prp-storage/n{}", self.params.n())
+    }
+
+    fn cache_params(&self) -> Option<String> {
+        Some(format!(
+            "{};horizon={};t_r={}",
+            canon_async_params(&self.params),
+            canon_f64(self.horizon),
+            canon_f64(self.t_r)
+        ))
     }
 
     fn run(&self, seed: u64) -> Vec<Metric> {
@@ -784,6 +889,50 @@ mod tests {
         let dist = with.last().unwrap();
         assert_eq!(dist.name(), "X_dist");
         assert_eq!(dist.dist().unwrap().count, 300);
+    }
+
+    #[test]
+    fn cache_params_cover_every_config_field() {
+        // Cacheable workloads: any field change must change the string.
+        let base = AsyncIntervals::new(params3(), 200);
+        let p = base.cache_params().unwrap();
+        assert_ne!(
+            p,
+            AsyncIntervals::new(params3(), 201).cache_params().unwrap()
+        );
+        assert_ne!(
+            p,
+            AsyncIntervals::new(AsyncParams::symmetric(3, 1.0, 1.5), 200)
+                .cache_params()
+                .unwrap()
+        );
+        assert_ne!(
+            p,
+            base.clone()
+                .with_distribution(DistSpec::new(0.0, 8.0, 16))
+                .cache_params()
+                .unwrap()
+        );
+        // canon_f64 is bit-level: -0.0 and 0.0 differ, NaN survives.
+        assert_ne!(canon_f64(0.0), canon_f64(-0.0));
+        assert_eq!(canon_f64(f64::NAN), canon_f64(f64::NAN));
+        // The fault-injection workload stays uncacheable by default.
+        let f = FailureEpisodes::new(params3(), FaultConfig::uniform(3, 0.1, 0.5, 0.5), 1);
+        assert!(f.cache_params().is_none());
+    }
+
+    #[test]
+    fn canon_async_params_orders_lambda_pairs_canonically() {
+        // Heterogeneous λ: the canonical (i, j), i < j order must match
+        // AsyncParams::new's upper-triangular input order.
+        let params = AsyncParams::new(vec![1.0, 2.0, 3.0], vec![0.1, 0.2, 0.3]).unwrap();
+        let s = canon_async_params(&params);
+        let want = format!(
+            "mu=[{}];lam=[{}]",
+            canon_f64s(&[1.0, 2.0, 3.0]),
+            canon_f64s(&[0.1, 0.2, 0.3])
+        );
+        assert_eq!(s, want);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The `rbserve` binary: parse flags, spawn the server, join.
+//!
+//! ```text
+//! rbserve [--addr HOST:PORT] [--workers N] [--queue N]
+//!         [--max-cells N] [--cache DIR]
+//! ```
+//!
+//! Prints `rbserve: listening on <addr>` once bound (with the real
+//! port when `--addr` asked for port 0), then serves until a client
+//! sends `shutdown` and the queue drains.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rbserve::ServerConfig;
+
+const USAGE: &str =
+    "usage: rbserve [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N] [--cache DIR]
+
+  --addr HOST:PORT   bind address (default 127.0.0.1:0; port 0 picks a free port)
+  --workers N        worker threads solving sweeps (default: hardware threads)
+  --queue N          submitted jobs that may wait before submits shed (default 16)
+  --max-cells N      largest accepted sweep, in cells (default 4096)
+  --cache DIR        persist solved cells to DIR/results.wal and serve repeats from it
+";
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--max-cells" => {
+                cfg.max_cells = value("--max-cells")?
+                    .parse()
+                    .map_err(|e| format!("--max-cells: {e}"))?
+            }
+            "--cache" => cfg.cache_dir = Some(PathBuf::from(value("--cache")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("rbserve: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match rbserve::spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rbserve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The smoke harness parses this line for the bound port; keep the
+    // format stable.
+    println!("rbserve: listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    ExitCode::SUCCESS
+}

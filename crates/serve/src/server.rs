@@ -1,0 +1,641 @@
+//! The rbserve server: accept loop, connection handlers, worker pool,
+//! and the shared state they coordinate through.
+//!
+//! Threading model (all `std::net` + the in-repo crossbeam channel
+//! shim — no async runtime):
+//!
+//! * one **accept thread** owns the listener (non-blocking, so it can
+//!   poll the drain condition between accepts);
+//! * one **handler thread** per connection reads request lines and
+//!   writes response lines; a `submit` streams its job's event channel
+//!   until the worker drops the sending half;
+//! * `workers` **worker threads** pull jobs off a shared channel and
+//!   run cells sequentially, consulting the result cache before each
+//!   solve.
+//!
+//! Degradation ladder (every refusal is an explicit response, never a
+//! dropped connection):
+//!
+//! 1. malformed line → `{"ok": false, "error": …}`, connection stays up;
+//! 2. oversized submit (more than [`ServerConfig::max_cells`] cells) →
+//!    `shed`;
+//! 3. queue full ([`ServerConfig::queue_capacity`] jobs waiting) →
+//!    `shed` — the client retries later, the server never buffers
+//!    unboundedly;
+//! 4. draining (after `shutdown`) → `shed` for new submits while queued
+//!    work finishes.
+//!
+//! A worker panic (a workload violating its own contract) is caught per
+//! cell: the job aborts with an `ok: false` done-event naming the cell,
+//! and the worker thread survives for the next job.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rbbench::cache::ResultCache;
+use rbbench::sweep::{SweepReport, SweepSpec};
+use rbcore::metrics::Metric;
+use rbsim::derive_seed;
+use serde::{Serialize, Value};
+
+use crate::protocol::{
+    accepted_line, cell_line, done_line, error_line, obj, render, shed_line, Request,
+};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the bound address is on
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads solving sweeps. `0` is permitted (nothing is
+    /// ever dequeued — useful for exercising backpressure
+    /// deterministically in tests).
+    pub workers: usize,
+    /// Jobs that may wait in the queue before submits are shed.
+    pub queue_capacity: usize,
+    /// Largest accepted sweep, in cells; bigger submits are shed.
+    pub max_cells: usize,
+    /// Result-cache directory; `None` disables caching (every cell
+    /// solves).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: rbsim::par::available_threads(),
+            queue_capacity: 16,
+            max_cells: 4096,
+            cache_dir: None,
+        }
+    }
+}
+
+/// Monotonic counters and gauges, updated lock-free and snapshotted by
+/// the `metrics` endpoint.
+#[derive(Default)]
+pub struct Counters {
+    /// `submit` requests received (accepted or not).
+    pub req_submit: AtomicU64,
+    /// `status` requests received.
+    pub req_status: AtomicU64,
+    /// `metrics` requests received.
+    pub req_metrics: AtomicU64,
+    /// `quantile` requests received.
+    pub req_quantile: AtomicU64,
+    /// `result` requests received.
+    pub req_result: AtomicU64,
+    /// `shutdown` requests received.
+    pub req_shutdown: AtomicU64,
+    /// Lines that failed to parse as any request.
+    pub req_malformed: AtomicU64,
+    /// Submits refused (queue full, oversize, or draining).
+    pub shed: AtomicU64,
+    /// Cells served from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Cacheable cells that had to be solved.
+    pub cache_misses: AtomicU64,
+    /// Cells solved (misses + uncacheable).
+    pub cells_solved: AtomicU64,
+    /// Sweeps finished (including aborted ones).
+    pub jobs_done: AtomicU64,
+    /// Gauge: jobs accepted but not yet picked up by a worker.
+    pub queue_depth: AtomicU64,
+    /// Gauge: jobs currently being executed by workers.
+    pub jobs_running: AtomicU64,
+    /// Gauge: cells currently inside `Workload::run`.
+    pub in_flight_solves: AtomicU64,
+}
+
+impl Counters {
+    /// The counters as a `Metric`-shaped snapshot — the same `exact`
+    /// scalar shape every artifact in this workspace uses, so existing
+    /// tooling (conformance diffing, plotting) consumes server metrics
+    /// unchanged.
+    pub fn snapshot(&self, extra: &[(&str, f64)]) -> Vec<Metric> {
+        let c = |name: &str, v: &AtomicU64| Metric::exact(name, v.load(Ordering::Relaxed) as f64);
+        let mut out = vec![
+            c("requests/submit", &self.req_submit),
+            c("requests/status", &self.req_status),
+            c("requests/metrics", &self.req_metrics),
+            c("requests/quantile", &self.req_quantile),
+            c("requests/result", &self.req_result),
+            c("requests/shutdown", &self.req_shutdown),
+            c("requests/malformed", &self.req_malformed),
+            c("submits/shed", &self.shed),
+            c("cache/hits", &self.cache_hits),
+            c("cache/misses", &self.cache_misses),
+            c("cells/solved", &self.cells_solved),
+            c("jobs/done", &self.jobs_done),
+            c("queue/depth", &self.queue_depth),
+            c("jobs/running", &self.jobs_running),
+            c("solves/in_flight", &self.in_flight_solves),
+        ];
+        out.extend(extra.iter().map(|(n, v)| Metric::exact(*n, *v)));
+        out
+    }
+}
+
+/// One queued sweep: the spec plus the channel its progress streams
+/// through. The handler keeps the receiving half; the worker drops the
+/// sender when the job ends, terminating the stream.
+struct Job {
+    spec: SweepSpec,
+    events: Sender<String>,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    cfg: ServerConfig,
+    counters: Counters,
+    draining: AtomicBool,
+    cache: Option<Mutex<ResultCache>>,
+    finished: Mutex<HashMap<String, SweepReport>>,
+}
+
+impl Shared {
+    fn lock_cache(&self) -> Option<std::sync::MutexGuard<'_, ResultCache>> {
+        self.cache
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+/// A running server: its bound address and the accept thread to join.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server drains: a `shutdown` request was seen
+    /// and all queued and running jobs finished.
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+
+    /// Flips the drain flag directly (same effect as a `shutdown`
+    /// request over the wire) — lets an embedding test stop a server it
+    /// never connected to.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Binds the listener, spawns the worker pool and accept thread, and
+/// returns immediately. Fails only on bind/cache-open errors — after
+/// `Ok`, every failure is reported over the wire.
+pub fn spawn(cfg: ServerConfig) -> Result<ServerHandle, String> {
+    let cache = match &cfg.cache_dir {
+        None => None,
+        Some(dir) => Some(Mutex::new(
+            ResultCache::open(dir).map_err(|e| e.to_string())?,
+        )),
+    };
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+    let shared = Arc::new(Shared {
+        counters: Counters::default(),
+        draining: AtomicBool::new(false),
+        cache,
+        finished: Mutex::new(HashMap::new()),
+        cfg,
+    });
+
+    let (jobs_tx, jobs_rx) = unbounded::<Job>();
+    for _ in 0..shared.cfg.workers {
+        let shared = Arc::clone(&shared);
+        let rx = jobs_rx.clone();
+        std::thread::spawn(move || worker_loop(&shared, &rx));
+    }
+
+    let accept_shared = Arc::clone(&shared);
+    // The accept thread keeps one receiver alive so submits still
+    // *queue* with zero workers (deterministic-backpressure tests)
+    // instead of failing as disconnected.
+    let accept =
+        std::thread::spawn(move || accept_loop(&accept_shared, &listener, jobs_tx, jobs_rx));
+
+    Ok(ServerHandle {
+        addr,
+        accept,
+        shared,
+    })
+}
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    jobs: Sender<Job>,
+    _jobs_alive: Receiver<Job>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking; accepted streams must
+                // not inherit that (handlers block on reads).
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let shared = Arc::clone(shared);
+                let jobs = jobs.clone();
+                std::thread::spawn(move || handle_conn(&shared, &jobs, stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let c = &shared.counters;
+                if shared.draining.load(Ordering::SeqCst)
+                    && c.queue_depth.load(Ordering::SeqCst) == 0
+                    && c.jobs_running.load(Ordering::SeqCst) == 0
+                {
+                    // Drained: stop accepting. Handler threads for
+                    // still-open connections die with their sockets.
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn send_line(out: &mut TcpStream, line: &str) -> bool {
+    let mut bytes = line.as_bytes().to_vec();
+    bytes.push(b'\n');
+    out.write_all(&bytes).and_then(|_| out.flush()).is_ok()
+}
+
+fn handle_conn(shared: &Arc<Shared>, jobs: &Sender<Job>, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(_) => return,
+    };
+    let mut out = stream;
+    let c = &shared.counters;
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(e) => {
+                c.req_malformed.fetch_add(1, Ordering::Relaxed);
+                if !send_line(&mut out, &error_line(&e)) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let keep_going = match request {
+            Request::Submit(sub) => handle_submit(shared, jobs, &mut out, sub),
+            Request::Status => {
+                c.req_status.fetch_add(1, Ordering::Relaxed);
+                send_line(&mut out, &status_line(shared))
+            }
+            Request::Metrics => {
+                c.req_metrics.fetch_add(1, Ordering::Relaxed);
+                send_line(&mut out, &metrics_line(shared))
+            }
+            Request::Quantile {
+                sweep,
+                cell,
+                metric,
+                p,
+            } => {
+                c.req_quantile.fetch_add(1, Ordering::Relaxed);
+                send_line(&mut out, &quantile_line(shared, &sweep, &cell, &metric, p))
+            }
+            Request::Result { sweep } => {
+                c.req_result.fetch_add(1, Ordering::Relaxed);
+                send_line(&mut out, &result_line(shared, &sweep))
+            }
+            Request::Shutdown => {
+                c.req_shutdown.fetch_add(1, Ordering::Relaxed);
+                shared.draining.store(true, Ordering::SeqCst);
+                send_line(
+                    &mut out,
+                    &render(&obj(vec![
+                        ("ok", Value::Bool(true)),
+                        ("status", Value::Str("draining".into())),
+                    ])),
+                )
+            }
+        };
+        if !keep_going {
+            return;
+        }
+    }
+}
+
+/// Admission control + event streaming for one submit. Returns `false`
+/// when the connection is gone.
+fn handle_submit(
+    shared: &Arc<Shared>,
+    jobs: &Sender<Job>,
+    out: &mut TcpStream,
+    sub: crate::protocol::SubmitRequest,
+) -> bool {
+    let c = &shared.counters;
+    c.req_submit.fetch_add(1, Ordering::Relaxed);
+    if shared.draining.load(Ordering::SeqCst) {
+        c.shed.fetch_add(1, Ordering::Relaxed);
+        return send_line(out, &shed_line("server is draining; resubmit elsewhere"));
+    }
+    let spec = match sub.build_spec() {
+        Ok(s) => s,
+        Err(e) => {
+            c.req_malformed.fetch_add(1, Ordering::Relaxed);
+            return send_line(out, &error_line(&e));
+        }
+    };
+    if spec.cells.len() > shared.cfg.max_cells {
+        c.shed.fetch_add(1, Ordering::Relaxed);
+        return send_line(
+            out,
+            &shed_line(&format!(
+                "sweep has {} cells; this server accepts at most {}",
+                spec.cells.len(),
+                shared.cfg.max_cells
+            )),
+        );
+    }
+    // Bounded admission: claim a queue slot or shed. The slot is
+    // released by the worker on pickup.
+    let cap = shared.cfg.queue_capacity as u64;
+    let admitted = c
+        .queue_depth
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
+            (d < cap).then_some(d + 1)
+        })
+        .is_ok();
+    if !admitted {
+        c.shed.fetch_add(1, Ordering::Relaxed);
+        return send_line(
+            out,
+            &shed_line(&format!("queue full ({cap} jobs waiting); retry later")),
+        );
+    }
+    let (events_tx, events_rx) = unbounded::<String>();
+    let name = spec.name.clone();
+    let cells = spec.cells.len();
+    if jobs
+        .send(Job {
+            spec,
+            events: events_tx,
+        })
+        .is_err()
+    {
+        c.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        c.shed.fetch_add(1, Ordering::Relaxed);
+        return send_line(out, &shed_line("server is shutting down"));
+    }
+    if !send_line(out, &accepted_line(&name, cells)) {
+        // Client gone already; the worker still runs the job (warming
+        // the cache) and its sends harmlessly fill the orphaned queue.
+        return false;
+    }
+    // Stream until the worker drops the sender.
+    for event in events_rx.iter() {
+        if !send_line(out, &event) {
+            return false;
+        }
+    }
+    true
+}
+
+fn worker_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>) {
+    // recv errors only when the accept loop (the last sender) is gone
+    // and the queue is empty — i.e. after drain.
+    while let Ok(job) = jobs.recv() {
+        let c = &shared.counters;
+        c.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        c.jobs_running.fetch_add(1, Ordering::SeqCst);
+        run_job(shared, &job);
+        c.jobs_running.fetch_sub(1, Ordering::SeqCst);
+        c.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs one sweep cell-by-cell, cache-first, streaming each cell as it
+/// completes. Timing is accumulated here and reported only in the done
+/// event — cell payloads stay execution-independent, which is what
+/// makes cached and solved responses byte-identical.
+fn run_job(shared: &Arc<Shared>, job: &Job) {
+    let c = &shared.counters;
+    let spec = &job.spec;
+    let (mut hits, mut misses, mut uncacheable) = (0u64, 0u64, 0u64);
+    let mut solve_ns = 0.0f64;
+    let mut reports = Vec::with_capacity(spec.cells.len());
+    for (idx, cell) in spec.cells.iter().enumerate() {
+        let seed = derive_seed(spec.master_seed, spec.seed_index(idx));
+        let key = rbbench::cache::cell_key(cell, seed);
+        let started = Instant::now();
+        let cached_hit = key
+            .as_ref()
+            .and_then(|k| shared.lock_cache().and_then(|c| c.lookup(k)));
+        let (report, was_hit) = match cached_hit {
+            Some(mut r) => {
+                hits += 1;
+                c.cache_hits.fetch_add(1, Ordering::Relaxed);
+                r.id = cell.id.clone();
+                (r, true)
+            }
+            None => {
+                c.in_flight_solves.fetch_add(1, Ordering::SeqCst);
+                let solved = catch_unwind(AssertUnwindSafe(|| cell.run(seed)));
+                c.in_flight_solves.fetch_sub(1, Ordering::SeqCst);
+                c.cells_solved.fetch_add(1, Ordering::Relaxed);
+                let r = match solved {
+                    Ok(r) => r,
+                    Err(_) => {
+                        let _ = job.events.send(done_line(
+                            &spec.name,
+                            spec.cells.len(),
+                            hits,
+                            misses,
+                            uncacheable,
+                            solve_ns,
+                            Some(&format!("workload panicked in cell `{}`", cell.id)),
+                        ));
+                        return;
+                    }
+                };
+                match &key {
+                    Some(k) => {
+                        misses += 1;
+                        c.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        if let Some(mut cache) = shared.lock_cache() {
+                            if let Err(e) = cache.insert(k, &r) {
+                                // Losing the store degrades to
+                                // cache-off; the sweep itself is fine.
+                                eprintln!("rbserve: cache insert failed: {e}");
+                            }
+                        }
+                    }
+                    None => uncacheable += 1,
+                }
+                (r, false)
+            }
+        };
+        solve_ns += started.elapsed().as_nanos() as f64;
+        let _ = job
+            .events
+            .send(cell_line(&spec.name, idx, was_hit, &report));
+        reports.push(report);
+    }
+    let report = SweepReport {
+        sweep: spec.name.clone(),
+        master_seed: spec.master_seed,
+        cells: reports,
+    };
+    shared
+        .finished
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .insert(spec.name.clone(), report);
+    let _ = job.events.send(done_line(
+        &spec.name,
+        spec.cells.len(),
+        hits,
+        misses,
+        uncacheable,
+        solve_ns,
+        None,
+    ));
+}
+
+fn status_line(shared: &Arc<Shared>) -> String {
+    let c = &shared.counters;
+    let finished = shared
+        .finished
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len();
+    let cache_entries = shared.lock_cache().map(|c| c.len());
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        (
+            "status",
+            Value::Str(
+                if shared.draining.load(Ordering::SeqCst) {
+                    "draining"
+                } else {
+                    "serving"
+                }
+                .into(),
+            ),
+        ),
+        (
+            "queue_depth",
+            Value::Num(c.queue_depth.load(Ordering::SeqCst) as f64),
+        ),
+        (
+            "jobs_running",
+            Value::Num(c.jobs_running.load(Ordering::SeqCst) as f64),
+        ),
+        ("sweeps_finished", Value::Num(finished as f64)),
+        (
+            "cache_entries",
+            match cache_entries {
+                Some(n) => Value::Num(n as f64),
+                None => Value::Null,
+            },
+        ),
+    ]))
+}
+
+fn metrics_line(shared: &Arc<Shared>) -> String {
+    let finished = shared
+        .finished
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len() as f64;
+    let cache_entries = shared.lock_cache().map_or(-1.0, |c| c.len() as f64);
+    let draining = shared.draining.load(Ordering::SeqCst) as u8 as f64;
+    let metrics = shared.counters.snapshot(&[
+        ("sweeps/finished", finished),
+        ("cache/entries", cache_entries),
+        ("draining", draining),
+        ("queue/capacity", shared.cfg.queue_capacity as f64),
+        ("workers", shared.cfg.workers as f64),
+    ]);
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("metrics", metrics.to_value()),
+    ]))
+}
+
+fn quantile_line(shared: &Arc<Shared>, sweep: &str, cell: &str, metric: &str, p: f64) -> String {
+    let finished = shared
+        .finished
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(report) = finished.get(sweep) else {
+        return error_line(&format!(
+            "no finished sweep `{sweep}` (still running, shed, or never submitted)"
+        ));
+    };
+    let Some(cell_report) = report.cell(cell) else {
+        return error_line(&format!("sweep `{sweep}` has no cell `{cell}`"));
+    };
+    let m = match cell_report.try_metric(metric) {
+        Ok(m) => m,
+        Err(e) => return error_line(&e.to_string()),
+    };
+    let Some(dist) = m.dist() else {
+        return error_line(&format!(
+            "metric `{metric}` is scalar; quantiles need a distribution metric"
+        ));
+    };
+    let Some(x) = dist.quantile_at(p) else {
+        return error_line(&format!(
+            "p must be inside (0, 1) on a non-empty distribution, got p={p}"
+        ));
+    };
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("sweep", Value::Str(sweep.into())),
+        ("cell", Value::Str(cell.into())),
+        ("metric", Value::Str(metric.into())),
+        ("p", Value::Num(p)),
+        ("x", Value::Num(x)),
+    ]))
+}
+
+fn result_line(shared: &Arc<Shared>, sweep: &str) -> String {
+    let finished = shared
+        .finished
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let Some(report) = finished.get(sweep) else {
+        return error_line(&format!(
+            "no finished sweep `{sweep}` (still running, shed, or never submitted)"
+        ));
+    };
+    render(&obj(vec![
+        ("ok", Value::Bool(true)),
+        ("report", report.to_value()),
+    ]))
+}

@@ -1,0 +1,331 @@
+//! In-process protocol tests: one embedded server per test, a plain
+//! `TcpStream` as the client. These run in debug builds (the grids are
+//! tiny); the release-only end-to-end harness — kill/restart, cache
+//! warm-up ratios — lives in `serve_smoke.rs`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use rbserve::{spawn, ServerConfig};
+use serde::Value;
+
+/// A line-oriented test client.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("recv");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        serde_json::from_str(&line).expect("response is JSON")
+    }
+
+    fn request(&mut self, line: &str) -> Value {
+        self.send(line);
+        self.recv()
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {v:?}"))
+}
+
+fn get_str(v: &Value, key: &str) -> String {
+    match get(v, key) {
+        Value::Str(s) => s.clone(),
+        other => panic!("`{key}` is not a string: {other:?}"),
+    }
+}
+
+fn get_num(v: &Value, key: &str) -> f64 {
+    match get(v, key) {
+        Value::Num(x) => *x,
+        other => panic!("`{key}` is not a number: {other:?}"),
+    }
+}
+
+fn is_ok(v: &Value) -> bool {
+    matches!(get(v, "ok"), Value::Bool(true))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbserve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn test_config(workers: usize) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 4,
+        max_cells: 256,
+        cache_dir: None,
+    }
+}
+
+const TINY_GRID: &str = r#"{"op":"submit","name":"g","seed":11,"kind":"async_grid",
+    "n":[2],"mu":[1],"lambda":[0.5,1],"lines":60,
+    "dist":{"lo":0,"hi":12,"bins":24}}"#;
+
+/// Submits `TINY_GRID` and drains its event stream; returns the done
+/// event.
+fn run_tiny_grid(client: &mut Client) -> Value {
+    let accepted = client.request(&TINY_GRID.replace('\n', " "));
+    assert!(is_ok(&accepted), "{accepted:?}");
+    assert_eq!(get_str(&accepted, "event"), "accepted");
+    assert_eq!(get_num(&accepted, "cells"), 2.0);
+    let mut cells_seen = 0;
+    loop {
+        let event = client.recv();
+        match get_str(&event, "event").as_str() {
+            "cell" => {
+                assert!(is_ok(&event), "{event:?}");
+                cells_seen += 1;
+            }
+            "done" => {
+                assert!(is_ok(&event), "{event:?}");
+                assert_eq!(cells_seen, 2, "every cell streams before done");
+                return event;
+            }
+            other => panic!("unexpected event `{other}`: {event:?}"),
+        }
+    }
+}
+
+#[test]
+fn submit_streams_cells_then_queries_answer() {
+    let handle = spawn(test_config(2)).expect("spawn");
+    let mut client = Client::connect(handle.addr());
+
+    let done = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&done, "cells"), 2.0);
+    assert_eq!(get_num(&done, "uncacheable"), 0.0);
+    // No cache configured: nothing hits, every cacheable cell misses.
+    assert_eq!(get_num(&done, "cache_hits"), 0.0);
+
+    // Quantiles are monotone in p and inside the configured support.
+    let q = |client: &mut Client, p: f64| {
+        let resp = client.request(&format!(
+            r#"{{"op":"quantile","sweep":"g","cell":"n2/mu1/lam0.5","metric":"X_dist","p":{p}}}"#
+        ));
+        assert!(is_ok(&resp), "{resp:?}");
+        get_num(&resp, "x")
+    };
+    let (p10, p50, p90) = (
+        q(&mut client, 0.1),
+        q(&mut client, 0.5),
+        q(&mut client, 0.9),
+    );
+    assert!(p10 <= p50 && p50 <= p90, "{p10} {p50} {p90}");
+    assert!((0.0..=12.0).contains(&p10) && p90 <= 12.0);
+
+    // The full report round-trips and names both cells.
+    let result = client.request(r#"{"op":"result","sweep":"g"}"#);
+    assert!(is_ok(&result), "{result:?}");
+    let report = get(&result, "report");
+    assert_eq!(get_str(report, "sweep"), "g");
+    match get(report, "cells") {
+        Value::Seq(cells) => assert_eq!(cells.len(), 2),
+        other => panic!("cells is not a list: {other:?}"),
+    }
+
+    // Status reflects the finished sweep; metrics count our requests.
+    let status = client.request(r#"{"op":"status"}"#);
+    assert_eq!(get_str(&status, "status"), "serving");
+    assert_eq!(get_num(&status, "sweeps_finished"), 1.0);
+    assert_eq!(get(&status, "cache_entries"), &Value::Null);
+
+    let metrics = client.request(r#"{"op":"metrics"}"#);
+    assert!(is_ok(&metrics), "{metrics:?}");
+    let Value::Seq(list) = get(&metrics, "metrics") else {
+        panic!("metrics is not a list")
+    };
+    let metric = |name: &str| {
+        list.iter()
+            .find(|m| m.get("name") == Some(&Value::Str(name.into())))
+            .unwrap_or_else(|| panic!("no metric `{name}`"))
+    };
+    assert_eq!(get_num(metric("requests/submit"), "value"), 1.0);
+    assert_eq!(get_num(metric("requests/quantile"), "value"), 3.0);
+    assert_eq!(get_num(metric("jobs/done"), "value"), 1.0);
+    assert_eq!(get_num(metric("cells/solved"), "value"), 2.0);
+    assert_eq!(get_num(metric("queue/depth"), "value"), 0.0);
+
+    // Graceful drain: shutdown acks, then join returns.
+    let ack = client.request(r#"{"op":"shutdown"}"#);
+    assert!(is_ok(&ack), "{ack:?}");
+    assert_eq!(get_str(&ack, "status"), "draining");
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn cache_round_trip_hits_on_resubmit() {
+    let dir = scratch("basic-cache");
+    let mut cfg = test_config(2);
+    cfg.cache_dir = Some(dir.clone());
+    let handle = spawn(cfg).expect("spawn");
+    let mut client = Client::connect(handle.addr());
+
+    let cold = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&cold, "cache_misses"), 2.0);
+    let warm = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&warm, "cache_hits"), 2.0);
+    assert_eq!(get_num(&warm, "cache_misses"), 0.0);
+
+    let status = client.request(r#"{"op":"status"}"#);
+    assert_eq!(get_num(&status, "cache_entries"), 2.0);
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_errors_not_disconnects() {
+    let handle = spawn(test_config(1)).expect("spawn");
+    let mut client = Client::connect(handle.addr());
+
+    let resp = client.request("this is not json");
+    assert!(!is_ok(&resp));
+    assert!(get_str(&resp, "error").contains("malformed JSON"));
+
+    let resp = client.request(r#"{"op":"teleport"}"#);
+    assert!(!is_ok(&resp));
+    assert!(get_str(&resp, "error").contains("unknown op"));
+
+    // Validation failures answer on the same (still-open) connection.
+    let resp = client.request(
+        r#"{"op":"submit","name":"bad","kind":"async_grid","n":[1],"mu":[1],"lambda":[1],"lines":10}"#,
+    );
+    assert!(!is_ok(&resp));
+    assert!(get_str(&resp, "error").contains("≥ 2"));
+
+    let resp =
+        client.request(r#"{"op":"quantile","sweep":"ghost","cell":"c","metric":"m","p":0.5}"#);
+    assert!(!is_ok(&resp));
+    assert!(get_str(&resp, "error").contains("no finished sweep"));
+
+    let resp = client.request(r#"{"op":"result","sweep":"ghost"}"#);
+    assert!(!is_ok(&resp));
+
+    // The connection survived all of the above.
+    let status = client.request(r#"{"op":"status"}"#);
+    assert!(is_ok(&status));
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn quantile_errors_name_the_failure() {
+    let handle = spawn(test_config(2)).expect("spawn");
+    let mut client = Client::connect(handle.addr());
+    run_tiny_grid(&mut client);
+
+    let req = |client: &mut Client, body: &str| {
+        let resp = client.request(body);
+        assert!(!is_ok(&resp), "{resp:?}");
+        get_str(&resp, "error")
+    };
+    let err = req(
+        &mut client,
+        r#"{"op":"quantile","sweep":"g","cell":"nope","metric":"X_dist","p":0.5}"#,
+    );
+    assert!(err.contains("no cell `nope`"), "{err}");
+    let err = req(
+        &mut client,
+        r#"{"op":"quantile","sweep":"g","cell":"n2/mu1/lam0.5","metric":"EY","p":0.5}"#,
+    );
+    assert!(err.contains("has no metric `EY`"), "{err}");
+    // EX exists but is scalar.
+    let err = req(
+        &mut client,
+        r#"{"op":"quantile","sweep":"g","cell":"n2/mu1/lam0.5","metric":"EX","p":0.5}"#,
+    );
+    assert!(err.contains("scalar"), "{err}");
+    let err = req(
+        &mut client,
+        r#"{"op":"quantile","sweep":"g","cell":"n2/mu1/lam0.5","metric":"X_dist","p":1.5}"#,
+    );
+    assert!(err.contains("inside (0, 1)"), "{err}");
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn backpressure_sheds_when_queue_fills_and_when_draining() {
+    // Zero workers: nothing is ever dequeued, so the queue state is
+    // fully deterministic.
+    let mut cfg = test_config(0);
+    cfg.queue_capacity = 2;
+    let handle = spawn(cfg).expect("spawn");
+
+    // Two submits occupy both queue slots (each on its own connection —
+    // a submitting connection stays busy streaming until its job runs).
+    let submit = r#"{"op":"submit","name":"q","kind":"async_grid","n":[2],"mu":[1],"lambda":[1],"lines":10}"#;
+    let mut first = Client::connect(handle.addr());
+    let resp = first.request(submit);
+    assert_eq!(get_str(&resp, "event"), "accepted");
+    let mut second = Client::connect(handle.addr());
+    let resp = second.request(submit);
+    assert_eq!(get_str(&resp, "event"), "accepted");
+
+    // Third submit: queue full → explicit shed, connection stays up.
+    let mut third = Client::connect(handle.addr());
+    let resp = third.request(submit);
+    assert!(!is_ok(&resp));
+    assert_eq!(get_str(&resp, "event"), "shed");
+    assert!(get_str(&resp, "error").contains("queue full"), "{resp:?}");
+
+    // Oversized submit sheds regardless of queue state.
+    let resp = third.request(
+        r#"{"op":"submit","name":"big","kind":"async_grid","n":[2,3,4,5,6,7],"mu":[1,2,3,4,5,6,7],"lambda":[1,2,3,4,5,6,7],"lines":10}"#,
+    );
+    assert_eq!(get_str(&resp, "event"), "shed");
+    assert!(get_str(&resp, "error").contains("at most"), "{resp:?}");
+
+    // Draining sheds too (and shed counts are visible in metrics).
+    let ack = third.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(get_str(&ack, "status"), "draining");
+    let resp = third.request(submit);
+    assert_eq!(get_str(&resp, "event"), "shed");
+    assert!(get_str(&resp, "error").contains("draining"), "{resp:?}");
+
+    let metrics = third.request(r#"{"op":"metrics"}"#);
+    let Value::Seq(list) = get(&metrics, "metrics") else {
+        panic!("metrics is not a list")
+    };
+    let shed = list
+        .iter()
+        .find(|m| m.get("name") == Some(&Value::Str("submits/shed".into())))
+        .expect("shed metric");
+    assert_eq!(get_num(shed, "value"), 3.0);
+    // Queued jobs never ran (no workers), so the server cannot drain;
+    // the handle is dropped, not joined, and the test process exits.
+}

@@ -811,6 +811,29 @@ impl rbcore::workload::Workload for ConformanceWorkload {
         self.scenario.id.clone()
     }
 
+    fn cache_params(&self) -> Option<String> {
+        use rbcore::workload::{canon_f64, canon_f64s};
+        // Everything `run` reads: the full scenario — including its own
+        // embedded seed, since `run` ignores the sweep-derived one —
+        // and every effort/tolerance knob of the config.
+        Some(format!(
+            "scenario={};kind={:?};mu=[{}];lam=[{}];seed={};intervals={};sync_rounds={};\
+             prp_horizon={};episodes={};z={};gof_alpha={};gof_bins={}",
+            self.scenario.id,
+            self.scenario.kind,
+            canon_f64s(&self.scenario.mu),
+            canon_f64s(&self.scenario.lambda),
+            self.scenario.seed,
+            self.cfg.intervals,
+            self.cfg.sync_rounds,
+            canon_f64(self.cfg.prp_horizon),
+            self.cfg.episodes,
+            canon_f64(self.cfg.z),
+            canon_f64(self.cfg.gof_alpha),
+            self.cfg.gof_bins
+        ))
+    }
+
     fn run(&self, _seed: u64) -> Vec<Metric> {
         let mut metrics = Vec::new();
         for report in self.cfg.check_all(&self.scenario) {
