@@ -52,10 +52,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
+use rbruntime::faultio::{is_transient, FileIo, Fs, RealFs};
 use rbruntime::wal::{fnv1a64, write_frame, FrameScan, FRAME_OVERHEAD};
 
 use crate::journal::{decode_report_payload, encode_report_payload};
@@ -141,6 +140,10 @@ pub enum CacheError {
     Refused {
         /// The cache file path.
         path: PathBuf,
+        /// The offending frame when the refusal came from scanning the
+        /// file (0 is the header, `k ≥ 1` the `k`-th entry); `None` for
+        /// refusals of a new insert (nothing on disk is wrong yet).
+        frame: Option<u64>,
         /// What was wrong.
         reason: String,
     },
@@ -152,12 +155,20 @@ impl fmt::Display for CacheError {
             CacheError::Io { path, op, source } => {
                 write!(f, "result cache {}: {op}: {source}", path.display())
             }
-            CacheError::Refused { path, reason } => write!(
-                f,
-                "result cache {}: {reason} — refusing to serve from it; delete the cache \
-                 to start fresh",
-                path.display()
-            ),
+            CacheError::Refused {
+                path,
+                frame,
+                reason,
+            } => {
+                write!(f, "result cache {}: ", path.display())?;
+                if let Some(frame) = frame {
+                    write!(f, "frame {frame}: ")?;
+                }
+                write!(
+                    f,
+                    "{reason} — refusing to serve from it; delete the cache to start fresh"
+                )
+            }
         }
     }
 }
@@ -245,38 +256,51 @@ fn decode_entry(frame: &[u8]) -> Result<(Vec<u8>, Vec<u8>), String> {
 
 /// An open, append-mode result cache over one WAL file (see the module
 /// docs for format and recovery rules). Create with
-/// [`ResultCache::open`]; serve with [`ResultCache::lookup`]; fill with
+/// [`ResultCache::open`] (or [`ResultCache::open_in`] to inject the
+/// filesystem); serve with [`ResultCache::lookup`]; fill with
 /// [`ResultCache::insert`].
-#[derive(Debug)]
 pub struct ResultCache {
     path: PathBuf,
-    file: File,
+    file: Box<dyn FileIo>,
     /// hash → indices into `entries` (collision candidates).
     index: HashMap<u64, Vec<usize>>,
     /// `(key material, payload bytes)` in append order.
     entries: Vec<(Vec<u8>, Vec<u8>)>,
 }
 
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("path", &self.path)
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
 impl ResultCache {
-    /// Opens (or creates) the cache under directory `dir`, replaying
-    /// every intact entry into the in-memory index. A fresh or empty
-    /// file gets a header immediately; an existing file is validated
-    /// (magic, cache format version, code version) and its torn tail —
-    /// if any — truncated away.
+    /// [`ResultCache::open_in`] on the real filesystem.
     pub fn open(dir: &Path) -> Result<ResultCache, CacheError> {
+        ResultCache::open_in(&RealFs, dir)
+    }
+
+    /// Opens (or creates) the cache under directory `dir` on the
+    /// filesystem `fs`, replaying every intact entry into the in-memory
+    /// index. A fresh or empty file gets a header immediately; an
+    /// existing file is validated (magic, cache format version, code
+    /// version) and its torn tail — if any — truncated away.
+    ///
+    /// `fs` is the [`rbruntime::faultio`] seam: production callers pass
+    /// [`RealFs`]; chaos harnesses pass a
+    /// [`rbruntime::faultio::FaultyFs`] to sweep these recovery rules
+    /// over seeded fault schedules.
+    pub fn open_in(fs: &dyn Fs, dir: &Path) -> Result<ResultCache, CacheError> {
         let path = dir.join(CACHE_FILE);
         let io = |op: &'static str| {
             let path = path.clone();
             move |source: std::io::Error| CacheError::Io { path, op, source }
         };
-        std::fs::create_dir_all(dir).map_err(io("create cache dir"))?;
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
-            .map_err(io("open"))?;
+        fs.create_dir_all(dir).map_err(io("create cache dir"))?;
+        let mut file = fs.open_rw(&path).map_err(io("open"))?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(io("read"))?;
 
@@ -291,20 +315,24 @@ impl ResultCache {
             return Ok(cache);
         }
 
-        let refuse = |reason: String| CacheError::Refused {
+        let refuse = |frame: u64, reason: String| CacheError::Refused {
             path: path.clone(),
+            frame: Some(frame),
             reason,
         };
         let mut scan = FrameScan::new(&bytes);
         scan.next()
-            .ok_or_else(|| refuse("unreadable cache header (torn or corrupt)".into()))
-            .and_then(|payload| decode_cache_header(payload).map_err(&refuse))?;
+            .ok_or_else(|| refuse(0, "unreadable cache header (torn or corrupt)".into()))
+            .and_then(|payload| decode_cache_header(payload).map_err(|r| refuse(0, r)))?;
+        let mut frame_idx: u64 = 0;
         for frame in scan.by_ref() {
-            let (material, payload) = decode_entry(frame).map_err(&refuse)?;
+            frame_idx += 1;
+            let (material, payload) = decode_entry(frame).map_err(|r| refuse(frame_idx, r))?;
             let hash = fnv1a64(&material);
             if let Some(existing) = cache.find(hash, &material) {
                 if existing != payload.as_slice() {
                     return Err(refuse(
+                        frame_idx,
                         "two intact entries under one key carry different payloads \
                          (purity violation or foreign file)"
                             .into(),
@@ -324,10 +352,7 @@ impl ResultCache {
                 .set_len(valid as u64)
                 .map_err(io("truncate torn tail"))?;
         }
-        cache
-            .file
-            .seek(SeekFrom::Start(valid as u64))
-            .map_err(io("seek"))?;
+        cache.file.seek_to(valid as u64).map_err(io("seek"))?;
         Ok(cache)
     }
 
@@ -364,6 +389,7 @@ impl ResultCache {
             }
             return Err(CacheError::Refused {
                 path: self.path.clone(),
+                frame: None,
                 reason: "insert under an existing key with a different payload \
                          (workload is not pure in (self, seed))"
                     .into(),
@@ -407,14 +433,27 @@ impl ResultCache {
     }
 
     fn write_all(&mut self, bytes: &[u8], op: &'static str) -> Result<(), CacheError> {
-        self.file
-            .write_all(bytes)
-            .and_then(|()| self.file.flush())
-            .map_err(|source| CacheError::Io {
-                path: self.path.clone(),
-                op,
-                source,
-            })
+        // Transient faults (WouldBlock-style) land zero bytes by
+        // contract, so a bounded whole-buffer retry is safe — same
+        // policy as the sweep journal.
+        let mut retries = 0;
+        loop {
+            match self.file.write_all(bytes).and_then(|()| self.file.flush()) {
+                Ok(()) => return Ok(()),
+                Err(source)
+                    if is_transient(&source) && retries < crate::journal::TRANSIENT_RETRIES =>
+                {
+                    retries += 1;
+                }
+                Err(source) => {
+                    return Err(CacheError::Io {
+                        path: self.path.clone(),
+                        op,
+                        source,
+                    })
+                }
+            }
+        }
     }
 }
 

@@ -53,11 +53,10 @@
 //! given journal file from a single process.
 
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 use rbcore::metrics::{DistSummary, Metric, Quantile};
+use rbruntime::faultio::{is_transient, FileIo, Fs, RealFs};
 use rbruntime::wal::{fnv1a64, write_frame, FrameScan};
 use rbsim::derive_seed;
 
@@ -105,6 +104,10 @@ pub enum JournalError {
     Refused {
         /// The journal path.
         path: PathBuf,
+        /// The offending frame: 0 is the header, frame `k ≥ 1` is the
+        /// `k`-th cell record — so an operator can inspect (or surgically
+        /// truncate before) the exact frame without a debugger.
+        frame: u64,
         /// What was wrong.
         reason: String,
     },
@@ -128,10 +131,14 @@ impl fmt::Display for JournalError {
                  journal would produce a divergent report); delete the journal to start fresh",
                 path.display()
             ),
-            JournalError::Refused { path, reason } => write!(
+            JournalError::Refused {
+                path,
+                frame,
+                reason,
+            } => write!(
                 f,
-                "sweep journal {}: {reason} — refusing to replay; delete the journal to \
-                 start fresh",
+                "sweep journal {}: frame {frame}: {reason} — refusing to replay; delete the \
+                 journal to start fresh",
                 path.display()
             ),
         }
@@ -360,6 +367,21 @@ pub(crate) fn decode_report_payload(payload: &[u8]) -> Result<CellReport, String
     Ok(report)
 }
 
+/// Validates that `report` survives the journal/cache payload codec
+/// bit-exactly: encode → decode → re-encode must reproduce the same
+/// bytes. This is the *acceptance test* the recovery-block layers run
+/// on a freshly solved cell before committing it (rbserve's cell-retry
+/// loop, chaos harnesses): a report this check rejects could never be
+/// journaled, cached, or replayed faithfully.
+pub fn validate_report_roundtrip(report: &CellReport) -> Result<(), String> {
+    let bytes = encode_report_payload(report);
+    let back = decode_report_payload(&bytes)?;
+    if encode_report_payload(&back) != bytes {
+        return Err("payload codec round-trip diverged".into());
+    }
+    Ok(())
+}
+
 fn encode_cell(index: usize, report: &CellReport) -> Vec<u8> {
     let mut enc = Enc(Vec::new());
     enc.u8(TAG_CELL);
@@ -436,22 +458,37 @@ fn decode_header(payload: &[u8]) -> Result<Header, String> {
 }
 
 /// An open, append-mode sweep journal (created by
-/// [`SweepJournal::open`], fed by [`SweepJournal::append`]).
+/// [`SweepJournal::open`] — or [`SweepJournal::open_in`] to inject the
+/// filesystem — fed by [`SweepJournal::append`]).
 pub struct SweepJournal {
     path: PathBuf,
-    file: File,
+    file: Box<dyn FileIo>,
 }
 
 impl SweepJournal {
-    /// Opens (or creates) the journal at `path` for `spec`, replaying
-    /// every intact cell record.
+    /// [`SweepJournal::open_in`] on the real filesystem.
+    pub fn open(
+        path: &Path,
+        spec: &SweepSpec,
+    ) -> Result<(SweepJournal, Vec<(usize, CellReport)>), JournalError> {
+        SweepJournal::open_in(&RealFs, path, spec)
+    }
+
+    /// Opens (or creates) the journal at `path` for `spec` on the
+    /// filesystem `fs`, replaying every intact cell record.
     ///
     /// Returns the journal positioned for appending plus the replayed
     /// `(cell index, report)` pairs. A fresh or empty file gets a
     /// header written immediately; an existing file is validated
     /// against the spec (name, master seed, cell count, cell-id hash,
     /// code version) and its torn tail — if any — is truncated away.
-    pub fn open(
+    ///
+    /// `fs` is the [`rbruntime::faultio`] seam: production callers pass
+    /// [`RealFs`] (what [`SweepJournal::open`] does); chaos harnesses
+    /// pass a [`rbruntime::faultio::FaultyFs`] so every recovery rule
+    /// here is exercised by sweeps over seeded fault schedules.
+    pub fn open_in(
+        fs: &dyn Fs,
         path: &Path,
         spec: &SweepSpec,
     ) -> Result<(SweepJournal, Vec<(usize, CellReport)>), JournalError> {
@@ -459,13 +496,7 @@ impl SweepJournal {
             let path = path.to_path_buf();
             move |source: std::io::Error| JournalError::Io { path, op, source }
         };
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
-            .map_err(io("open"))?;
+        let mut file = fs.open_rw(path).map_err(io("open"))?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes).map_err(io("read"))?;
 
@@ -478,15 +509,16 @@ impl SweepJournal {
             return Ok((journal, Vec::new()));
         }
 
-        let refuse = |reason: String| JournalError::Refused {
+        let refuse = |frame: u64, reason: String| JournalError::Refused {
             path: path.to_path_buf(),
+            frame,
             reason,
         };
         let mut scan = FrameScan::new(&bytes);
         let header = scan
             .next()
-            .ok_or_else(|| refuse("unreadable journal header (torn or corrupt)".into()))
-            .and_then(|payload| decode_header(payload).map_err(refuse))?;
+            .ok_or_else(|| refuse(0, "unreadable journal header (torn or corrupt)".into()))
+            .and_then(|payload| decode_header(payload).map_err(|r| refuse(0, r)))?;
         let mismatch = |field: &'static str, journal: String, spec: String| {
             Err(JournalError::SpecMismatch {
                 path: path.to_path_buf(),
@@ -540,31 +572,45 @@ impl SweepJournal {
 
         let mut replayed: Vec<(usize, CellReport)> = Vec::new();
         let mut seen = vec![false; spec.cells.len()];
+        let mut frame: u64 = 0;
         for payload in scan.by_ref() {
-            let (index, report) = decode_cell(payload).map_err(&refuse)?;
+            frame += 1;
+            let (index, report) = decode_cell(payload).map_err(|r| refuse(frame, r))?;
             if index >= spec.cells.len() {
-                return Err(refuse(format!(
-                    "record for cell index {index}, but the sweep has only {} cells",
-                    spec.cells.len()
-                )));
+                return Err(refuse(
+                    frame,
+                    format!(
+                        "record for cell index {index}, but the sweep has only {} cells",
+                        spec.cells.len()
+                    ),
+                ));
             }
             if seen[index] {
-                return Err(refuse(format!("duplicate record for cell index {index}")));
+                return Err(refuse(
+                    frame,
+                    format!("duplicate record for cell index {index}"),
+                ));
             }
             if report.id != spec.cells[index].id {
-                return Err(refuse(format!(
-                    "record {index} names cell `{}` but the spec's cell {index} is `{}`",
-                    report.id, spec.cells[index].id
-                )));
+                return Err(refuse(
+                    frame,
+                    format!(
+                        "record {index} names cell `{}` but the spec's cell {index} is `{}`",
+                        report.id, spec.cells[index].id
+                    ),
+                ));
             }
             let seed_index = spec.seed_index(index);
             let expected_seed = derive_seed(spec.master_seed, seed_index);
             if report.seed != expected_seed {
-                return Err(refuse(format!(
-                    "record {index} carries seed {} but derive_seed(master, {seed_index}) \
-                     gives {expected_seed}",
-                    report.seed
-                )));
+                return Err(refuse(
+                    frame,
+                    format!(
+                        "record {index} carries seed {} but derive_seed(master, {seed_index}) \
+                         gives {expected_seed}",
+                        report.seed
+                    ),
+                ));
             }
             seen[index] = true;
             replayed.push((index, report));
@@ -579,10 +625,7 @@ impl SweepJournal {
                 .set_len(valid as u64)
                 .map_err(io("truncate torn tail"))?;
         }
-        journal
-            .file
-            .seek(SeekFrom::Start(valid as u64))
-            .map_err(io("seek"))?;
+        journal.file.seek_to(valid as u64).map_err(io("seek"))?;
         Ok((journal, replayed))
     }
 
@@ -596,17 +639,33 @@ impl SweepJournal {
         &self.path
     }
 
+    /// Appends one framed record, absorbing up to
+    /// [`TRANSIENT_RETRIES`] transient (`WouldBlock`-style) failures —
+    /// safe to retry whole because the seam's transient contract is
+    /// that nothing was written ([`rbruntime::faultio::is_transient`]).
     fn write_all(&mut self, bytes: &[u8], op: &'static str) -> Result<(), JournalError> {
-        self.file
-            .write_all(bytes)
-            .and_then(|()| self.file.flush())
-            .map_err(|source| JournalError::Io {
-                path: self.path.clone(),
-                op,
-                source,
-            })
+        let mut retries = 0;
+        loop {
+            match self.file.write_all(bytes).and_then(|()| self.file.flush()) {
+                Ok(()) => return Ok(()),
+                Err(source) if is_transient(&source) && retries < TRANSIENT_RETRIES => {
+                    retries += 1;
+                }
+                Err(source) => {
+                    return Err(JournalError::Io {
+                        path: self.path.clone(),
+                        op,
+                        source,
+                    })
+                }
+            }
+        }
     }
 }
+
+/// Transient write failures absorbed before an append surfaces as
+/// [`JournalError::Io`] — the journal's own small recovery block.
+pub const TRANSIENT_RETRIES: u32 = 3;
 
 fn framed(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + rbruntime::wal::FRAME_OVERHEAD);

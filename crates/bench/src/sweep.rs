@@ -354,7 +354,22 @@ impl SweepSpec {
         threads: usize,
         journal_path: &std::path::Path,
     ) -> Result<SweepReport, crate::journal::JournalError> {
-        let (journal, replayed) = crate::journal::SweepJournal::open(journal_path, self)?;
+        self.run_resumable_in(&rbruntime::faultio::RealFs, threads, journal_path)
+    }
+
+    /// [`SweepSpec::run_resumable`] with an injectable filesystem: the
+    /// chaos harness passes an [`rbruntime::faultio::FaultyFs`] here so
+    /// the journal's truncate-vs-refuse policy is exercised by sweeps
+    /// over seeded fault schedules. A mid-run journal append failure
+    /// still panics (that panic *is* the simulated crash — the caller
+    /// catches it and resumes against the real filesystem).
+    pub fn run_resumable_in(
+        &self,
+        fs: &dyn rbruntime::faultio::Fs,
+        threads: usize,
+        journal_path: &std::path::Path,
+    ) -> Result<SweepReport, crate::journal::JournalError> {
+        let (journal, replayed) = crate::journal::SweepJournal::open_in(fs, journal_path, self)?;
         let mut slots: Vec<Option<CellReport>> = vec![None; self.cells.len()];
         for (idx, report) in replayed {
             slots[idx] = Some(report);

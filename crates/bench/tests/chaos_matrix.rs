@@ -1,0 +1,350 @@
+//! The chaos-matrix gate: ≥ 100 seeded fault schedules against the
+//! sweep journal and the result cache, each ending in one of exactly
+//! two outcomes — a `SweepReport` byte-identical to the fault-free
+//! serial run, or a documented refusal (after which deleting the
+//! artifact and re-running reproduces the reference bytes). Zero
+//! divergent-bytes outcomes, ever.
+//!
+//! Four arms:
+//!
+//! * **journal-live** — `run_resumable_in` over a
+//!   [`FaultyFs`] (short writes, silent bit flips, transient errors,
+//!   disk-full, injected *while the journal is being written*); the
+//!   mid-run append panic is the simulated crash, and recovery resumes
+//!   on the real filesystem;
+//! * **journal-mangle** — a clean journal damaged afterwards by a
+//!   seeded [`derive_mangle`] schedule (truncation, bit rot, appended
+//!   garbage), then resumed;
+//! * **cache-live** / **cache-mangle** — the same two shapes against
+//!   the content-addressed result cache under `run_cached`.
+//!
+//! Every fault is pure in `(master seed, schedule index)` — a failing
+//! schedule replays exactly under its printed index.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use rbbench::cache::ResultCache;
+use rbbench::journal::JournalError;
+use rbbench::sweep::{Metric, SweepCell, SweepSpec, Workload};
+use rbruntime::faultio::{
+    apply_mangle, derive_fault_seed, derive_mangle, FaultKind, FaultPlan, FaultyFs,
+};
+
+/// A fresh scratch directory per schedule.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbbench-chaos-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Deterministic, cacheable echo workload — cheap enough that one
+/// schedule costs microseconds of solve time, rich enough (two metrics
+/// keyed off the seed) that any replay corruption shows in the bytes.
+#[derive(Clone)]
+struct Echo {
+    tag: u64,
+}
+
+impl Workload for Echo {
+    fn label(&self) -> String {
+        format!("chaos-echo/{}", self.tag)
+    }
+    fn run(&self, seed: u64) -> Vec<Metric> {
+        vec![
+            Metric::exact("seed_lo32", (seed & 0xFFFF_FFFF) as f64),
+            Metric::exact("tagged", ((seed ^ self.tag) >> 32) as f64),
+        ]
+    }
+    fn cache_params(&self) -> Option<String> {
+        Some(format!("tag={}", self.tag))
+    }
+}
+
+fn echo_spec(name: &str, cells: usize) -> SweepSpec {
+    SweepSpec::new(
+        name,
+        0xC4A0,
+        (0..cells)
+            .map(|k| SweepCell::named(format!("c{k}"), Echo { tag: k as u64 }))
+            .collect(),
+    )
+}
+
+/// The fault plan for live schedule `index`: every fifth schedule
+/// sweeps the full fault mix, the rest pin one kind each so no kind
+/// can silently stop being exercised; rates cycle through
+/// light-to-certain so both "mostly survives" and "fails fast" paths
+/// run.
+fn plan_for(master: u64, index: u64) -> FaultPlan {
+    let plan = FaultPlan::new(master, index);
+    let plan = match index % 5 {
+        0 => plan,
+        1 => plan.with_kinds(&[FaultKind::ShortWrite]),
+        2 => plan.with_kinds(&[FaultKind::BitFlip]),
+        3 => plan.with_kinds(&[FaultKind::Transient]),
+        _ => plan.with_kinds(&[FaultKind::DiskFull]),
+    };
+    plan.with_rate([120, 250, 500, 1000][(index % 4) as usize])
+}
+
+/// A refusal must be the documented one: a named `Refused` that tells
+/// the operator which file, which frame, and to delete it.
+fn assert_documented_journal_refusal(e: &JournalError, schedule: &str) {
+    let msg = e.to_string();
+    assert!(
+        matches!(e, JournalError::Refused { .. }),
+        "{schedule}: refusal must be JournalError::Refused, got: {msg}"
+    );
+    assert!(
+        msg.contains("delete the journal"),
+        "{schedule}: refusal must name the remedy: {msg}"
+    );
+    assert!(
+        msg.contains("frame"),
+        "{schedule}: refusal must name the frame: {msg}"
+    );
+}
+
+#[test]
+fn journal_live_fault_schedules_recover_or_refuse() {
+    const SCHEDULES: u64 = 40;
+    let spec = echo_spec("chaos-journal", 6);
+    let reference = spec.run(1).to_json();
+    let mut injected_total = 0u64;
+    let mut crashed = 0u64;
+    let mut refused = 0u64;
+
+    for index in 0..SCHEDULES {
+        let schedule = format!("journal-live #{index}");
+        let dir = scratch(&format!("jlive-{index}"));
+        let path = dir.join("chaos-journal.wal");
+        let fs = FaultyFs::new(plan_for(0x0BAD_D15C, index));
+
+        // The live run under fire: it may complete (report must match
+        // the reference), return a named error (open-time fault), or
+        // panic mid-append (the simulated crash).
+        match catch_unwind(AssertUnwindSafe(|| spec.run_resumable_in(&fs, 2, &path))) {
+            Ok(Ok(report)) => assert_eq!(
+                report.to_json(),
+                reference,
+                "{schedule}: live run served divergent bytes"
+            ),
+            Ok(Err(e)) => {
+                assert!(!e.to_string().is_empty());
+                crashed += 1;
+            }
+            Err(_) => crashed += 1,
+        }
+        injected_total += fs.faults_injected();
+
+        // The recovery gate: resume on the real filesystem. Whatever
+        // the fault left on disk, the outcome is byte-identical replay
+        // or the documented refusal — and after taking the refusal's
+        // advice, a fresh run reproduces the reference exactly.
+        match spec.run_resumable(2, &path) {
+            Ok(report) => assert_eq!(
+                report.to_json(),
+                reference,
+                "{schedule}: resumed run diverged from the fault-free reference"
+            ),
+            Err(e) => {
+                assert_documented_journal_refusal(&e, &schedule);
+                refused += 1;
+                std::fs::remove_file(&path).expect("take the refusal's advice");
+                let rerun = spec
+                    .run_resumable(2, &path)
+                    .unwrap_or_else(|e| panic!("{schedule}: fresh rerun failed: {e}"));
+                assert_eq!(
+                    rerun.to_json(),
+                    reference,
+                    "{schedule}: fresh rerun diverged"
+                );
+            }
+        }
+    }
+
+    assert!(
+        injected_total > 0,
+        "the schedules must actually inject faults (got none across {SCHEDULES})"
+    );
+    println!(
+        "journal-live: {SCHEDULES} schedules, {injected_total} faults injected, \
+         {crashed} crashed runs, {refused} refusals — zero divergent"
+    );
+}
+
+#[test]
+fn journal_mangle_schedules_recover_or_refuse() {
+    const SCHEDULES: u64 = 30;
+    let spec = echo_spec("chaos-journal-m", 6);
+    let reference = spec.run(1).to_json();
+    let mut refused = 0u64;
+
+    for index in 0..SCHEDULES {
+        let schedule = format!("journal-mangle #{index}");
+        let dir = scratch(&format!("jmangle-{index}"));
+        let path = dir.join("chaos-journal-m.wal");
+        let clean = spec.run_resumable(1, &path).expect("clean run");
+        assert_eq!(clean.to_json(), reference);
+
+        let len = std::fs::metadata(&path).expect("metadata").len();
+        let mangle = derive_mangle(derive_fault_seed(0x05EE_D0FF, index), len);
+        apply_mangle(&path, &mangle).expect("apply mangle");
+
+        match spec.run_resumable(2, &path) {
+            Ok(report) => assert_eq!(
+                report.to_json(),
+                reference,
+                "{schedule} ({mangle}): resumed run diverged"
+            ),
+            Err(e) => {
+                assert_documented_journal_refusal(&e, &schedule);
+                refused += 1;
+                std::fs::remove_file(&path).expect("take the refusal's advice");
+                let rerun = spec.run_resumable(2, &path).expect("fresh rerun");
+                assert_eq!(
+                    rerun.to_json(),
+                    reference,
+                    "{schedule}: fresh rerun diverged"
+                );
+            }
+        }
+    }
+    println!("journal-mangle: {SCHEDULES} schedules, {refused} refusals — zero divergent");
+}
+
+/// The cache-side recovery gate shared by both cache arms: reopen on
+/// the real filesystem, and either the cached run reproduces the
+/// reference bytes or the open is the documented refusal — after which
+/// a fresh cache reproduces them.
+fn assert_cache_recovers(dir: &PathBuf, spec: &SweepSpec, reference: &str, schedule: &str) {
+    match ResultCache::open(dir) {
+        Ok(cache) => {
+            let out = spec.run_cached(2, &Mutex::new(cache));
+            assert_eq!(
+                out.report.to_json(),
+                reference,
+                "{schedule}: cached run diverged from the fault-free reference"
+            );
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("delete the cache"),
+                "{schedule}: refusal must name the remedy: {msg}"
+            );
+            std::fs::remove_dir_all(dir).expect("take the refusal's advice");
+            let cache = ResultCache::open(dir).expect("fresh cache");
+            let rerun = spec.run_cached(2, &Mutex::new(cache));
+            assert_eq!(
+                rerun.report.to_json(),
+                reference,
+                "{schedule}: fresh-cache rerun diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn cache_live_fault_schedules_recover_or_refuse() {
+    const SCHEDULES: u64 = 24;
+    let spec = echo_spec("chaos-cache", 6);
+    let reference = spec.run(1).to_json();
+    let mut injected_total = 0u64;
+
+    for index in 0..SCHEDULES {
+        let schedule = format!("cache-live #{index}");
+        let dir = scratch(&format!("clive-{index}"));
+        let fs = FaultyFs::new(plan_for(0xCAC4E, index));
+
+        // Live run: open may fail outright (named error); a mid-run
+        // insert failure panics (simulated crash); a completed run must
+        // serve reference bytes.
+        match ResultCache::open_in(&fs, &dir) {
+            Err(e) => assert!(!e.to_string().is_empty()),
+            Ok(cache) => {
+                let m = Mutex::new(cache);
+                if let Ok(out) = catch_unwind(AssertUnwindSafe(|| spec.run_cached(2, &m))) {
+                    assert_eq!(
+                        out.report.to_json(),
+                        reference,
+                        "{schedule}: live cached run served divergent bytes"
+                    );
+                }
+            }
+        }
+        injected_total += fs.faults_injected();
+        assert_cache_recovers(&dir, &spec, &reference, &schedule);
+    }
+    assert!(
+        injected_total > 0,
+        "the schedules must actually inject faults (got none across {SCHEDULES})"
+    );
+    println!(
+        "cache-live: {SCHEDULES} schedules, {injected_total} faults injected — zero divergent"
+    );
+}
+
+#[test]
+fn cache_mangle_schedules_recover_or_refuse() {
+    const SCHEDULES: u64 = 16;
+    let spec = echo_spec("chaos-cache-m", 6);
+    let reference = spec.run(1).to_json();
+
+    for index in 0..SCHEDULES {
+        let schedule = format!("cache-mangle #{index}");
+        let dir = scratch(&format!("cmangle-{index}"));
+        let cache = ResultCache::open(&dir).expect("fresh cache");
+        let m = Mutex::new(cache);
+        let clean = spec.run_cached(2, &m);
+        assert_eq!(clean.report.to_json(), reference);
+        assert_eq!(clean.misses, 6, "clean run fills the cache");
+        drop(m);
+
+        let path = dir.join("results.wal");
+        let len = std::fs::metadata(&path).expect("metadata").len();
+        let mangle = derive_mangle(derive_fault_seed(0x00C0_FFEE, index), len);
+        apply_mangle(&path, &mangle).expect("apply mangle");
+
+        assert_cache_recovers(&dir, &spec, &reference, &format!("{schedule} ({mangle})"));
+    }
+    println!("cache-mangle: {SCHEDULES} schedules — zero divergent");
+}
+
+/// The splice case a seeded mangle can't produce by chance: intact
+/// frames, valid header, but a *duplicated record index* — the exact
+/// "intact but contradictory" shape the journal must refuse rather
+/// than guess about.
+#[test]
+fn spliced_duplicate_record_is_refused_with_frame_index() {
+    let spec = echo_spec("chaos-splice", 4);
+    let reference = spec.run(1).to_json();
+    let dir = scratch("splice");
+    let path = dir.join("chaos-splice.wal");
+    spec.run_resumable(1, &path).expect("clean run");
+
+    let stats = rbbench::journal::inspect(&path).expect("inspect");
+    let bytes = std::fs::read(&path).expect("read journal");
+    let record0 = bytes[stats.record_offsets[0]..stats.record_offsets[1]].to_vec();
+    apply_mangle(
+        &path,
+        &rbruntime::faultio::Mangle::Append { bytes: record0 },
+    )
+    .expect("splice duplicate");
+
+    let e = spec
+        .run_resumable(1, &path)
+        .expect_err("duplicate record must refuse");
+    assert_documented_journal_refusal(&e, "splice");
+    assert!(e.to_string().contains("duplicate record"), "{e}");
+    // The refusal names the offending frame: header is 0, records 1..,
+    // and the splice landed after 4 records → frame 5.
+    assert!(e.to_string().contains("frame 5"), "{e}");
+
+    std::fs::remove_file(&path).expect("take the refusal's advice");
+    let rerun = spec.run_resumable(1, &path).expect("fresh rerun");
+    assert_eq!(rerun.to_json(), reference);
+}

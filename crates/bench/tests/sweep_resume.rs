@@ -9,10 +9,14 @@
 //!    serial run, and resume *skips* completed cells (verified by a
 //!    run-count probe workload, not just by timing).
 //! 2. **Corruption handling** — a truncated tail record and a flipped
-//!    checksum byte cleanly re-run the affected cells; a header/spec
+//!    checksum bit cleanly re-run the affected cells; a header/spec
 //!    mismatch (wrong master seed, name, cell count or cell-id list)
 //!    and a corrupt header are refused with a clear error. No case
-//!    produces a divergent report.
+//!    produces a divergent report. All damage goes through
+//!    [`rbruntime::faultio::apply_mangle`] — the same corruption
+//!    vocabulary the seeded chaos matrix (`chaos_matrix.rs`) sweeps —
+//!    so these named cases and the schedule-driven sweep can't drift
+//!    apart.
 //! 3. **Kill realism** — a release-only test SIGKILLs the
 //!    `sweep_resume_probe` binary mid-sweep (a real child process, not
 //!    a simulated panic), resumes it, and byte-diffs the artifact
@@ -32,6 +36,7 @@ use rbbench::journal::{inspect, JournalError};
 use rbbench::sweep::{AsyncGrid, Metric, SweepCell, SweepSpec, Workload};
 use rbbench::workloads::{AsyncIntervals, DistSpec};
 use rbmarkov::paper::AsyncParams;
+use rbruntime::faultio::{apply_mangle, Mangle};
 
 /// A fresh scratch directory per test (removed up front, so reruns are
 /// clean even after a crash).
@@ -131,8 +136,13 @@ fn resume_skips_completed_cells() {
     let stats = inspect(&path).expect("inspect");
     assert_eq!(stats.records(), cells);
     let keep = 3;
-    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
-    file.set_len(stats.keep_records(keep) as u64).unwrap();
+    apply_mangle(
+        &path,
+        &Mangle::Truncate {
+            len: stats.keep_records(keep) as u64,
+        },
+    )
+    .unwrap();
 
     let runs2 = Arc::new(AtomicUsize::new(0));
     let spec2 = counting_spec("count", cells, &runs2);
@@ -159,8 +169,13 @@ fn truncated_tail_record_is_discarded_and_rerun() {
     // Tear the last record mid-frame (as SIGKILL mid-write would).
     let stats = inspect(&path).expect("inspect");
     let torn_len = stats.record_offsets[cells - 1] + 5;
-    let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
-    file.set_len(torn_len as u64).unwrap();
+    apply_mangle(
+        &path,
+        &Mangle::Truncate {
+            len: torn_len as u64,
+        },
+    )
+    .unwrap();
     let stats = inspect(&path).expect("inspect torn");
     assert_eq!(stats.records(), cells - 1);
     assert!(stats.valid_len < stats.total_len, "torn bytes present");
@@ -195,9 +210,14 @@ fn flipped_checksum_byte_reruns_the_affected_cells() {
     // cells re-run, and the report still matches.
     let stats = inspect(&path).expect("inspect");
     let flip_at = stats.record_offsets[2] + 5;
-    let mut bytes = std::fs::read(&path).unwrap();
-    bytes[flip_at] ^= 0x01;
-    std::fs::write(&path, &bytes).unwrap();
+    apply_mangle(
+        &path,
+        &Mangle::FlipBit {
+            offset: flip_at as u64,
+            bit: 0,
+        },
+    )
+    .unwrap();
 
     let runs2 = Arc::new(AtomicUsize::new(0));
     let spec2 = counting_spec("count", cells, &runs2);
@@ -263,11 +283,9 @@ fn corrupt_header_is_refused() {
         .run_resumable(1, &path)
         .expect("initial run");
 
-    // Flip a byte inside the header frame: the file can no longer be
+    // Flip a bit inside the header frame: the file can no longer be
     // tied to any spec, so resuming must refuse, not guess.
-    let mut bytes = std::fs::read(&path).unwrap();
-    bytes[13] ^= 0xFF;
-    std::fs::write(&path, &bytes).unwrap();
+    apply_mangle(&path, &Mangle::FlipBit { offset: 13, bit: 7 }).unwrap();
 
     match counting_spec("count", 3, &runs).run_resumable(1, &path) {
         Err(e @ JournalError::Refused { .. }) => {
@@ -298,9 +316,7 @@ fn records_from_a_foreign_grid_are_refused() {
     let stats = inspect(&path).unwrap();
     let bytes = std::fs::read(&path).unwrap();
     let record0 = bytes[stats.record_offsets[0]..stats.record_offsets[1]].to_vec();
-    let mut spliced = bytes;
-    spliced.extend_from_slice(&record0);
-    std::fs::write(&path, &spliced).unwrap();
+    apply_mangle(&path, &Mangle::Append { bytes: record0 }).unwrap();
 
     match counting_spec("count", 3, &runs).run_resumable(1, &path) {
         Err(e @ JournalError::Refused { .. }) => {
@@ -379,8 +395,13 @@ fn kill_mid_refinement_resumes_byte_identically() {
     let r2 = dir.join("adaptive-kill#r2.wal");
     let stats = inspect(&r2).expect("inspect r2");
     assert_eq!(stats.records(), 2);
-    let file = std::fs::OpenOptions::new().write(true).open(&r2).unwrap();
-    file.set_len(stats.keep_records(1) as u64).unwrap();
+    apply_mangle(
+        &r2,
+        &Mangle::Truncate {
+            len: stats.keep_records(1) as u64,
+        },
+    )
+    .unwrap();
     for later in ["adaptive-kill#r3.wal", "adaptive-kill#r4.wal"] {
         std::fs::remove_file(dir.join(later)).expect("remove later round");
     }

@@ -13,6 +13,11 @@
 //!   journals (the on-disk counterpart of the checkpoint discipline:
 //!   a killed writer leaves a log replayable up to its last intact
 //!   record — `rbbench`'s resumable sweep journal builds on it);
+//! * [`faultio`] — the injectable I/O seam under those journals: a
+//!   seeded, deterministic fault plan (short writes, silent bit flips,
+//!   transient errors, disk-full) so the recovery policies above are
+//!   exercised by *sweeps over fault schedules*, not hand-picked kill
+//!   points;
 //! * [`channel`] — sequence-numbered FIFO channels with sender-side
 //!   logs (the §4 requirement that messages sent before a commitment
 //!   be retained in the saved state);
@@ -38,6 +43,7 @@ pub mod channel;
 pub mod checkpoint;
 pub mod conversation;
 pub mod coordinator;
+pub mod faultio;
 pub mod prp;
 pub mod recovery_block;
 pub mod wal;

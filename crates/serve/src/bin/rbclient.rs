@@ -1,0 +1,117 @@
+//! `rbclient` — the fault-tolerant rbserve client, so scripts don't
+//! need `nc` (or hand-rolled retry loops).
+//!
+//! Reads request lines from the command line (each non-flag argument
+//! is one request) or, with none given, from stdin; drives each to
+//! completion through [`rbserve::client::run_request`] — reconnecting,
+//! resubmitting after a mid-stream disconnect, and backing off with
+//! seeded jitter — and prints every response line to stdout.
+//!
+//! ```text
+//! rbclient --addr 127.0.0.1:7077 '{"op": "status"}'
+//! echo '{"op": "submit", …}' | rbclient --addr 127.0.0.1:7077 --retries 10
+//! ```
+//!
+//! Exit status: 0 when every request completed (including a `done`
+//! event with `ok: false` — that's a *served* refusal); 1 on exhausted
+//! transport attempts, a terminal protocol error, or bad usage.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use rbserve::client::{run_request, ClientConfig};
+
+const USAGE: &str = "\
+rbclient — fault-tolerant rbserve client
+
+USAGE:
+    rbclient [FLAGS] [REQUEST_LINE ...]
+
+Each REQUEST_LINE is one line-protocol JSON request; with none given,
+requests are read from stdin (one per line). Responses stream to
+stdout. The client reconnects and resubmits through server restarts;
+resubmits are idempotent because solved cells return from the server's
+content-addressed cache.
+
+FLAGS:
+    --addr HOST:PORT     server address        [default: 127.0.0.1:7077]
+    --retries N          total attempts        [default: 8]
+    --backoff-ms MS      base backoff delay    [default: 50]
+    --backoff-cap-ms MS  max backoff delay     [default: 5000]
+    --seed N             jitter seed           [default: 0]
+    --timeout-ms MS      socket io timeout     [default: 120000]
+    --help               this text
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("rbclient: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(1)
+}
+
+fn main() {
+    let mut cfg = ClientConfig::default();
+    let mut requests: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    let value = |name: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("flag {name} needs a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            "--addr" => cfg.addr = value("--addr", &mut args),
+            "--retries" => {
+                cfg.max_attempts = value("--retries", &mut args)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--retries needs an integer"));
+            }
+            "--backoff-ms" => {
+                cfg.backoff_base_ms = value("--backoff-ms", &mut args)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--backoff-ms needs an integer"));
+            }
+            "--backoff-cap-ms" => {
+                cfg.backoff_cap_ms = value("--backoff-cap-ms", &mut args)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--backoff-cap-ms needs an integer"));
+            }
+            "--seed" => {
+                cfg.backoff_seed = value("--seed", &mut args)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seed needs an integer"));
+            }
+            "--timeout-ms" => {
+                let ms: u64 = value("--timeout-ms", &mut args)
+                    .parse()
+                    .unwrap_or_else(|_| fail("--timeout-ms needs an integer"));
+                cfg.io_timeout = Duration::from_millis(ms);
+            }
+            flag if flag.starts_with("--") => fail(&format!("unknown flag {flag}")),
+            request => requests.push(request.to_string()),
+        }
+    }
+    if requests.is_empty() {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.unwrap_or_else(|e| fail(&format!("reading stdin: {e}")));
+            if !line.trim().is_empty() {
+                requests.push(line);
+            }
+        }
+    }
+    if requests.is_empty() {
+        fail("no requests given (arguments or stdin)");
+    }
+
+    for request in &requests {
+        let mut print = |line: &str| println!("{line}");
+        if let Err(e) = run_request(&cfg, request, &mut print) {
+            eprintln!("rbclient: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -29,8 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod protocol;
 pub mod server;
 
+pub use client::{run_request, Backoff, ClientConfig};
 pub use protocol::{Request, SubmitKind, SubmitRequest};
-pub use server::{spawn, Counters, ServerConfig, ServerHandle};
+pub use server::{spawn, ChaosConfig, Counters, ServerConfig, ServerHandle};

@@ -3,35 +3,65 @@
 //! ```text
 //! rbserve [--addr HOST:PORT] [--workers N] [--queue N]
 //!         [--max-cells N] [--cache DIR]
+//!         [--cell-timeout-ms N] [--cell-retries N]
+//!         [--io-timeout-ms N] [--idle-timeout-ms N]
+//!         [--chaos-seed N] [--chaos-panic N] [--chaos-hang N]
+//!         [--chaos-garble N] [--chaos-hang-ms N] [--chaos-every-attempt]
 //! ```
 //!
 //! Prints `rbserve: listening on <addr>` once bound (with the real
 //! port when `--addr` asked for port 0), then serves until a client
 //! sends `shutdown` and the queue drains.
+//!
+//! The `--chaos-*` flags arm deterministic fault injection into solver
+//! attempts (seeded — the same flags replay the same faults); any one
+//! of them enables the schedule. They exist for chaos testing and
+//! demos, never production serving.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use rbserve::ServerConfig;
+use rbserve::{ChaosConfig, ServerConfig};
 
 const USAGE: &str =
     "usage: rbserve [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N] [--cache DIR]
+               [--cell-timeout-ms N] [--cell-retries N] [--io-timeout-ms N] [--idle-timeout-ms N]
+               [--chaos-seed N] [--chaos-panic N] [--chaos-hang N] [--chaos-garble N]
+               [--chaos-hang-ms N] [--chaos-every-attempt]
 
   --addr HOST:PORT   bind address (default 127.0.0.1:0; port 0 picks a free port)
   --workers N        worker threads solving sweeps (default: hardware threads)
   --queue N          submitted jobs that may wait before submits shed (default 16)
   --max-cells N      largest accepted sweep, in cells (default 4096)
   --cache DIR        persist solved cells to DIR/results.wal and serve repeats from it
+
+  --cell-timeout-ms N   per-cell deadline before the solver is presumed hung (default 120000)
+  --cell-retries N      retries on a fresh solver before the job aborts (default 2)
+  --io-timeout-ms N     socket read/write timeout on connections (default 10000)
+  --idle-timeout-ms N   close connections idle this long (default 600000)
+
+  --chaos-seed N           seed for the deterministic fault schedule (default 0)
+  --chaos-panic N          per-mille of solver attempts that panic (default 0)
+  --chaos-hang N           per-mille of solver attempts that hang first (default 0)
+  --chaos-garble N         per-mille of solver attempts returning a garbled report (default 0)
+  --chaos-hang-ms N        how long a hang fault sleeps (default 50)
+  --chaos-every-attempt    inject on retries too, not just the primary attempt
 ";
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig::default();
+    let mut chaos = ChaosConfig::default();
+    let mut chaos_armed = false;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
             it.next()
                 .cloned()
                 .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_u64 = |name: &str, v: String| -> Result<u64, String> {
+            v.parse().map_err(|e| format!("{name}: {e}"))
         };
         match flag.as_str() {
             "--addr" => cfg.addr = value("--addr")?,
@@ -51,9 +81,63 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|e| format!("--max-cells: {e}"))?
             }
             "--cache" => cfg.cache_dir = Some(PathBuf::from(value("--cache")?)),
+            "--cell-timeout-ms" => {
+                cfg.cell_timeout = Duration::from_millis(parse_u64(
+                    "--cell-timeout-ms",
+                    value("--cell-timeout-ms")?,
+                )?)
+            }
+            "--cell-retries" => {
+                cfg.max_cell_retries = value("--cell-retries")?
+                    .parse()
+                    .map_err(|e| format!("--cell-retries: {e}"))?
+            }
+            "--io-timeout-ms" => {
+                cfg.io_timeout =
+                    Duration::from_millis(parse_u64("--io-timeout-ms", value("--io-timeout-ms")?)?)
+            }
+            "--idle-timeout-ms" => {
+                cfg.idle_timeout = Duration::from_millis(parse_u64(
+                    "--idle-timeout-ms",
+                    value("--idle-timeout-ms")?,
+                )?)
+            }
+            "--chaos-seed" => {
+                chaos.seed = parse_u64("--chaos-seed", value("--chaos-seed")?)?;
+                chaos_armed = true;
+            }
+            "--chaos-panic" => {
+                chaos.panic_per_mille = value("--chaos-panic")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-panic: {e}"))?;
+                chaos_armed = true;
+            }
+            "--chaos-hang" => {
+                chaos.hang_per_mille = value("--chaos-hang")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-hang: {e}"))?;
+                chaos_armed = true;
+            }
+            "--chaos-garble" => {
+                chaos.garble_per_mille = value("--chaos-garble")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-garble: {e}"))?;
+                chaos_armed = true;
+            }
+            "--chaos-hang-ms" => {
+                chaos.hang_ms = parse_u64("--chaos-hang-ms", value("--chaos-hang-ms")?)?;
+                chaos_armed = true;
+            }
+            "--chaos-every-attempt" => {
+                chaos.every_attempt = true;
+                chaos_armed = true;
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if chaos_armed {
+        cfg.chaos = Some(chaos);
     }
     Ok(cfg)
 }

@@ -8,10 +8,21 @@
 //!   poll the drain condition between accepts);
 //! * one **handler thread** per connection reads request lines and
 //!   writes response lines; a `submit` streams its job's event channel
-//!   until the worker drops the sending half;
+//!   until the worker drops the sending half. Sockets carry read/write
+//!   timeouts ([`ServerConfig::io_timeout`]) and an idle reaper
+//!   ([`ServerConfig::idle_timeout`]) so a stalled client can't pin a
+//!   handler thread forever;
 //! * `workers` **worker threads** pull jobs off a shared channel and
-//!   run cells sequentially, consulting the result cache before each
-//!   solve.
+//!   supervise cells sequentially, consulting the result cache before
+//!   each solve;
+//! * `workers` **solver threads** actually execute cells, dispatched
+//!   one at a time by the supervising worker. Each solve is a
+//!   *recovery block*: primary attempt on a solver, acceptance test on
+//!   the result (id/seed binding + codec round-trip), and on a panic,
+//!   hang (deadline [`ServerConfig::cell_timeout`]), or acceptance
+//!   failure, a bounded retry ([`ServerConfig::max_cell_retries`]) on
+//!   a **fresh** solver thread — the recovery-blocks server practicing
+//!   recovery blocks on itself.
 //!
 //! Degradation ladder (every refusal is an explicit response, never a
 //! dropped connection):
@@ -23,14 +34,18 @@
 //!    `shed` — the client retries later, the server never buffers
 //!    unboundedly;
 //! 4. draining (after `shutdown`) → `shed` for new submits while queued
-//!    work finishes.
+//!    work finishes;
+//! 5. a cell that exhausts its retries → the job aborts with an
+//!    `ok: false` done-event naming the cell and the last failure —
+//!    the documented refusal, never a silently wrong report.
 //!
-//! A worker panic (a workload violating its own contract) is caught per
-//! cell: the job aborts with an `ok: false` done-event naming the cell,
-//! and the worker thread survives for the next job.
+//! [`ChaosConfig`] injects deterministic faults (panic, hang, garbled
+//! report) into solver attempts from a seeded schedule, so the whole
+//! recovery path above is exercised by sweeps over fault schedules
+//! rather than trusted on inspection.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -39,10 +54,11 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use rbbench::cache::ResultCache;
-use rbbench::sweep::{SweepReport, SweepSpec};
+use rbbench::sweep::{CellReport, SweepCell, SweepReport, SweepSpec};
 use rbcore::metrics::Metric;
+use rbruntime::faultio::mix64;
 use rbsim::derive_seed;
 use serde::{Serialize, Value};
 
@@ -67,6 +83,23 @@ pub struct ServerConfig {
     /// Result-cache directory; `None` disables caching (every cell
     /// solves).
     pub cache_dir: Option<PathBuf>,
+    /// Per-cell deadline: a solver that hasn't reported by then is
+    /// presumed hung, a replacement is spawned, and the cell retries.
+    pub cell_timeout: Duration,
+    /// Retries after the primary attempt before the job aborts with a
+    /// named refusal (so a cell runs at most `1 + max_cell_retries`
+    /// times).
+    pub max_cell_retries: u32,
+    /// Socket read/write timeout on accepted connections. Reads wake
+    /// this often to check the idle clock; a write stalled longer than
+    /// this fails and the handler closes the connection.
+    pub io_timeout: Duration,
+    /// Idle-connection reaper: a connection with no complete request
+    /// for this long is closed (frees the handler thread).
+    pub idle_timeout: Duration,
+    /// Deterministic fault injection into solver attempts; `None` (the
+    /// default) injects nothing.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +110,83 @@ impl Default for ServerConfig {
             queue_capacity: 16,
             max_cells: 4096,
             cache_dir: None,
+            cell_timeout: Duration::from_secs(120),
+            max_cell_retries: 2,
+            io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(600),
+            chaos: None,
+        }
+    }
+}
+
+/// A seeded, deterministic fault schedule for solver attempts: which
+/// attempts fault, and how, is a pure function of
+/// `(seed, cell seed, attempt)` — re-running the same configuration
+/// injects the same faults, so chaos runs are reproducible and
+/// diffable against a fault-free reference.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    /// Master seed for the schedule.
+    pub seed: u64,
+    /// Per-mille probability an attempt panics mid-solve.
+    pub panic_per_mille: u16,
+    /// Per-mille probability an attempt hangs for [`Self::hang_ms`]
+    /// before solving (tripping the cell deadline when `hang_ms`
+    /// exceeds it).
+    pub hang_per_mille: u16,
+    /// Per-mille probability an attempt returns a garbled report (seed
+    /// field flipped — caught by the acceptance test, never served).
+    pub garble_per_mille: u16,
+    /// How long a hang fault sleeps, in milliseconds.
+    pub hang_ms: u64,
+    /// Inject on every attempt instead of only the primary — turns
+    /// retry-succeeds into retries-exhausted, for exercising the
+    /// refusal arm.
+    pub every_attempt: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0,
+            panic_per_mille: 0,
+            hang_per_mille: 0,
+            garble_per_mille: 0,
+            hang_ms: 50,
+            every_attempt: false,
+        }
+    }
+}
+
+/// What a chaos schedule makes one solver attempt do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum InjectedFault {
+    /// Panic mid-solve (the solver thread dies; a fresh one replaces it).
+    Panic,
+    /// Sleep [`ChaosConfig::hang_ms`] before solving.
+    Hang,
+    /// Solve, then corrupt the report's seed field (acceptance-test bait).
+    Garble,
+}
+
+impl ChaosConfig {
+    /// The fault (if any) injected into attempt `attempt` of the cell
+    /// seeded `cell_seed`. Pure — same inputs, same fault.
+    fn decide(&self, cell_seed: u64, attempt: u32) -> Option<InjectedFault> {
+        if attempt > 0 && !self.every_attempt {
+            return None;
+        }
+        let h = mix64(self.seed ^ mix64(cell_seed) ^ mix64(u64::from(attempt) + 0xC4A05));
+        let roll = (h % 1000) as u16;
+        let (p, g) = (self.panic_per_mille, self.garble_per_mille);
+        if roll < p {
+            Some(InjectedFault::Panic)
+        } else if roll < p + self.hang_per_mille {
+            Some(InjectedFault::Hang)
+        } else if roll < p + self.hang_per_mille + g {
+            Some(InjectedFault::Garble)
+        } else {
+            None
         }
     }
 }
@@ -115,6 +225,15 @@ pub struct Counters {
     pub jobs_running: AtomicU64,
     /// Gauge: cells currently inside `Workload::run`.
     pub in_flight_solves: AtomicU64,
+    /// Chaos faults injected into solver attempts.
+    pub faults_injected: AtomicU64,
+    /// Cell attempts retried (after a panic, timeout, or acceptance
+    /// failure).
+    pub cell_retries: AtomicU64,
+    /// Cell attempts that overran [`ServerConfig::cell_timeout`].
+    pub cells_timed_out: AtomicU64,
+    /// Replacement solver threads spawned (after a panic or timeout).
+    pub workers_restarted: AtomicU64,
 }
 
 impl Counters {
@@ -140,6 +259,10 @@ impl Counters {
             c("queue/depth", &self.queue_depth),
             c("jobs/running", &self.jobs_running),
             c("solves/in_flight", &self.in_flight_solves),
+            c("faults/injected", &self.faults_injected),
+            c("cells/retries", &self.cell_retries),
+            c("cells/timed_out", &self.cells_timed_out),
+            c("workers/restarted", &self.workers_restarted),
         ];
         out.extend(extra.iter().map(|(n, v)| Metric::exact(*n, *v)));
         out
@@ -148,10 +271,27 @@ impl Counters {
 
 /// One queued sweep: the spec plus the channel its progress streams
 /// through. The handler keeps the receiving half; the worker drops the
-/// sender when the job ends, terminating the stream.
+/// sender when the job ends, terminating the stream. The spec is
+/// `Arc`-shared because solver threads borrow cells from it while the
+/// supervising worker holds the job.
 struct Job {
-    spec: SweepSpec,
+    spec: Arc<SweepSpec>,
     events: Sender<String>,
+}
+
+/// One cell dispatched to a solver thread. The supervisor waits on
+/// `reply` with a deadline; a reply to a supervisor that already gave
+/// up (timed out, retried elsewhere) lands on a dropped receiver and
+/// is discarded.
+struct CellTask {
+    spec: Arc<SweepSpec>,
+    idx: usize,
+    seed: u64,
+    fault: Option<InjectedFault>,
+    hang_ms: u64,
+    /// `Ok(report)` from a completed solve; `Err(message)` when the
+    /// attempt panicked (the solver thread dies after sending this).
+    reply: Sender<Result<CellReport, String>>,
 }
 
 /// State shared by every thread of one server.
@@ -161,6 +301,11 @@ struct Shared {
     draining: AtomicBool,
     cache: Option<Mutex<ResultCache>>,
     finished: Mutex<HashMap<String, SweepReport>>,
+    /// Cell dispatch channel into the solver pool. Both halves live
+    /// here so the supervisor can spawn replacement solvers after a
+    /// panic or timeout.
+    solver_tx: Sender<CellTask>,
+    solver_rx: Receiver<CellTask>,
 }
 
 impl Shared {
@@ -216,16 +361,20 @@ pub fn spawn(cfg: ServerConfig) -> Result<ServerHandle, String> {
         .set_nonblocking(true)
         .map_err(|e| format!("set_nonblocking: {e}"))?;
 
+    let (solver_tx, solver_rx) = unbounded::<CellTask>();
     let shared = Arc::new(Shared {
         counters: Counters::default(),
         draining: AtomicBool::new(false),
         cache,
         finished: Mutex::new(HashMap::new()),
         cfg,
+        solver_tx,
+        solver_rx,
     });
 
     let (jobs_tx, jobs_rx) = unbounded::<Job>();
     for _ in 0..shared.cfg.workers {
+        spawn_solver(&shared);
         let shared = Arc::clone(&shared);
         let rx = jobs_rx.clone();
         std::thread::spawn(move || worker_loop(&shared, &rx));
@@ -255,8 +404,14 @@ fn accept_loop(
         match listener.accept() {
             Ok((stream, _peer)) => {
                 // The listener is non-blocking; accepted streams must
-                // not inherit that (handlers block on reads).
-                if stream.set_nonblocking(false).is_err() {
+                // not inherit that (handlers block on reads, bounded
+                // by the io timeout so the idle reaper gets a say and
+                // a stalled client can't pin the writer forever).
+                let io = Some(shared.cfg.io_timeout);
+                if stream.set_nonblocking(false).is_err()
+                    || stream.set_read_timeout(io).is_err()
+                    || stream.set_write_timeout(io).is_err()
+                {
                     continue;
                 }
                 let shared = Arc::clone(shared);
@@ -286,15 +441,68 @@ fn send_line(out: &mut TcpStream, line: &str) -> bool {
     out.write_all(&bytes).and_then(|_| out.flush()).is_ok()
 }
 
+/// A line reader over a read-timeout socket that doubles as the idle
+/// reaper: each timed-out read checks how long the connection has gone
+/// without delivering a byte, and past [`ServerConfig::idle_timeout`]
+/// the reader reports end-of-stream so the handler closes it.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    idle_timeout: Duration,
+}
+
+impl LineReader {
+    fn new(stream: TcpStream, idle_timeout: Duration) -> LineReader {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            idle_timeout,
+        }
+    }
+
+    /// The next complete line (without the newline), or `None` on EOF,
+    /// error, or idle reap.
+    fn next_line(&mut self) -> Option<String> {
+        let mut last_byte = Instant::now();
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                return Some(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return None, // EOF
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    last_byte = Instant::now();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if last_byte.elapsed() >= self.idle_timeout {
+                        return None; // reaped
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
 fn handle_conn(shared: &Arc<Shared>, jobs: &Sender<Job>, stream: TcpStream) {
-    let reader = match stream.try_clone() {
-        Ok(s) => BufReader::new(s),
+    let mut reader = match stream.try_clone() {
+        Ok(s) => LineReader::new(s, shared.cfg.idle_timeout),
         Err(_) => return,
     };
     let mut out = stream;
     let c = &shared.counters;
-    for line in reader.lines() {
-        let Ok(line) = line else { return };
+    while let Some(line) = reader.next_line() {
         if line.trim().is_empty() {
             continue;
         }
@@ -402,7 +610,7 @@ fn handle_submit(
     let cells = spec.cells.len();
     if jobs
         .send(Job {
-            spec,
+            spec: Arc::new(spec),
             events: events_tx,
         })
         .is_err()
@@ -438,6 +646,159 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>) {
     }
 }
 
+/// Spawns one solver thread onto the shared dispatch channel — called
+/// at startup for the initial pool and by [`solve_cell`] to replace a
+/// solver lost to a panic or presumed hung after a deadline.
+fn spawn_solver(shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        while let Ok(task) = shared.solver_rx.recv() {
+            let c = &shared.counters;
+            c.in_flight_solves.fetch_add(1, Ordering::SeqCst);
+            let solved = catch_unwind(AssertUnwindSafe(|| run_cell_task(&task)));
+            c.in_flight_solves.fetch_sub(1, Ordering::SeqCst);
+            match solved {
+                Ok(report) => {
+                    let _ = task.reply.send(Ok(report));
+                }
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    let _ = task.reply.send(Err(msg));
+                    // Die: the recovery block retries on a *fresh*
+                    // solver, never a thread that just unwound through
+                    // a workload.
+                    return;
+                }
+            }
+        }
+    });
+}
+
+/// Executes one solver attempt, applying the attempt's injected fault
+/// (if the chaos schedule picked one).
+fn run_cell_task(task: &CellTask) -> CellReport {
+    let cell = &task.spec.cells[task.idx];
+    match task.fault {
+        Some(InjectedFault::Panic) => panic!("injected panic (chaos)"),
+        Some(InjectedFault::Hang) => {
+            std::thread::sleep(Duration::from_millis(task.hang_ms));
+            cell.run(task.seed)
+        }
+        Some(InjectedFault::Garble) => {
+            let mut r = cell.run(task.seed);
+            r.seed ^= 1; // caught by the acceptance test
+            r
+        }
+        None => cell.run(task.seed),
+    }
+}
+
+/// The acceptance test of the cell recovery block: the report must
+/// carry the cell's own id, the seed the supervisor derived, and must
+/// survive the journal codec round-trip (the same validation a replay
+/// would apply) — a garbled report is retried, never served or cached.
+fn acceptance(cell: &SweepCell, seed: u64, report: &CellReport) -> Result<(), String> {
+    if report.id != cell.id {
+        return Err(format!(
+            "report carries id `{}`, cell is `{}`",
+            report.id, cell.id
+        ));
+    }
+    if report.seed != seed {
+        return Err(format!(
+            "report carries seed {}, supervisor derived {seed}",
+            report.seed
+        ));
+    }
+    rbbench::journal::validate_report_roundtrip(report)
+}
+
+/// Solves one cell as a recovery block: dispatch to a solver (primary
+/// attempt), acceptance-test the result, and on a panic, deadline
+/// overrun, or acceptance failure retry on a fresh solver — at most
+/// [`ServerConfig::max_cell_retries`] times before returning the
+/// documented refusal.
+fn solve_cell(
+    shared: &Arc<Shared>,
+    spec: &Arc<SweepSpec>,
+    idx: usize,
+    seed: u64,
+) -> Result<CellReport, String> {
+    let c = &shared.counters;
+    let cell = &spec.cells[idx];
+    let mut attempt: u32 = 0;
+    loop {
+        let fault = shared
+            .cfg
+            .chaos
+            .as_ref()
+            .and_then(|ch| ch.decide(seed, attempt));
+        if fault.is_some() {
+            c.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        let hang_ms = shared.cfg.chaos.as_ref().map_or(0, |ch| ch.hang_ms);
+        let (reply_tx, reply_rx) = unbounded();
+        if shared
+            .solver_tx
+            .send(CellTask {
+                spec: Arc::clone(spec),
+                idx,
+                seed,
+                fault,
+                hang_ms,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return Err(format!("cell `{}`: solver pool is gone", cell.id));
+        }
+        let failure = match reply_rx.recv_timeout(shared.cfg.cell_timeout) {
+            Ok(Ok(report)) => match acceptance(cell, seed, &report) {
+                Ok(()) => {
+                    c.cells_solved.fetch_add(1, Ordering::Relaxed);
+                    return Ok(report);
+                }
+                Err(why) => format!("acceptance test failed: {why}"),
+            },
+            Ok(Err(panic_msg)) => {
+                // The solver died sending this; replace it.
+                c.workers_restarted.fetch_add(1, Ordering::Relaxed);
+                spawn_solver(shared);
+                format!("solver panicked: {panic_msg}")
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Presumed hung: spawn a replacement so the pool keeps
+                // its capacity even if the old solver never returns
+                // (its late reply lands on this dropped receiver).
+                c.cells_timed_out.fetch_add(1, Ordering::Relaxed);
+                c.workers_restarted.fetch_add(1, Ordering::Relaxed);
+                spawn_solver(shared);
+                format!(
+                    "no result within the {:?} cell deadline",
+                    shared.cfg.cell_timeout
+                )
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                c.workers_restarted.fetch_add(1, Ordering::Relaxed);
+                spawn_solver(shared);
+                "solver dropped the reply channel".into()
+            }
+        };
+        if attempt >= shared.cfg.max_cell_retries {
+            return Err(format!(
+                "cell `{}` failed after {} retries: {failure}",
+                cell.id, shared.cfg.max_cell_retries
+            ));
+        }
+        attempt += 1;
+        c.cell_retries.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Runs one sweep cell-by-cell, cache-first, streaming each cell as it
 /// completes. Timing is accumulated here and reported only in the done
 /// event — cell payloads stay execution-independent, which is what
@@ -463,13 +824,9 @@ fn run_job(shared: &Arc<Shared>, job: &Job) {
                 (r, true)
             }
             None => {
-                c.in_flight_solves.fetch_add(1, Ordering::SeqCst);
-                let solved = catch_unwind(AssertUnwindSafe(|| cell.run(seed)));
-                c.in_flight_solves.fetch_sub(1, Ordering::SeqCst);
-                c.cells_solved.fetch_add(1, Ordering::Relaxed);
-                let r = match solved {
+                let r = match solve_cell(shared, spec, idx, seed) {
                     Ok(r) => r,
-                    Err(_) => {
+                    Err(refusal) => {
                         let _ = job.events.send(done_line(
                             &spec.name,
                             spec.cells.len(),
@@ -477,7 +834,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job) {
                             misses,
                             uncacheable,
                             solve_ns,
-                            Some(&format!("workload panicked in cell `{}`", cell.id)),
+                            Some(&refusal),
                         ));
                         return;
                     }

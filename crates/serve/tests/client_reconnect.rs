@@ -1,0 +1,185 @@
+//! End-to-end reconnect smoke: the real `rbserve` binary is SIGKILLed
+//! mid-stream while the library client (`rbserve::run_request`, the
+//! engine inside the `rbclient` binary) is consuming its event stream.
+//! A replacement server on the same port and cache directory comes up;
+//! the client must reconnect, resubmit, and converge on a complete
+//! sweep — with the pre-kill cells served from the cache, and a final
+//! resubmit at 100 % cache hits.
+//!
+//! The first server runs with `--chaos-hang 1000 --chaos-hang-ms 300`:
+//! every primary solver attempt sleeps 300 ms (well inside the cell
+//! deadline), so the kill — triggered by the *third* streamed cell
+//! event — always lands with most of the sweep unsolved. That makes
+//! the reconnect genuinely mid-sweep at any build profile, without
+//! guessing at solve speeds.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use rbserve::{run_request, ClientConfig};
+use serde::Value;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbclient-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct ServerProc {
+    child: Child,
+}
+
+impl ServerProc {
+    /// Starts `rbserve` bound to `addr` (port 0 picks a port; the
+    /// actually-bound address is parsed from stdout) with `extra`
+    /// flags appended.
+    fn start(cache: &Path, addr: &str, extra: &[&str]) -> (ServerProc, SocketAddr) {
+        let mut args = vec![
+            "--addr",
+            addr,
+            "--workers",
+            "2",
+            "--cache",
+            cache.to_str().expect("utf-8 temp path"),
+        ];
+        args.extend_from_slice(extra);
+        let mut child = Command::new(env!("CARGO_BIN_EXE_rbserve"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn rbserve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read listen line");
+        // "rbserve: listening on 127.0.0.1:PORT"
+        let bound = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .and_then(|a| a.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable listen line: {line:?}"));
+        (ServerProc { child }, bound)
+    }
+
+    /// SIGKILL — no drain, no goodbye to connected clients.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    fn wait(mut self) {
+        let status = self.child.wait().expect("wait rbserve");
+        assert!(status.success(), "rbserve exited with {status}");
+    }
+}
+
+fn field(line: &str, key: &str) -> Option<Value> {
+    serde_json::from_str::<Value>(line)
+        .ok()
+        .and_then(|v| v.get(key).cloned())
+}
+
+fn event_of(line: &str) -> Option<String> {
+    match field(line, "event") {
+        Some(Value::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn num_of(line: &str, key: &str) -> f64 {
+    match field(line, key) {
+        Some(Value::Num(x)) => x,
+        other => panic!("`{key}` is not a number ({other:?}) in {line}"),
+    }
+}
+
+const SUBMIT: &str = concat!(
+    r#"{"op":"submit","name":"r","seed":29,"kind":"async_grid","#,
+    r#""n":[2],"mu":[1,2],"lambda":[0.5,0.7,0.9,1.1,1.3,1.5],"lines":300}"#
+);
+const CELLS: f64 = 12.0;
+
+#[test]
+fn client_survives_a_mid_stream_kill_and_converges_on_full_cache_hits() {
+    let dir = scratch("midkill");
+    // Server A: every primary attempt sleeps 300 ms — a deliberately
+    // slow sweep so the kill below is always mid-sweep.
+    let (server_a, addr) = ServerProc::start(
+        &dir,
+        "127.0.0.1:0",
+        &["--chaos-hang", "1000", "--chaos-hang-ms", "300"],
+    );
+    let port_flag = addr.to_string();
+
+    let cfg = ClientConfig {
+        addr: addr.to_string(),
+        backoff_seed: 0xC11E,
+        io_timeout: Duration::from_secs(60),
+        ..ClientConfig::default()
+    };
+
+    // Drive the submit through run_request. The on_event closure is
+    // the saboteur: at the third streamed cell it SIGKILLs server A
+    // and brings up a clean server B on the same port and cache.
+    let mut server = Some(server_a);
+    let mut cells_streamed = 0u32;
+    let mut accepted_seen = 0u32;
+    let mut killed = false;
+    let done = run_request(&cfg, SUBMIT, &mut |line| match event_of(line).as_deref() {
+        Some("accepted") => accepted_seen += 1,
+        Some("cell") => {
+            cells_streamed += 1;
+            if cells_streamed == 3 && !killed {
+                killed = true;
+                server.take().expect("server A alive").kill();
+                let (b, bound) = ServerProc::start(&dir, &port_flag, &[]);
+                assert_eq!(bound, addr, "server B must reuse server A's port");
+                server = Some(b);
+            }
+        }
+        _ => {}
+    })
+    .expect("run_request must converge through the kill");
+
+    assert!(killed, "the kill hook never fired");
+    assert_eq!(
+        accepted_seen, 2,
+        "the stream must restart from `accepted` exactly once (one reconnect)"
+    );
+    assert_eq!(event_of(&done).as_deref(), Some("done"), "{done}");
+    assert_eq!(field(&done, "ok"), Some(Value::Bool(true)), "{done}");
+    assert_eq!(num_of(&done, "cells"), CELLS, "{done}");
+    // Server A durably cached each streamed cell before its event went
+    // out, so server B serves those as hits on the resubmit.
+    assert!(
+        num_of(&done, "cache_hits") >= 3.0,
+        "pre-kill cells must come back as hits: {done}"
+    );
+
+    // The converged sweep is fully cached: a fresh resubmit through the
+    // same client path is 100 % hits and zero misses.
+    let mut noop = |_: &str| {};
+    let warm = run_request(&cfg, SUBMIT, &mut noop).expect("warm resubmit");
+    assert_eq!(num_of(&warm, "cache_hits"), CELLS, "{warm}");
+    assert_eq!(num_of(&warm, "cache_misses"), 0.0, "{warm}");
+
+    // And the non-streaming path works against the survivor too.
+    let result = run_request(&cfg, r#"{"op":"result","sweep":"r"}"#, &mut noop).expect("result");
+    assert_eq!(field(&result, "ok"), Some(Value::Bool(true)), "{result}");
+
+    let shutdown =
+        run_request(&cfg, r#"{"op":"shutdown"}"#, &mut noop).expect("shutdown acknowledged");
+    assert_eq!(
+        field(&shutdown, "ok"),
+        Some(Value::Bool(true)),
+        "{shutdown}"
+    );
+    server.take().expect("server B alive").wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,9 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 
-use rbserve::{spawn, ServerConfig};
+use std::time::Duration;
+
+use rbserve::{spawn, ChaosConfig, ServerConfig};
 use serde::Value;
 
 /// A line-oriented test client.
@@ -81,6 +83,7 @@ fn test_config(workers: usize) -> ServerConfig {
         queue_capacity: 4,
         max_cells: 256,
         cache_dir: None,
+        ..ServerConfig::default()
     }
 }
 
@@ -171,6 +174,12 @@ fn submit_streams_cells_then_queries_answer() {
     assert_eq!(get_num(metric("jobs/done"), "value"), 1.0);
     assert_eq!(get_num(metric("cells/solved"), "value"), 2.0);
     assert_eq!(get_num(metric("queue/depth"), "value"), 0.0);
+    // No chaos configured, nothing hung or panicked: the self-recovery
+    // counters exist and sit at zero.
+    assert_eq!(get_num(metric("faults/injected"), "value"), 0.0);
+    assert_eq!(get_num(metric("cells/retries"), "value"), 0.0);
+    assert_eq!(get_num(metric("cells/timed_out"), "value"), 0.0);
+    assert_eq!(get_num(metric("workers/restarted"), "value"), 0.0);
 
     // Graceful drain: shutdown acks, then join returns.
     let ack = client.request(r#"{"op":"shutdown"}"#);
@@ -328,4 +337,211 @@ fn backpressure_sheds_when_queue_fills_and_when_draining() {
     assert_eq!(get_num(shed, "value"), 3.0);
     // Queued jobs never ran (no workers), so the server cannot drain;
     // the handle is dropped, not joined, and the test process exits.
+}
+
+/// One named metric's value via the `metrics` endpoint.
+fn metric_value(client: &mut Client, name: &str) -> f64 {
+    let metrics = client.request(r#"{"op":"metrics"}"#);
+    let Value::Seq(list) = get(&metrics, "metrics") else {
+        panic!("metrics is not a list")
+    };
+    let m = list
+        .iter()
+        .find(|m| m.get("name") == Some(&Value::Str(name.into())))
+        .unwrap_or_else(|| panic!("no metric `{name}`"));
+    get_num(m, "value")
+}
+
+/// The finished sweep `g`'s full report value (for byte-level
+/// cross-server comparison).
+fn result_report(client: &mut Client) -> Value {
+    let result = client.request(r#"{"op":"result","sweep":"g"}"#);
+    assert!(is_ok(&result), "{result:?}");
+    get(&result, "report").clone()
+}
+
+fn chaos_config(chaos: ChaosConfig) -> ServerConfig {
+    ServerConfig {
+        cell_timeout: Duration::from_secs(30),
+        chaos: Some(chaos),
+        ..test_config(2)
+    }
+}
+
+#[test]
+fn chaos_panic_retries_on_a_fresh_solver_and_serves_reference_bytes() {
+    // Reference: a chaos-free server solving the same grid.
+    let clean = spawn(test_config(2)).expect("spawn clean");
+    let mut clean_client = Client::connect(clean.addr());
+    run_tiny_grid(&mut clean_client);
+    let reference = result_report(&mut clean_client);
+
+    // Every primary attempt panics; every retry (attempt 1, fault-free
+    // by default) succeeds on a fresh solver.
+    let handle = spawn(chaos_config(ChaosConfig {
+        panic_per_mille: 1000,
+        ..ChaosConfig::default()
+    }))
+    .expect("spawn chaos");
+    let mut client = Client::connect(handle.addr());
+    let done = run_tiny_grid(&mut client);
+    assert!(is_ok(&done), "{done:?}");
+
+    assert_eq!(get_num(&done, "cells"), 2.0);
+    assert_eq!(metric_value(&mut client, "faults/injected"), 2.0);
+    assert_eq!(metric_value(&mut client, "cells/retries"), 2.0);
+    assert_eq!(metric_value(&mut client, "workers/restarted"), 2.0);
+    assert_eq!(metric_value(&mut client, "cells/solved"), 2.0);
+    assert_eq!(
+        result_report(&mut client),
+        reference,
+        "a report served through panic-recovery must match the fault-free bytes"
+    );
+
+    for (mut c, h) in [(client, handle), (clean_client, clean)] {
+        c.send(r#"{"op":"shutdown"}"#);
+        drop(c);
+        h.join();
+    }
+}
+
+#[test]
+fn chaos_hang_trips_the_cell_deadline_and_recovers() {
+    // Every primary attempt sleeps 10× the cell deadline; the
+    // supervisor times it out, restarts a solver, and the retry
+    // completes well before the hung solver wakes.
+    let handle = spawn(ServerConfig {
+        cell_timeout: Duration::from_millis(60),
+        chaos: Some(ChaosConfig {
+            hang_per_mille: 1000,
+            hang_ms: 600,
+            ..ChaosConfig::default()
+        }),
+        ..test_config(2)
+    })
+    .expect("spawn");
+    let mut client = Client::connect(handle.addr());
+    let done = run_tiny_grid(&mut client);
+    assert!(is_ok(&done), "{done:?}");
+
+    assert_eq!(metric_value(&mut client, "cells/timed_out"), 2.0);
+    assert_eq!(metric_value(&mut client, "workers/restarted"), 2.0);
+    assert_eq!(metric_value(&mut client, "cells/retries"), 2.0);
+    assert_eq!(metric_value(&mut client, "cells/solved"), 2.0);
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn chaos_garble_is_caught_by_the_acceptance_test_never_served() {
+    // Every primary attempt returns a report with a corrupted seed
+    // field. The acceptance test rejects it; the retry serves clean
+    // bytes. If a garbled report ever leaked, run_tiny_grid's cell
+    // stream (and the seed binding below) would show it.
+    let clean = spawn(test_config(2)).expect("spawn clean");
+    let mut clean_client = Client::connect(clean.addr());
+    run_tiny_grid(&mut clean_client);
+    let reference = result_report(&mut clean_client);
+
+    let handle = spawn(chaos_config(ChaosConfig {
+        garble_per_mille: 1000,
+        ..ChaosConfig::default()
+    }))
+    .expect("spawn chaos");
+    let mut client = Client::connect(handle.addr());
+    let done = run_tiny_grid(&mut client);
+    assert!(is_ok(&done), "{done:?}");
+
+    assert_eq!(metric_value(&mut client, "faults/injected"), 2.0);
+    assert_eq!(metric_value(&mut client, "cells/retries"), 2.0);
+    // Garble doesn't kill solvers — no restarts, no timeouts.
+    assert_eq!(metric_value(&mut client, "workers/restarted"), 0.0);
+    assert_eq!(metric_value(&mut client, "cells/timed_out"), 0.0);
+    assert_eq!(result_report(&mut client), reference);
+
+    for (mut c, h) in [(client, handle), (clean_client, clean)] {
+        c.send(r#"{"op":"shutdown"}"#);
+        drop(c);
+        h.join();
+    }
+}
+
+#[test]
+fn chaos_on_every_attempt_exhausts_retries_into_a_named_refusal() {
+    // Panic on *every* attempt: the recovery block runs out of
+    // alternates and the job aborts with the documented refusal — and
+    // the server itself survives to answer the next request.
+    let handle = spawn(chaos_config(ChaosConfig {
+        panic_per_mille: 1000,
+        every_attempt: true,
+        ..ChaosConfig::default()
+    }))
+    .expect("spawn");
+    let mut client = Client::connect(handle.addr());
+
+    let accepted = client.request(&TINY_GRID.replace('\n', " "));
+    assert_eq!(get_str(&accepted, "event"), "accepted");
+    let done = loop {
+        let event = client.recv();
+        if get_str(&event, "event") == "done" {
+            break event;
+        }
+    };
+    assert!(!is_ok(&done), "{done:?}");
+    let err = get_str(&done, "error");
+    assert!(err.contains("failed after 2 retries"), "{err}");
+    assert!(err.contains("solver panicked"), "{err}");
+    assert!(err.contains("injected panic (chaos)"), "{err}");
+
+    // 1 primary + 2 retries, all injected, all fresh solvers.
+    assert_eq!(metric_value(&mut client, "faults/injected"), 3.0);
+    assert_eq!(metric_value(&mut client, "cells/retries"), 2.0);
+    assert_eq!(metric_value(&mut client, "workers/restarted"), 3.0);
+    assert_eq!(metric_value(&mut client, "cells/solved"), 0.0);
+
+    // The server is fine: status still answers on the same connection.
+    let status = client.request(r#"{"op":"status"}"#);
+    assert!(is_ok(&status), "{status:?}");
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn idle_connections_are_reaped_but_the_server_keeps_serving() {
+    let handle = spawn(ServerConfig {
+        io_timeout: Duration::from_millis(25),
+        idle_timeout: Duration::from_millis(150),
+        ..test_config(1)
+    })
+    .expect("spawn");
+
+    // An idle connection (no request ever sent) is closed by the
+    // reaper: the blocking read below observes EOF, well inside the
+    // test deadline.
+    let idle = std::net::TcpStream::connect(handle.addr()).expect("connect idle");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client timeout");
+    let mut idle_reader = std::io::BufReader::new(idle);
+    let mut sink = String::new();
+    let started = std::time::Instant::now();
+    let n = std::io::BufRead::read_line(&mut idle_reader, &mut sink).expect("read until EOF");
+    assert_eq!(n, 0, "reaper must close the idle connection, got: {sink}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "reap took {:?}",
+        started.elapsed()
+    );
+
+    // The server survived the reap and still serves fresh connections.
+    let mut client = Client::connect(handle.addr());
+    let status = client.request(r#"{"op":"status"}"#);
+    assert!(is_ok(&status), "{status:?}");
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
 }
