@@ -46,15 +46,36 @@
 //!
 //! One writer at a time: like the journal, the cache has no
 //! inter-process lock; drive a given cache directory from a single
-//! process. [`entry_count`] is the read-only exception — it scans the
-//! framing without opening for append, so tests (and humans) can poll
-//! a live server's cache file.
+//! process. [`entry_count`] / [`wal_stats`] are the read-only
+//! exception — they scan the framing without opening for append, so
+//! tests (and humans) can poll a live server's cache file.
+//!
+//! ## Lifecycle
+//!
+//! The WAL only ever appends during serving, so it accretes benign
+//! duplicate frames (two workers racing the same key) that replay
+//! skips but disk keeps. [`ResultCache::compact`] reclaims them: it
+//! writes a fresh image — header plus exactly one frame per distinct
+//! key, in first-seen order — to a temp file
+//! ([`compact_temp_path`]), fsyncs it, and **atomically renames** it
+//! over `results.wal`. A crash anywhere mid-compaction therefore
+//! leaves either the old file (rename not reached; the stale temp is
+//! inert — never read at open) or the new one (rename landed), never
+//! a hybrid, and both replay under the same refuse-don't-guess rules.
+//!
+//! In front of the byte store sits an optional **hot tier**
+//! ([`ResultCache::set_hot_capacity`]): a bounded LRU of decoded
+//! [`CellReport`]s, so repeated lookups of a hot key skip the payload
+//! decode entirely. [`ResultCache::lookup_tiered`] reports which tier
+//! served a hit ([`HitTier`]); the byte store ("warm") and the WAL on
+//! disk stay the source of truth — the hot tier is a pure
+//! derived-data cache and never changes what bytes a lookup returns.
 
 use std::collections::HashMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
-use rbruntime::faultio::{is_transient, FileIo, Fs, RealFs};
+use rbruntime::faultio::{append_durably, FileIo, Fs, RealFs};
 use rbruntime::wal::{fnv1a64, write_frame, FrameScan, FRAME_OVERHEAD};
 
 use crate::journal::{decode_report_payload, encode_report_payload};
@@ -220,11 +241,11 @@ fn decode_cache_header(payload: &[u8]) -> Result<(), String> {
     Ok(())
 }
 
-fn encode_entry(key: &CacheKey, payload_bytes: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(1 + 4 + key.material.len() + payload_bytes.len());
+fn encode_entry(material: &[u8], payload_bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + material.len() + payload_bytes.len());
     out.push(TAG_CACHE_ENTRY);
-    out.extend_from_slice(&(key.material.len() as u32).to_le_bytes());
-    out.extend_from_slice(&key.material);
+    out.extend_from_slice(&(material.len() as u32).to_le_bytes());
+    out.extend_from_slice(material);
     out.extend_from_slice(payload_bytes);
     out
 }
@@ -254,11 +275,97 @@ fn decode_entry(frame: &[u8]) -> Result<(Vec<u8>, Vec<u8>), String> {
     Ok((material.to_vec(), payload.to_vec()))
 }
 
+/// Which tier served a [`ResultCache::lookup_tiered`] hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitTier {
+    /// The decoded-report LRU: no decode work at all.
+    Hot,
+    /// The in-memory byte store: the payload was decoded on the way
+    /// out (and the entry promoted into the hot tier).
+    Warm,
+}
+
+/// A bounded LRU of decoded reports keyed by entry index (stable: the
+/// byte store is append-ordered and deduped, and compaction preserves
+/// first-seen order). Recency is a monotonic tick per touch; eviction
+/// scans for the stalest resident — O(capacity), which is noise next
+/// to the payload decode it saves at the capacities this tier runs at.
+struct HotTier {
+    cap: usize,
+    tick: u64,
+    /// entry index → (decoded report, last-touched tick).
+    resident: HashMap<usize, (CellReport, u64)>,
+    evictions: u64,
+}
+
+impl HotTier {
+    fn new(cap: usize) -> HotTier {
+        HotTier {
+            cap,
+            tick: 0,
+            resident: HashMap::new(),
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, idx: usize) -> Option<CellReport> {
+        self.tick += 1;
+        let (report, touched) = self.resident.get_mut(&idx)?;
+        *touched = self.tick;
+        Some(report.clone())
+    }
+
+    fn put(&mut self, idx: usize, report: CellReport) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.resident.contains_key(&idx) {
+            while self.resident.len() >= self.cap {
+                self.evict_stalest();
+            }
+        }
+        self.resident.insert(idx, (report, self.tick));
+    }
+
+    fn resize(&mut self, cap: usize) {
+        self.cap = cap;
+        while self.resident.len() > cap {
+            self.evict_stalest();
+        }
+    }
+
+    fn evict_stalest(&mut self) {
+        let stale = self
+            .resident
+            .iter()
+            .min_by_key(|&(_, &(_, touched))| touched)
+            .map(|(&idx, _)| idx);
+        if let Some(idx) = stale {
+            self.resident.remove(&idx);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// What one [`ResultCache::compact`] pass did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactStats {
+    /// File length before, in bytes.
+    pub bytes_before: u64,
+    /// File length after: header plus one frame per distinct key.
+    /// Strictly smaller than `bytes_before` iff duplicates existed.
+    pub bytes_after: u64,
+    /// Distinct entries carried over (always all of them).
+    pub entries: usize,
+}
+
 /// An open, append-mode result cache over one WAL file (see the module
 /// docs for format and recovery rules). Create with
 /// [`ResultCache::open`] (or [`ResultCache::open_in`] to inject the
-/// filesystem); serve with [`ResultCache::lookup`]; fill with
-/// [`ResultCache::insert`].
+/// filesystem); serve with [`ResultCache::lookup`] (or
+/// [`ResultCache::lookup_tiered`]); fill with [`ResultCache::insert`];
+/// reclaim duplicate frames with [`ResultCache::compact`].
 pub struct ResultCache {
     path: PathBuf,
     file: Box<dyn FileIo>,
@@ -266,6 +373,12 @@ pub struct ResultCache {
     index: HashMap<u64, Vec<usize>>,
     /// `(key material, payload bytes)` in append order.
     entries: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Current on-disk length (intact prefix at open, then maintained
+    /// across appends and compactions).
+    file_len: u64,
+    /// Decoded-report LRU in front of the byte store; capacity 0
+    /// (the default) disables it.
+    hot: HotTier,
 }
 
 impl std::fmt::Debug for ResultCache {
@@ -309,6 +422,8 @@ impl ResultCache {
             file,
             index: HashMap::new(),
             entries: Vec::new(),
+            file_len: 0,
+            hot: HotTier::new(0),
         };
         if bytes.is_empty() {
             cache.write_all(&framed(&encode_cache_header()), "write header")?;
@@ -353,6 +468,7 @@ impl ResultCache {
                 .map_err(io("truncate torn tail"))?;
         }
         cache.file.seek_to(valid as u64).map_err(io("seek"))?;
+        cache.file_len = valid as u64;
         Ok(cache)
     }
 
@@ -369,6 +485,40 @@ impl ResultCache {
     /// encoding), or `None` on a miss.
     pub fn lookup_raw(&self, key: &CacheKey) -> Option<&[u8]> {
         self.find(key.hash, &key.material)
+    }
+
+    /// The cached report under `key` plus the tier that served it:
+    /// [`HitTier::Hot`] skipped the decode (the report came out of the
+    /// decoded-report LRU), [`HitTier::Warm`] decoded the stored bytes
+    /// and promoted the entry into the hot tier. Both tiers return the
+    /// same report bit-for-bit — the hot tier caches decode work, not
+    /// different data. `None` on a miss.
+    pub fn lookup_tiered(&mut self, key: &CacheKey) -> Option<(CellReport, HitTier)> {
+        let idx = self.find_idx(key.hash, &key.material)?;
+        if let Some(report) = self.hot.get(idx) {
+            return Some((report, HitTier::Hot));
+        }
+        let report = decode_report_payload(&self.entries[idx].1)
+            .expect("cache payloads are validated at open/insert");
+        self.hot.put(idx, report.clone());
+        Some((report, HitTier::Warm))
+    }
+
+    /// Sets the hot-tier capacity (decoded reports kept resident); `0`
+    /// disables the tier. Shrinking below the current residency evicts
+    /// (and counts) the stalest entries immediately.
+    pub fn set_hot_capacity(&mut self, cap: usize) {
+        self.hot.resize(cap);
+    }
+
+    /// Total hot-tier evictions so far (monotonic).
+    pub fn hot_evictions(&self) -> u64 {
+        self.hot.evictions
+    }
+
+    /// Decoded reports currently resident in the hot tier.
+    pub fn hot_len(&self) -> usize {
+        self.hot.resident.len()
     }
 
     /// Whether `key` has an entry.
@@ -395,9 +545,89 @@ impl ResultCache {
                     .into(),
             });
         }
-        self.write_all(&framed(&encode_entry(key, &payload)), "append entry")?;
+        self.write_all(
+            &framed(&encode_entry(&key.material, &payload)),
+            "append entry",
+        )?;
         self.index_entry(key.hash, key.material.clone(), payload);
+        // The report is already decoded — seed the hot tier for free.
+        self.hot.put(self.entries.len() - 1, report.clone());
         Ok(())
+    }
+
+    /// [`ResultCache::compact_in`] on the real filesystem.
+    pub fn compact(&mut self) -> Result<CompactStats, CacheError> {
+        self.compact_in(&RealFs)
+    }
+
+    /// Rewrites the WAL to its minimal equivalent — the header plus
+    /// exactly one frame per distinct key, in first-seen order — by
+    /// writing a temp file ([`compact_temp_path`]), fsyncing it, and
+    /// atomically renaming it over the live file. Lookups are
+    /// unchanged byte-for-byte; only benign duplicate frames (racing
+    /// workers re-appending a key replay already skips) are dropped.
+    ///
+    /// Crash-safe at every point: until the rename the old file is
+    /// untouched (a stale temp is inert — open never reads it), and
+    /// the rename itself is atomic, so a killed compaction recovers as
+    /// either the old or the new file, never a hybrid. On an injected
+    /// or real I/O error the cache keeps serving from the old file.
+    pub fn compact_in(&mut self, fs: &dyn Fs) -> Result<CompactStats, CacheError> {
+        let dir = self
+            .path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let tmp = compact_temp_path(&dir);
+        let bytes_before = self.file_len;
+        // The compacted image, built from the deduped in-memory state
+        // (which is exactly what a replay of the old file yields).
+        let mut image = framed(&encode_cache_header());
+        for (material, payload) in &self.entries {
+            write_frame(&mut image, &encode_entry(material, payload));
+        }
+
+        let io = |op: &'static str, path: &Path| {
+            let path = path.to_path_buf();
+            move |source: std::io::Error| CacheError::Io { path, op, source }
+        };
+        let mut tmp_file = fs.open_rw(&tmp).map_err(io("open compaction temp", &tmp))?;
+        let written = tmp_file
+            .set_len(0)
+            .and_then(|()| tmp_file.seek_to(0))
+            .and_then(|()| {
+                append_durably(tmp_file.as_mut(), &image, crate::journal::TRANSIENT_RETRIES)
+            })
+            .and_then(|()| tmp_file.sync_all());
+        drop(tmp_file);
+        if let Err(source) = written {
+            let _ = fs.remove_file(&tmp);
+            return Err(CacheError::Io {
+                path: tmp,
+                op: "write compacted image",
+                source,
+            });
+        }
+        // Publish. Between dropping the old handle and installing the
+        // new one the live handle must not be written — an append
+        // would land on the unlinked pre-compaction inode and vanish
+        // silently — so park a poisoned handle that fails loudly if
+        // anything below errors out.
+        self.file = Box::new(PoisonedFile);
+        fs.rename(&tmp, &self.path)
+            .map_err(io("publish compacted file (rename)", &self.path))?;
+        let mut file = fs
+            .open_rw(&self.path)
+            .map_err(io("reopen after compaction", &self.path))?;
+        file.seek_to(image.len() as u64)
+            .map_err(io("seek after compaction", &self.path))?;
+        self.file = file;
+        self.file_len = image.len() as u64;
+        Ok(CompactStats {
+            bytes_before,
+            bytes_after: self.file_len,
+            entries: self.entries.len(),
+        })
     }
 
     /// Number of distinct entries.
@@ -415,12 +645,22 @@ impl ResultCache {
         &self.path
     }
 
+    /// Current on-disk file length in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
     fn find(&self, hash: u64, material: &[u8]) -> Option<&[u8]> {
+        self.find_idx(hash, material)
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    fn find_idx(&self, hash: u64, material: &[u8]) -> Option<usize> {
         self.index.get(&hash).and_then(|candidates| {
             candidates
                 .iter()
                 .find(|&&i| self.entries[i].0 == material)
-                .map(|&i| self.entries[i].1.as_slice())
+                .copied()
         })
     }
 
@@ -433,28 +673,62 @@ impl ResultCache {
     }
 
     fn write_all(&mut self, bytes: &[u8], op: &'static str) -> Result<(), CacheError> {
-        // Transient faults (WouldBlock-style) land zero bytes by
-        // contract, so a bounded whole-buffer retry is safe — same
-        // policy as the sweep journal.
-        let mut retries = 0;
-        loop {
-            match self.file.write_all(bytes).and_then(|()| self.file.flush()) {
-                Ok(()) => return Ok(()),
-                Err(source)
-                    if is_transient(&source) && retries < crate::journal::TRANSIENT_RETRIES =>
-                {
-                    retries += 1;
-                }
-                Err(source) => {
-                    return Err(CacheError::Io {
-                        path: self.path.clone(),
-                        op,
-                        source,
-                    })
-                }
-            }
-        }
+        // Write and flush retry independently (`append_durably`): a
+        // transient *write* failure landed nothing and may retry the
+        // whole buffer, but once the write succeeded only the flush
+        // may retry — re-issuing the buffer there appends it twice.
+        append_durably(self.file.as_mut(), bytes, crate::journal::TRANSIENT_RETRIES).map_err(
+            |source| CacheError::Io {
+                path: self.path.clone(),
+                op,
+                source,
+            },
+        )?;
+        self.file_len += bytes.len() as u64;
+        Ok(())
     }
+}
+
+/// Stands in for the live file handle during the compaction publish
+/// window: if installing the post-rename handle fails, later appends
+/// fail loudly instead of landing on the unlinked old inode.
+struct PoisonedFile;
+
+impl PoisonedFile {
+    fn err() -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "cache file handle was lost mid-compaction; reopen the cache",
+        )
+    }
+}
+
+impl FileIo for PoisonedFile {
+    fn read_to_end(&mut self, _buf: &mut Vec<u8>) -> std::io::Result<usize> {
+        Err(PoisonedFile::err())
+    }
+    fn write_all(&mut self, _buf: &[u8]) -> std::io::Result<()> {
+        Err(PoisonedFile::err())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Err(PoisonedFile::err())
+    }
+    fn set_len(&mut self, _len: u64) -> std::io::Result<()> {
+        Err(PoisonedFile::err())
+    }
+    fn seek_to(&mut self, _pos: u64) -> std::io::Result<()> {
+        Err(PoisonedFile::err())
+    }
+    fn sync_all(&mut self) -> std::io::Result<()> {
+        Err(PoisonedFile::err())
+    }
+}
+
+/// The temp file a [`ResultCache::compact`] writes before atomically
+/// renaming it over [`CACHE_FILE`]. Present only mid-compaction or
+/// after a crash there; never read at open, so a stale one is inert.
+pub fn compact_temp_path(dir: &Path) -> PathBuf {
+    dir.join("results.wal.compact")
 }
 
 fn framed(payload: &[u8]) -> Vec<u8> {
@@ -463,15 +737,37 @@ fn framed(payload: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Counts the intact entry frames in the cache under `dir`,
-/// **read-only** — no truncation, no header write, so it is safe to
-/// poll while another process appends (a torn tail just doesn't count
-/// yet). A missing file counts as zero entries.
-pub fn entry_count(dir: &Path) -> Result<usize, CacheError> {
+/// A read-only structural summary of the cache WAL under `dir` — no
+/// truncation, no header write, so it is safe to poll while another
+/// process appends (a torn tail just doesn't count yet). A missing
+/// file summarizes as all-zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalStats {
+    /// Intact post-header entry frames, duplicates included.
+    pub frames: usize,
+    /// Distinct keys among those frames — what [`ResultCache::len`]
+    /// reports after replay dedups. `frames - entries` is the byte
+    /// debt a [`ResultCache::compact`] would reclaim.
+    pub entries: usize,
+    /// Total file length in bytes.
+    pub file_len: u64,
+}
+
+/// The [`WalStats`] of the cache under `dir`. Read-only and tolerant:
+/// scanning stops at the first torn, corrupt, or undecodable frame
+/// (an opener would refuse some of those; a poll just doesn't count
+/// them).
+pub fn wal_stats(dir: &Path) -> Result<WalStats, CacheError> {
     let path = dir.join(CACHE_FILE);
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(WalStats {
+                frames: 0,
+                entries: 0,
+                file_len: 0,
+            })
+        }
         Err(source) => {
             return Err(CacheError::Io {
                 path,
@@ -480,11 +776,42 @@ pub fn entry_count(dir: &Path) -> Result<usize, CacheError> {
             })
         }
     };
+    let file_len = bytes.len() as u64;
+    let mut stats = WalStats {
+        frames: 0,
+        entries: 0,
+        file_len,
+    };
     let mut scan = FrameScan::new(&bytes);
     if scan.next().is_none() {
-        return Ok(0);
+        return Ok(stats);
     }
-    Ok(scan.count())
+    let mut seen = std::collections::HashSet::new();
+    for frame in scan {
+        // Light structural parse (no payload validation — this is a
+        // poll, not an open): tag, then length-prefixed key material.
+        let material = (frame.first() == Some(&TAG_CACHE_ENTRY) && frame.len() >= 5)
+            .then(|| {
+                let mat_len = u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize;
+                frame.get(5..5 + mat_len)
+            })
+            .flatten();
+        let Some(material) = material else { break };
+        stats.frames += 1;
+        if seen.insert(material.to_vec()) {
+            stats.entries += 1;
+        }
+    }
+    Ok(stats)
+}
+
+/// Counts the **distinct** intact entries in the cache under `dir`,
+/// read-only (see [`wal_stats`]) — the same number
+/// [`ResultCache::len`] reports after a replay, so benign duplicate
+/// frames (which replay skips) never inflate it. A missing file
+/// counts as zero.
+pub fn entry_count(dir: &Path) -> Result<usize, CacheError> {
+    Ok(wal_stats(dir)?.entries)
 }
 
 #[cfg(test)]
@@ -638,6 +965,194 @@ mod tests {
         let err = ResultCache::open(&dir).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("format version"), "{msg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Appends a byte-for-byte copy of the cache's first entry frame —
+    /// the on-disk shape left by two workers racing the same key.
+    fn duplicate_first_entry_frame(dir: &Path) {
+        let path = dir.join(CACHE_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        let mut scan = FrameScan::new(&bytes);
+        scan.next().expect("header");
+        let start = scan.offset();
+        scan.next().expect("an entry to duplicate");
+        let end = scan.offset();
+        let dup = bytes[start..end].to_vec();
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(&dup)
+            .unwrap();
+    }
+
+    #[test]
+    fn transient_flush_failure_appends_exactly_one_frame() {
+        use rbruntime::faultio::{FaultPlan, FaultyFs};
+        let dir = scratch("flush-retry");
+        drop(ResultCache::open(&dir).unwrap()); // header via the real fs
+        let fs = FaultyFs::new(FaultPlan::new(0, 0).with_rate(0).with_flush_transients(1));
+        let mut cache = ResultCache::open_in(&fs, &dir).unwrap();
+        let key = cache_key("w", "p", 3);
+        cache
+            .insert(&key, &weird_report())
+            .expect("append absorbs the flush fault");
+        assert_eq!(fs.faults_injected(), 1, "the flush fault fired");
+        let stats = wal_stats(&dir).unwrap();
+        assert_eq!(
+            (stats.frames, stats.entries),
+            (1, 1),
+            "one frame on disk — a flush retry must not re-append"
+        );
+        let reopened = ResultCache::open(&dir).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert_eq!(
+            reopened.lookup_raw(&key).unwrap(),
+            encode_report_payload(&weird_report()).as_slice()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_count_matches_len_after_a_duplicate_frame() {
+        let dir = scratch("dup-count");
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache
+                .insert(&cache_key("w", "a", 1), &weird_report())
+                .unwrap();
+            cache
+                .insert(&cache_key("w", "b", 2), &weird_report())
+                .unwrap();
+        }
+        duplicate_first_entry_frame(&dir);
+        let stats = wal_stats(&dir).unwrap();
+        assert_eq!(stats.frames, 3, "the duplicate frame is on disk");
+        assert_eq!(stats.entries, 2, "but it is not a distinct entry");
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(
+            entry_count(&dir).unwrap(),
+            cache.len(),
+            "entry_count must agree with what replay dedups to"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_duplicates_preserves_lookups_and_shrinks() {
+        let dir = scratch("compact");
+        let keys = [
+            cache_key("w", "a", 1),
+            cache_key("w", "b", 2),
+            cache_key("w", "c", 3),
+        ];
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            for key in &keys {
+                cache.insert(key, &weird_report()).unwrap();
+            }
+        }
+        duplicate_first_entry_frame(&dir);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let before: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|k| cache.lookup_raw(k).unwrap().to_vec())
+            .collect();
+        let stats = cache.compact().unwrap();
+        assert!(
+            stats.bytes_after < stats.bytes_before,
+            "duplicates existed, so the file strictly shrinks ({stats:?})"
+        );
+        assert_eq!(stats.entries, 3);
+        assert!(
+            !compact_temp_path(&dir).exists(),
+            "the temp was renamed away"
+        );
+        let on_disk = wal_stats(&dir).unwrap();
+        assert_eq!((on_disk.frames, on_disk.entries), (3, 3));
+        assert_eq!(on_disk.file_len, stats.bytes_after);
+        for (key, want) in keys.iter().zip(&before) {
+            assert_eq!(cache.lookup_raw(key).unwrap(), want.as_slice());
+        }
+        // The compacted cache still appends, and a reopen replays it.
+        let extra = cache_key("w", "d", 4);
+        cache.insert(&extra, &weird_report()).unwrap();
+        drop(cache);
+        let cache = ResultCache::open(&dir).unwrap();
+        assert_eq!(cache.len(), 4);
+        for (key, want) in keys.iter().zip(&before) {
+            assert_eq!(cache.lookup_raw(key).unwrap(), want.as_slice());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_compaction_leaves_the_old_file_serving() {
+        use rbruntime::faultio::{FaultKind, FaultPlan, FaultyFs};
+        let dir = scratch("compact-fail");
+        let key = cache_key("w", "a", 1);
+        {
+            let mut cache = ResultCache::open(&dir).unwrap();
+            cache.insert(&key, &weird_report()).unwrap();
+        }
+        duplicate_first_entry_frame(&dir);
+        let mut cache = ResultCache::open(&dir).unwrap();
+        let fs = FaultyFs::new(
+            FaultPlan::new(11, 11)
+                .with_rate(1000)
+                .with_kinds(&[FaultKind::DiskFull]),
+        );
+        let err = cache.compact_in(&fs).unwrap_err();
+        assert!(matches!(err, CacheError::Io { .. }), "{err}");
+        // The old file is untouched (duplicate and all) and the cache
+        // keeps serving and appending through its original handle.
+        assert_eq!(wal_stats(&dir).unwrap().frames, 2);
+        assert!(cache.contains(&key));
+        cache
+            .insert(&cache_key("w", "b", 2), &weird_report())
+            .unwrap();
+        // A later compaction on a healthy filesystem succeeds.
+        let stats = cache.compact_in(&RealFs).unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(ResultCache::open(&dir).unwrap().len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hot_tier_skips_decode_and_evicts_least_recently_used() {
+        let dir = scratch("hot");
+        let keys = [
+            cache_key("w", "a", 1),
+            cache_key("w", "b", 2),
+            cache_key("w", "c", 3),
+        ];
+        let mut cache = ResultCache::open(&dir).unwrap();
+        cache.set_hot_capacity(2);
+        for key in &keys {
+            cache.insert(key, &weird_report()).unwrap();
+        }
+        // Inserts seed the tier; capacity 2 evicted the oldest (a).
+        assert_eq!(cache.hot_len(), 2);
+        assert_eq!(cache.hot_evictions(), 1);
+        let (hot, tier) = cache.lookup_tiered(&keys[2]).unwrap();
+        assert_eq!(tier, HitTier::Hot);
+        assert_eq!(
+            encode_report_payload(&hot).as_slice(),
+            cache.lookup_raw(&keys[2]).unwrap(),
+            "hot tier returns the stored report bit-for-bit"
+        );
+        // `a` fell out: served warm, promoted back, evicting the
+        // now-least-recent `b`.
+        assert_eq!(cache.lookup_tiered(&keys[0]).unwrap().1, HitTier::Warm);
+        assert_eq!(cache.hot_evictions(), 2);
+        assert_eq!(cache.lookup_tiered(&keys[0]).unwrap().1, HitTier::Hot);
+        assert_eq!(cache.lookup_tiered(&keys[1]).unwrap().1, HitTier::Warm);
+        // Capacity 0 disables the tier entirely.
+        cache.set_hot_capacity(0);
+        assert_eq!(cache.hot_len(), 0);
+        assert_eq!(cache.lookup_tiered(&keys[2]).unwrap().1, HitTier::Warm);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -24,6 +24,12 @@
 //!   cells are appended, and the emitted artifact is byte-identical
 //!   either way (mutually exclusive with `--journal` — the cache *is*
 //!   persistence, keyed by content rather than by sweep);
+//! * `--cache-hot <n>` — capacity of the cache's in-memory hot tier of
+//!   decoded reports (`0` disables it; requires `--cache`);
+//! * `--compact` — after a cached run, compact the cache WAL
+//!   ([`crate::cache::ResultCache::compact`]): duplicate frames are
+//!   dropped and the file shrinks, lookups are byte-identical before
+//!   and after (requires `--cache`);
 //! * `--adaptive <budget>` — for binaries with an adaptive-refinement
 //!   mode ([`crate::adaptive::AdaptiveSpec`]): refine the sweep axis
 //!   under a global cell budget of `budget` (at least 1; binaries
@@ -57,6 +63,10 @@ pub struct BenchArgs {
     pub journal: Option<PathBuf>,
     /// `--cache`: directory of the content-addressed result cache.
     pub cache: Option<PathBuf>,
+    /// `--cache-hot`: hot-tier capacity (decoded reports in memory).
+    pub cache_hot: Option<usize>,
+    /// `--compact`: compact the cache WAL after a cached run.
+    pub compact: bool,
     /// `--adaptive`: global cell budget for adaptive grid refinement.
     pub adaptive: Option<usize>,
     /// `--splitting`: trials per multilevel-splitting level.
@@ -86,7 +96,8 @@ impl BenchArgs {
     pub fn usage(bin: &str) -> String {
         format!(
             "usage: {bin} [--seed <u64>] [--threads <n>] [--out <dir>] [--journal <dir>]\n\
-             \x20          [--cache <dir>] [--adaptive <budget>] [--splitting <trials>]\n\
+             \x20          [--cache <dir>] [--cache-hot <n>] [--compact]\n\
+             \x20          [--adaptive <budget>] [--splitting <trials>]\n\
              \n\
              --seed <u64>    master seed for the sweep (default: the binary's\n\
              \x20               published seed; per-cell seeds derive from it)\n\
@@ -101,6 +112,11 @@ impl BenchArgs {
              \x20               result cache at <dir> (and store fresh solves);\n\
              \x20               the artifact is byte-identical either way;\n\
              \x20               mutually exclusive with --journal\n\
+             --cache-hot <n> keep up to <n> decoded reports in the cache's\n\
+             \x20               in-memory hot tier (0 disables; requires --cache)\n\
+             --compact       compact the cache WAL after the run: duplicate\n\
+             \x20               frames are dropped, lookups are unchanged\n\
+             \x20               (requires --cache)\n\
              --adaptive <budget>\n\
              \x20               refine the sweep axis adaptively under a global\n\
              \x20               cell budget (binaries with a refinement mode)\n\
@@ -128,6 +144,8 @@ impl BenchArgs {
                 "--out" => out.out = Some(Self::dir(&arg, args.next())?),
                 "--journal" => out.journal = Some(Self::dir(&arg, args.next())?),
                 "--cache" => out.cache = Some(Self::dir(&arg, args.next())?),
+                "--cache-hot" => out.cache_hot = Some(Self::value(&arg, args.next())?),
+                "--compact" => out.compact = true,
                 "--adaptive" => {
                     out.adaptive = Some(Self::positive(&arg, args.next(), "a cell budget")?)
                 }
@@ -144,6 +162,18 @@ impl BenchArgs {
                  write the same results twice under two recovery policies"
                     .into(),
             ));
+        }
+        if out.cache.is_none() {
+            if out.cache_hot.is_some() {
+                return Err(ParseError::Invalid(
+                    "--cache-hot requires --cache (it sizes the cache's hot tier)".into(),
+                ));
+            }
+            if out.compact {
+                return Err(ParseError::Invalid(
+                    "--compact requires --cache (it rewrites the cache's WAL)".into(),
+                ));
+            }
         }
         Ok(out)
     }
@@ -212,7 +242,12 @@ impl BenchArgs {
     pub fn run_sweep(&self, spec: &SweepSpec) -> SweepReport {
         if let Some(dir) = &self.cache {
             let cache = match crate::cache::ResultCache::open(dir) {
-                Ok(cache) => std::sync::Mutex::new(cache),
+                Ok(mut cache) => {
+                    if let Some(hot) = self.cache_hot {
+                        cache.set_hot_capacity(hot);
+                    }
+                    std::sync::Mutex::new(cache)
+                }
                 Err(e) => {
                     eprintln!("error: {e}");
                     std::process::exit(2);
@@ -223,6 +258,21 @@ impl BenchArgs {
                 "[cache] {}: {} hits, {} misses, {} uncacheable",
                 spec.name, out.hits, out.misses, out.uncacheable
             );
+            if self.compact {
+                let mut cache = cache
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                match cache.compact() {
+                    Ok(stats) => eprintln!(
+                        "[cache] {}: compacted {} -> {} bytes ({} entries)",
+                        spec.name, stats.bytes_before, stats.bytes_after, stats.entries
+                    ),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             return out.report;
         }
         match self.journal_file(&spec.name) {
@@ -327,6 +377,23 @@ mod tests {
     }
 
     #[test]
+    fn cache_lifecycle_flags_require_the_cache() {
+        let a = parse(&["--cache", "/tmp/c", "--cache-hot", "8", "--compact"]).unwrap();
+        assert_eq!(a.cache_hot, Some(8));
+        assert!(a.compact);
+        // `--cache-hot 0` is a valid way to disable the hot tier.
+        assert_eq!(
+            parse(&["--cache", "/tmp/c", "--cache-hot", "0"])
+                .unwrap()
+                .cache_hot,
+            Some(0)
+        );
+        assert!(invalid(&["--cache-hot", "8"]).contains("requires --cache"));
+        assert!(invalid(&["--compact"]).contains("requires --cache"));
+        assert!(invalid(&["--cache", "/tmp/c", "--cache-hot", "x"]).contains("invalid value"));
+    }
+
+    #[test]
     fn help_is_signalled_not_fatal() {
         assert!(matches!(parse(&["--help"]), Err(ParseError::Help)));
         assert!(matches!(
@@ -366,6 +433,8 @@ mod tests {
             "--out",
             "--journal",
             "--cache",
+            "--cache-hot",
+            "--compact",
             "--adaptive",
             "--splitting",
         ] {

@@ -56,7 +56,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use rbcore::metrics::{DistSummary, Metric, Quantile};
-use rbruntime::faultio::{is_transient, FileIo, Fs, RealFs};
+use rbruntime::faultio::{append_durably, FileIo, Fs, RealFs};
 use rbruntime::wal::{fnv1a64, write_frame, FrameScan};
 use rbsim::derive_seed;
 
@@ -640,26 +640,21 @@ impl SweepJournal {
     }
 
     /// Appends one framed record, absorbing up to
-    /// [`TRANSIENT_RETRIES`] transient (`WouldBlock`-style) failures —
-    /// safe to retry whole because the seam's transient contract is
-    /// that nothing was written ([`rbruntime::faultio::is_transient`]).
+    /// [`TRANSIENT_RETRIES`] transient (`WouldBlock`-style) failures
+    /// per stage. Write and flush retry **independently**
+    /// ([`rbruntime::faultio::append_durably`]): a transient write
+    /// failure landed nothing and may retry the whole buffer, but a
+    /// transient *flush* failure after the write succeeded may retry
+    /// only the flush — re-issuing the buffer would append the record
+    /// twice, and replay refuses duplicate journal records.
     fn write_all(&mut self, bytes: &[u8], op: &'static str) -> Result<(), JournalError> {
-        let mut retries = 0;
-        loop {
-            match self.file.write_all(bytes).and_then(|()| self.file.flush()) {
-                Ok(()) => return Ok(()),
-                Err(source) if is_transient(&source) && retries < TRANSIENT_RETRIES => {
-                    retries += 1;
-                }
-                Err(source) => {
-                    return Err(JournalError::Io {
-                        path: self.path.clone(),
-                        op,
-                        source,
-                    })
-                }
+        append_durably(self.file.as_mut(), bytes, TRANSIENT_RETRIES).map_err(|source| {
+            JournalError::Io {
+                path: self.path.clone(),
+                op,
+                source,
             }
-        }
+        })
     }
 }
 
@@ -849,6 +844,39 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("scratch dir");
         dir
+    }
+
+    #[test]
+    fn transient_flush_failure_appends_exactly_one_record() {
+        use rbruntime::faultio::{FaultPlan, FaultyFs};
+        let dir = scratch("flush-retry");
+        let path = dir.join("s.wal");
+        let spec = spec_with(5, [None, None]);
+        drop(SweepJournal::open(&path, &spec).expect("fresh open"));
+        // A flush hiccup *after* the record's bytes landed: the retry
+        // must re-flush, not re-write — a doubled record is exactly
+        // what replay refuses as a duplicate index.
+        let fs = FaultyFs::new(FaultPlan::new(0, 0).with_rate(0).with_flush_transients(1));
+        let (mut journal, replayed) = SweepJournal::open_in(&fs, &path, &spec).expect("reopen");
+        assert!(replayed.is_empty());
+        let report = CellReport {
+            id: "a".into(),
+            seed: derive_seed(5, 0),
+            metrics: Vec::new(),
+        };
+        journal
+            .append(0, &report)
+            .expect("append absorbs the fault");
+        assert_eq!(fs.faults_injected(), 1, "the flush fault fired");
+        drop(journal);
+        assert_eq!(
+            inspect(&path).unwrap().records(),
+            1,
+            "one record on disk — a flush retry must not re-append"
+        );
+        let (_, replayed) = SweepJournal::open(&path, &spec).expect("replay accepts the file");
+        assert_eq!(replayed.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

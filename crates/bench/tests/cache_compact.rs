@@ -1,0 +1,226 @@
+//! Compaction conformance: rewriting the WAL must be invisible to
+//! lookups (byte-for-byte, across reopen), must strictly shrink the
+//! file exactly when duplicate frames existed, and must be crash-safe
+//! at every point — a compaction killed anywhere recovers as either
+//! the old file or the new file, never a hybrid and never a refusal.
+//!
+//! The property test drives arbitrary insert sequences (duplicate
+//! inserts, NaN / negative-zero / subnormal payloads) plus forced
+//! on-disk duplicate frames; the crash matrix enumerates the
+//! intermediate states a SIGKILL can leave behind (partial temp file,
+//! published image) explicitly, so every branch of the publish
+//! protocol is pinned, not sampled.
+
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use rbbench::cache::{cache_key, compact_temp_path, entry_count, wal_stats, CacheKey, ResultCache};
+use rbbench::sweep::{CellReport, Metric};
+use rbruntime::wal::FrameScan;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rbbench-compact-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Payload values that stress the codec: compaction must preserve
+/// exact bit patterns, not just numeric equality.
+const WEIRD_VALUES: [f64; 4] = [f64::NAN, -0.0, f64::MIN_POSITIVE / 2.0, 1.5];
+
+fn report_for(label: &str, seed: u64, value: f64) -> CellReport {
+    CellReport {
+        id: label.to_string(),
+        seed,
+        metrics: vec![Metric::exact("v", value)],
+    }
+}
+
+/// Appends a raw copy of the `nth` entry frame (0-based, header
+/// excluded) — the benign duplicate a racing worker leaves behind,
+/// which replay skips and compaction drops.
+fn duplicate_entry_frame(dir: &Path, nth: usize) {
+    let path = dir.join("results.wal");
+    let bytes = std::fs::read(&path).unwrap();
+    let mut scan = FrameScan::new(&bytes);
+    scan.next().expect("header");
+    let mut start = scan.offset();
+    for _ in 0..nth {
+        scan.next().expect("entry to skip");
+        start = scan.offset();
+    }
+    scan.next().expect("entry to duplicate");
+    let dup = bytes[start..scan.offset()].to_vec();
+    std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .unwrap()
+        .write_all(&dup)
+        .unwrap();
+}
+
+/// Every distinct key's raw stored payload, keyed by material bytes.
+fn snapshot_lookups(cache: &ResultCache, keys: &[CacheKey]) -> HashMap<Vec<u8>, Vec<u8>> {
+    keys.iter()
+        .map(|k| {
+            let raw = cache.lookup_raw(k).expect("inserted key must hit").to_vec();
+            (k.material().to_vec(), raw)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any insert sequence (repeats included) and any number of
+    /// forced duplicate frames: compaction keeps every `lookup_raw`
+    /// byte-identical (live, and across reopen), strictly shrinks the
+    /// file iff duplicates existed, and leaves `entry_count` agreeing
+    /// with `len()`.
+    #[test]
+    fn compaction_is_lookup_invariant_and_shrinks_iff_duplicates(
+        ops in prop::collection::vec((0usize..4, 0u64..4, 0usize..4), 1..14),
+        dup_frames in 0usize..3,
+        case in 0u64..u64::MAX,
+    ) {
+        const LABELS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+        let dir = scratch(&format!("prop-{case}"));
+        let mut cache = ResultCache::open(&dir).unwrap();
+
+        // First op for a (label, seed) picks its payload; repeats reuse
+        // it, exercising the idempotent re-insert path.
+        let mut chosen: HashMap<(usize, u64), f64> = HashMap::new();
+        let mut keys: Vec<CacheKey> = Vec::new();
+        for &(li, seed, vi) in &ops {
+            let value = *chosen.entry((li, seed)).or_insert(WEIRD_VALUES[vi]);
+            let key = cache_key(LABELS[li], "p=1", seed);
+            if !cache.contains(&key) {
+                keys.push(cache_key(LABELS[li], "p=1", seed));
+            }
+            cache.insert(&key, &report_for(LABELS[li], seed, value)).unwrap();
+        }
+        let distinct = cache.len();
+        drop(cache);
+        for d in 0..dup_frames {
+            duplicate_entry_frame(&dir, d % distinct);
+        }
+
+        let mut cache = ResultCache::open(&dir).unwrap();
+        prop_assert_eq!(cache.len(), distinct, "duplicates must not change replay");
+        let before = snapshot_lookups(&cache, &keys);
+        let stats = cache.compact().unwrap();
+
+        prop_assert_eq!(stats.entries, distinct);
+        if dup_frames > 0 {
+            prop_assert!(
+                stats.bytes_after < stats.bytes_before,
+                "duplicates existed: {} must shrink below {}",
+                stats.bytes_after, stats.bytes_before
+            );
+        } else {
+            prop_assert_eq!(stats.bytes_after, stats.bytes_before,
+                "no duplicates: compaction must be a byte-count no-op");
+        }
+        prop_assert!(!compact_temp_path(&dir).exists(), "temp must not linger");
+        prop_assert_eq!(&snapshot_lookups(&cache, &keys), &before,
+            "live lookups must be byte-identical after compaction");
+
+        drop(cache);
+        let reopened = ResultCache::open(&dir).unwrap();
+        prop_assert_eq!(&snapshot_lookups(&reopened, &keys), &before,
+            "reopened lookups must be byte-identical after compaction");
+        prop_assert_eq!(entry_count(&dir).unwrap(), reopened.len());
+        let wal = wal_stats(&dir).unwrap();
+        prop_assert_eq!(wal.frames, wal.entries, "compacted file has no duplicate frames");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Builds a cache with three keys and two duplicate frames and returns
+/// `(keys, old file bytes, compacted file bytes)` — the two on-disk
+/// states a crash during compaction may legally leave behind.
+fn crash_fixture(tag: &str) -> (Vec<CacheKey>, Vec<u8>, Vec<u8>) {
+    let dir = scratch(&format!("fixture-{tag}"));
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let keys: Vec<CacheKey> = (0..3).map(|s| cache_key("fix", "p=1", s)).collect();
+    for (s, key) in keys.iter().enumerate() {
+        cache
+            .insert(key, &report_for("fix", s as u64, WEIRD_VALUES[s % 4]))
+            .unwrap();
+    }
+    drop(cache);
+    duplicate_entry_frame(&dir, 0);
+    duplicate_entry_frame(&dir, 2);
+    let old_bytes = std::fs::read(dir.join("results.wal")).unwrap();
+
+    let mut cache = ResultCache::open(&dir).unwrap();
+    let stats = cache.compact().unwrap();
+    assert!(stats.bytes_after < stats.bytes_before);
+    drop(cache);
+    let new_bytes = std::fs::read(dir.join("results.wal")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (keys, old_bytes, new_bytes)
+}
+
+/// The crash-point matrix: every intermediate state of the publish
+/// protocol — temp file absent / empty / truncated mid-frame / at a
+/// frame boundary / complete, and the post-rename state — must open
+/// without refusal and serve the exact same bytes for every key.
+#[test]
+fn killed_compaction_recovers_old_or_new_file_never_a_hybrid() {
+    let (keys, old_bytes, new_bytes) = crash_fixture("matrix");
+
+    // Expected payloads are state-independent: both files replay to
+    // the same entries. Pin them from a pristine old-file copy.
+    let probe_dir = scratch("matrix-probe");
+    std::fs::write(probe_dir.join("results.wal"), &old_bytes).unwrap();
+    let expected = snapshot_lookups(&ResultCache::open(&probe_dir).unwrap(), &keys);
+    let _ = std::fs::remove_dir_all(&probe_dir);
+
+    // Crash before the rename: the original file is untouched, the
+    // temp holds some prefix of the image. All prefixes are inert.
+    let temp_prefixes = [0, 1, 12, new_bytes.len() / 2, new_bytes.len()];
+    for (i, &cut) in temp_prefixes.iter().enumerate() {
+        let dir = scratch(&format!("matrix-pre-{i}"));
+        std::fs::write(dir.join("results.wal"), &old_bytes).unwrap();
+        std::fs::write(compact_temp_path(&dir), &new_bytes[..cut]).unwrap();
+
+        let cache = ResultCache::open(&dir)
+            .unwrap_or_else(|e| panic!("pre-rename state {i} (temp cut at {cut}) refused: {e}"));
+        assert_eq!(
+            snapshot_lookups(&cache, &keys),
+            expected,
+            "pre-rename state {i}: lookups diverged"
+        );
+        // Recovery re-runs compaction over the stale temp and wins.
+        let mut cache = cache;
+        let stats = cache.compact().unwrap();
+        assert_eq!(stats.entries, keys.len());
+        assert!(!compact_temp_path(&dir).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Crash after the rename: the image is the live file (the temp is
+    // gone — rename moved it). The new file must serve identically.
+    let dir = scratch("matrix-post");
+    std::fs::write(dir.join("results.wal"), &new_bytes).unwrap();
+    let mut cache = ResultCache::open(&dir).expect("post-rename state must not refuse");
+    assert_eq!(cache.len(), keys.len());
+    assert_eq!(
+        snapshot_lookups(&cache, &keys),
+        expected,
+        "post-rename state: lookups diverged"
+    );
+    // And the compacted file is a fixed point: appends still land.
+    let extra = cache_key("fix", "p=1", 99);
+    cache.insert(&extra, &report_for("fix", 99, 2.5)).unwrap();
+    drop(cache);
+    let reopened = ResultCache::open(&dir).unwrap();
+    assert_eq!(reopened.len(), keys.len() + 1);
+    assert!(reopened.lookup_raw(&extra).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,7 +16,10 @@
 //!   seeded [`derive_mangle`] schedule (truncation, bit rot, appended
 //!   garbage), then resumed;
 //! * **cache-live** / **cache-mangle** — the same two shapes against
-//!   the content-addressed result cache under `run_cached`.
+//!   the content-addressed result cache under `run_cached`;
+//! * **cache-compact** — `compact_in` over a [`FaultyFs`]: a faulted
+//!   compaction must leave the old file serving reference bytes, a
+//!   completed one must publish a file that replays identically.
 //!
 //! Every fault is pure in `(master seed, schedule index)` — a failing
 //! schedule replays exactly under its printed index.
@@ -87,7 +90,11 @@ fn plan_for(master: u64, index: u64) -> FaultPlan {
         3 => plan.with_kinds(&[FaultKind::Transient]),
         _ => plan.with_kinds(&[FaultKind::DiskFull]),
     };
+    // Every third schedule also fails the first flushes transiently —
+    // the budget is below the retry limit, so a correct append absorbs
+    // it without duplicating frames (the double-append regression).
     plan.with_rate([120, 250, 500, 1000][(index % 4) as usize])
+        .with_flush_transients(index % 3)
 }
 
 /// A refusal must be the documented one: a named `Refused` that tells
@@ -312,6 +319,53 @@ fn cache_mangle_schedules_recover_or_refuse() {
         assert_cache_recovers(&dir, &spec, &reference, &format!("{schedule} ({mangle})"));
     }
     println!("cache-mangle: {SCHEDULES} schedules — zero divergent");
+}
+
+#[test]
+fn cache_compaction_fault_schedules_keep_the_old_file_or_publish_clean() {
+    const SCHEDULES: u64 = 20;
+    let spec = echo_spec("chaos-compact", 6);
+    let reference = spec.run(1).to_json();
+    let mut injected_total = 0u64;
+    let mut failed = 0u64;
+
+    for index in 0..SCHEDULES {
+        let schedule = format!("cache-compact #{index}");
+        let dir = scratch(&format!("ccompact-{index}"));
+        // A warm cache, built fault-free.
+        let m = Mutex::new(ResultCache::open(&dir).expect("fresh cache"));
+        let clean = spec.run_cached(2, &m);
+        assert_eq!(clean.report.to_json(), reference);
+        let mut cache = m
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+        // Compact under fire. Success must shrink-or-hold the file;
+        // failure must be an error, not a panic — and either way the
+        // recovery gate below must serve reference bytes.
+        let fs = FaultyFs::new(plan_for(0xC03B_AC70, index));
+        match cache.compact_in(&fs) {
+            Ok(stats) => assert!(
+                stats.bytes_after <= stats.bytes_before,
+                "{schedule}: compaction grew the file"
+            ),
+            Err(e) => {
+                assert!(!e.to_string().is_empty());
+                failed += 1;
+            }
+        }
+        injected_total += fs.faults_injected();
+        drop(cache);
+        assert_cache_recovers(&dir, &spec, &reference, &schedule);
+    }
+    assert!(
+        injected_total > 0,
+        "the schedules must actually inject faults (got none across {SCHEDULES})"
+    );
+    println!(
+        "cache-compact: {SCHEDULES} schedules, {injected_total} faults injected, \
+         {failed} failed compactions — zero divergent"
+    );
 }
 
 /// The splice case a seeded mangle can't produce by chance: intact

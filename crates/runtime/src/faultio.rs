@@ -29,12 +29,13 @@
 //!   bit, append garbage), for sweeping the recovery policies over
 //!   at-rest damage instead of two hand-picked byte offsets.
 //!
-//! Faults are injected on **writes only**; reads and truncations pass
-//! through. Read-side damage is exercised by [`Mangle`] plus the
-//! [`crate::wal::FrameScan`] classification, and keeping `set_len`
-//! reliable keeps the *recovery* path (truncating a torn tail) from
-//! failing in ways no real filesystem exhibits during a replay-only
-//! open.
+//! Faults are injected on **writes** (and, via an explicit budget, on
+//! **flushes** — see [`FaultPlan::with_flush_transients`]); reads,
+//! truncations, renames and syncs pass through. Read-side damage is
+//! exercised by [`Mangle`] plus the [`crate::wal::FrameScan`]
+//! classification, and keeping `set_len` reliable keeps the *recovery*
+//! path (truncating a torn tail) from failing in ways no real
+//! filesystem exhibits during a replay-only open.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -78,6 +79,10 @@ pub trait FileIo: Send {
     fn set_len(&mut self, len: u64) -> io::Result<()>;
     /// Moves the cursor to absolute offset `pos`.
     fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+    /// Durably syncs content and metadata to the device (fsync) — the
+    /// barrier a compactor needs before an atomic rename, stronger
+    /// than [`FileIo::flush`] (which only drains userspace buffers).
+    fn sync_all(&mut self) -> io::Result<()>;
 }
 
 /// A filesystem under the seam: opens files for the append-mode WAL
@@ -87,6 +92,13 @@ pub trait Fs: Send + Sync {
     fn open_rw(&self, path: &Path) -> io::Result<Box<dyn FileIo>>;
     /// Creates `path` and its parents (the cache-directory case).
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Atomically replaces `to` with `from` (same directory) — the
+    /// publish step of a write-temp-then-rename protocol. A crash
+    /// before the rename leaves `to` untouched; after it, fully
+    /// replaced; never a hybrid.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file; missing is not an error (stale-temp cleanup).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
 }
 
 /// The production filesystem: plain `std::fs`, no faults.
@@ -112,6 +124,9 @@ impl FileIo for DiskFile {
     fn seek_to(&mut self, pos: u64) -> io::Result<()> {
         self.0.seek(SeekFrom::Start(pos)).map(|_| ())
     }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
 }
 
 impl Fs for RealFs {
@@ -126,6 +141,15 @@ impl Fs for RealFs {
     }
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -188,6 +212,12 @@ pub struct FaultPlan {
     /// The fault shapes this plan may inject (picked uniformly by
     /// hash). Empty means no faults regardless of the rate.
     pub kinds: Vec<FaultKind>,
+    /// Inject a transient (`WouldBlock`-style) failure on each of the
+    /// first this-many `flush` calls, then let flushes succeed. This
+    /// models an fsync-path hiccup *after* the write itself landed —
+    /// the case where retrying the whole buffer would duplicate it, so
+    /// the owner must retry only the flush.
+    pub flush_transients: u64,
 }
 
 impl FaultPlan {
@@ -203,6 +233,7 @@ impl FaultPlan {
                 FaultKind::Transient,
                 FaultKind::DiskFull,
             ],
+            flush_transients: 0,
         }
     }
 
@@ -215,6 +246,13 @@ impl FaultPlan {
     /// This plan restricted to the given fault kinds.
     pub fn with_kinds(mut self, kinds: &[FaultKind]) -> FaultPlan {
         self.kinds = kinds.to_vec();
+        self
+    }
+
+    /// This plan with a transient failure injected on each of the
+    /// first `n` flush calls (see [`FaultPlan::flush_transients`]).
+    pub fn with_flush_transients(mut self, n: u64) -> FaultPlan {
+        self.flush_transients = n;
         self
     }
 
@@ -252,6 +290,10 @@ impl FaultPlan {
 struct FaultState {
     ops: AtomicU64,
     injected: AtomicU64,
+    /// Flush calls seen so far — the clock for
+    /// [`FaultPlan::flush_transients`] (flushes do not advance `ops`,
+    /// so arming flush faults never perturbs a write schedule).
+    flushes: AtomicU64,
 }
 
 /// [`RealFs`] plus a [`FaultPlan`]: every file it opens shares one
@@ -294,6 +336,12 @@ impl Fs for FaultyFs {
     }
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        RealFs.rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        RealFs.remove_file(path)
     }
 }
 
@@ -347,6 +395,15 @@ impl FileIo for FaultFile {
     }
 
     fn flush(&mut self) -> io::Result<()> {
+        if self.state.flushes.fetch_add(1, Ordering::SeqCst) < self.plan.flush_transients {
+            self.state.injected.fetch_add(1, Ordering::SeqCst);
+            // The write already landed; only the flush hiccups. An
+            // owner that reacts by rewriting the buffer duplicates it.
+            return Err(injected_err(
+                io::ErrorKind::WouldBlock,
+                "injected transient flush failure (bytes already written)".into(),
+            ));
+        }
         self.inner.flush()
     }
     fn set_len(&mut self, len: u64) -> io::Result<()> {
@@ -354,6 +411,9 @@ impl FileIo for FaultFile {
     }
     fn seek_to(&mut self, pos: u64) -> io::Result<()> {
         self.inner.seek_to(pos)
+    }
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.inner.sync_all()
     }
 }
 
@@ -365,6 +425,33 @@ pub fn is_transient(err: &io::Error) -> bool {
         err.kind(),
         io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted | io::ErrorKind::TimedOut
     )
+}
+
+/// Appends `bytes` and flushes, absorbing up to `retries` transient
+/// failures **per stage, independently**: while the write itself fails
+/// transiently the whole buffer is retried (safe — the transient
+/// contract is that nothing landed), but once `write_all` has
+/// succeeded only the *flush* is retried. Collapsing the two stages
+/// into one retried closure is the classic double-append bug: a
+/// transient flush failure after a successful write would re-issue the
+/// buffer and leave the frame on disk twice.
+pub fn append_durably(file: &mut dyn FileIo, bytes: &[u8], retries: u32) -> io::Result<()> {
+    let mut budget = retries;
+    loop {
+        match file.write_all(bytes) {
+            Ok(()) => break,
+            Err(e) if is_transient(&e) && budget > 0 => budget -= 1,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut budget = retries;
+    loop {
+        match file.flush() {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(&e) && budget > 0 => budget -= 1,
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 // --- post-hoc mangling -------------------------------------------------
@@ -574,6 +661,62 @@ mod tests {
                 "only WouldBlock-style errors are retryable"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_transients_fault_only_the_flush_and_only_n_times() {
+        let dir = scratch("flushfault");
+        let path = dir.join("f.bin");
+        let fs = FaultyFs::new(FaultPlan::new(6, 6).with_rate(0).with_flush_transients(2));
+        let mut file = fs.open_rw(&path).unwrap();
+        file.write_all(b"landed").unwrap();
+        let err = file.flush().unwrap_err();
+        assert!(is_transient(&err), "{err}");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"landed",
+            "the write itself was untouched"
+        );
+        assert!(file.flush().is_err(), "budget of 2 faults twice");
+        file.flush().expect("third flush passes through");
+        assert_eq!(fs.faults_injected(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_durably_retries_flush_without_rewriting_the_buffer() {
+        let dir = scratch("durable");
+        let path = dir.join("f.bin");
+        let fs = FaultyFs::new(FaultPlan::new(7, 7).with_rate(0).with_flush_transients(2));
+        let mut file = fs.open_rw(&path).unwrap();
+        append_durably(file.as_mut(), b"once", 3).unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"once",
+            "flush hiccups must not duplicate the appended bytes"
+        );
+        // Exhausting the budget surfaces the transient error instead.
+        let fs = FaultyFs::new(FaultPlan::new(7, 8).with_rate(0).with_flush_transients(9));
+        let mut file = fs.open_rw(&path).unwrap();
+        let err = append_durably(file.as_mut(), b"more", 3).unwrap_err();
+        assert!(is_transient(&err), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rename_is_atomic_publish_and_remove_tolerates_missing() {
+        let dir = scratch("rename");
+        let (from, to) = (dir.join("a"), dir.join("b"));
+        std::fs::write(&from, b"new").unwrap();
+        std::fs::write(&to, b"old").unwrap();
+        RealFs.rename(&from, &to).unwrap();
+        assert_eq!(std::fs::read(&to).unwrap(), b"new");
+        assert!(!from.exists());
+        RealFs.remove_file(&to).unwrap();
+        RealFs
+            .remove_file(&to)
+            .expect("removing a missing file is fine");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

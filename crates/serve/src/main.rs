@@ -3,6 +3,7 @@
 //! ```text
 //! rbserve [--addr HOST:PORT] [--workers N] [--queue N]
 //!         [--max-cells N] [--cache DIR]
+//!         [--compact-every N] [--hot-cap N]
 //!         [--cell-timeout-ms N] [--cell-retries N]
 //!         [--io-timeout-ms N] [--idle-timeout-ms N]
 //!         [--chaos-seed N] [--chaos-panic N] [--chaos-hang N]
@@ -26,6 +27,7 @@ use rbserve::{ChaosConfig, ServerConfig};
 
 const USAGE: &str =
     "usage: rbserve [--addr HOST:PORT] [--workers N] [--queue N] [--max-cells N] [--cache DIR]
+               [--compact-every N] [--hot-cap N]
                [--cell-timeout-ms N] [--cell-retries N] [--io-timeout-ms N] [--idle-timeout-ms N]
                [--chaos-seed N] [--chaos-panic N] [--chaos-hang N] [--chaos-garble N]
                [--chaos-hang-ms N] [--chaos-every-attempt]
@@ -35,6 +37,8 @@ const USAGE: &str =
   --queue N          submitted jobs that may wait before submits shed (default 16)
   --max-cells N      largest accepted sweep, in cells (default 4096)
   --cache DIR        persist solved cells to DIR/results.wal and serve repeats from it
+  --compact-every N  compact the cache WAL (drop duplicate frames) after every N inserts
+  --hot-cap N        decoded reports kept in the in-memory hot tier; 0 disables (default 1024)
 
   --cell-timeout-ms N   per-cell deadline before the solver is presumed hung (default 120000)
   --cell-retries N      retries on a fresh solver before the job aborts (default 2)
@@ -81,6 +85,18 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|e| format!("--max-cells: {e}"))?
             }
             "--cache" => cfg.cache_dir = Some(PathBuf::from(value("--cache")?)),
+            "--compact-every" => {
+                let n = parse_u64("--compact-every", value("--compact-every")?)?;
+                if n == 0 {
+                    return Err("--compact-every: must be at least 1".into());
+                }
+                cfg.compact_every = Some(n);
+            }
+            "--hot-cap" => {
+                cfg.hot_capacity = value("--hot-cap")?
+                    .parse()
+                    .map_err(|e| format!("--hot-cap: {e}"))?
+            }
             "--cell-timeout-ms" => {
                 cfg.cell_timeout = Duration::from_millis(parse_u64(
                     "--cell-timeout-ms",

@@ -55,7 +55,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use rbbench::cache::ResultCache;
+use rbbench::cache::{CacheKey, HitTier, ResultCache};
 use rbbench::sweep::{CellReport, SweepCell, SweepReport, SweepSpec};
 use rbcore::metrics::Metric;
 use rbruntime::faultio::mix64;
@@ -100,6 +100,14 @@ pub struct ServerConfig {
     /// Deterministic fault injection into solver attempts; `None` (the
     /// default) injects nothing.
     pub chaos: Option<ChaosConfig>,
+    /// Compact the result cache (rewrite its WAL dropping benign
+    /// duplicate frames) after every this-many inserts; `None` (the
+    /// default) never compacts from the server.
+    pub compact_every: Option<u64>,
+    /// Capacity of the cache's hot tier — decoded reports kept in an
+    /// in-memory LRU so repeated hits skip the payload decode. `0`
+    /// disables the tier.
+    pub hot_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +123,8 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             idle_timeout: Duration::from_secs(600),
             chaos: None,
+            compact_every: None,
+            hot_capacity: 1024,
         }
     }
 }
@@ -213,6 +223,21 @@ pub struct Counters {
     pub shed: AtomicU64,
     /// Cells served from the result cache.
     pub cache_hits: AtomicU64,
+    /// Cache hits served from the hot tier (decoded-report LRU — no
+    /// decode work).
+    pub cache_hot_hits: AtomicU64,
+    /// Cache hits served from the warm tier (in-memory byte store —
+    /// decoded on the way out, then promoted hot).
+    pub cache_warm_hits: AtomicU64,
+    /// Hot-tier evictions (mirrors the cache's own monotonic total).
+    pub cache_evictions: AtomicU64,
+    /// Reports inserted into the result cache.
+    pub cache_inserts: AtomicU64,
+    /// Cache compactions performed (the `--compact-every` trigger).
+    pub cache_compactions: AtomicU64,
+    /// Cells that subscribed to another job's in-flight solve of the
+    /// same key instead of dispatching a duplicate solve.
+    pub dedup_waits: AtomicU64,
     /// Cacheable cells that had to be solved.
     pub cache_misses: AtomicU64,
     /// Cells solved (misses + uncacheable).
@@ -253,6 +278,12 @@ impl Counters {
             c("requests/malformed", &self.req_malformed),
             c("submits/shed", &self.shed),
             c("cache/hits", &self.cache_hits),
+            c("cache/hot_hits", &self.cache_hot_hits),
+            c("cache/warm_hits", &self.cache_warm_hits),
+            c("cache/evictions", &self.cache_evictions),
+            c("cache/inserts", &self.cache_inserts),
+            c("cache/compactions", &self.cache_compactions),
+            c("solves/deduped", &self.dedup_waits),
             c("cache/misses", &self.cache_misses),
             c("cells/solved", &self.cells_solved),
             c("jobs/done", &self.jobs_done),
@@ -300,6 +331,11 @@ struct Shared {
     counters: Counters,
     draining: AtomicBool,
     cache: Option<Mutex<ResultCache>>,
+    /// In-flight solve claims, keyed by full cache-key material. A job
+    /// that misses the cache claims its key here before solving; jobs
+    /// arriving at the same key subscribe instead of dispatching a
+    /// duplicate solve, and are woken when the claim resolves.
+    pending: Mutex<HashMap<Vec<u8>, Vec<Sender<()>>>>,
     finished: Mutex<HashMap<String, SweepReport>>,
     /// Cell dispatch channel into the solver pool. Both halves live
     /// here so the supervisor can spawn replacement solvers after a
@@ -313,6 +349,63 @@ impl Shared {
         self.cache
             .as_ref()
             .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    fn lock_pending(&self) -> std::sync::MutexGuard<'_, HashMap<Vec<u8>, Vec<Sender<()>>>> {
+        self.pending
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Retires this job's claim on `key`: stores the solved report (if
+    /// the solve succeeded), removes the pending entry, and wakes every
+    /// subscriber. The pending lock is held across the cache insert
+    /// (lock order: pending, then cache) so nobody can subscribe to a
+    /// claim that is being retired — a waiter either sees the pending
+    /// entry and gets a wakeup, or misses it and finds the cache hit.
+    fn resolve_claim(&self, key: &CacheKey, report: Option<&CellReport>) {
+        let mut pending = self.lock_pending();
+        if let Some(report) = report {
+            if let Some(mut cache) = self.lock_cache() {
+                if let Err(e) = cache.insert(key, report) {
+                    // Losing the store degrades to cache-off; the
+                    // sweep itself is fine.
+                    eprintln!("rbserve: cache insert failed: {e}");
+                } else {
+                    let nth = self.counters.cache_inserts.fetch_add(1, Ordering::SeqCst) + 1;
+                    self.maybe_compact(&mut cache, nth);
+                }
+                self.counters
+                    .cache_evictions
+                    .store(cache.hot_evictions(), Ordering::Relaxed);
+            }
+        }
+        let waiters = pending.remove(key.material()).unwrap_or_default();
+        drop(pending);
+        for waiter in waiters {
+            let _ = waiter.send(());
+        }
+    }
+
+    /// The `--compact-every` trigger: after every n-th successful
+    /// insert, rewrite the WAL dropping duplicate frames. A failed
+    /// compaction leaves the old file serving, so it is logged, not
+    /// fatal.
+    fn maybe_compact(&self, cache: &mut ResultCache, nth_insert: u64) {
+        let Some(every) = self.cfg.compact_every else {
+            return;
+        };
+        if every == 0 || !nth_insert.is_multiple_of(every) {
+            return;
+        }
+        match cache.compact() {
+            Ok(_) => {
+                self.counters
+                    .cache_compactions
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => eprintln!("rbserve: cache compaction failed: {e}"),
+        }
     }
 }
 
@@ -349,9 +442,11 @@ impl ServerHandle {
 pub fn spawn(cfg: ServerConfig) -> Result<ServerHandle, String> {
     let cache = match &cfg.cache_dir {
         None => None,
-        Some(dir) => Some(Mutex::new(
-            ResultCache::open(dir).map_err(|e| e.to_string())?,
-        )),
+        Some(dir) => {
+            let mut cache = ResultCache::open(dir).map_err(|e| e.to_string())?;
+            cache.set_hot_capacity(cfg.hot_capacity);
+            Some(Mutex::new(cache))
+        }
     };
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let addr = listener
@@ -366,6 +461,7 @@ pub fn spawn(cfg: ServerConfig) -> Result<ServerHandle, String> {
         counters: Counters::default(),
         draining: AtomicBool::new(false),
         cache,
+        pending: Mutex::new(HashMap::new()),
         finished: Mutex::new(HashMap::new()),
         cfg,
         solver_tx,
@@ -557,6 +653,46 @@ fn handle_conn(shared: &Arc<Shared>, jobs: &Sender<Job>, stream: TcpStream) {
     }
 }
 
+/// A claimed queue slot. Dropping the guard releases the slot, so
+/// every early-return between claim and enqueue gives the capacity
+/// back instead of leaking it; a successful enqueue calls
+/// [`SlotGuard::transfer`], handing the slot to the worker (which
+/// releases it on pickup).
+struct SlotGuard<'a> {
+    counters: &'a Counters,
+    armed: bool,
+}
+
+impl SlotGuard<'_> {
+    /// Claims a slot by CAS on the depth gauge, or `None` at capacity.
+    fn claim(counters: &Counters, capacity: u64) -> Option<SlotGuard<'_>> {
+        counters
+            .queue_depth
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
+                (d < capacity).then_some(d + 1)
+            })
+            .ok()
+            .map(|_| SlotGuard {
+                counters,
+                armed: true,
+            })
+    }
+
+    /// Disarms the guard: the slot now belongs to the queued job and
+    /// `worker_loop` releases it on pickup.
+    fn transfer(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.counters.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
 /// Admission control + event streaming for one submit. Returns `false`
 /// when the connection is gone.
 fn handle_submit(
@@ -589,22 +725,18 @@ fn handle_submit(
             )),
         );
     }
-    // Bounded admission: claim a queue slot or shed. The slot is
-    // released by the worker on pickup.
+    // Bounded admission: claim a queue slot or shed. Between here and
+    // a successful enqueue the slot lives in a guard, so every shed or
+    // error return releases it — a leaked slot would permanently
+    // shrink capacity.
     let cap = shared.cfg.queue_capacity as u64;
-    let admitted = c
-        .queue_depth
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| {
-            (d < cap).then_some(d + 1)
-        })
-        .is_ok();
-    if !admitted {
+    let Some(slot) = SlotGuard::claim(c, cap) else {
         c.shed.fetch_add(1, Ordering::Relaxed);
         return send_line(
             out,
             &shed_line(&format!("queue full ({cap} jobs waiting); retry later")),
         );
-    }
+    };
     let (events_tx, events_rx) = unbounded::<String>();
     let name = spec.name.clone();
     let cells = spec.cells.len();
@@ -615,10 +747,12 @@ fn handle_submit(
         })
         .is_err()
     {
-        c.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        drop(slot);
         c.shed.fetch_add(1, Ordering::Relaxed);
         return send_line(out, &shed_line("server is shutting down"));
     }
+    // The job is queued: the slot is the worker's to release on pickup.
+    slot.transfer();
     if !send_line(out, &accepted_line(&name, cells)) {
         // Client gone already; the worker still runs the job (warming
         // the cache) and its sends harmlessly fill the orphaned queue.
@@ -799,10 +933,73 @@ fn solve_cell(
     }
 }
 
+/// How [`serve_cell`] produced a report: a cache hit (at either tier),
+/// or a solve run by this job (as the key's primary, if cacheable).
+enum CellSource {
+    Hit(HitTier),
+    Solved { cacheable: bool },
+}
+
+/// Produces one cell's report: cache hit (hot or warm tier), dedup —
+/// subscribing to another job's in-flight solve of the same key — or a
+/// solve dispatched by this job. `Err` is the job-aborting refusal
+/// from the recovery block.
+fn serve_cell(
+    shared: &Arc<Shared>,
+    spec: &Arc<SweepSpec>,
+    idx: usize,
+    seed: u64,
+    key: Option<&CacheKey>,
+) -> Result<(CellReport, CellSource), String> {
+    let c = &shared.counters;
+    // Without a key (or without a cache) there is no shared identity
+    // to hit, store, or dedup under — just solve.
+    let Some(key) = key.filter(|_| shared.cache.is_some()) else {
+        let cacheable = key.is_some();
+        return solve_cell(shared, spec, idx, seed).map(|r| (r, CellSource::Solved { cacheable }));
+    };
+    loop {
+        // Lock order: pending, then cache — never the reverse. Probing
+        // the cache while holding the pending lock makes
+        // check-and-subscribe atomic against a primary's
+        // insert-then-notify in `resolve_claim`: a waiter can neither
+        // miss its wakeup nor wake to find nothing in the cache.
+        let mut pending = shared.lock_pending();
+        if let Some(waiters) = pending.get_mut(key.material()) {
+            let (tx, rx) = unbounded::<()>();
+            waiters.push(tx);
+            drop(pending);
+            c.dedup_waits.fetch_add(1, Ordering::Relaxed);
+            // The primary always resolves its claim — on failure too,
+            // and a dropped sender also wakes us — so this cannot
+            // hang. Then re-probe: a successful solve is now a hit; a
+            // failed one makes this job the next primary.
+            let _ = rx.recv();
+            continue;
+        }
+        let hit = shared.lock_cache().and_then(|mut cache| {
+            let hit = cache.lookup_tiered(key);
+            c.cache_evictions
+                .store(cache.hot_evictions(), Ordering::Relaxed);
+            hit
+        });
+        if let Some((report, tier)) = hit {
+            return Ok((report, CellSource::Hit(tier)));
+        }
+        // Miss with nobody solving it: claim the key, solve here, and
+        // retire the claim (insert + wake waiters) whatever happens.
+        pending.insert(key.material().to_vec(), Vec::new());
+        drop(pending);
+        let solved = solve_cell(shared, spec, idx, seed);
+        shared.resolve_claim(key, solved.as_ref().ok());
+        return solved.map(|r| (r, CellSource::Solved { cacheable: true }));
+    }
+}
+
 /// Runs one sweep cell-by-cell, cache-first, streaming each cell as it
 /// completes. Timing is accumulated here and reported only in the done
 /// event — cell payloads stay execution-independent, which is what
-/// makes cached and solved responses byte-identical.
+/// makes cached, solved, and dedup-waited responses byte-identical.
 fn run_job(shared: &Arc<Shared>, job: &Job) {
     let c = &shared.counters;
     let spec = &job.spec;
@@ -813,47 +1010,40 @@ fn run_job(shared: &Arc<Shared>, job: &Job) {
         let seed = derive_seed(spec.master_seed, spec.seed_index(idx));
         let key = rbbench::cache::cell_key(cell, seed);
         let started = Instant::now();
-        let cached_hit = key
-            .as_ref()
-            .and_then(|k| shared.lock_cache().and_then(|c| c.lookup(k)));
-        let (report, was_hit) = match cached_hit {
-            Some(mut r) => {
+        let (mut report, source) = match serve_cell(shared, spec, idx, seed, key.as_ref()) {
+            Ok(served) => served,
+            Err(refusal) => {
+                let _ = job.events.send(done_line(
+                    &spec.name,
+                    spec.cells.len(),
+                    hits,
+                    misses,
+                    uncacheable,
+                    solve_ns,
+                    Some(&refusal),
+                ));
+                return;
+            }
+        };
+        let was_hit = match source {
+            CellSource::Hit(tier) => {
                 hits += 1;
                 c.cache_hits.fetch_add(1, Ordering::Relaxed);
-                r.id = cell.id.clone();
-                (r, true)
-            }
-            None => {
-                let r = match solve_cell(shared, spec, idx, seed) {
-                    Ok(r) => r,
-                    Err(refusal) => {
-                        let _ = job.events.send(done_line(
-                            &spec.name,
-                            spec.cells.len(),
-                            hits,
-                            misses,
-                            uncacheable,
-                            solve_ns,
-                            Some(&refusal),
-                        ));
-                        return;
-                    }
+                match tier {
+                    HitTier::Hot => c.cache_hot_hits.fetch_add(1, Ordering::Relaxed),
+                    HitTier::Warm => c.cache_warm_hits.fetch_add(1, Ordering::Relaxed),
                 };
-                match &key {
-                    Some(k) => {
-                        misses += 1;
-                        c.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        if let Some(mut cache) = shared.lock_cache() {
-                            if let Err(e) = cache.insert(k, &r) {
-                                // Losing the store degrades to
-                                // cache-off; the sweep itself is fine.
-                                eprintln!("rbserve: cache insert failed: {e}");
-                            }
-                        }
-                    }
-                    None => uncacheable += 1,
-                }
-                (r, false)
+                report.id = cell.id.clone();
+                true
+            }
+            CellSource::Solved { cacheable: true } => {
+                misses += 1;
+                c.cache_misses.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+            CellSource::Solved { cacheable: false } => {
+                uncacheable += 1;
+                false
             }
         };
         solve_ns += started.elapsed().as_nanos() as f64;

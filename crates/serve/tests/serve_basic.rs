@@ -510,6 +510,225 @@ fn chaos_on_every_attempt_exhausts_retries_into_a_named_refusal() {
     handle.join();
 }
 
+/// Drains one submit's event stream without asserting hit/miss shape:
+/// returns each cell event's `report` sub-value (in index order) and
+/// the done event.
+fn collect_stream(client: &mut Client) -> (Vec<Value>, Value) {
+    let accepted = client.recv();
+    assert!(is_ok(&accepted), "{accepted:?}");
+    assert_eq!(get_str(&accepted, "event"), "accepted");
+    let mut cells = Vec::new();
+    loop {
+        let event = client.recv();
+        match get_str(&event, "event").as_str() {
+            "cell" => {
+                assert!(is_ok(&event), "{event:?}");
+                assert_eq!(get_num(&event, "index"), cells.len() as f64);
+                cells.push(get(&event, "report").clone());
+            }
+            "done" => return (cells, event),
+            other => panic!("unexpected event `{other}`: {event:?}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_identical_submits_dedup_to_one_solve_per_cell() {
+    // Reference bytes from a chaos-free, cache-free, dedup-free server.
+    let clean = spawn(test_config(2)).expect("spawn clean");
+    let mut clean_client = Client::connect(clean.addr());
+    run_tiny_grid(&mut clean_client);
+    let reference = result_report(&mut clean_client);
+
+    // Every solve hangs 700ms before completing: submitting the same
+    // grid twice back-to-back guarantees client B reaches a cell while
+    // client A is still solving it, so B must subscribe to A's solve
+    // (the pending map forbids a second concurrent solve of a key).
+    let dir = scratch("dedup");
+    let handle = spawn(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        chaos: Some(ChaosConfig {
+            hang_per_mille: 1000,
+            hang_ms: 700,
+            ..ChaosConfig::default()
+        }),
+        cell_timeout: Duration::from_secs(30),
+        ..test_config(2)
+    })
+    .expect("spawn");
+
+    let mut a = Client::connect(handle.addr());
+    let mut b = Client::connect(handle.addr());
+    a.send(&TINY_GRID.replace('\n', " "));
+    b.send(&TINY_GRID.replace('\n', " "));
+    let (cells_a, done_a) = collect_stream(&mut a);
+    let (cells_b, done_b) = collect_stream(&mut b);
+    assert!(is_ok(&done_a), "{done_a:?}");
+    assert!(is_ok(&done_b), "{done_b:?}");
+
+    // Exactly one solve per cell, proven by the counters: 2 cells,
+    // 2 solves total across both jobs, at least one dedup wait, and
+    // hit+miss totals that sum to the 4 cell servings.
+    let mut m = Client::connect(handle.addr());
+    assert_eq!(metric_value(&mut m, "cells/solved"), 2.0);
+    assert_eq!(metric_value(&mut m, "faults/injected"), 2.0);
+    assert!(
+        metric_value(&mut m, "solves/deduped") >= 1.0,
+        "at least one cell must have subscribed instead of solving"
+    );
+    assert_eq!(metric_value(&mut m, "cache/misses"), 2.0);
+    assert_eq!(metric_value(&mut m, "cache/hits"), 2.0);
+    assert_eq!(metric_value(&mut m, "jobs/done"), 2.0);
+    assert_eq!(metric_value(&mut m, "queue/depth"), 0.0);
+
+    // Both clients' cell payloads and the stored result are
+    // byte-identical to the undeduplicated reference run.
+    assert_eq!(cells_a, cells_b, "the two streams diverged");
+    assert_eq!(
+        result_report(&mut m),
+        reference,
+        "dedup changed the report bytes"
+    );
+
+    m.send(r#"{"op":"shutdown"}"#);
+    clean_client.send(r#"{"op":"shutdown"}"#);
+    drop((a, b, m, clean_client));
+    handle.join();
+    clean.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_shed_and_error_path_returns_the_queue_slot() {
+    // Zero workers: accepted jobs stay queued, so the depth gauge is
+    // fully deterministic after each request.
+    let mut cfg = test_config(0);
+    cfg.queue_capacity = 2;
+    let handle = spawn(cfg).expect("spawn");
+    let mut client = Client::connect(handle.addr());
+    let depth = |c: &mut Client| metric_value(c, "queue/depth");
+
+    // Early-return paths with an empty queue: each must leave depth 0.
+    let resp = client.request(r#"{"op":"submit","name":"bad","kind":"async_grid","n":[1],"mu":[1],"lambda":[1],"lines":10}"#);
+    assert!(!is_ok(&resp));
+    assert_eq!(depth(&mut client), 0.0, "malformed submit leaked a slot");
+
+    let resp = client.request(
+        r#"{"op":"submit","name":"big","kind":"async_grid","n":[2,3,4,5,6,7],"mu":[1,2,3,4,5,6,7],"lambda":[1,2,3,4,5,6,7],"lines":10}"#,
+    );
+    assert_eq!(get_str(&resp, "event"), "shed");
+    assert_eq!(depth(&mut client), 0.0, "oversized submit leaked a slot");
+
+    // Fill both slots, then shed at capacity: depth must stay exactly
+    // at capacity — a leak would show as 3, a double-release as 1.
+    let submit = r#"{"op":"submit","name":"q","kind":"async_grid","n":[2],"mu":[1],"lambda":[1],"lines":10}"#;
+    let mut first = Client::connect(handle.addr());
+    assert_eq!(get_str(&first.request(submit), "event"), "accepted");
+    let mut second = Client::connect(handle.addr());
+    assert_eq!(get_str(&second.request(submit), "event"), "accepted");
+    let resp = client.request(submit);
+    assert_eq!(get_str(&resp, "event"), "shed");
+    assert!(get_str(&resp, "error").contains("queue full"));
+    assert_eq!(depth(&mut client), 2.0, "queue-full shed changed the depth");
+    // No workers: the handle is dropped, not joined.
+
+    // The draining shed path, on a server that can actually drain.
+    let handle = spawn(test_config(1)).expect("spawn draining");
+    let mut client = Client::connect(handle.addr());
+    let ack = client.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(get_str(&ack, "status"), "draining");
+    let resp = client.request(submit);
+    assert_eq!(get_str(&resp, "event"), "shed");
+    assert!(get_str(&resp, "error").contains("draining"));
+    assert_eq!(depth(&mut client), 0.0, "draining shed leaked a slot");
+    drop(client);
+    handle.join();
+}
+
+#[test]
+fn tier_counters_split_hot_and_warm_hits() {
+    let dir = scratch("tiers");
+    // One worker: cells are served sequentially, so tier counters are
+    // exact. Server 1 (default hot capacity): inserts seed the hot
+    // tier, so the warm resubmit hits hot, never warm.
+    let mut cfg = test_config(1);
+    cfg.cache_dir = Some(dir.clone());
+    let handle = spawn(cfg).expect("spawn hot");
+    let mut client = Client::connect(handle.addr());
+    let cold = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&cold, "cache_misses"), 2.0);
+    let warm = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&warm, "cache_hits"), 2.0);
+    assert_eq!(metric_value(&mut client, "cache/hot_hits"), 2.0);
+    assert_eq!(metric_value(&mut client, "cache/warm_hits"), 0.0);
+    assert_eq!(metric_value(&mut client, "cache/inserts"), 2.0);
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+
+    // Server 2, same store, hot tier disabled: every hit decodes from
+    // the warm byte store.
+    let mut cfg = test_config(1);
+    cfg.cache_dir = Some(dir.clone());
+    cfg.hot_capacity = 0;
+    let handle = spawn(cfg).expect("spawn warm");
+    let mut client = Client::connect(handle.addr());
+    let warm = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&warm, "cache_hits"), 2.0);
+    assert_eq!(metric_value(&mut client, "cache/hot_hits"), 0.0);
+    assert_eq!(metric_value(&mut client, "cache/warm_hits"), 2.0);
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+
+    // Server 3, hot capacity 1: two resident-hungry cells evict each
+    // other — the eviction counter must move.
+    let mut cfg = test_config(1);
+    cfg.cache_dir = Some(dir.clone());
+    cfg.hot_capacity = 1;
+    let handle = spawn(cfg).expect("spawn evict");
+    let mut client = Client::connect(handle.addr());
+    run_tiny_grid(&mut client);
+    assert!(
+        metric_value(&mut client, "cache/evictions") >= 1.0,
+        "a capacity-1 hot tier serving 2 cells must evict"
+    );
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compact_every_trigger_rewrites_the_wal_and_preserves_hits() {
+    let dir = scratch("compact-every");
+    let mut cfg = test_config(1);
+    cfg.cache_dir = Some(dir.clone());
+    cfg.compact_every = Some(1);
+    let handle = spawn(cfg).expect("spawn");
+    let mut client = Client::connect(handle.addr());
+
+    let cold = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&cold, "cache_misses"), 2.0);
+    // Every insert triggered a compaction, and lookups survived them.
+    assert_eq!(metric_value(&mut client, "cache/compactions"), 2.0);
+    let warm = run_tiny_grid(&mut client);
+    assert_eq!(get_num(&warm, "cache_hits"), 2.0);
+
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    handle.join();
+
+    // The published file is minimal (one frame per entry) and valid.
+    let stats = rbbench::cache::wal_stats(&dir).expect("compacted wal is readable");
+    assert_eq!(stats.entries, 2);
+    assert_eq!(
+        stats.frames, stats.entries,
+        "compaction left duplicate frames"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn idle_connections_are_reaped_but_the_server_keeps_serving() {
     let handle = spawn(ServerConfig {

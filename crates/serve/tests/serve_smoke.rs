@@ -36,6 +36,10 @@ struct ServerProc {
 
 impl ServerProc {
     fn start(cache: &Path) -> (ServerProc, SocketAddr) {
+        Self::start_with(cache, &[])
+    }
+
+    fn start_with(cache: &Path, extra: &[&str]) -> (ServerProc, SocketAddr) {
         let mut child = Command::new(env!("CARGO_BIN_EXE_rbserve"))
             .args([
                 "--addr",
@@ -45,6 +49,7 @@ impl ServerProc {
                 "--cache",
                 cache.to_str().expect("utf-8 temp path"),
             ])
+            .args(extra)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -247,6 +252,125 @@ fn warm_resubmit_is_cached_byte_identical_and_100x_faster() {
 
     client.send(r#"{"op":"shutdown"}"#);
     drop(client);
+    server.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One named metric's value from the `metrics` endpoint.
+fn metric(client: &mut Client, name: &str) -> f64 {
+    let metrics = client.request(r#"{"op":"metrics"}"#);
+    let Some(Value::Seq(list)) = metrics.get("metrics") else {
+        panic!("metrics is not a list: {metrics:?}")
+    };
+    let m = list
+        .iter()
+        .find(|m| m.get("name") == Some(&Value::Str(name.into())))
+        .unwrap_or_else(|| panic!("no metric `{name}`"));
+    num(m, "value")
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: cold conformance solves at debug speed take too long"
+)]
+fn kill_amid_constant_compaction_recovers_old_or_new_never_hybrid() {
+    // `--compact-every 1` rewrites the WAL after *every* insert, so a
+    // SIGKILL a few cells in lands with high probability inside or
+    // around a compaction's write/publish window. Whatever it hit, the
+    // restart must refuse nothing and serve byte-identical results.
+    let dir = scratch("killcompact");
+    let (server, addr) = ServerProc::start_with(&dir, &["--compact-every", "1"]);
+    let mut client = Client::connect(addr);
+    let accepted = client.request(SUBMIT);
+    assert_eq!(accepted.get("ok"), Some(&Value::Bool(true)), "{accepted:?}");
+    for _ in 0..5 {
+        let event = client.recv();
+        assert_eq!(text(&event, "event"), "cell", "{event:?}");
+    }
+    server.kill();
+    drop(client);
+    let at_kill = rbbench::cache::entry_count(&dir).expect("killed mid-compaction yet readable");
+    assert!(at_kill >= 5, "≥ 5 streamed cells durable, got {at_kill}");
+    // A leftover temp file (kill inside the write window) is inert; a
+    // compacted WAL has no duplicate frames. Either way the scan holds.
+    let stats = rbbench::cache::wal_stats(&dir).expect("scan");
+    assert_eq!(stats.entries, at_kill);
+
+    // Restart still compacting every insert: pre-kill entries hit, the
+    // remainder solves through yet more compactions, and the result is
+    // byte-identical to the in-process batch engine.
+    let (server, addr) = ServerProc::start_with(&dir, &["--compact-every", "1"]);
+    let mut client = Client::connect(addr);
+    let done = submit_and_drain(&mut client);
+    let hits = num(&done, "cache_hits");
+    assert!(
+        hits >= at_kill as f64,
+        "every pre-kill entry must hit: {hits} < {at_kill}"
+    );
+    assert!(metric(&mut client, "cache/compactions") >= 1.0);
+    let result = client.request_raw(r#"{"op":"result","sweep":"conf"}"#);
+    assert_eq!(
+        result,
+        reference_result_line(),
+        "post-kill result must match the batch engine byte-for-byte"
+    );
+    // The final WAL is minimal: one frame per distinct entry.
+    client.send(r#"{"op":"shutdown"}"#);
+    drop(client);
+    server.wait();
+    let stats = rbbench::cache::wal_stats(&dir).expect("scan final");
+    assert_eq!(stats.frames, stats.entries, "compaction left duplicates");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only: kept with the smoke suite so one job runs all end-to-end gates"
+)]
+fn concurrent_identical_submits_dedup_across_real_connections() {
+    // Two real TCP clients submit the same 4-cell grid while every
+    // solve hangs 400 ms: the second client's cells must subscribe to
+    // the first's in-flight solves, never re-solve them.
+    let dir = scratch("dedup");
+    let (server, addr) =
+        ServerProc::start_with(&dir, &["--chaos-hang", "1000", "--chaos-hang-ms", "400"]);
+    let grid = r#"{"op":"submit","name":"g","seed":7,"kind":"async_grid","n":[2,3],"mu":[1],"lambda":[0.5,1],"lines":40,"dist":{"lo":0,"hi":12,"bins":24}}"#;
+
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    a.send(grid);
+    b.send(grid);
+    let drain = |c: &mut Client| loop {
+        let event = c.recv();
+        if text(&event, "event") == "done" {
+            assert_eq!(event.get("ok"), Some(&Value::Bool(true)), "{event:?}");
+            return;
+        }
+    };
+    drain(&mut a);
+    drain(&mut b);
+
+    // 4 distinct cells, served to two clients: exactly 4 solves, at
+    // least one dedup wait, and hit+miss bookkeeping that adds up.
+    let mut m = Client::connect(addr);
+    assert_eq!(metric(&mut m, "cells/solved"), 4.0);
+    assert!(
+        metric(&mut m, "solves/deduped") >= 1.0,
+        "overlapping identical submits must dedup at least one cell"
+    );
+    assert_eq!(metric(&mut m, "cache/misses"), 4.0);
+    assert_eq!(metric(&mut m, "cache/hits"), 4.0);
+    assert_eq!(metric(&mut m, "queue/depth"), 0.0);
+
+    // Both clients read the same stored result, byte for byte.
+    let ra = a.request_raw(r#"{"op":"result","sweep":"g"}"#);
+    let rb = b.request_raw(r#"{"op":"result","sweep":"g"}"#);
+    assert_eq!(ra, rb, "the two clients saw different result bytes");
+
+    m.send(r#"{"op":"shutdown"}"#);
+    drop((a, b, m));
     server.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
